@@ -1,0 +1,185 @@
+// Command fusion analyzes a program in the analysis language with a chosen
+// checker and engine, printing the verified bug reports.
+//
+// Usage:
+//
+//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|all] [-engine NAME] [-no-prelude] file.fl
+//
+// Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
+// pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/fusioncore"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+func main() {
+	checkerName := flag.String("checker", "all", "checker to run: null-deref, cwe-23, cwe-402, cwe-369, or all")
+	engineName := flag.String("engine", "fusion", "engine: fusion, fusion-unopt, pinpoint[+qe|+lfs|+hfs|+ar], infer")
+	noPrelude := flag.Bool("no-prelude", false, "do not prepend the standard extern declarations")
+	showPaths := flag.Bool("paths", false, "print the data-dependence path of each report")
+	joint := flag.Bool("joint", false, "additionally check the joint feasibility of multi-argument sinks")
+	enum := flag.String("enum", "dfs", "path enumeration: dfs or summary")
+	dot := flag.Bool("dot", false, "print the program dependence graph in Graphviz DOT format and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fusion [flags] file.fl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := config{
+		path: flag.Arg(0), checker: *checkerName, engine: *engineName,
+		prelude: !*noPrelude, showPaths: *showPaths, joint: *joint,
+		enum: *enum, dot: *dot,
+		out: os.Stdout,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "fusion:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	path      string
+	checker   string
+	engine    string
+	prelude   bool
+	showPaths bool
+	joint     bool
+	enum      string
+	dot       bool
+	out       interface{ Write([]byte) (int, error) }
+}
+
+func newEngine(name string) (engines.Engine, error) {
+	switch name {
+	case "fusion":
+		return engines.NewFusion(), nil
+	case "fusion-unopt":
+		e := engines.NewFusion()
+		e.Opts = fusioncore.Options{Unoptimized: true}
+		return e, nil
+	case "pinpoint":
+		return engines.NewPinpoint(engines.Plain), nil
+	case "pinpoint+qe":
+		return engines.NewPinpoint(engines.QE), nil
+	case "pinpoint+lfs":
+		return engines.NewPinpoint(engines.LFS), nil
+	case "pinpoint+hfs":
+		return engines.NewPinpoint(engines.HFS), nil
+	case "pinpoint+ar":
+		return engines.NewPinpoint(engines.AR), nil
+	case "infer":
+		return engines.NewInfer(), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+func run(cfg config) error {
+	data, err := os.ReadFile(cfg.path)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	if cfg.prelude {
+		src = checker.Prelude + src
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return err
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return fmt.Errorf("%d semantic errors", len(errs))
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	sp, err := ssa.Build(norm)
+	if err != nil {
+		return err
+	}
+	g := pdg.Build(sp)
+	if cfg.dot {
+		fmt.Fprint(cfg.out, pdg.ToDOT(g))
+		return nil
+	}
+
+	var specs []*sparse.Spec
+	if cfg.checker == "all" {
+		specs = checker.All()
+	} else {
+		spec, err := checker.ByName(cfg.checker)
+		if err != nil {
+			return err
+		}
+		specs = []*sparse.Spec{spec}
+	}
+	eng, err := newEngine(cfg.engine)
+	if err != nil {
+		return err
+	}
+
+	enumerate := func(spec *sparse.Spec) ([]sparse.Candidate, error) {
+		switch cfg.enum {
+		case "", "dfs":
+			return sparse.NewEngine(g).Run(spec), nil
+		case "summary":
+			return sparse.NewSummaryEngine(g).Run(spec), nil
+		default:
+			return nil, fmt.Errorf("unknown enumeration %q", cfg.enum)
+		}
+	}
+
+	total := 0
+	for _, spec := range specs {
+		cands, err := enumerate(spec)
+		if err != nil {
+			return err
+		}
+		verdicts := eng.Check(g, cands)
+		for _, v := range verdicts {
+			switch v.Status {
+			case sat.Sat:
+				total++
+				fmt.Fprintln(cfg.out, checker.Describe(v.Cand))
+				if cfg.showPaths {
+					fmt.Fprintf(cfg.out, "    path: %s\n", v.Cand.Path)
+				}
+			case sat.Unknown:
+				fmt.Fprintf(cfg.out, "[%s] undecided within budget: %s\n", spec.Name, v.Cand.Path)
+			}
+		}
+		if cfg.joint {
+			jc, ok := eng.(engines.JointChecker)
+			if !ok {
+				return fmt.Errorf("engine %s does not support joint checking", eng.Name())
+			}
+			for _, jv := range engines.CheckJoint(jc, g, cands) {
+				verdict := "jointly infeasible"
+				if jv.Status == sat.Sat {
+					verdict = "JOINT BUG: all arguments taintable together"
+				}
+				fmt.Fprintf(cfg.out, "[%s] sink %s.%s with %d tracked arguments: %s\n",
+					spec.Name, jv.Group.Sink.Fn.Name, jv.Group.Sink.Callee,
+					len(jv.Group.Flows), verdict)
+			}
+		}
+	}
+	fmt.Fprintf(cfg.out, "%d bug(s) reported by %s\n", total, eng.Name())
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.fl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testSrc = `
+fun f(a: int) {
+    var p: ptr = null;
+    if (a > 3) {
+        deref(p);
+    }
+    var q: ptr = null;
+    if (a > 0) {
+        if (a < 0) {
+            deref(q);
+        }
+    }
+}
+`
+
+func TestRunReportsFeasibleOnly(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	for _, engine := range []string{"fusion", "pinpoint", "fusion-unopt", "pinpoint+lfs"} {
+		var out bytes.Buffer
+		err := run(config{path: path, checker: "null-deref", engine: engine, prelude: true, out: &out})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "1 bug(s) reported") {
+			t.Errorf("%s: expected exactly one report:\n%s", engine, s)
+		}
+	}
+}
+
+func TestRunAllCheckers(t *testing.T) {
+	path := writeTemp(t, `
+fun f(a: int) {
+    var s: int = read_secret();
+    if (a == 3) {
+        send(s);
+    }
+}`)
+	var out bytes.Buffer
+	if err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, showPaths: true, out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cwe-402") || !strings.Contains(out.String(), "path:") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunJoint(t *testing.T) {
+	path := writeTemp(t, `
+fun f(a: int) {
+    var s1: int = read_secret();
+    var s2: int = read_secret();
+    var c: int = 0;
+    var d: int = 0;
+    if (a > 0) {
+        c = s1;
+    }
+    if (a < 0) {
+        d = s2;
+    }
+    sendmsg(c, d);
+}`)
+	var out bytes.Buffer
+	if err := run(config{path: path, checker: "cwe-402", engine: "fusion", prelude: true, joint: true, out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jointly infeasible") {
+		t.Errorf("expected joint infeasibility:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	if err := run(config{path: path, checker: "bogus", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+		t.Error("expected unknown-checker error")
+	}
+	if err := run(config{path: path, checker: "null-deref", engine: "bogus", prelude: true, out: &bytes.Buffer{}}); err == nil {
+		t.Error("expected unknown-engine error")
+	}
+	if err := run(config{path: "/does/not/exist", checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+		t.Error("expected file error")
+	}
+	bad := writeTemp(t, "fun f( {")
+	if err := run(config{path: bad, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+		t.Error("expected parse error")
+	}
+	semabad := writeTemp(t, "fun f() { x = 1; }")
+	if err := run(config{path: semabad, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+		t.Error("expected sema error")
+	}
+}
+
+func TestEngineFactory(t *testing.T) {
+	for _, name := range []string{"fusion", "fusion-unopt", "pinpoint", "pinpoint+qe", "pinpoint+lfs", "pinpoint+hfs", "pinpoint+ar", "infer"} {
+		if _, err := newEngine(name); err != nil {
+			t.Errorf("engine %s: %v", name, err)
+		}
+	}
+	if _, err := newEngine("nope"); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	var out bytes.Buffer
+	if err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, dot: true, out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "digraph pdg {") || !strings.Contains(s, "style=dashed") {
+		t.Errorf("unexpected DOT output:\n%.200s", s)
+	}
+}
+
+func TestRunSummaryEnumeration(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	var dfs, sum bytes.Buffer
+	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "dfs", out: &dfs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "summary", out: &sum}); err != nil {
+		t.Fatal(err)
+	}
+	if dfs.String() != sum.String() {
+		t.Errorf("enumerations disagree:\n--- dfs ---\n%s--- summary ---\n%s", dfs.String(), sum.String())
+	}
+	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "bogus", out: &sum}); err == nil {
+		t.Error("expected error for unknown enumeration")
+	}
+}

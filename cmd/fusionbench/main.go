@@ -1,0 +1,76 @@
+// Command fusionbench regenerates the paper's tables and figures on the
+// synthetic subject suite. See EXPERIMENTS.md for the experiment index.
+//
+// Usage:
+//
+//	fusionbench [-experiment NAME|all] [-scale F] [-subjects a,b,c] [-budget D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fusion/internal/bench"
+	"fusion/internal/progen"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run: "+strings.Join(bench.ExperimentNames, ", ")+", or all")
+	scale := flag.Float64("scale", 0.002, "scale factor applied to the paper's subject sizes")
+	subjects := flag.String("subjects", "", "comma-separated subject names (default: per experiment)")
+	budget := flag.Duration("budget", 5*time.Minute, "per-engine-run time budget")
+	smt2dir := flag.String("smt2dir", "", "dump every SMT instance as SMT-LIB v2 files into this directory and exit")
+	parallel := flag.Int("parallel", 0, "worker count for the fused engine (0 = sequential)")
+	flag.Parse()
+
+	opts := bench.Options{
+		Scale:    *scale,
+		Budget:   bench.Budget{Time: *budget, CondBytes: 2 << 30},
+		Parallel: *parallel,
+	}
+	if *subjects != "" {
+		for _, name := range strings.Split(*subjects, ",") {
+			s, err := progen.SubjectByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fusionbench:", err)
+				os.Exit(2)
+			}
+			opts.Subjects = append(opts.Subjects, s)
+		}
+	}
+
+	if *smt2dir != "" {
+		if err := os.MkdirAll(*smt2dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fusionbench:", err)
+			os.Exit(1)
+		}
+		n, err := bench.DumpSMT2(opts, *smt2dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fusionbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d SMT-LIB instances to %s\n", n, *smt2dir)
+		return
+	}
+
+	names := bench.ExperimentNames
+	if *exp != "all" {
+		if bench.Experiments[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "fusionbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := bench.Experiments[name](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusionbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (ran in %.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,51 @@
+// Enginecompare: generate one synthetic subject and run the fused engine
+// against the conventional one and the path-insensitive one, comparing
+// time, retained condition memory, and report quality against the injected
+// ground truth — a miniature of the paper's Tables 3 and 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fusion/internal/bench"
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/progen"
+)
+
+func main() {
+	// The "gap" subject from Table 2, scaled down to run in seconds.
+	info, err := progen.SubjectByName("gap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := bench.Compile(info, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subject %s: %d lines, %d functions, %d PDG vertices, %d injected bugs\n\n",
+		info.Name, sub.GenLines, sub.Stats.Functions, sub.Stats.Vertices, len(sub.GT.Bugs))
+
+	spec := checker.NullDeref()
+	t := &bench.Table{
+		Header: []string{"Engine", "Time", "Cond-Mem", "#Report", "#TP", "#FP"},
+	}
+	for _, eng := range []engines.Engine{
+		engines.NewFusion(),
+		engines.NewPinpoint(engines.Plain),
+		engines.NewInfer(),
+	} {
+		c := bench.Run(sub, spec, eng, bench.Budget{})
+		t.AddRow(c.Engine,
+			fmt.Sprintf("%.3fs", c.Time.Seconds()),
+			fmt.Sprintf("%.2fMB", c.CondMB),
+			fmt.Sprintf("%d", c.Reports),
+			fmt.Sprintf("%d", c.TP),
+			fmt.Sprintf("%d", c.FP))
+	}
+	fmt.Println(t)
+	fmt.Println("The fused engine matches the conventional engine's reports at a")
+	fmt.Println("fraction of the cost; the path-insensitive engine reports the")
+	fmt.Println("injected infeasible bugs too (false positives).")
+}

@@ -1,0 +1,77 @@
+// Quickstart: parse a small program, run the fused null-exception checker,
+// and print the verified reports — the Figure 1 example of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+// The paper's Figure 1(a): a null pointer escapes foo when bar(a) < bar(b),
+// which is satisfiable — a true bug.
+const src = `
+fun bar(x: int): int {
+    var y: int = x * 2;
+    var z: int = y;
+    return z;
+}
+
+fun foo(a: int, b: int) {
+    var p: ptr = null;
+    var c: int = bar(a);
+    var d: int = bar(b);
+    if (c < d) {
+        deref(p);
+    }
+}
+`
+
+func main() {
+	// 1. Front end: parse, check, normalize (unroll loops and recursion,
+	//    single-exit form), build SSA, build the dependence graph.
+	prog, err := lang.Parse(checker.Prelude + src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		log.Fatal(errs[0])
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	sp, err := ssa.Build(norm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := pdg.Build(sp)
+	st := pdg.ComputeStats(g)
+	fmt.Printf("program dependence graph: %d functions, %d vertices, %d edges\n",
+		st.Functions, st.Vertices, st.Edges())
+
+	// 2. Sparse analysis: propagate the null fact along data dependence,
+	//    collecting candidate source-to-sink paths.
+	spec := checker.NullDeref()
+	cands := sparse.NewEngine(g).Run(spec)
+	fmt.Printf("sparse propagation found %d candidate flow(s)\n", len(cands))
+
+	// 3. Fused feasibility checking: the SMT solver works directly on the
+	//    dependence graph — no path conditions are computed or cached.
+	eng := engines.NewFusion()
+	for _, v := range eng.Check(g, cands) {
+		switch v.Status {
+		case sat.Sat:
+			fmt.Println("BUG:", checker.Describe(v.Cand))
+			fmt.Println("  flow:", v.Cand.Path)
+		case sat.Unsat:
+			fmt.Println("infeasible (excluded):", checker.Describe(v.Cand))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module fusion
+
+go 1.22

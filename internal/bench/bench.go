@@ -1,0 +1,213 @@
+// Package bench is the experiment harness: it compiles synthetic subjects,
+// runs the analysis engines over them, and regenerates every table and
+// figure of the paper's evaluation (§5) in textual form. Each experiment
+// has a driver function named after the table or figure it reproduces; see
+// EXPERIMENTS.md for the mapping and DESIGN.md for the substitutions.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"fusion/internal/engines"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/progen"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+// Subject is a compiled benchmark subject ready for analysis.
+type Subject struct {
+	Info     progen.Subject
+	Graph    *pdg.Graph
+	GT       progen.GroundTruth
+	Stats    pdg.Stats
+	GenLines int
+}
+
+// Compile generates and compiles a subject at the given scale.
+func Compile(info progen.Subject, scale float64) (*Subject, error) {
+	src, gt, lines := info.Build(scale)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", info.Name, err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		return nil, fmt.Errorf("bench: %s: %w", info.Name, errs[0])
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	sp, err := ssa.Build(norm)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", info.Name, err)
+	}
+	g := pdg.Build(sp)
+	return &Subject{
+		Info: info, Graph: g, GT: gt,
+		Stats: pdg.ComputeStats(g), GenLines: lines,
+	}, nil
+}
+
+// CompileAll compiles a set of subjects.
+func CompileAll(subs []progen.Subject, scale float64) ([]*Subject, error) {
+	out := make([]*Subject, 0, len(subs))
+	for _, s := range subs {
+		c, err := Compile(s, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Cost summarizes one engine's run over one subject and spec.
+type Cost struct {
+	Engine   string
+	Subject  string
+	Checker  string
+	Time     time.Duration
+	CondMB   float64 // retained condition/summary memory
+	HeapMB   float64 // process heap after the run
+	Reports  int     // feasible verdicts
+	TP, FP   int     // against ground truth (when it covers the checker)
+	Unknown  int
+	Failed   bool   // exceeded Budget
+	FailNote string // why
+}
+
+// Budget bounds one engine run, mirroring the paper's 12-hour/100GB limit
+// scaled down.
+type Budget struct {
+	Time time.Duration
+	// CondBytes bounds retained condition memory.
+	CondBytes int64
+}
+
+// DefaultBudget is generous enough for the honest engines and small enough
+// to catch the blow-ups.
+var DefaultBudget = Budget{Time: 10 * time.Minute, CondBytes: 2 << 30}
+
+// Run executes one engine over one subject with one checker and scores the
+// result against ground truth.
+func Run(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cost {
+	if budget.Time == 0 {
+		budget = DefaultBudget
+	}
+	cost := Cost{Engine: eng.Name(), Subject: sub.Info.Name, Checker: spec.Name}
+	cands := sparse.NewEngine(sub.Graph).Run(spec)
+
+	start := time.Now()
+	done := make(chan []engines.Verdict, 1)
+	go func() { done <- eng.Check(sub.Graph, cands) }()
+	var verdicts []engines.Verdict
+	select {
+	case verdicts = <-done:
+	case <-time.After(budget.Time):
+		cost.Failed = true
+		cost.FailNote = "time out"
+		cost.Time = time.Since(start)
+		cost.CondMB = mb(eng.ConditionBytes())
+		return cost
+	}
+	cost.Time = time.Since(start)
+	cost.CondMB = mb(eng.ConditionBytes())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	cost.HeapMB = mb(int64(ms.HeapAlloc))
+	if eng.ConditionBytes() > budget.CondBytes {
+		cost.Failed = true
+		cost.FailNote = "memory out"
+	}
+
+	reportedLines := map[int]bool{}
+	for _, v := range verdicts {
+		switch v.Status {
+		case sat.Sat:
+			cost.Reports++
+			reportedLines[v.Cand.Sink.Pos.Line] = true
+		case sat.Unknown:
+			cost.Unknown++
+		}
+	}
+	for _, b := range sub.GT.ByChecker(spec.Name) {
+		if reportedLines[b.SinkLine] {
+			if b.Feasible {
+				cost.TP++
+			} else {
+				cost.FP++
+			}
+		}
+	}
+	return cost
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }
+
+// Table is a minimal text-table formatter.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func fd(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func fmb(v float64) string {
+	return fmt.Sprintf("%.2fMB", v)
+}
+
+func speedup(base, ours float64) string {
+	if ours <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", base/ours)
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/progen"
+)
+
+// tinyOpts keeps experiment tests fast.
+var tinyOpts = Options{
+	Scale:    0.01,
+	Subjects: progen.Subjects[:3],
+	Budget:   Budget{Time: 2 * time.Minute, CondBytes: 1 << 30},
+}
+
+func TestCompile(t *testing.T) {
+	sub, err := Compile(progen.Subjects[0], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Stats.Vertices == 0 || sub.GenLines == 0 {
+		t.Error("empty compiled subject")
+	}
+}
+
+func TestRunScoresGroundTruth(t *testing.T) {
+	sub, err := Compile(progen.Subjects[1], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Run(sub, checker.NullDeref(), engines.NewFusion(), Budget{Time: time.Minute, CondBytes: 1 << 30})
+	if c.Failed {
+		t.Fatalf("fusion run failed: %s", c.FailNote)
+	}
+	want := len(sub.GT.ByChecker("null-deref"))
+	if want == 0 {
+		t.Fatal("subject has no injected null bugs")
+	}
+	if c.TP == 0 {
+		t.Error("no true positives scored")
+	}
+	if c.FP != 0 {
+		t.Errorf("fusion reported %d infeasible injected bugs", c.FP)
+	}
+}
+
+func TestTableFormatter(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "333") {
+		t.Errorf("bad rendering:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTable1Monotone(t *testing.T) {
+	r2, err := Table1Measure(2, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Table1Measure(8, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conventional condition size grows with k; the fused slice does not
+	// grow proportionally (it is O(n+m)).
+	if r8.ConvCondTreeSize <= r2.ConvCondTreeSize {
+		t.Errorf("conventional size must grow with k: k=2 %d, k=8 %d",
+			r2.ConvCondTreeSize, r8.ConvCondTreeSize)
+	}
+	growth := float64(r8.FusionSliceSize) / float64(r2.FusionSliceSize)
+	if growth > 2 {
+		t.Errorf("fused slice grew %.1fx from k=2 to k=8; should stay near O(n+m)", growth)
+	}
+	if r8.FusionClones > r2.FusionClones+8 {
+		t.Errorf("fusion clones grew with k: %d -> %d", r2.FusionClones, r8.FusionClones)
+	}
+}
+
+func TestExperimentDriversRun(t *testing.T) {
+	for _, name := range []string{"table2", "table1", "ablations"} {
+		fn := Experiments[name]
+		if fn == nil {
+			t.Fatalf("missing experiment %s", name)
+		}
+		opts := tinyOpts
+		if name == "ablations" {
+			opts.Subjects = progen.Subjects[:1]
+		}
+		out, err := fn(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+}
+
+func TestTable3SmallSubjects(t *testing.T) {
+	out, err := Table3(Options{Scale: 0.05, Subjects: progen.Subjects[:2],
+		Budget: Budget{Time: 2 * time.Minute, CondBytes: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "bzip2") {
+		t.Errorf("missing subjects:\n%s", out)
+	}
+}
+
+func TestFig11SmallSubjects(t *testing.T) {
+	out, err := Fig11(Options{Scale: 0.05, Subjects: progen.Subjects[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SMT instances") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExperimentNamesComplete(t *testing.T) {
+	for _, n := range ExperimentNames {
+		if Experiments[n] == nil {
+			t.Errorf("experiment %s listed but not registered", n)
+		}
+	}
+	if len(ExperimentNames) != len(Experiments) {
+		t.Errorf("name list (%d) and registry (%d) out of sync",
+			len(ExperimentNames), len(Experiments))
+	}
+}
+
+func TestLargeSubjectDriversRunSmall(t *testing.T) {
+	// The large-subject experiments accept a subject override; run them on
+	// tiny subjects to exercise the drivers.
+	opts := Options{Scale: 0.02, Subjects: progen.Subjects[:2],
+		Budget: Budget{Time: 2 * time.Minute, CondBytes: 1 << 30}}
+	for _, name := range []string{"fig1c", "table5", "cwe369", "table4"} {
+		out, err := Experiments[name](opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, "mcf") {
+			t.Errorf("%s: missing subject in output:\n%s", name, out)
+		}
+	}
+}
+
+func TestDumpSMT2(t *testing.T) {
+	dir := t.TempDir()
+	n, err := DumpSMT2(Options{Scale: 0.05, Subjects: progen.Subjects[:1]}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no instances dumped")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != n {
+		t.Fatalf("expected %d files, got %d (%v)", n, len(entries), err)
+	}
+	data, err := os.ReadFile(dir + "/" + entries[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "(check-sat)") {
+		t.Error("missing check-sat in dumped instance")
+	}
+}

@@ -1,0 +1,425 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fusion/internal/checker"
+	"fusion/internal/cond"
+	"fusion/internal/engines"
+	"fusion/internal/fusioncore"
+	"fusion/internal/pdg"
+	"fusion/internal/progen"
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+	"fusion/internal/solver"
+	"fusion/internal/sparse"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Scale shrinks the paper's subject sizes; see DESIGN.md. The default
+	// used by cmd/fusionbench is 0.002.
+	Scale float64
+	// Subjects restricts the run; nil means the experiment's default set.
+	Subjects []progen.Subject
+	// Budget bounds each engine run.
+	Budget Budget
+	// Parallel sets the fused engine's worker count (the paper runs its
+	// analyses with fifteen threads); 0 means sequential.
+	Parallel int
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 0.002
+	}
+	return o.Scale
+}
+
+func (o Options) fusion() *engines.Fusion {
+	e := engines.NewFusion()
+	e.Parallel = o.Parallel
+	return e
+}
+
+func (o Options) subjects(def []progen.Subject) []progen.Subject {
+	if len(o.Subjects) > 0 {
+		return o.Subjects
+	}
+	return def
+}
+
+// Table2 reports the subject inventory: generated size and dependence
+// graph statistics, the reproduction of the paper's Table 2.
+func Table2(opts Options) (string, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2: subjects (scale %.4g of the paper's sizes)", opts.scale()),
+		Header: []string{"ID", "Program", "Lines", "#Functions", "#Vertices", "#Edges"},
+	}
+	for _, info := range opts.subjects(progen.Subjects) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", info.ID), info.Name,
+			fmt.Sprintf("%d", sub.GenLines),
+			fmt.Sprintf("%d", sub.Stats.Functions),
+			fmt.Sprintf("%d", sub.Stats.Vertices),
+			fmt.Sprintf("%d", sub.Stats.Edges()),
+		)
+	}
+	return t.String(), nil
+}
+
+// Table3 compares Fusion to the conventional engine on null-exception
+// checking across all subjects: time and retained condition memory, with
+// speedup columns — the paper's Table 3.
+func Table3(opts Options) (string, error) {
+	t := &Table{
+		Title: "Table 3: Fusion vs Pinpoint (null exceptions)",
+		Header: []string{"ID", "Program", "Fusion-Mem", "Pinpoint-Mem", "Mem-Ratio",
+			"Fusion-Time", "Pinpoint-Time", "Speedup"},
+	}
+	spec := checker.NullDeref()
+	for _, info := range opts.subjects(progen.Subjects) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		fc := Run(sub, spec, opts.fusion(), opts.Budget)
+		pc := Run(sub, spec, engines.NewPinpoint(engines.Plain), opts.Budget)
+		t.AddRow(
+			fmt.Sprintf("%d", info.ID), info.Name,
+			fmb(fc.CondMB), fmb(pc.CondMB),
+			speedup(pc.CondMB, fc.CondMB),
+			fd(fc.Time), fd(pc.Time),
+			speedup(pc.Time.Seconds(), fc.Time.Seconds()),
+		)
+	}
+	return t.String(), nil
+}
+
+// Fig10 compares Fusion to Pinpoint and its formula-simplification
+// variants across subjects (time and memory series), and reports the QE
+// and AR variants' fates on the smallest subjects — the paper's Figure 10
+// plus the §5.1 discussion.
+func Fig10(opts Options) (string, error) {
+	var b strings.Builder
+	spec := checker.NullDeref()
+	t := &Table{
+		Title:  "Figure 10: time/memory per engine",
+		Header: []string{"ID", "Program", "Engine", "Time", "Cond-Mem", "Status"},
+	}
+	variantBudget := opts.Budget
+	if variantBudget.Time == 0 {
+		variantBudget = Budget{Time: 30 * time.Second, CondBytes: 512 << 20}
+	}
+	for _, info := range opts.subjects(progen.Subjects) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		runs := []engines.Engine{
+			opts.fusion(),
+			engines.NewPinpoint(engines.Plain),
+			engines.NewPinpoint(engines.LFS),
+			engines.NewPinpoint(engines.HFS),
+		}
+		for _, eng := range runs {
+			c := Run(sub, spec, eng, variantBudget)
+			status := "ok"
+			if c.Failed {
+				status = c.FailNote
+			}
+			t.AddRow(fmt.Sprintf("%d", info.ID), info.Name, c.Engine,
+				fd(c.Time), fmb(c.CondMB), status)
+		}
+	}
+	b.WriteString(t.String())
+
+	// QE and AR on the smallest subjects only (they fail beyond that).
+	b.WriteString("\nQE and AR variants (small subjects; budgeted):\n")
+	t2 := &Table{Header: []string{"Program", "Engine", "Time", "Cond-Mem", "Status"}}
+	small := opts.subjects(progen.Subjects)
+	if len(small) > 3 {
+		small = small[:3]
+	}
+	for _, info := range small {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		for _, eng := range []engines.Engine{
+			engines.NewPinpoint(engines.QE),
+			engines.NewPinpoint(engines.AR),
+		} {
+			c := Run(sub, spec, eng, variantBudget)
+			status := "ok"
+			if c.Failed {
+				status = c.FailNote
+			}
+			t2.AddRow(info.Name, c.Engine, fd(c.Time), fmb(c.CondMB), status)
+		}
+	}
+	b.WriteString(t2.String())
+	return b.String(), nil
+}
+
+// Instance is one SMT query's cost under both solving designs, a point of
+// the Figure 11 scatter plot.
+type Instance struct {
+	Subject    string
+	Fused      time.Duration
+	Standalone time.Duration
+	Sat        bool
+	// Preprocessed reports the fused solve was decided by preprocessing.
+	Preprocessed bool
+}
+
+// Fig11Instances collects per-instance solving times: every candidate's
+// feasibility is decided once by the fused graph-based solver and once by
+// the standalone solver on the eagerly-translated condition.
+func Fig11Instances(opts Options) ([]Instance, error) {
+	var out []Instance
+	spec := checker.NullDeref()
+	for _, info := range opts.subjects(progen.Subjects) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return nil, err
+		}
+		cands := sparse.NewEngine(sub.Graph).Run(spec)
+		for _, c := range cands {
+			paths := []pdg.Path{c.Path}
+
+			fb := smt.NewBuilder()
+			t0 := time.Now()
+			fr := fusioncore.Solve(fb, sub.Graph, paths, fusioncore.Options{})
+			fused := time.Since(t0)
+
+			eb := smt.NewBuilder()
+			t1 := time.Now()
+			sl := pdg.ComputeSlice(sub.Graph, paths)
+			tr := cond.Translate(eb, sl)
+			sr := solver.Solve(eb, tr.Phi, solver.Options{Timeout: 10 * time.Second})
+			standalone := time.Since(t1)
+
+			if fr.Status == sat.Unknown || sr.Status == sat.Unknown {
+				continue
+			}
+			out = append(out, Instance{
+				Subject: info.Name, Fused: fused, Standalone: standalone,
+				Sat: fr.Status == sat.Sat, Preprocessed: fr.Preprocessed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DumpSMT2 writes every null-checking SMT instance of the given subjects
+// as an SMT-LIB v2 file (the eagerly translated condition), so the
+// instances can be fed to external solvers for cross-validation.
+func DumpSMT2(opts Options, dir string) (int, error) {
+	spec := checker.NullDeref()
+	n := 0
+	for _, info := range opts.subjects(progen.Subjects) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return n, err
+		}
+		cands := sparse.NewEngine(sub.Graph).Run(spec)
+		for i, c := range cands {
+			b := smt.NewBuilder()
+			sl := pdg.ComputeSlice(sub.Graph, []pdg.Path{c.Path})
+			c.ApplyConstraint(sl, 0)
+			tr := cond.Translate(b, sl)
+			name := fmt.Sprintf("%s/%s_%03d.smt2", dir, info.Name, i)
+			if err := os.WriteFile(name, []byte(smt.ToSMTLIB(tr.Phi)), 0o644); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Fig11 summarizes the per-instance comparison: sat/unsat shares, the
+// fraction decided during preprocessing, and the speedup aggregates the
+// paper reports (3.0x sat, 1.8x unsat, 2.5x overall).
+func Fig11(opts Options) (string, error) {
+	insts, err := Fig11Instances(opts)
+	if err != nil {
+		return "", err
+	}
+	if len(insts) == 0 {
+		return "no instances", nil
+	}
+	var nSat, nPre int
+	var satF, satS, unsatF, unsatS float64
+	for _, in := range insts {
+		if in.Sat {
+			nSat++
+			satF += in.Fused.Seconds()
+			satS += in.Standalone.Seconds()
+		} else {
+			unsatF += in.Fused.Seconds()
+			unsatS += in.Standalone.Seconds()
+		}
+		if in.Preprocessed {
+			nPre++
+		}
+	}
+	n := len(insts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: %d SMT instances\n", n)
+	fmt.Fprintf(&b, "  sat: %d (%.0f%%), unsat: %d (%.0f%%)\n",
+		nSat, 100*float64(nSat)/float64(n), n-nSat, 100*float64(n-nSat)/float64(n))
+	fmt.Fprintf(&b, "  decided in preprocessing: %d (%.0f%%)\n",
+		nPre, 100*float64(nPre)/float64(n))
+	if satF > 0 {
+		fmt.Fprintf(&b, "  sat speedup (standalone/fused): %.1fx\n", satS/satF)
+	}
+	if unsatF > 0 {
+		fmt.Fprintf(&b, "  unsat speedup (standalone/fused): %.1fx\n", unsatS/unsatF)
+	}
+	if satF+unsatF > 0 {
+		fmt.Fprintf(&b, "  overall speedup: %.1fx\n", (satS+unsatS)/(satF+unsatF))
+	}
+	return b.String(), nil
+}
+
+// Table4 runs the two taint analyses over the industrial-sized subjects,
+// comparing Fusion to the conventional engine — the paper's Table 4.
+func Table4(opts Options) (string, error) {
+	t := &Table{
+		Title: "Table 4: taint analyses on the industrial-sized subjects",
+		Header: []string{"Issue", "Program", "Fusion-Mem", "Fusion-Time",
+			"Pinpoint-Mem", "Pinpoint-Time", "Mem-Ratio", "Speedup"},
+	}
+	large := opts.subjects(largeSubjects())
+	for _, spec := range []*sparse.Spec{checker.PathTraversal(), checker.PrivateLeak()} {
+		issue := "CWE-23"
+		if spec.Name == "cwe-402" {
+			issue = "CWE-402"
+		}
+		for _, info := range large {
+			sub, err := Compile(info, opts.scale())
+			if err != nil {
+				return "", err
+			}
+			fc := Run(sub, spec, opts.fusion(), opts.Budget)
+			pc := Run(sub, spec, engines.NewPinpoint(engines.Plain), opts.Budget)
+			t.AddRow(issue, info.Name,
+				fmb(fc.CondMB), fd(fc.Time),
+				fmb(pc.CondMB), fd(pc.Time),
+				speedup(pc.CondMB, fc.CondMB),
+				speedup(pc.Time.Seconds(), fc.Time.Seconds()))
+		}
+	}
+	return t.String(), nil
+}
+
+// Table5 compares Fusion to the Infer-like compositional analyzer on the
+// industrial-sized subjects: cost plus report quality against ground truth
+// — the paper's Table 5.
+func Table5(opts Options) (string, error) {
+	t := &Table{
+		Title:  "Table 5: Fusion vs Infer (null exceptions, industrial subjects)",
+		Header: []string{"Program", "Engine", "Mem", "Time", "#Report", "#TP", "#FP"},
+	}
+	spec := checker.NullDeref()
+	var fTP, fFP, iTP, iFP int
+	for _, info := range opts.subjects(largeSubjects()) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		fc := Run(sub, spec, opts.fusion(), opts.Budget)
+		ic := Run(sub, spec, engines.NewInfer(), opts.Budget)
+		fTP += fc.TP
+		fFP += fc.FP
+		iTP += ic.TP
+		iFP += ic.FP
+		t.AddRow(info.Name, fc.Engine, fmb(fc.CondMB), fd(fc.Time),
+			fmt.Sprintf("%d", fc.Reports), fmt.Sprintf("%d", fc.TP), fmt.Sprintf("%d", fc.FP))
+		t.AddRow(info.Name, ic.Engine, fmb(ic.CondMB), fd(ic.Time),
+			fmt.Sprintf("%d", ic.Reports), fmt.Sprintf("%d", ic.TP), fmt.Sprintf("%d", ic.FP))
+	}
+	s := t.String()
+	s += fmt.Sprintf("\nFP rate: fusion %.1f%%, infer %.1f%%\n",
+		rate(fFP, fTP+fFP), rate(iFP, iTP+iFP))
+	return s, nil
+}
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Fig1c measures what fraction of the conventional analysis's memory is
+// spent on path conditions, on the industrial-sized subjects — the paper's
+// Figure 1(c), which motivates the whole design.
+func Fig1c(opts Options) (string, error) {
+	t := &Table{
+		Title:  "Figure 1(c): memory share of path conditions (conventional design)",
+		Header: []string{"Program", "Cond-Mem", "Graph-Mem", "Cond-Share"},
+	}
+	spec := checker.NullDeref()
+	for _, info := range opts.subjects(largeSubjects()) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		eng := engines.NewPinpoint(engines.Plain)
+		c := Run(sub, spec, eng, opts.Budget)
+		// Estimate of the dependence graph's own memory: the other major
+		// retained structure of the analysis.
+		graphBytes := int64(sub.Stats.Vertices)*96 + int64(sub.Stats.Edges())*16
+		condBytes := int64(c.CondMB * (1 << 20))
+		share := 100 * float64(condBytes) / float64(condBytes+graphBytes)
+		t.AddRow(info.Name, fmb(c.CondMB), fmb(mb(graphBytes)),
+			fmt.Sprintf("%.0f%%", share))
+	}
+	return t.String(), nil
+}
+
+// CWE369 is an extension experiment beyond the paper's evaluation: the
+// division-by-zero checker (value-constrained sinks) over the
+// industrial-sized subjects, Fusion vs the conventional engine, scored
+// against injected ground truth.
+func CWE369(opts Options) (string, error) {
+	t := &Table{
+		Title:  "Extension: CWE-369 (division by zero) on the industrial subjects",
+		Header: []string{"Program", "Engine", "Time", "Cond-Mem", "#Report", "#TP", "#FP"},
+	}
+	spec := checker.DivByZero()
+	for _, info := range opts.subjects(largeSubjects()) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		for _, eng := range []engines.Engine{opts.fusion(), engines.NewPinpoint(engines.Plain)} {
+			c := Run(sub, spec, eng, opts.Budget)
+			t.AddRow(info.Name, c.Engine, fd(c.Time), fmb(c.CondMB),
+				fmt.Sprintf("%d", c.Reports), fmt.Sprintf("%d", c.TP), fmt.Sprintf("%d", c.FP))
+		}
+	}
+	return t.String(), nil
+}
+
+// largeSubjects returns the four industrial-sized subjects (ffmpeg, v8,
+// mysql, wine).
+func largeSubjects() []progen.Subject {
+	var out []progen.Subject
+	for _, s := range progen.Subjects {
+		if s.Large() {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+// Package bitblast lowers bit-vector terms to CNF over a CDCL SAT solver
+// using the Tseitin transformation, with constant propagation and structural
+// hashing at the gate level. It plays the role of Z3's bit-blaster in the
+// paper's solving stack (§4).
+package bitblast
+
+import (
+	"fmt"
+
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+)
+
+// Blaster converts terms to clauses incrementally. All terms must come from
+// the same smt.Builder.
+type Blaster struct {
+	S *sat.Solver
+	// bits caches the literal vector (LSB first) of every blasted term.
+	bits map[*smt.Term][]sat.Lit
+	// gates structurally hashes AND/XOR gates.
+	gates map[gateKey]sat.Lit
+	lTrue sat.Lit
+}
+
+type gateKey struct {
+	op   byte // 'a' and, 'x' xor
+	a, b sat.Lit
+}
+
+// New returns a Blaster over the given solver. It allocates one variable
+// pinned to true for constant literals.
+func New(s *sat.Solver) *Blaster {
+	b := &Blaster{S: s, bits: map[*smt.Term][]sat.Lit{}, gates: map[gateKey]sat.Lit{}}
+	v := s.NewVar()
+	b.lTrue = sat.MkLit(v, false)
+	s.AddClause(b.lTrue)
+	return b
+}
+
+func (b *Blaster) litFalse() sat.Lit { return b.lTrue.Flip() }
+
+func (b *Blaster) isTrue(l sat.Lit) bool  { return l == b.lTrue }
+func (b *Blaster) isFalse(l sat.Lit) bool { return l == b.litFalse() }
+
+func (b *Blaster) fresh() sat.Lit { return sat.MkLit(b.S.NewVar(), false) }
+
+// and2 returns a literal equivalent to a AND b.
+func (b *Blaster) and2(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x) || b.isFalse(y):
+		return b.litFalse()
+	case b.isTrue(x):
+		return y
+	case b.isTrue(y):
+		return x
+	case x == y:
+		return x
+	case x == y.Flip():
+		return b.litFalse()
+	}
+	if x > y {
+		x, y = y, x
+	}
+	if g, ok := b.gates[gateKey{'a', x, y}]; ok {
+		return g
+	}
+	g := b.fresh()
+	b.S.AddClause(g.Flip(), x)
+	b.S.AddClause(g.Flip(), y)
+	b.S.AddClause(g, x.Flip(), y.Flip())
+	b.gates[gateKey{'a', x, y}] = g
+	return g
+}
+
+func (b *Blaster) or2(x, y sat.Lit) sat.Lit {
+	return b.and2(x.Flip(), y.Flip()).Flip()
+}
+
+// xor2 returns a literal equivalent to a XOR b.
+func (b *Blaster) xor2(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x):
+		return y
+	case b.isFalse(y):
+		return x
+	case b.isTrue(x):
+		return y.Flip()
+	case b.isTrue(y):
+		return x.Flip()
+	case x == y:
+		return b.litFalse()
+	case x == y.Flip():
+		return b.lTrue
+	}
+	// Canonicalize polarity: xor(¬a, b) = ¬xor(a, b).
+	flip := false
+	if x.Neg() {
+		x = x.Flip()
+		flip = !flip
+	}
+	if y.Neg() {
+		y = y.Flip()
+		flip = !flip
+	}
+	if x > y {
+		x, y = y, x
+	}
+	g, ok := b.gates[gateKey{'x', x, y}]
+	if !ok {
+		g = b.fresh()
+		b.S.AddClause(g.Flip(), x, y)
+		b.S.AddClause(g.Flip(), x.Flip(), y.Flip())
+		b.S.AddClause(g, x.Flip(), y)
+		b.S.AddClause(g, x, y.Flip())
+		b.gates[gateKey{'x', x, y}] = g
+	}
+	if flip {
+		return g.Flip()
+	}
+	return g
+}
+
+// mux returns c ? x : y.
+func (b *Blaster) mux(c, x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isTrue(c):
+		return x
+	case b.isFalse(c):
+		return y
+	case x == y:
+		return x
+	}
+	return b.or2(b.and2(c, x), b.and2(c.Flip(), y))
+}
+
+// fullAdder returns (sum, carry) of x + y + cin.
+func (b *Blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
+	sum = b.xor2(b.xor2(x, y), cin)
+	cout = b.or2(b.and2(x, y), b.and2(cin, b.xor2(x, y)))
+	return sum, cout
+}
+
+// addVec returns x + y + cin, LSB first, and the carry out.
+func (b *Blaster) addVec(x, y []sat.Lit, cin sat.Lit) ([]sat.Lit, sat.Lit) {
+	out := make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out, c
+}
+
+func (b *Blaster) notVec(x []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i, l := range x {
+		out[i] = l.Flip()
+	}
+	return out
+}
+
+func (b *Blaster) constVec(v uint32, w int) []sat.Lit {
+	out := make([]sat.Lit, w)
+	for i := 0; i < w; i++ {
+		if v>>uint(i)&1 == 1 {
+			out[i] = b.lTrue
+		} else {
+			out[i] = b.litFalse()
+		}
+	}
+	return out
+}
+
+// ult returns the literal for unsigned x < y: the complement of the carry
+// out of x + ~y + 1.
+func (b *Blaster) ult(x, y []sat.Lit) sat.Lit {
+	_, cout := b.addVec(x, b.notVec(y), b.lTrue)
+	return cout.Flip()
+}
+
+// eqVec returns the literal for x = y.
+func (b *Blaster) eqVec(x, y []sat.Lit) sat.Lit {
+	acc := b.lTrue
+	for i := range x {
+		acc = b.and2(acc, b.xor2(x[i], y[i]).Flip())
+	}
+	return acc
+}
+
+// isZero returns the literal for x = 0.
+func (b *Blaster) isZero(x []sat.Lit) sat.Lit {
+	acc := b.litFalse()
+	for _, l := range x {
+		acc = b.or2(acc, l)
+	}
+	return acc.Flip()
+}
+
+// muxVec returns c ? x : y elementwise.
+func (b *Blaster) muxVec(c sat.Lit, x, y []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i := range x {
+		out[i] = b.mux(c, x[i], y[i])
+	}
+	return out
+}
+
+// shifter builds a barrel shifter. left selects the direction.
+func (b *Blaster) shifter(x, amt []sat.Lit, left bool) []sat.Lit {
+	w := len(x)
+	// Bits of amt at positions >= log2ceil(w) force a zero result.
+	stages := 0
+	for 1<<uint(stages) < w {
+		stages++
+	}
+	cur := x
+	for k := 0; k < stages; k++ {
+		sh := 1 << uint(k)
+		shifted := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var src int
+			if left {
+				src = i - sh
+			} else {
+				src = i + sh
+			}
+			if src < 0 || src >= w {
+				shifted[i] = b.litFalse()
+			} else {
+				shifted[i] = cur[src]
+			}
+		}
+		cur = b.muxVec(amt[k], shifted, cur)
+	}
+	// If any high bit of amt is set, the result is zero.
+	high := b.litFalse()
+	for k := stages; k < len(amt); k++ {
+		high = b.or2(high, amt[k])
+	}
+	zero := b.constVec(0, w)
+	return b.muxVec(high, zero, cur)
+}
+
+// divmod builds restoring division and returns (quotient, remainder) for
+// nonzero divisors; zero-divisor semantics are layered on by the caller.
+func (b *Blaster) divmod(num, den []sat.Lit) (q, r []sat.Lit) {
+	w := len(num)
+	r = b.constVec(0, w)
+	q = make([]sat.Lit, w)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | num[i]
+		nr := make([]sat.Lit, w)
+		nr[0] = num[i]
+		copy(nr[1:], r[:w-1])
+		r = nr
+		// q[i] = r >= den; if so r -= den.
+		lt := b.ult(r, den)
+		ge := lt.Flip()
+		q[i] = ge
+		diff, _ := b.addVec(r, b.notVec(den), b.lTrue)
+		r = b.muxVec(ge, diff, r)
+	}
+	return q, r
+}
+
+// Blast returns the literal vector (LSB first) representing t.
+func (b *Blaster) Blast(t *smt.Term) []sat.Lit {
+	if v, ok := b.bits[t]; ok {
+		return v
+	}
+	var out []sat.Lit
+	switch t.Op {
+	case smt.OpVar:
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			out[i] = b.fresh()
+		}
+	case smt.OpConst:
+		out = b.constVec(t.Const, t.Width)
+	case smt.OpNot:
+		out = b.notVec(b.Blast(t.Args[0]))
+	case smt.OpNeg:
+		x := b.Blast(t.Args[0])
+		out, _ = b.addVec(b.constVec(0, t.Width), b.notVec(x), b.lTrue)
+	case smt.OpAnd, smt.OpOr:
+		out = b.Blast(t.Args[0])
+		for _, a := range t.Args[1:] {
+			y := b.Blast(a)
+			nxt := make([]sat.Lit, t.Width)
+			for i := 0; i < t.Width; i++ {
+				if t.Op == smt.OpAnd {
+					nxt[i] = b.and2(out[i], y[i])
+				} else {
+					nxt[i] = b.or2(out[i], y[i])
+				}
+			}
+			out = nxt
+		}
+	case smt.OpXor:
+		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			out[i] = b.xor2(x[i], y[i])
+		}
+	case smt.OpAdd:
+		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		out, _ = b.addVec(x, y, b.litFalse())
+	case smt.OpSub:
+		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		out, _ = b.addVec(x, b.notVec(y), b.lTrue)
+	case smt.OpMul:
+		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		w := t.Width
+		acc := b.constVec(0, w)
+		for i := 0; i < w; i++ {
+			// acc += (y << i) masked by x[i].
+			addend := make([]sat.Lit, w)
+			for j := 0; j < w; j++ {
+				if j < i {
+					addend[j] = b.litFalse()
+				} else {
+					addend[j] = b.and2(x[i], y[j-i])
+				}
+			}
+			acc, _ = b.addVec(acc, addend, b.litFalse())
+		}
+		out = acc
+	case smt.OpUDiv, smt.OpURem:
+		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		q, r := b.divmod(x, y)
+		dz := b.isZero(y)
+		if t.Op == smt.OpUDiv {
+			out = b.muxVec(dz, b.constVec(^uint32(0), t.Width), q)
+		} else {
+			out = b.muxVec(dz, x, r)
+		}
+	case smt.OpShl:
+		out = b.shifter(b.Blast(t.Args[0]), b.Blast(t.Args[1]), true)
+	case smt.OpLshr:
+		out = b.shifter(b.Blast(t.Args[0]), b.Blast(t.Args[1]), false)
+	case smt.OpEq:
+		out = []sat.Lit{b.eqVec(b.Blast(t.Args[0]), b.Blast(t.Args[1]))}
+	case smt.OpUlt:
+		out = []sat.Lit{b.ult(b.Blast(t.Args[0]), b.Blast(t.Args[1]))}
+	case smt.OpUle:
+		out = []sat.Lit{b.ult(b.Blast(t.Args[1]), b.Blast(t.Args[0])).Flip()}
+	case smt.OpSlt, smt.OpSle:
+		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		w := len(x)
+		// Flip sign bits to map signed comparison onto unsigned.
+		fx := append(append([]sat.Lit(nil), x[:w-1]...), x[w-1].Flip())
+		fy := append(append([]sat.Lit(nil), y[:w-1]...), y[w-1].Flip())
+		if t.Op == smt.OpSlt {
+			out = []sat.Lit{b.ult(fx, fy)}
+		} else {
+			out = []sat.Lit{b.ult(fy, fx).Flip()}
+		}
+	case smt.OpIte:
+		c := b.Blast(t.Args[0])[0]
+		out = b.muxVec(c, b.Blast(t.Args[1]), b.Blast(t.Args[2]))
+	default:
+		panic(fmt.Sprintf("bitblast: unhandled operator %s", t.Op))
+	}
+	if len(out) != t.Width {
+		panic(fmt.Sprintf("bitblast: width mismatch for %s: got %d, want %d", t.Op, len(out), t.Width))
+	}
+	b.bits[t] = out
+	return out
+}
+
+// AssertTrue constrains the width-1 term t to be true.
+func (b *Blaster) AssertTrue(t *smt.Term) {
+	if t.Width != 1 {
+		panic("bitblast: AssertTrue requires a width-1 term")
+	}
+	b.S.AddClause(b.Blast(t)[0])
+}
+
+// ModelValue extracts the value of a blasted term from the solver's model
+// after a Sat verdict.
+func (b *Blaster) ModelValue(t *smt.Term) uint32 {
+	bits, ok := b.bits[t]
+	if !ok {
+		bits = b.Blast(t)
+	}
+	var v uint32
+	for i, l := range bits {
+		bit := b.S.ValueOf(l.Var())
+		if l.Neg() {
+			bit = !bit
+		}
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

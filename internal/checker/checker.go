@@ -1,0 +1,143 @@
+// Package checker defines the three clients the paper evaluates (§4): the
+// null-exception checker and two taint checkers, CWE-23 (relative path
+// traversal: external input reaching file operations) and CWE-402
+// (transmission of private resources: secrets reaching I/O operations).
+// Each is a source/sink specification for the sparse engine; candidate
+// flows are then filtered by the path-feasibility solver of the chosen
+// engine.
+package checker
+
+import (
+	"fmt"
+
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+)
+
+// Extern function vocabularies the checkers understand. Programs declare
+// the ones they use (see Prelude).
+var (
+	// NullSinks dereference a pointer argument.
+	NullSinks = []string{"deref", "load", "store_to"}
+	// TaintInputSources produce attacker-controlled strings.
+	TaintInputSources = []string{"gets", "user_input", "recv_input", "read_env"}
+	// FileSinks open or manipulate a file path (CWE-23).
+	FileSinks = []string{"fopen", "open_file", "unlink", "read_file"}
+	// SecretSources produce private data.
+	SecretSources = []string{"getpass", "read_secret", "load_key"}
+	// TransmitSinks send data to the outside world (CWE-402).
+	TransmitSinks = []string{"send", "sendmsg", "write_socket", "log_remote"}
+)
+
+// Prelude is language source text declaring every extern the checkers know
+// about; prepend it to programs that use them.
+const Prelude = `
+extern fun deref(p: ptr);
+extern fun load(p: ptr): int;
+extern fun store_to(p: ptr, v: int);
+extern fun gets(): ptr;
+extern fun user_input(): int;
+extern fun recv_input(): int;
+extern fun read_env(): ptr;
+extern fun fopen(path: ptr): ptr;
+extern fun open_file(path: ptr): int;
+extern fun unlink(path: ptr);
+extern fun read_file(path: ptr): int;
+extern fun getpass(): ptr;
+extern fun read_secret(): int;
+extern fun load_key(): ptr;
+extern fun send(x: int);
+extern fun sendmsg(a: int, b: int);
+extern fun write_socket(x: int);
+extern fun log_remote(x: int);
+`
+
+func sinkMap(names []string) map[string][]int {
+	m := map[string][]int{}
+	for _, n := range names {
+		m[n] = nil // any argument position
+	}
+	return m
+}
+
+// NullDeref returns the null-exception spec: null constants flowing into
+// dereference sites.
+func NullDeref() *sparse.Spec {
+	return &sparse.Spec{
+		Name:               "null-deref",
+		IsSource:           sparse.NullSource,
+		SinkCalls:          sinkMap(NullSinks),
+		TaintThroughExtern: false,
+	}
+}
+
+// PathTraversal returns the CWE-23 spec: external input flowing into file
+// operations.
+func PathTraversal() *sparse.Spec {
+	return &sparse.Spec{
+		Name:               "cwe-23",
+		IsSource:           sparse.ExternCallSource(TaintInputSources...),
+		SinkCalls:          sinkMap(FileSinks),
+		TaintThroughExtern: true,
+	}
+}
+
+// PrivateLeak returns the CWE-402 spec: private data flowing into
+// transmission operations.
+func PrivateLeak() *sparse.Spec {
+	return &sparse.Spec{
+		Name:               "cwe-402",
+		IsSource:           sparse.ExternCallSource(SecretSources...),
+		SinkCalls:          sinkMap(TransmitSinks),
+		TaintThroughExtern: true,
+	}
+}
+
+// DivByZero returns the CWE-369 spec: attacker-controlled values flowing
+// into division or remainder divisors that can actually be zero. Unlike
+// the call-sink checkers, feasibility here includes a value constraint —
+// the divisor must equal zero on the reported path — so bit-precise
+// reasoning (e.g. "2n + 1 is never zero") prunes the impossible reports.
+func DivByZero() *sparse.Spec {
+	return &sparse.Spec{
+		Name:               "cwe-369",
+		IsSource:           sparse.ExternCallSource(TaintInputSources...),
+		SinkCalls:          map[string][]int{},
+		SinkDivisors:       true,
+		TaintThroughExtern: true,
+	}
+}
+
+// All returns every checker spec.
+func All() []*sparse.Spec {
+	return []*sparse.Spec{NullDeref(), PathTraversal(), PrivateLeak(), DivByZero()}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (*sparse.Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("checker: unknown checker %q", name)
+}
+
+// Describe renders a candidate as a human-readable bug report line.
+func Describe(c sparse.Candidate) string {
+	src := c.Source
+	sink := c.Sink.Callee
+	if sink == "" {
+		sink = fmt.Sprintf("operator %s at %s", c.Sink.BinOp, pos(c.Sink))
+	}
+	return fmt.Sprintf("[%s] %s:%s -> %s.%s(arg %d) via %d-step flow",
+		c.Spec.Name, src.Fn.Name, pos(src), c.Sink.Fn.Name, sink,
+		c.ArgIdx, len(c.Path))
+}
+
+func pos(v *ssa.Value) string {
+	if v.Pos.IsValid() {
+		return v.Pos.String()
+	}
+	return fmt.Sprintf("v%d", v.ID)
+}

@@ -1,0 +1,159 @@
+package checker_test
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+func buildGraph(t *testing.T, src string) *pdg.Graph {
+	t.Helper()
+	prog, err := lang.Parse(checker.Prelude + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	return pdg.Build(ssa.MustBuild(norm))
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"null-deref", "cwe-23", "cwe-402", "cwe-369"} {
+		s, err := checker.ByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := checker.ByName("nope"); err == nil {
+		t.Error("expected error for unknown checker")
+	}
+	if len(checker.All()) != 4 {
+		t.Errorf("All: got %d checkers, want 4", len(checker.All()))
+	}
+}
+
+// checkDivZero runs CWE-369 with both engines and returns the verdicts.
+func checkDivZero(t *testing.T, src string) ([]engines.Verdict, []engines.Verdict) {
+	t.Helper()
+	g := buildGraph(t, src)
+	cands := sparse.NewEngine(g).Run(checker.DivByZero())
+	if len(cands) == 0 {
+		t.Fatal("no division-by-zero candidates")
+	}
+	return engines.NewFusion().Check(g, cands),
+		engines.NewPinpoint(engines.Plain).Check(g, cands)
+}
+
+func TestDivByZeroPossible(t *testing.T) {
+	// n - n is always zero: definitely a trap once reached.
+	fus, pin := checkDivZero(t, `
+fun f() {
+    var n: int = user_input();
+    var d: int = n - n;
+    var x: int = 100 / d;
+    send(x);
+}`)
+	for _, vs := range [][]engines.Verdict{fus, pin} {
+		if vs[0].Status != sat.Sat {
+			t.Errorf("n-n divisor: got %s, want sat", vs[0].Status)
+		}
+	}
+}
+
+func TestDivByZeroImpossibleOddDivisor(t *testing.T) {
+	// 2n + 1 is odd, hence never zero modulo 2^32: the constraint divisor=0
+	// is unsatisfiable no matter the input. This requires bit-precise
+	// reasoning, not just syntactic checks.
+	fus, pin := checkDivZero(t, `
+fun f() {
+    var n: int = user_input();
+    var d: int = n * 2 + 1;
+    var x: int = 100 / d;
+    send(x);
+}`)
+	for i, vs := range [][]engines.Verdict{fus, pin} {
+		if vs[0].Status != sat.Unsat {
+			t.Errorf("engine %d: odd divisor: got %s, want unsat", i, vs[0].Status)
+		}
+	}
+}
+
+func TestDivByZeroGuarded(t *testing.T) {
+	// The program guards the division: inside the guard the divisor cannot
+	// be zero.
+	fus, pin := checkDivZero(t, `
+fun f() {
+    var n: int = user_input();
+    if (n != 0) {
+        var x: int = 100 / n;
+        send(x);
+    }
+}`)
+	for i, vs := range [][]engines.Verdict{fus, pin} {
+		if vs[0].Status != sat.Unsat {
+			t.Errorf("engine %d: guarded division: got %s, want unsat", i, vs[0].Status)
+		}
+	}
+	// Remainder sinks too, and an unguarded one is a bug.
+	fus2, _ := checkDivZero(t, `
+fun f() {
+    var n: int = user_input();
+    var x: int = 100 % n;
+    send(x);
+}`)
+	if fus2[0].Status != sat.Sat {
+		t.Errorf("unguarded remainder: got %s, want sat", fus2[0].Status)
+	}
+}
+
+func TestDivByZeroInterprocedural(t *testing.T) {
+	// The divisor is sanitized in a callee; the constraint must reason
+	// through the call.
+	fus, pin := checkDivZero(t, `
+fun sanitize(v: int): int {
+    var r: int = v;
+    if (v == 0) {
+        r = 1;
+    }
+    return r;
+}
+fun f() {
+    var n: int = user_input();
+    var d: int = sanitize(n);
+    var x: int = 100 / d;
+    send(x);
+}`)
+	for i, vs := range [][]engines.Verdict{fus, pin} {
+		if vs[0].Status != sat.Unsat {
+			t.Errorf("engine %d: sanitized divisor: got %s, want unsat", i, vs[0].Status)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := buildGraph(t, `
+fun f() {
+    var n: int = user_input();
+    var x: int = 100 / n;
+    send(x);
+}`)
+	cands := sparse.NewEngine(g).Run(checker.DivByZero())
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	s := checker.Describe(cands[0])
+	if !strings.Contains(s, "cwe-369") || !strings.Contains(s, "operator /") {
+		t.Errorf("unexpected description: %s", s)
+	}
+}

@@ -1,0 +1,333 @@
+package cond_test
+
+import (
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/cond"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/smt"
+	"fusion/internal/solver"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+func buildGraph(t *testing.T, src string) *pdg.Graph {
+	t.Helper()
+	prog, err := lang.Parse(checker.Prelude + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	return pdg.Build(ssa.MustBuild(norm))
+}
+
+// decide runs the null checker, translates each candidate eagerly, and
+// returns the solver verdicts in order.
+func decide(t *testing.T, src string) []sat.Status {
+	t.Helper()
+	g := buildGraph(t, src)
+	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	var out []sat.Status
+	for _, c := range cands {
+		b := smt.NewBuilder()
+		sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
+		tr := cond.Translate(b, sl)
+		out = append(out, solver.Solve(b, tr.Phi, solver.Options{}).Status)
+	}
+	return out
+}
+
+func one(t *testing.T, src string) sat.Status {
+	t.Helper()
+	sts := decide(t, src)
+	if len(sts) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(sts))
+	}
+	return sts[0]
+}
+
+func TestFeasibleStraightLine(t *testing.T) {
+	if got := one(t, `
+fun f() {
+    var p: ptr = null;
+    deref(p);
+}`); got != sat.Sat {
+		t.Errorf("got %s, want sat", got)
+	}
+}
+
+func TestFeasibleGuarded(t *testing.T) {
+	if got := one(t, `
+fun f(a: int) {
+    var p: ptr = null;
+    if (a > 10) {
+        deref(p);
+    }
+}`); got != sat.Sat {
+		t.Errorf("a > 10 is satisfiable: got %s", got)
+	}
+}
+
+func TestInfeasibleContradictoryGuards(t *testing.T) {
+	if got := one(t, `
+fun f(a: int) {
+    var p: ptr = null;
+    if (a > 0) {
+        if (a < 0) {
+            deref(p);
+        }
+    }
+}`); got != sat.Unsat {
+		t.Errorf("a > 0 && a < 0 must be infeasible: got %s", got)
+	}
+}
+
+func TestInfeasibleConstantGuard(t *testing.T) {
+	if got := one(t, `
+fun f() {
+    var x: int = 1;
+    var p: ptr = null;
+    if (x == 2) {
+        deref(p);
+    }
+}`); got != sat.Unsat {
+		t.Errorf("1 == 2 must be infeasible: got %s", got)
+	}
+}
+
+func TestItePruningMakesPathInfeasible(t *testing.T) {
+	// The null flows into r only in the then branch (a > 0); the deref is
+	// guarded by a < 0. Conjunction infeasible.
+	if got := one(t, `
+fun f(a: int, q: ptr) {
+    var r: ptr = q;
+    if (a > 0) {
+        var p: ptr = null;
+        r = p;
+    }
+    if (a < 0) {
+        deref(r);
+    }
+}`); got != sat.Unsat {
+		t.Errorf("ite-pruned path must be infeasible: got %s", got)
+	}
+}
+
+func TestItePruningFeasibleCounterpart(t *testing.T) {
+	if got := one(t, `
+fun f(a: int, q: ptr) {
+    var r: ptr = q;
+    if (a > 0) {
+        var p: ptr = null;
+        r = p;
+    }
+    if (a > 5) {
+        deref(r);
+    }
+}`); got != sat.Sat {
+		t.Errorf("a > 0 && a > 5 is satisfiable: got %s", got)
+	}
+}
+
+const fig1Src = `
+fun bar(x: int): int {
+    var y: int = x * 2;
+    var z: int = y;
+    return z;
+}
+
+fun foo(a: int, b: int) {
+    var p: ptr = null;
+    var c: int = bar(a);
+    var d: int = bar(b);
+    if (c < d) {
+        deref(p);
+    }
+}
+`
+
+func TestFigure1EndToEnd(t *testing.T) {
+	if got := one(t, fig1Src); got != sat.Sat {
+		t.Errorf("the Figure 1 null path is feasible: got %s", got)
+	}
+}
+
+func TestFigure1CloneCount(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(cands))
+	}
+	b := smt.NewBuilder()
+	sl := pdg.ComputeSlice(g, []pdg.Path{cands[0].Path})
+	tr := cond.Translate(b, sl)
+	// foo once, bar cloned at both call sites: 3 instantiations, matching
+	// the paper's k = 2 analysis of the conventional cost O(kn + m).
+	if tr.Clones != 3 {
+		t.Errorf("clones: got %d, want 3", tr.Clones)
+	}
+	if tr.Contexts.Size() != 3 { // root, <site c>, <site d>
+		t.Errorf("contexts: got %d, want 3", tr.Contexts.Size())
+	}
+}
+
+func TestInterproceduralGuardInCallee(t *testing.T) {
+	// The callee only returns the null when its parameter is positive; the
+	// caller then requires the parameter negative. Infeasible.
+	if got := one(t, `
+fun pick(v: int, p: ptr, q: ptr): ptr {
+    var r: ptr = q;
+    if (v > 0) {
+        r = p;
+    }
+    return r;
+}
+fun f(v: int, q: ptr) {
+    var n: ptr = null;
+    var got: ptr = pick(v, n, q);
+    if (v < 0) {
+        deref(got);
+    }
+}`); got != sat.Unsat {
+		t.Errorf("cross-function contradictory guards must be infeasible: got %s", got)
+	}
+}
+
+func TestCallSiteGuardAsserted(t *testing.T) {
+	// The call that passes the null happens under a > 0; the deref of the
+	// returned value under a < 0. Requires asserting the call vertex's
+	// guard for call-edge crossings.
+	if got := one(t, `
+fun hold(p: ptr): ptr {
+    return p;
+}
+fun f(a: int, q: ptr) {
+    var n: ptr = null;
+    var r: ptr = q;
+    if (a > 0) {
+        r = hold(n);
+    }
+    if (a < 0) {
+        deref(r);
+    }
+}`); got != sat.Unsat {
+		t.Errorf("call under contradictory guard must be infeasible: got %s", got)
+	}
+}
+
+func TestAssignContextsShapes(t *testing.T) {
+	g := buildGraph(t, `
+fun mk(): ptr {
+    return null;
+}
+fun use(p: ptr) {
+    deref(p);
+}
+fun f() {
+    use(mk());
+}`)
+	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(cands))
+	}
+	tree := cond.NewCtxTree()
+	ctxs := cond.AssignContexts(tree, cands[0].Path)
+	// The path starts in mk (depth below root f), ascends, then descends
+	// into use. The shallowest step must be the root context.
+	sawRoot := false
+	for i, c := range ctxs {
+		if c == nil {
+			t.Fatalf("step %d has no context", i)
+		}
+		if c == tree.Root {
+			sawRoot = true
+		}
+	}
+	if !sawRoot {
+		t.Error("no step at the root context")
+	}
+	// First step (inside mk) must be a child context.
+	if ctxs[0] == tree.Root {
+		t.Error("the path's start inside mk must be in a call-site context")
+	}
+	if got := one(t, `
+fun mk(): ptr {
+    return null;
+}
+fun use(p: ptr) {
+    deref(p);
+}
+fun f() {
+    use(mk());
+}`); got != sat.Sat {
+		t.Errorf("v-shaped path is feasible: got %s", got)
+	}
+}
+
+func TestMultiPathConjunction(t *testing.T) {
+	// Figure 6's scenario: two simultaneous flows into sendmsg. The
+	// conjunction of both paths' conditions must be checked together.
+	g := buildGraph(t, `
+fun f(a: int) {
+    var s1: int = read_secret();
+    var s2: int = read_secret();
+    var c: int = 0;
+    var d: int = 0;
+    if (a > 0) {
+        c = s1;
+    }
+    if (a < 0) {
+        d = s2;
+    }
+    sendmsg(c, d);
+}`)
+	cands := sparse.NewEngine(g).Run(checker.PrivateLeak())
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(cands))
+	}
+	// Each path alone is feasible.
+	for _, c := range cands {
+		b := smt.NewBuilder()
+		sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
+		tr := cond.Translate(b, sl)
+		if st := solver.Solve(b, tr.Phi, solver.Options{}).Status; st != sat.Sat {
+			t.Errorf("individual path must be feasible, got %s", st)
+		}
+	}
+	// Together they are contradictory (a > 0 and a < 0).
+	b := smt.NewBuilder()
+	sl := pdg.ComputeSlice(g, []pdg.Path{cands[0].Path, cands[1].Path})
+	tr := cond.Translate(b, sl)
+	if st := solver.Solve(b, tr.Phi, solver.Options{}).Status; st != sat.Unsat {
+		t.Errorf("joint flow must be infeasible, got %s", st)
+	}
+}
+
+func TestVarNameStability(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	foo := g.Prog.Funcs["foo"]
+	tree := cond.NewCtxTree()
+	v := foo.Params[0]
+	if cond.VarName(v, tree.Root) != cond.VarName(v, tree.Root) {
+		t.Error("VarName must be deterministic")
+	}
+	child := tree.Child(tree.Root, 3)
+	if cond.VarName(v, tree.Root) == cond.VarName(v, child) {
+		t.Error("different contexts must yield different names")
+	}
+	if child.String() != "<3>" {
+		t.Errorf("ctx string: got %s", child.String())
+	}
+	grand := tree.Child(child, 7)
+	if grand.String() != "<3.7>" {
+		t.Errorf("ctx string: got %s", grand.String())
+	}
+}

@@ -1,0 +1,199 @@
+// Package cond translates program-dependence-graph slices into path
+// conditions: rules (4)-(6) of Figure 8 plus the inter-procedural rules (7)
+// and (8). The eager, fully-cloned translation (Translate) is the
+// conventional design's condition computation and the body of the
+// un-optimized IR-based solution (Algorithm 4); the fused solver layers its
+// optimizations on the same machinery (Algorithm 6).
+package cond
+
+import (
+	"fmt"
+	"sort"
+
+	"fusion/internal/pdg"
+	"fusion/internal/ssa"
+)
+
+// Ctx is a calling context: a chain of call sites from a root function.
+// Cloning a callee's condition at each call site corresponds to allocating
+// one Ctx per site chain; the exponential growth of context trees with call
+// depth is exactly the paper's condition-cloning problem.
+type Ctx struct {
+	Parent *Ctx
+	Site   int // call site entered through; -1 for the root
+	ID     int
+}
+
+// Depth returns the length of the site chain (0 for the root).
+func (c *Ctx) Depth() int {
+	d := 0
+	for p := c; p.Parent != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// String renders the site chain, e.g. "<>", "<3>", "<3.7>".
+func (c *Ctx) String() string {
+	if c.Parent == nil {
+		return "<>"
+	}
+	if c.Parent.Parent == nil {
+		return fmt.Sprintf("<%d>", c.Site)
+	}
+	s := c.Parent.String()
+	return s[:len(s)-1] + fmt.Sprintf(".%d>", c.Site)
+}
+
+// CtxTree interns contexts.
+type CtxTree struct {
+	Root  *Ctx
+	nodes []*Ctx
+	index map[[2]int]*Ctx
+}
+
+// NewCtxTree returns a tree containing only the root context.
+func NewCtxTree() *CtxTree {
+	t := &CtxTree{index: map[[2]int]*Ctx{}}
+	t.Root = &Ctx{Site: -1, ID: 0}
+	t.nodes = []*Ctx{t.Root}
+	return t
+}
+
+// Child returns the context parent·site, creating it on first use.
+func (t *CtxTree) Child(parent *Ctx, site int) *Ctx {
+	key := [2]int{parent.ID, site}
+	if c, ok := t.index[key]; ok {
+		return c
+	}
+	c := &Ctx{Parent: parent, Site: site, ID: len(t.nodes)}
+	t.nodes = append(t.nodes, c)
+	t.index[key] = c
+	return c
+}
+
+// Size returns the number of interned contexts.
+func (t *CtxTree) Size() int { return len(t.nodes) }
+
+// AssignContexts determines, for every step of a data-dependence path, the
+// calling context its vertex lives in, relative to the path's shallowest
+// (root) function. Call crossings push a site, return crossings pop; the
+// prefix before the shallowest point is reconstructed right-to-left, since
+// the path may start deep inside callees and ascend.
+func AssignContexts(t *CtxTree, p pdg.Path) []*Ctx {
+	n := len(p)
+	out := make([]*Ctx, n)
+	if n == 0 {
+		return out
+	}
+	// Depth profile and its first minimum.
+	depth := make([]int, n)
+	for i := 1; i < n; i++ {
+		depth[i] = depth[i-1]
+		switch p[i].Kind {
+		case pdg.StepCall:
+			depth[i]++
+		case pdg.StepReturn:
+			depth[i]--
+		}
+	}
+	minIdx := 0
+	for i, d := range depth {
+		if d < depth[minIdx] {
+			minIdx = i
+		}
+	}
+	out[minIdx] = t.Root
+	// Rightwards from the minimum: calls descend, returns ascend.
+	for i := minIdx + 1; i < n; i++ {
+		switch p[i].Kind {
+		case pdg.StepCall:
+			out[i] = t.Child(out[i-1], p[i].Site)
+		case pdg.StepReturn:
+			out[i] = out[i-1].Parent
+		default:
+			out[i] = out[i-1]
+		}
+	}
+	// Leftwards from the minimum: a return crossed right-to-left descends
+	// into the returning callee; a call crossed right-to-left ascends.
+	for i := minIdx; i > 0; i-- {
+		switch p[i].Kind {
+		case pdg.StepReturn:
+			out[i-1] = t.Child(out[i], p[i].Site)
+		case pdg.StepCall:
+			out[i-1] = out[i].Parent
+		default:
+			out[i-1] = out[i]
+		}
+	}
+	return out
+}
+
+// FuncContexts enumerates every context in which each sliced function's
+// condition must be instantiated: the root context for slice roots and
+// path-root functions, and one child context per (caller context, entry
+// site) pair otherwise. The total count is the clone count of the eager
+// translation.
+func FuncContexts(t *CtxTree, sl *pdg.Slice) map[*ssa.Function][]*Ctx {
+	g := sl.G
+	out := map[*ssa.Function][]*Ctx{}
+	// Functions that host a path's shallowest vertices need a root-context
+	// instance even if other paths enter them through calls.
+	pathRoots := map[*ssa.Function]bool{}
+	tmp := NewCtxTree()
+	for _, p := range sl.Paths {
+		ctxs := AssignContexts(tmp, p)
+		for i, c := range ctxs {
+			if c == tmp.Root {
+				pathRoots[p[i].V.Fn] = true
+			}
+		}
+	}
+
+	var visit func(f *ssa.Function) []*Ctx
+	visiting := map[*ssa.Function]bool{}
+	visit = func(f *ssa.Function) []*Ctx {
+		if cs, ok := out[f]; ok {
+			return cs
+		}
+		if visiting[f] {
+			// Recursion is unrolled away before SSA construction, so a
+			// cycle here indicates a pipeline bug.
+			panic("cond: recursive call structure in slice")
+		}
+		visiting[f] = true
+		defer func() { visiting[f] = false }()
+		var cs []*Ctx
+		if len(sl.Entered[f]) == 0 || pathRoots[f] {
+			cs = append(cs, t.Root)
+		}
+		sites := make([]int, 0, len(sl.Entered[f]))
+		for s := range sl.Entered[f] {
+			sites = append(sites, s)
+		}
+		sort.Ints(sites)
+		for _, s := range sites {
+			caller := g.SiteCall[s].Fn
+			for _, pc := range visit(caller) {
+				cs = append(cs, t.Child(pc, s))
+			}
+		}
+		out[f] = cs
+		return cs
+	}
+
+	funcs := map[*ssa.Function]bool{}
+	for v := range sl.Values {
+		funcs[v.Fn] = true
+	}
+	names := make([]*ssa.Function, 0, len(funcs))
+	for f := range funcs {
+		names = append(names, f)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Name < names[j].Name })
+	for _, f := range names {
+		visit(f)
+	}
+	return out
+}

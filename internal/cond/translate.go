@@ -1,0 +1,283 @@
+package cond
+
+import (
+	"fmt"
+	"sort"
+
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/smt"
+	"fusion/internal/ssa"
+)
+
+// VarName names the SMT variable standing for an SSA value instantiated in
+// a calling context. Distinct contexts yield distinct names, which is what
+// "cloning the callee's condition" means operationally.
+func VarName(v *ssa.Value, ctx *Ctx) string {
+	if ctx == nil || ctx.ID == 0 {
+		return fmt.Sprintf("%s.v%d", v.Fn.Name, v.ID)
+	}
+	return fmt.Sprintf("%s.v%d@%d", v.Fn.Name, v.ID, ctx.ID)
+}
+
+// Translation is the result of translating a slice: the path condition and
+// accounting of the work done.
+type Translation struct {
+	Phi *smt.Term
+	// Clones is the total number of (function, context) instantiations.
+	Clones int
+	// Equations is the number of defining equations emitted.
+	Equations int
+	// Contexts is the context tree used (exposed for the fused solver).
+	Contexts *CtxTree
+	// Truncated reports that depth limiting cut some call links, so the
+	// condition over-approximates feasibility.
+	Truncated bool
+}
+
+// Translator holds state shared across per-context emissions.
+type Translator struct {
+	B  *smt.Builder
+	Sl *pdg.Slice
+	T  *CtxTree
+	// MaxDepth truncates context expansion: call links into contexts
+	// deeper than MaxDepth are omitted, leaving the receiver free (an
+	// over-approximation used by the abstraction-refinement variant).
+	// Zero means unlimited.
+	MaxDepth int
+	// Truncated reports whether any call link was cut by MaxDepth.
+	Truncated bool
+}
+
+// NewTranslator returns a translator for a slice.
+func NewTranslator(b *smt.Builder, sl *pdg.Slice) *Translator {
+	return &Translator{B: b, Sl: sl, T: NewCtxTree()}
+}
+
+// Var returns the SMT variable for value v in context ctx.
+func (tr *Translator) Var(v *ssa.Value, ctx *Ctx) *smt.Term {
+	return tr.B.Var(VarName(v, ctx), pdg.TypeBits(v.Type))
+}
+
+// Term returns the term representing v's value in ctx: constants map to
+// constant terms, everything else to its variable.
+func (tr *Translator) Term(v *ssa.Value, ctx *Ctx) *smt.Term {
+	if v.Op == ssa.OpConst {
+		return tr.B.Const(v.Const, pdg.TypeBits(v.Type))
+	}
+	return tr.Var(v, ctx)
+}
+
+// Equation emits the defining equation of value v instantiated in ctx —
+// rule (6), plus the call/return rules (7) and (8). It returns true (no
+// constraint) for vertices that translate to free variables.
+func (tr *Translator) Equation(v *ssa.Value, ctx *Ctx) *smt.Term {
+	b, sl := tr.B, tr.Sl
+	g := sl.G
+	lhs := tr.Term(v, ctx)
+	switch v.Op {
+	case ssa.OpConst:
+		return b.True()
+	case ssa.OpParam:
+		if ctx.Parent == nil {
+			return b.True() // root context: parameters are free
+		}
+		c := g.SiteCall[ctx.Site]
+		idx := pdg.ParamIndex(v)
+		if c == nil || idx < 0 || idx >= len(c.Args) {
+			return b.True()
+		}
+		// Rule (7): formal = actual across the call edge.
+		return b.Eq(lhs, tr.Term(c.Args[idx], ctx.Parent))
+	case ssa.OpCopy, ssa.OpReturn:
+		return b.Eq(lhs, tr.Term(v.Args[0], ctx))
+	case ssa.OpNot:
+		return b.Eq(lhs, b.Not(tr.Term(v.Args[0], ctx)))
+	case ssa.OpNeg:
+		return b.Eq(lhs, b.Neg(tr.Term(v.Args[0], ctx)))
+	case ssa.OpBin:
+		return b.Eq(lhs, tr.BinTerm(v, ctx))
+	case ssa.OpIte:
+		cterm := tr.Term(v.Args[0], ctx)
+		thenIn, elseIn := sl.IteTaken(v)
+		switch {
+		case thenIn && elseIn:
+			return b.Eq(lhs, b.Ite(cterm, tr.Term(v.Args[1], ctx), tr.Term(v.Args[2], ctx)))
+		case thenIn:
+			// v2 = true ∧ v1 = v3.
+			return b.And(cterm, b.Eq(lhs, tr.Term(v.Args[1], ctx)))
+		case elseIn:
+			return b.And(b.Not(cterm), b.Eq(lhs, tr.Term(v.Args[2], ctx)))
+		default:
+			// Both edges pruned by conflicting paths: infeasible.
+			return b.False()
+		}
+	case ssa.OpCall:
+		callee := g.Callee(v)
+		if callee.Ret == nil {
+			return b.True()
+		}
+		child := tr.T.Child(ctx, v.Site)
+		if tr.MaxDepth > 0 && child.Depth() > tr.MaxDepth {
+			tr.Truncated = true
+			return b.True() // abstraction: the receiver is free
+		}
+		// Rule (8): receiver = the callee's return value in the child
+		// context.
+		return b.Eq(lhs, tr.Term(callee.Ret, child))
+	case ssa.OpExtern:
+		return b.True() // empty function: the receiver is unconstrained
+	case ssa.OpBranch:
+		return b.Eq(lhs, tr.Term(v.Args[0], ctx))
+	default:
+		panic(fmt.Sprintf("cond: unhandled op %s", v.Op))
+	}
+}
+
+// BinTerm builds the SMT term for a binary-operation vertex in a context.
+func (tr *Translator) BinTerm(v *ssa.Value, ctx *Ctx) *smt.Term {
+	b := tr.B
+	l, r := tr.Term(v.Args[0], ctx), tr.Term(v.Args[1], ctx)
+	switch v.BinOp {
+	case lang.OpAdd:
+		return b.Add(l, r)
+	case lang.OpSub:
+		return b.Sub(l, r)
+	case lang.OpMul:
+		return b.Mul(l, r)
+	case lang.OpDiv:
+		return b.UDiv(l, r)
+	case lang.OpRem:
+		return b.URem(l, r)
+	case lang.OpEq:
+		return b.Eq(l, r)
+	case lang.OpNe:
+		return b.Not(b.Eq(l, r))
+	case lang.OpLt:
+		return b.Slt(l, r)
+	case lang.OpLe:
+		return b.Sle(l, r)
+	case lang.OpGt:
+		return b.Slt(r, l)
+	case lang.OpGe:
+		return b.Sle(r, l)
+	case lang.OpAnd, lang.OpBitAnd:
+		return b.And(l, r)
+	case lang.OpOr, lang.OpBitOr:
+		return b.Or(l, r)
+	case lang.OpBitXor:
+		return b.Xor(l, r)
+	case lang.OpShl:
+		return b.Shl(l, r)
+	case lang.OpShr:
+		return b.Lshr(l, r)
+	default:
+		panic(fmt.Sprintf("cond: unhandled binary operator %s", v.BinOp))
+	}
+}
+
+// GuardAssertions emits rule (5): for every vertex on every path, the
+// transitive chain of branch vertices it is control-dependent on must be
+// true, each instantiated in the context the path visits it in. Call-edge
+// crossings additionally assert the guards of the crossed call vertex in
+// the caller's context.
+func (tr *Translator) GuardAssertions() []*smt.Term {
+	var out []*smt.Term
+	assertChain := func(v *ssa.Value, ctx *Ctx) {
+		for gd := v.Guard; gd != nil; gd = gd.Guard {
+			out = append(out, tr.Var(gd, ctx))
+		}
+	}
+	for _, p := range tr.Sl.Paths {
+		ctxs := AssignContexts(tr.T, p)
+		for i, st := range p {
+			assertChain(st.V, ctxs[i])
+			if st.Kind == pdg.StepCall {
+				if c := tr.Sl.G.SiteCall[st.Site]; c != nil {
+					assertChain(c, ctxs[i].Parent)
+				}
+			}
+		}
+	}
+	out = append(out, tr.ValueConstraints()...)
+	return out
+}
+
+// ValueConstraints translates the slice's pinned path-step values (e.g. a
+// zero divisor at a division-by-zero sink) into equations in the contexts
+// the paths visit them in.
+func (tr *Translator) ValueConstraints() []*smt.Term {
+	var out []*smt.Term
+	for _, vc := range tr.Sl.Constraints {
+		if vc.Path >= len(tr.Sl.Paths) {
+			continue
+		}
+		p := tr.Sl.Paths[vc.Path]
+		if vc.Step >= len(p) {
+			continue
+		}
+		ctxs := AssignContexts(tr.T, p)
+		v := p[vc.Step].V
+		out = append(out, tr.B.Eq(tr.Term(v, ctxs[vc.Step]), tr.B.Const(vc.Value, pdg.TypeBits(v.Type))))
+	}
+	return out
+}
+
+// Translate is the eager path-condition construction: slice values are
+// instantiated in every calling context the slice reaches them through
+// (full condition cloning), defining equations are emitted per rule (6)-(8),
+// and the paths' control dependences are asserted per rule (5). This is
+// the condition the conventional design computes, solves, and caches.
+func Translate(b *smt.Builder, sl *pdg.Slice) Translation {
+	return TranslateDepth(b, sl, 0)
+}
+
+// TranslateDepth is Translate with context expansion truncated at maxDepth
+// (0 = unlimited): the abstraction the refinement-based variant solves
+// before extending the condition with deeper callees and callers.
+func TranslateDepth(b *smt.Builder, sl *pdg.Slice, maxDepth int) Translation {
+	tr := NewTranslator(b, sl)
+	tr.MaxDepth = maxDepth
+	fcs := FuncContexts(tr.T, sl)
+
+	// Deterministic order: function name, then value ID, then context ID.
+	funcs := make([]*ssa.Function, 0, len(fcs))
+	for f := range fcs {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name < funcs[j].Name })
+
+	var conjs []*smt.Term
+	clones, eqs := 0, 0
+	for _, f := range funcs {
+		var vals []*ssa.Value
+		for v := range sl.Values {
+			if v.Fn == f {
+				vals = append(vals, v)
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+		for _, ctx := range fcs[f] {
+			if tr.MaxDepth > 0 && ctx.Depth() > tr.MaxDepth {
+				tr.Truncated = true
+				continue
+			}
+			clones++
+			for _, v := range vals {
+				eq := tr.Equation(v, ctx)
+				if !eq.IsTrue() {
+					conjs = append(conjs, eq)
+					eqs++
+				}
+			}
+		}
+	}
+	conjs = append(conjs, tr.GuardAssertions()...)
+	return Translation{
+		Phi:       b.And(conjs...),
+		Clones:    clones,
+		Equations: eqs,
+		Contexts:  tr.T,
+		Truncated: tr.Truncated,
+	}
+}

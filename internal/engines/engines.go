@@ -1,0 +1,447 @@
+// Package engines implements the analysis engines the evaluation compares:
+//
+//   - Fusion: the fused design (Algorithm 5 + 6) — no condition caching, no
+//     eager cloning;
+//   - Pinpoint: the conventional design (Algorithm 2) — explicit path
+//     conditions, cloned per calling context and retained in a long-lived
+//     term cache as function summaries;
+//   - Pinpoint+QE / +LFS / +HFS / +AR: the condition-size-reduction
+//     variants of §5.1 (quantifier elimination, lightweight and heavyweight
+//     formula simplification, abstraction refinement);
+//   - Infer: a compositional, path-insensitive summary-based analyzer in
+//     the style of bi-abduction tools (§5.2).
+//
+// All engines share the sparse propagation of package sparse; they differ
+// only in how path feasibility is decided, which is exactly the comparison
+// the paper makes.
+package engines
+
+import (
+	"sync"
+	"time"
+	"unsafe"
+
+	"fusion/internal/cond"
+	"fusion/internal/fusioncore"
+	"fusion/internal/pdg"
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+	"fusion/internal/solver"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+)
+
+// Verdict is the decision for one candidate flow.
+type Verdict struct {
+	Cand   sparse.Candidate
+	Status sat.Status // Sat = feasible = reported bug
+	// Preprocessed reports the solve was decided during preprocessing.
+	Preprocessed bool
+	// SolveTime is the feasibility-decision time for this candidate.
+	SolveTime time.Duration
+	// ConditionSize is the DAG size of the condition solved (0 when the
+	// engine never materializes one).
+	ConditionSize int
+}
+
+// Engine decides candidate feasibility.
+type Engine interface {
+	Name() string
+	// Check decides every candidate. Implementations may keep state
+	// (caches) across calls, as the conventional design does.
+	Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict
+	// ConditionBytes estimates the memory retained for conditions and
+	// summaries after Check.
+	ConditionBytes() int64
+}
+
+// SolverConfig carries the per-query solver budget (the paper limits each
+// SMT call to 10 seconds).
+type SolverConfig struct {
+	Timeout      time.Duration
+	MaxConflicts int64
+}
+
+func (c SolverConfig) options() solver.Options {
+	o := solver.Options{Timeout: c.Timeout, MaxConflicts: c.MaxConflicts}
+	if o.Timeout == 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return o
+}
+
+// --- Fusion ---
+
+// Fusion is the fused engine: per-candidate solving directly on the
+// dependence graph, nothing cached between candidates. Candidates are
+// independent, so checking parallelizes trivially — the paper runs its
+// analyses with fifteen threads.
+type Fusion struct {
+	Cfg SolverConfig
+	// Opts tunes the fused solver (ablations).
+	Opts fusioncore.Options
+	// Parallel is the worker count for Check; 0 or 1 means sequential.
+	Parallel int
+	mu       sync.Mutex
+	peak     int64
+}
+
+// NewFusion returns the fused engine with default options.
+func NewFusion() *Fusion { return &Fusion{} }
+
+// Name implements Engine.
+func (e *Fusion) Name() string { return "fusion" }
+
+// Check implements Engine.
+func (e *Fusion) Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict {
+	out := make([]Verdict, len(cands))
+	workers := e.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			out[i] = e.checkOne(g, c)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.checkOne(g, cands[i])
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+func (e *Fusion) checkOne(g *pdg.Graph, c sparse.Candidate) Verdict {
+	b := smt.NewBuilder()
+	opts := e.Opts
+	opts.Solver = e.Cfg.options()
+	opts.Constraints = nil
+	if c.ConstrainStep >= 0 {
+		opts.Constraints = []pdg.ValueConstraint{{Path: 0, Step: c.ConstrainStep, Value: c.ConstrainValue}}
+	}
+	t0 := time.Now()
+	r := fusioncore.Solve(b, g, []pdg.Path{c.Path}, opts)
+	v := Verdict{
+		Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
+		SolveTime: time.Since(t0), ConditionSize: r.SizeBefore,
+	}
+	e.mu.Lock()
+	if b.EstimatedBytes() > e.peak {
+		e.peak = b.EstimatedBytes()
+	}
+	e.mu.Unlock()
+	return v
+}
+
+// ConditionBytes implements Engine: the fused design caches nothing, so
+// only the peak per-candidate working set counts.
+func (e *Fusion) ConditionBytes() int64 { return e.peak }
+
+// --- Pinpoint ---
+
+// Variant selects a Pinpoint condition-reduction strategy.
+type Variant int
+
+// Pinpoint variants.
+const (
+	Plain Variant = iota
+	QE            // quantifier elimination on each condition
+	LFS           // lightweight formula simplification
+	HFS           // heavyweight (context) formula simplification
+	AR            // abstraction refinement
+)
+
+func (v Variant) String() string {
+	switch v {
+	case QE:
+		return "pinpoint+qe"
+	case LFS:
+		return "pinpoint+lfs"
+	case HFS:
+		return "pinpoint+hfs"
+	case AR:
+		return "pinpoint+ar"
+	default:
+		return "pinpoint"
+	}
+}
+
+// Pinpoint is the conventional engine: eager per-context condition cloning
+// (cond.Translate) over a long-lived builder that models the function
+// summary cache — every condition ever computed stays resident, which is
+// the memory behaviour Figure 1(c) measures.
+type Pinpoint struct {
+	Cfg     SolverConfig
+	Variant Variant
+	// cache is the shared term store standing in for the summary cache.
+	cache *smt.Builder
+	// QEBudget bounds projection in the QE variant.
+	QEBudget int
+}
+
+// NewPinpoint returns a conventional engine of the given variant.
+func NewPinpoint(v Variant) *Pinpoint {
+	return &Pinpoint{Variant: v, cache: smt.NewBuilder()}
+}
+
+// Name implements Engine.
+func (e *Pinpoint) Name() string { return e.Variant.String() }
+
+// ConditionBytes implements Engine.
+func (e *Pinpoint) ConditionBytes() int64 { return e.cache.EstimatedBytes() }
+
+// Check implements Engine.
+func (e *Pinpoint) Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict {
+	out := make([]Verdict, 0, len(cands))
+	for _, c := range cands {
+		t0 := time.Now()
+		st, pre, size := e.checkOne(g, c)
+		out = append(out, Verdict{
+			Cand: c, Status: st, Preprocessed: pre,
+			SolveTime: time.Since(t0), ConditionSize: size,
+		})
+	}
+	return out
+}
+
+func (e *Pinpoint) checkOne(g *pdg.Graph, c sparse.Candidate) (sat.Status, bool, int) {
+	b := e.cache
+	sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
+	c.ApplyConstraint(sl, 0)
+	opts := e.Cfg.options()
+
+	if e.Variant == AR {
+		return e.checkRefined(b, sl, opts)
+	}
+
+	tr := cond.Translate(b, sl)
+	phi := tr.Phi
+	switch e.Variant {
+	case QE:
+		phi = e.eliminate(b, phi, sl)
+	case LFS:
+		phi = smt.SimplifyLocal(b, phi)
+	case HFS:
+		cs := &smt.ContextSimplifier{
+			Solve: func(bb *smt.Builder, q *smt.Term) (bool, bool) {
+				return solver.Decide(bb, q, opts)
+			},
+			MaxQueries: 32,
+		}
+		phi = cs.Simplify(b, phi)
+	}
+	r := solver.Solve(b, phi, opts)
+	return r.Status, r.Preprocessed, r.SizeBefore
+}
+
+// eliminate projects the condition onto the root functions' variables —
+// what a QE tactic is used for in summary-based analyzers. Projection over
+// bit-vectors blows up; on budget exhaustion the original condition is
+// solved instead (the time and memory have already been spent, which is
+// the point the evaluation makes).
+func (e *Pinpoint) eliminate(b *smt.Builder, phi *smt.Term, sl *pdg.Slice) *smt.Term {
+	roots := map[string]bool{}
+	for _, f := range sl.Roots() {
+		roots[f.Name+"."] = true
+	}
+	isRootVar := func(name string) bool {
+		for p := range roots {
+			if len(name) > len(p) && name[:len(p)] == p {
+				return true
+			}
+		}
+		return false
+	}
+	var drop []*smt.Term
+	for _, v := range smt.Vars(phi) {
+		if !isRootVar(v.Name) {
+			drop = append(drop, v)
+		}
+	}
+	budget := e.QEBudget
+	if budget == 0 {
+		budget = 64
+	}
+	opts := e.Cfg.options()
+	opts.Passes = solver.NoPasses
+	opts.WantModel = true
+	res, err := smt.Eliminate(b, phi, drop, smt.QEOptions{
+		MaxCubes: budget,
+		Solve: func(bb *smt.Builder, q *smt.Term) (sat.Status, smt.Assignment) {
+			r := solver.Solve(bb, q, opts)
+			return r.Status, r.Model
+		},
+	})
+	if err != nil {
+		return phi
+	}
+	return res
+}
+
+// checkRefined is the abstraction-refinement loop: solve the condition
+// truncated at increasing context depths, stopping early on unsat (the
+// truncation over-approximates) and refining on sat until nothing was
+// truncated.
+func (e *Pinpoint) checkRefined(b *smt.Builder, sl *pdg.Slice, opts solver.Options) (sat.Status, bool, int) {
+	size := 0
+	for depth := 1; ; depth++ {
+		tr := cond.TranslateDepth(b, sl, depth)
+		r := solver.Solve(b, tr.Phi, opts)
+		size = r.SizeBefore
+		if r.Status == sat.Unsat {
+			return sat.Unsat, r.Preprocessed, size
+		}
+		if r.Status == sat.Unknown {
+			return sat.Unknown, false, size
+		}
+		if !tr.Truncated {
+			return r.Status, r.Preprocessed, size
+		}
+		if depth > 64 {
+			return sat.Unknown, false, size
+		}
+	}
+}
+
+// --- Infer ---
+
+// Infer is a compositional, path-insensitive analyzer in the bi-abduction
+// style: per-function specs are computed bottom-up over the whole program
+// with callee specs inlined into callers — which duplicates them along
+// every call chain, the memory behaviour §5.2 observes — and every
+// syntactic flow is reported without a feasibility check (the precision
+// loss behind its false-positive rate).
+type Infer struct {
+	// MaxSummaryDepth bounds how deep flows are tracked across calls;
+	// deeper flows are missed (the recall loss of limited cross-file
+	// reasoning).
+	MaxSummaryDepth int
+	// SpecBudget caps the total materialized spec entries; exceeding it
+	// models running out of memory (the paper's wine result). Zero means
+	// 32 million entries.
+	SpecBudget int64
+	bytes      int64
+	// specs holds the materialized per-function spec tables, kept alive
+	// for the engine's lifetime like a summary cache.
+	specs map[string][]specEntry
+}
+
+// specEntry is one pre/post fact of a compositional function spec.
+type specEntry struct {
+	vertexID int32
+	kind     int8
+	depth    int8
+}
+
+// NewInfer returns the Infer-like engine.
+func NewInfer() *Infer { return &Infer{MaxSummaryDepth: 3} }
+
+// Name implements Engine.
+func (e *Infer) Name() string { return "infer" }
+
+// ConditionBytes implements Engine.
+func (e *Infer) ConditionBytes() int64 { return e.bytes }
+
+// Check implements Engine.
+func (e *Infer) Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict {
+	e.buildSpecs(g)
+	out := make([]Verdict, 0, len(cands))
+	for _, c := range cands {
+		st := sat.Sat // no feasibility check: every flow is reported
+		if crossings(c.Path) > e.MaxSummaryDepth {
+			st = sat.Unsat // flow too deep for the compositional summary
+		}
+		out = append(out, Verdict{Cand: c, Status: st})
+	}
+	return out
+}
+
+func crossings(p pdg.Path) int {
+	n := 0
+	for _, s := range p {
+		if s.Kind != pdg.StepIntra && s.Kind != pdg.StepStart {
+			n++
+		}
+	}
+	return n
+}
+
+// buildSpecs materializes a compositional spec table for every function:
+// its own facts plus an inlined copy of each callee's spec per call site.
+// Along deep call DAGs with several sites per callee this duplication is
+// multiplicative, which is what makes summary-based analyzers memory-bound
+// on large programs.
+func (e *Infer) buildSpecs(g *pdg.Graph) {
+	if e.specs != nil {
+		return
+	}
+	budget := e.SpecBudget
+	if budget <= 0 {
+		budget = 32 << 20
+	}
+	e.specs = map[string][]specEntry{}
+	var total int64
+	var build func(f *ssa.Function, depth int) []specEntry
+	build = func(f *ssa.Function, depth int) []specEntry {
+		if s, ok := e.specs[f.Name]; ok {
+			return s
+		}
+		var spec []specEntry
+		for _, v := range f.Values {
+			if total > budget {
+				break
+			}
+			spec = append(spec, specEntry{vertexID: int32(v.ID), depth: int8(depth % 127)})
+			total++
+			if v.Op == ssa.OpCall && depth < 32 {
+				callee := g.Callee(v)
+				sub := build(callee, depth+1)
+				if total+int64(len(sub)) > budget {
+					total = budget + 1
+					break
+				}
+				// Inline the callee spec at this call site.
+				spec = append(spec, sub...)
+				total += int64(len(sub))
+			}
+		}
+		e.specs[f.Name] = spec
+		return spec
+	}
+	for _, f := range g.Prog.Order {
+		if total > budget {
+			break
+		}
+		build(f, 0)
+	}
+	e.bytes = total * int64(unsafe.Sizeof(specEntry{}))
+}
+
+// All returns every engine the evaluation compares, freshly constructed.
+func All() []Engine {
+	return []Engine{
+		NewFusion(),
+		NewPinpoint(Plain),
+		NewPinpoint(QE),
+		NewPinpoint(LFS),
+		NewPinpoint(HFS),
+		NewPinpoint(AR),
+		NewInfer(),
+	}
+}

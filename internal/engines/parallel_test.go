@@ -1,0 +1,55 @@
+package engines_test
+
+import (
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/progen"
+	"fusion/internal/sparse"
+
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/sema"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+// TestParallelFusionMatchesSequential checks that the parallel worker pool
+// returns exactly the sequential verdicts in order. Run with -race this
+// also exercises the engine's synchronization.
+func TestParallelFusionMatchesSequential(t *testing.T) {
+	src, _, _ := progen.Subjects[9].Build(0.05)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	g := pdg.Build(ssa.MustBuild(norm))
+	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	if len(cands) < 2 {
+		t.Fatal("need several candidates")
+	}
+
+	seq := engines.NewFusion()
+	want := seq.Check(g, cands)
+
+	par := engines.NewFusion()
+	par.Parallel = 4
+	got := par.Check(g, cands)
+
+	if len(got) != len(want) {
+		t.Fatalf("verdict count: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Status != want[i].Status || got[i].Cand.Sink != want[i].Cand.Sink {
+			t.Errorf("verdict %d differs: %s vs %s", i, got[i].Status, want[i].Status)
+		}
+	}
+	if par.ConditionBytes() <= 0 {
+		t.Error("parallel engine lost its memory accounting")
+	}
+}

@@ -1,0 +1,511 @@
+// Package fusioncore implements the paper's contribution: IR-based SMT
+// solving fused with the sparse analysis. Instead of eagerly computing,
+// cloning, and caching path conditions, the solver works on the program
+// dependence graph:
+//
+//   - ir_based_smt_solve (Algorithm 4): slice, clone, translate, solve —
+//     available via Options{Unoptimized: true} as the ablation baseline;
+//   - the optimized solution (Algorithm 6): per-function local conditions
+//     preprocessed with interface variables preserved
+//     (intraprocedural_preprocess), inter-procedural propagation of closed
+//     return forms over the graph's modular structure — the "quick paths"
+//     that let a caller skip a callee entirely (interprocedural_preprocess,
+//     Figures 3 and 9) — and context cloning delayed until only the
+//     conditions that still need it remain.
+package fusioncore
+
+import (
+	"sort"
+	"time"
+
+	"fusion/internal/sat"
+
+	"fusion/internal/cond"
+	"fusion/internal/pdg"
+	"fusion/internal/smt"
+	"fusion/internal/solver"
+	"fusion/internal/ssa"
+)
+
+// Options configure the fused solve.
+type Options struct {
+	// Solver configures the final standalone solve on the residual
+	// formula.
+	Solver solver.Options
+	// InlineThreshold is the maximum DAG size of a closed return form that
+	// may be propagated across call edges (quick path). Zero means 64.
+	InlineThreshold int
+	// DisableQuickPaths turns off inter-procedural propagation of closed
+	// return forms (ablation).
+	DisableQuickPaths bool
+	// DisableLocalPreprocess turns off per-function preprocessing
+	// (ablation).
+	DisableLocalPreprocess bool
+	// Unoptimized selects Algorithm 4: eager cloning with no local or
+	// inter-procedural preprocessing.
+	Unoptimized bool
+	// DisableGraphProbe turns off the graph-level concrete-execution probe
+	// that runs on the raw residual before Algorithm 6 (ablation).
+	DisableGraphProbe bool
+	// Constraints pins path-step values in the condition (see
+	// pdg.ValueConstraint), e.g. the zero divisor of a division-by-zero
+	// candidate.
+	Constraints []pdg.ValueConstraint
+}
+
+func (o Options) inlineThreshold() int {
+	if o.InlineThreshold <= 0 {
+		return 64
+	}
+	return o.InlineThreshold
+}
+
+// Result reports the fused solve outcome and its cost accounting.
+type Result struct {
+	solver.Result
+	// SliceSize is the vertex count of G[Π].
+	SliceSize int
+	// Clones is the number of (function, context) instances actually
+	// materialized; the eager translation's clone count bounds it.
+	Clones int
+	// QuickPaths counts call edges crossed via a closed return form
+	// instead of a cloned instance.
+	QuickPaths int
+	// LocalPreprocessTime is the total time spent in per-function
+	// preprocessing.
+	LocalPreprocessTime time.Duration
+	// Phi is the residual formula handed to the final solve (after
+	// emission, before its global preprocessing), for inspection.
+	Phi *smt.Term
+}
+
+// instKey identifies a materialized (function, context) instance.
+type instKey struct {
+	f   *ssa.Function
+	ctx *cond.Ctx
+}
+
+type state struct {
+	b     *smt.Builder
+	g     *pdg.Graph
+	sl    *pdg.Slice
+	tr    *cond.Translator
+	opts  Options
+	conjs []*smt.Term
+
+	// Per-function local conditions over root-context variable names.
+	summary map[*ssa.Function]*smt.Term
+	// closed maps a function to its return value expressed purely over
+	// its parameters (the quick-path form), when one exists.
+	closed map[*ssa.Function]*smt.Term
+
+	emitted   map[instKey]bool
+	quickUses int
+	sliceVals map[*ssa.Function][]*ssa.Value
+	// forcedSites are call sites the paths pass through; their callee
+	// instances are materialized regardless of quick paths.
+	forcedSites map[int]bool
+	localPrep   time.Duration
+}
+
+// Solve decides the feasibility of a set of data-dependence paths directly
+// on the program dependence graph.
+func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result {
+	sl := pdg.ComputeSlice(g, paths)
+	sl.Constraints = append(sl.Constraints, opts.Constraints...)
+	var res Result
+	res.SliceSize = sl.Size()
+
+	if opts.Unoptimized {
+		// Algorithm 4: eager translation, then the conventional solver.
+		tr := cond.Translate(b, sl)
+		res.Result = solver.Solve(b, tr.Phi, opts.Solver)
+		res.Clones = tr.Clones
+		return res
+	}
+
+	// Graph-level model probing: the residual over *raw* (unpreprocessed)
+	// local conditions keeps the graph's equational shape, which concrete-
+	// execution probing decides very effectively — value propagation on
+	// the dependence graph, in the spirit of §2's quick-path propagation.
+	// The raw residual is delayed-cloning sized, so this is cheap.
+	if !opts.DisableGraphProbe && !opts.Solver.NoProbe && rawProbeAffordable(sl) {
+		rawOpts := opts
+		rawOpts.DisableLocalPreprocess = true
+		rawSt := buildResidual(b, g, sl, rawOpts)
+		if _, ok := solver.Probe(rawSt.phi, 32); ok {
+			res.Status = sat.Sat
+			res.DecidedByProbe = true
+			res.Phi = rawSt.phi
+			res.Clones = len(rawSt.st.emitted)
+			return res
+		}
+	}
+
+	r := buildResidual(b, g, sl, opts)
+	res.LocalPreprocessTime = r.st.localPrep
+	res.Phi = r.phi
+	res.Result = solver.Solve(b, r.phi, opts.Solver)
+	res.Clones = len(r.st.emitted)
+	res.QuickPaths = r.st.quickUses
+	return res
+}
+
+// rawProbeAffordable bounds the raw-residual probe: without quick paths,
+// emission instantiates one clone per calling context, which explodes on
+// deep call chains — exactly the cloning problem Algorithm 6 avoids. The
+// probe is only worth its cost when the context tree is small.
+func rawProbeAffordable(sl *pdg.Slice) bool {
+	fcs := cond.FuncContexts(cond.NewCtxTree(), sl)
+	total := 0
+	for _, cs := range fcs {
+		total += len(cs)
+		if total > 256 {
+			return false
+		}
+	}
+	return true
+}
+
+// residual is the outcome of summarization and emission.
+type residual struct {
+	st  *state
+	phi *smt.Term
+}
+
+// buildResidual runs Algorithm 6's condition construction: per-function
+// local conditions (preprocessed unless disabled), instance emission with
+// delayed cloning, and the paths' assertions.
+func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) residual {
+	st := &state{
+		b: b, g: g, sl: sl, opts: opts,
+		tr:          cond.NewTranslator(b, sl),
+		summary:     map[*ssa.Function]*smt.Term{},
+		closed:      map[*ssa.Function]*smt.Term{},
+		emitted:     map[instKey]bool{},
+		sliceVals:   map[*ssa.Function][]*ssa.Value{},
+		forcedSites: map[int]bool{},
+	}
+	// Call sites on the paths' context chains force their callee instances
+	// to be emitted even when a quick path covers the return value; their
+	// actuals must then survive local preprocessing for the parameter
+	// links.
+	for _, p := range sl.Paths {
+		for _, ctx := range cond.AssignContexts(st.tr.T, p) {
+			for q := ctx; q != nil && q.Parent != nil; q = q.Parent {
+				st.forcedSites[q.Site] = true
+			}
+		}
+	}
+	for v := range sl.Values {
+		st.sliceVals[v.Fn] = append(st.sliceVals[v.Fn], v)
+	}
+	for _, vs := range st.sliceVals {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+	}
+
+	// Per-function local conditions, callee-first so quick paths cascade
+	// upward (a collapsed callee lets its caller collapse too).
+	for _, f := range st.topoFuncs() {
+		st.summarize(f)
+	}
+
+	// Emit instances needed by the paths' guard assertions, pulling in
+	// callee and caller instances on demand (delayed cloning).
+	var asserts []*smt.Term
+	for _, p := range sl.Paths {
+		ctxs := cond.AssignContexts(st.tr.T, p)
+		for i, step := range p {
+			st.emit(step.V.Fn, ctxs[i])
+			for gd := step.V.Guard; gd != nil; gd = gd.Guard {
+				asserts = append(asserts, st.tr.Var(gd, ctxs[i]))
+			}
+			if step.Kind == pdg.StepCall {
+				if c := g.SiteCall[step.Site]; c != nil {
+					st.emit(c.Fn, ctxs[i].Parent)
+					for gd := c.Guard; gd != nil; gd = gd.Guard {
+						asserts = append(asserts, st.tr.Var(gd, ctxs[i].Parent))
+					}
+				}
+			}
+		}
+	}
+	asserts = append(asserts, st.tr.ValueConstraints()...)
+	st.conjs = append(st.conjs, asserts...)
+	return residual{st: st, phi: b.And(st.conjs...)}
+}
+
+// topoFuncs orders sliced functions callee-first along sliced call edges.
+func (st *state) topoFuncs() []*ssa.Function {
+	funcs := make([]*ssa.Function, 0, len(st.sliceVals))
+	for f := range st.sliceVals {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name < funcs[j].Name })
+	var order []*ssa.Function
+	seen := map[*ssa.Function]bool{}
+	var visit func(f *ssa.Function)
+	visit = func(f *ssa.Function) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, v := range st.sliceVals[f] {
+			if v.Op == ssa.OpCall {
+				if callee := st.g.Callee(v); st.sliceVals[callee] != nil {
+					visit(callee)
+				}
+			}
+		}
+		order = append(order, f)
+	}
+	for _, f := range funcs {
+		visit(f)
+	}
+	return order
+}
+
+// summarize computes and preprocesses the local condition of f
+// (Algorithm 6, lines 3-5).
+func (st *state) summarize(f *ssa.Function) {
+	b, tr := st.b, st.tr
+	root := tr.T.Root
+	keep := map[string]bool{}
+	var conjs []*smt.Term
+	var linkedCalls []*ssa.Value // calls whose callee instances need the actuals
+
+	for _, v := range st.sliceVals[f] {
+		switch v.Op {
+		case ssa.OpParam:
+			keep[cond.VarName(v, root)] = true
+		case ssa.OpBranch:
+			keep[cond.VarName(v, root)] = true
+			conjs = append(conjs, tr.Equation(v, root))
+		case ssa.OpCall:
+			callee := st.g.Callee(v)
+			if callee.Ret == nil {
+				continue
+			}
+			if cf := st.closed[callee]; cf != nil && !st.opts.DisableQuickPaths {
+				// Quick path: bind the receiver to the callee's closed
+				// return form with actuals substituted — no instance, no
+				// parentheses left on this edge (Figure 9).
+				st.quickUses++
+				conjs = append(conjs, b.Eq(tr.Var(v, root), st.instantiateClosed(callee, cf, v, root)))
+				if st.forcedSites[v.Site] {
+					// A path still enters the callee here, so its
+					// instance will be emitted with parameter links to
+					// the actuals: keep them alive.
+					linkedCalls = append(linkedCalls, v)
+				}
+				// The receiver can now be eliminated locally if nothing
+				// external needs it.
+				continue
+			}
+			// Interface to a callee instance: the receiver stays free
+			// locally and is linked at emission time.
+			keep[cond.VarName(v, root)] = true
+			linkedCalls = append(linkedCalls, v)
+		case ssa.OpExtern, ssa.OpConst:
+			// Free or constant: nothing to emit.
+		default:
+			conjs = append(conjs, tr.Equation(v, root))
+		}
+	}
+	if f.Ret != nil && st.sl.Values[f.Ret] {
+		keep[cond.VarName(f.Ret, root)] = true
+	}
+	// Vertices pinned by value constraints are referenced from the final
+	// assertions and must survive local preprocessing.
+	for _, vc := range st.sl.Constraints {
+		if vc.Path < len(st.sl.Paths) && vc.Step < len(st.sl.Paths[vc.Path]) {
+			if v := st.sl.Paths[vc.Path][vc.Step].V; v.Fn == f {
+				keep[cond.VarName(v, root)] = true
+			}
+		}
+	}
+	// Actuals referenced by callee instances' parameter links must
+	// survive; quick-pathed calls have no instance, so their actuals are
+	// free to be inlined away (which is what lets closures cascade up
+	// deep call chains).
+	for _, v := range linkedCalls {
+		for _, a := range v.Args {
+			if st.sl.Values[a] && a.Op != ssa.OpConst {
+				keep[cond.VarName(a, root)] = true
+			}
+		}
+	}
+	// A path can enter a callee through a call edge without the call
+	// vertex itself being in the slice (the receiver is never used); the
+	// callee instance still links its parameters to this function's
+	// actuals, and those must survive too.
+	for _, sites := range st.sl.Entered {
+		for site := range sites {
+			c := st.g.SiteCall[site]
+			if c == nil || c.Fn != f || st.sl.Values[c] {
+				continue // sliced calls are handled by the quick-path logic
+			}
+			for _, a := range c.Args {
+				if st.sl.Values[a] && a.Op != ssa.OpConst {
+					keep[cond.VarName(a, root)] = true
+				}
+			}
+		}
+	}
+
+	local := b.And(conjs...)
+	if !st.opts.DisableLocalPreprocess {
+		t0 := time.Now()
+		local = smt.Preprocess(b, local, smt.PassesWithKeep(keep))
+		st.localPrep += time.Since(t0)
+	}
+	st.summary[f] = local
+	st.closed[f] = st.closedRet(f, local)
+}
+
+// instantiateClosed rewrites a closed return form (over the callee's
+// root-context parameter variables) in terms of the actuals at call vertex
+// c under ctx.
+func (st *state) instantiateClosed(callee *ssa.Function, cf *smt.Term, c *ssa.Value, ctx *cond.Ctx) *smt.Term {
+	sub := map[*smt.Term]*smt.Term{}
+	for i, p := range callee.Params {
+		if i >= len(c.Args) {
+			break
+		}
+		pv := st.b.Var(cond.VarName(p, st.tr.T.Root), pdg.TypeBits(p.Type))
+		sub[pv] = st.tr.Term(c.Args[i], ctx)
+	}
+	return smt.Substitute(st.b, cf, sub)
+}
+
+// closedRet extracts f's return value as a pure function of its parameters
+// from the preprocessed local condition, when the condition is a plain
+// system of definitions (no residual assertions, which pruned ite edges
+// introduce and which a quick path must not drop).
+func (st *state) closedRet(f *ssa.Function, local *smt.Term) *smt.Term {
+	if f.Ret == nil || !st.sl.Values[f.Ret] {
+		return nil
+	}
+	retVar := st.b.Var(cond.VarName(f.Ret, st.tr.T.Root), pdg.TypeBits(f.Ret.Type))
+	params := map[*smt.Term]bool{}
+	for _, p := range f.Params {
+		params[st.b.Var(cond.VarName(p, st.tr.T.Root), pdg.TypeBits(p.Type))] = true
+	}
+	var form *smt.Term
+	for _, cj := range smt.Conjuncts(local) {
+		if cj.IsTrue() {
+			continue
+		}
+		if cj.Op != smt.OpEq {
+			return nil // residual assertion: unsafe to shortcut
+		}
+		x, y := cj.Args[0], cj.Args[1]
+		var def *smt.Term
+		switch {
+		case x == retVar:
+			def = y
+		case y == retVar:
+			def = x
+		}
+		if def == nil {
+			// A definition of some other interface variable; irrelevant
+			// to the quick path as long as it is an equation.
+			if x.Op != smt.OpVar && y.Op != smt.OpVar {
+				return nil
+			}
+			continue
+		}
+		if form != nil {
+			return nil // multiple constraints on the return value
+		}
+		form = def
+	}
+	if form == nil || smt.Size(form) > st.opts.inlineThreshold() {
+		return nil
+	}
+	for _, v := range smt.Vars(form) {
+		if !params[v] {
+			return nil // depends on something beyond the parameters
+		}
+	}
+	return form
+}
+
+// emit materializes the (f, ctx) instance: the preprocessed local
+// condition renamed into the context, parameter links to the caller, and
+// receiver links (or quick paths) to callees.
+func (st *state) emit(f *ssa.Function, ctx *cond.Ctx) {
+	key := instKey{f, ctx}
+	if st.emitted[key] {
+		return
+	}
+	st.emitted[key] = true
+	b, tr := st.b, st.tr
+
+	// The summary over root names, renamed into this context.
+	local := st.summary[f]
+	if ctx != tr.T.Root && local != nil && !local.IsTrue() {
+		local = smt.RenameVars(b, local, func(name string) string {
+			return renameIntoCtx(name, f.Name, ctx)
+		})
+	}
+	if local != nil && !local.IsTrue() {
+		st.conjs = append(st.conjs, local)
+	}
+
+	for _, v := range st.sliceVals[f] {
+		switch v.Op {
+		case ssa.OpParam:
+			if ctx.Parent == nil {
+				continue
+			}
+			c := st.g.SiteCall[ctx.Site]
+			idx := pdg.ParamIndex(v)
+			if c == nil || idx < 0 || idx >= len(c.Args) {
+				continue
+			}
+			// The actual lives in the caller instance.
+			st.emit(c.Fn, ctx.Parent)
+			st.conjs = append(st.conjs, b.Eq(tr.Var(v, ctx), tr.Term(c.Args[idx], ctx.Parent)))
+		case ssa.OpCall:
+			callee := st.g.Callee(v)
+			if callee.Ret == nil {
+				continue
+			}
+			if st.closed[callee] != nil && !st.opts.DisableQuickPaths {
+				continue // already bound through the quick path in the summary
+			}
+			child := tr.T.Child(ctx, v.Site)
+			st.emit(callee, child)
+			st.conjs = append(st.conjs, b.Eq(tr.Var(v, ctx), tr.Var(callee.Ret, child)))
+		}
+	}
+}
+
+// renameIntoCtx maps a root-context variable name of function fn into ctx.
+// Only the function's own variables are renamed; fresh preprocessing
+// variables (u!N) must be renamed too, since each clone makes independent
+// choices.
+func renameIntoCtx(name, fn string, ctx *cond.Ctx) string {
+	return name + "@" + ctxSuffix(ctx)
+}
+
+func ctxSuffix(ctx *cond.Ctx) string {
+	// Context IDs are unique within a tree; the numeric ID suffices and
+	// matches cond.VarName's naming.
+	return itoa(ctx.ID)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

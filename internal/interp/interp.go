@@ -1,0 +1,436 @@
+// Package interp is a reference interpreter for the analysis language with
+// dynamic taint shadowing. It serves as the ground-truth semantics the
+// pipeline is tested against:
+//
+//   - normalization must preserve meaning (unroll_test);
+//   - SSA evaluation and the SMT translation must agree with it;
+//   - and, the strongest property, the analysis must be sound with respect
+//     to it: if a concrete execution carries a tracked value from a source
+//     occurrence into a sink call, the sparse analysis must produce that
+//     candidate and the feasibility engines must accept it — the execution
+//     itself is the satisfying witness.
+//
+// Extern functions return values drawn from a seeded stream, so runs are
+// deterministic and replayable.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fusion/internal/lang"
+)
+
+// Taint is a set of source occurrences, identified by source position.
+type Taint map[lang.Pos]bool
+
+func (t Taint) clone() Taint {
+	if len(t) == 0 {
+		return nil
+	}
+	out := make(Taint, len(t))
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+func union(a, b Taint) Taint {
+	if len(a) == 0 {
+		return b.clone()
+	}
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// Value is a runtime value with its taint shadow.
+type Value struct {
+	V     uint32
+	Taint Taint
+}
+
+// SinkHit records a sink-call argument observed during execution, with the
+// taint it carried.
+type SinkHit struct {
+	Callee  string
+	CallPos lang.Pos
+	ArgIdx  int
+	Taint   Taint
+}
+
+// Options configure an execution.
+type Options struct {
+	// Seed drives extern return values.
+	Seed int64
+	// MaxSteps bounds execution (the language is loop-free after
+	// normalization, but the interpreter also runs raw programs).
+	MaxSteps int
+	// MaxLoopIters bounds each while loop when interpreting raw programs.
+	MaxLoopIters int
+	// TaintSources lists extern functions whose results are tainted.
+	TaintSources map[string]bool
+	// TaintNull taints null literals (the null-exception source).
+	TaintNull bool
+	// SinkCalls lists extern functions whose arguments are observed.
+	SinkCalls map[string]bool
+	// TaintThroughExtern propagates argument taint to extern results.
+	TaintThroughExtern bool
+	// ObserveDivZero records a SinkHit (Callee "/" or "%") whenever a
+	// division or remainder executes with a zero divisor, carrying the
+	// divisor's taint — the dynamic counterpart of the CWE-369 checker.
+	ObserveDivZero bool
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 1 << 20
+	}
+	return o.MaxSteps
+}
+
+func (o Options) maxLoopIters() int {
+	if o.MaxLoopIters <= 0 {
+		return 64
+	}
+	return o.MaxLoopIters
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Return is the root function's return value, if any.
+	Return *Value
+	// Hits are the observed sink-call arguments, in execution order.
+	Hits []SinkHit
+	// Steps is the number of statements executed.
+	Steps int
+}
+
+// Interp executes programs.
+type Interp struct {
+	prog *lang.Program
+	opts Options
+	rng  *rand.Rand
+	hits []SinkHit
+	step int
+}
+
+// New returns an interpreter over a checked program.
+func New(prog *lang.Program, opts Options) *Interp {
+	return &Interp{prog: prog, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// errReturn carries a return value up the statement walk.
+type errReturn struct{ v *Value }
+
+func (errReturn) Error() string { return "return" }
+
+// errBudget reports step exhaustion.
+type errBudget struct{}
+
+func (errBudget) Error() string { return "interp: step budget exhausted" }
+
+// Run executes the named function with the given argument values.
+func (in *Interp) Run(fn string, args []Value) (Result, error) {
+	in.hits = nil
+	in.step = 0
+	f := in.prog.Func(fn)
+	if f == nil {
+		return Result{}, fmt.Errorf("interp: no function %s", fn)
+	}
+	ret, err := in.call(f, args)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Return: ret, Hits: in.hits, Steps: in.step}, nil
+}
+
+func (in *Interp) call(f *lang.FuncDecl, args []Value) (*Value, error) {
+	if f.Extern {
+		return in.extern(f, args, f.Pos)
+	}
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("interp: %s: got %d args, want %d", f.Name, len(args), len(f.Params))
+	}
+	env := &env{vars: map[string]Value{}}
+	for i, p := range f.Params {
+		env.vars[p.Name] = args[i]
+	}
+	err := in.block(f.Body, env)
+	if r, ok := err.(errReturn); ok {
+		return r.v, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// extern models an empty function: a fresh value from the seeded stream,
+// tainted when the function is a configured source (or when taint flows
+// through externs and an argument is tainted).
+func (in *Interp) extern(f *lang.FuncDecl, args []Value, pos lang.Pos) (*Value, error) {
+	var t Taint
+	if in.opts.TaintThroughExtern {
+		for _, a := range args {
+			t = union(t, a.Taint)
+		}
+	}
+	if in.opts.TaintSources[f.Name] {
+		t = union(t, Taint{pos: true})
+	}
+	if f.Ret == lang.TypeVoid {
+		return nil, nil
+	}
+	v := in.rng.Uint32()
+	if f.Ret == lang.TypeBool {
+		v &= 1
+	}
+	return &Value{V: v, Taint: t}, nil
+}
+
+type env struct {
+	vars map[string]Value
+}
+
+func (in *Interp) block(b *lang.BlockStmt, e *env) error {
+	// Block-scoped declarations: names declared here vanish afterwards.
+	var declared []string
+	defer func() {
+		for _, n := range declared {
+			delete(e.vars, n)
+		}
+	}()
+	for _, s := range b.Stmts {
+		in.step++
+		if in.step > in.opts.maxSteps() {
+			return errBudget{}
+		}
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			if err := in.block(s, e); err != nil {
+				return err
+			}
+		case *lang.VarDecl:
+			v, err := in.expr(s.Init, e)
+			if err != nil {
+				return err
+			}
+			e.vars[s.Name] = v
+			declared = append(declared, s.Name)
+		case *lang.AssignStmt:
+			v, err := in.expr(s.Val, e)
+			if err != nil {
+				return err
+			}
+			e.vars[s.Name] = v
+		case *lang.IfStmt:
+			c, err := in.expr(s.Cond, e)
+			if err != nil {
+				return err
+			}
+			if c.V == 1 {
+				if err := in.block(s.Then, e); err != nil {
+					return err
+				}
+			} else if s.Else != nil {
+				if err := in.block(s.Else, e); err != nil {
+					return err
+				}
+			}
+		case *lang.WhileStmt:
+			for iter := 0; ; iter++ {
+				c, err := in.expr(s.Cond, e)
+				if err != nil {
+					return err
+				}
+				if c.V != 1 || iter >= in.opts.maxLoopIters() {
+					break
+				}
+				if err := in.block(s.Body, e); err != nil {
+					return err
+				}
+			}
+		case *lang.ReturnStmt:
+			if s.Val == nil {
+				return errReturn{}
+			}
+			v, err := in.expr(s.Val, e)
+			if err != nil {
+				return err
+			}
+			return errReturn{v: &v}
+		case *lang.ExprStmt:
+			if _, err := in.expr(s.X, e); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("interp: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func boolToBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
+	switch x := x.(type) {
+	case *lang.IntLitExpr:
+		return Value{V: x.Value}, nil
+	case *lang.BoolLitExpr:
+		return Value{V: boolToBit(x.Value)}, nil
+	case *lang.NullLitExpr:
+		var t Taint
+		if in.opts.TaintNull {
+			t = Taint{x.Pos: true}
+		}
+		return Value{V: 0, Taint: t}, nil
+	case *lang.IdentExpr:
+		v, ok := e.vars[x.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("interp: %s: undefined variable %s", x.Pos, x.Name)
+		}
+		return v, nil
+	case *lang.UnaryExpr:
+		v, err := in.expr(x.X, e)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == lang.OpNot {
+			return Value{V: v.V ^ 1, Taint: v.Taint.clone()}, nil
+		}
+		return Value{V: -v.V, Taint: v.Taint.clone()}, nil
+	case *lang.BinExpr:
+		l, err := in.expr(x.L, e)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := in.expr(x.R, e)
+		if err != nil {
+			return Value{}, err
+		}
+		if in.opts.ObserveDivZero && (x.Op == lang.OpDiv || x.Op == lang.OpRem) && r.V == 0 {
+			in.hits = append(in.hits, SinkHit{
+				Callee: x.Op.String(), CallPos: x.Pos, ArgIdx: 1, Taint: r.Taint.clone(),
+			})
+		}
+		return Value{V: binOp(x.Op, l.V, r.V), Taint: union(l.Taint, r.Taint)}, nil
+	case *lang.CallExpr:
+		f := in.prog.Func(x.Name)
+		if f == nil {
+			return Value{}, fmt.Errorf("interp: %s: no function %s", x.Pos, x.Name)
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.expr(a, e)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		// Sink observation happens at the call boundary.
+		if f.Extern && in.opts.SinkCalls[f.Name] {
+			for i, a := range args {
+				in.hits = append(in.hits, SinkHit{
+					Callee: f.Name, CallPos: x.Pos, ArgIdx: i, Taint: a.Taint.clone(),
+				})
+			}
+		}
+		var ret *Value
+		var err error
+		if f.Extern {
+			ret, err = in.extern(f, args, x.Pos)
+		} else {
+			ret, err = in.call(f, args)
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		if ret == nil {
+			return Value{}, nil
+		}
+		return *ret, nil
+	default:
+		return Value{}, fmt.Errorf("interp: unknown expression %T", x)
+	}
+}
+
+// binOp implements the language's binary operators on 32-bit values
+// (booleans are 0/1).
+func binOp(op lang.BinOp, l, r uint32) uint32 {
+	switch op {
+	case lang.OpAdd:
+		return l + r
+	case lang.OpSub:
+		return l - r
+	case lang.OpMul:
+		return l * r
+	case lang.OpDiv:
+		if r == 0 {
+			return ^uint32(0)
+		}
+		return l / r
+	case lang.OpRem:
+		if r == 0 {
+			return l
+		}
+		return l % r
+	case lang.OpEq:
+		return boolToBit(l == r)
+	case lang.OpNe:
+		return boolToBit(l != r)
+	case lang.OpLt:
+		return boolToBit(int32(l) < int32(r))
+	case lang.OpLe:
+		return boolToBit(int32(l) <= int32(r))
+	case lang.OpGt:
+		return boolToBit(int32(l) > int32(r))
+	case lang.OpGe:
+		return boolToBit(int32(l) >= int32(r))
+	case lang.OpAnd, lang.OpBitAnd:
+		return l & r
+	case lang.OpOr, lang.OpBitOr:
+		return l | r
+	case lang.OpBitXor:
+		return l ^ r
+	case lang.OpShl:
+		if r >= 32 {
+			return 0
+		}
+		return l << r
+	case lang.OpShr:
+		if r >= 32 {
+			return 0
+		}
+		return l >> r
+	default:
+		panic(fmt.Sprintf("interp: unknown operator %s", op))
+	}
+}
+
+// SpecOptions derives interpreter options matching a checker's source/sink
+// vocabulary. Division by generics is avoided to keep interp free of
+// analysis imports; callers pass the name sets.
+func SpecOptions(seed int64, taintNull bool, sources, sinks []string, throughExtern bool) Options {
+	o := Options{
+		Seed:               seed,
+		TaintNull:          taintNull,
+		TaintSources:       map[string]bool{},
+		SinkCalls:          map[string]bool{},
+		TaintThroughExtern: throughExtern,
+	}
+	for _, s := range sources {
+		o.TaintSources[s] = true
+	}
+	for _, s := range sinks {
+		o.SinkCalls[s] = true
+	}
+	return o
+}

@@ -1,0 +1,252 @@
+package interp_test
+
+import (
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/interp"
+	"fusion/internal/lang"
+	"fusion/internal/sema"
+	"fusion/internal/unroll"
+)
+
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(checker.Prelude + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	return prog
+}
+
+func run(t *testing.T, prog *lang.Program, fn string, opts interp.Options, args ...uint32) interp.Result {
+	t.Helper()
+	vals := make([]interp.Value, len(args))
+	for i, a := range args {
+		vals[i] = interp.Value{V: a}
+	}
+	r, err := interp.New(prog, opts).Run(fn, vals)
+	if err != nil {
+		t.Fatalf("run %s: %v", fn, err)
+	}
+	return r
+}
+
+func TestArithmetic(t *testing.T) {
+	prog := parse(t, `
+fun f(a: int, b: int): int {
+    var x: int = a * 3 + b;
+    var y: int = x - a / 2;
+    return y ^ 12;
+}`)
+	r := run(t, prog, "f", interp.Options{}, 10, 4)
+	want := ((10*3 + 4) - 10/2) ^ 12
+	if r.Return == nil || r.Return.V != uint32(want) {
+		t.Fatalf("got %v, want %d", r.Return, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	prog := parse(t, `
+fun max(a: int, b: int): int {
+    if (a > b) {
+        return a;
+    }
+    return b;
+}
+fun f(n: int): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    return max(acc, 100);
+}`)
+	if r := run(t, prog, "f", interp.Options{}, 5); r.Return.V != 100 {
+		t.Errorf("f(5) = %d, want 100 (0+1+2+3+4 < 100)", r.Return.V)
+	}
+	if r := run(t, prog, "f", interp.Options{}, 20); r.Return.V != 190 {
+		t.Errorf("f(20) = %d, want 190", r.Return.V)
+	}
+	// Signed comparison.
+	if r := run(t, prog, "max", interp.Options{}, 0xFFFFFFFF, 1); r.Return.V != 1 {
+		t.Errorf("max(-1, 1) = %d, want 1", r.Return.V)
+	}
+}
+
+func TestLoopBudget(t *testing.T) {
+	prog := parse(t, `
+fun f(): int {
+    var i: int = 0;
+    while (i >= 0) {
+        i = i + 1;
+    }
+    return i;
+}`)
+	r := run(t, prog, "f", interp.Options{MaxLoopIters: 10})
+	if r.Return.V != 10 {
+		t.Errorf("bounded loop: got %d, want 10", r.Return.V)
+	}
+}
+
+func TestExternDeterminism(t *testing.T) {
+	prog := parse(t, `
+fun f(): int {
+    var a: int = user_input();
+    var b: int = user_input();
+    return a + b;
+}`)
+	r1 := run(t, prog, "f", interp.Options{Seed: 3})
+	r2 := run(t, prog, "f", interp.Options{Seed: 3})
+	if r1.Return.V != r2.Return.V {
+		t.Error("same seed must give the same extern stream")
+	}
+	r3 := run(t, prog, "f", interp.Options{Seed: 4})
+	if r3.Return.V == r1.Return.V {
+		t.Log("different seeds coincided (unlikely but possible)")
+	}
+}
+
+func TestTaintFlow(t *testing.T) {
+	prog := parse(t, `
+fun relay(x: int): int {
+    var y: int = x + 1;
+    return y;
+}
+fun f(a: int) {
+    var s: int = read_secret();
+    var v: int = relay(s);
+    if (a > 0) {
+        send(v);
+    }
+    send(a);
+}`)
+	opts := interp.SpecOptions(1, false, checker.SecretSources, checker.TransmitSinks, true)
+	r := run(t, prog, "f", opts, 5)
+	if len(r.Hits) != 2 {
+		t.Fatalf("got %d sink hits, want 2", len(r.Hits))
+	}
+	if len(r.Hits[0].Taint) != 1 {
+		t.Errorf("send(v) must carry the secret's taint: %v", r.Hits[0].Taint)
+	}
+	if len(r.Hits[1].Taint) != 0 {
+		t.Errorf("send(a) must be clean: %v", r.Hits[1].Taint)
+	}
+	// With a <= 0 the tainted send does not execute.
+	r2 := run(t, prog, "f", opts, 0)
+	if len(r2.Hits) != 1 || len(r2.Hits[0].Taint) != 0 {
+		t.Errorf("guarded sink must not fire: %+v", r2.Hits)
+	}
+}
+
+func TestNullTaint(t *testing.T) {
+	prog := parse(t, `
+fun f(a: int) {
+    var p: ptr = null;
+    var q: ptr = p;
+    if (a == 7) {
+        deref(q);
+    }
+}`)
+	opts := interp.SpecOptions(1, true, nil, checker.NullSinks, false)
+	r := run(t, prog, "f", opts, 7)
+	if len(r.Hits) != 1 || len(r.Hits[0].Taint) != 1 {
+		t.Fatalf("deref must carry the null taint: %+v", r.Hits)
+	}
+	r2 := run(t, prog, "f", opts, 8)
+	if len(r2.Hits) != 0 {
+		t.Errorf("guard off: got %d hits", len(r2.Hits))
+	}
+}
+
+// TestNormalizationPreservesSemantics: on loop-bounded executions, the
+// normalized program must compute the same values and hit the same sinks
+// as the original.
+func TestNormalizationPreservesSemantics(t *testing.T) {
+	src := `
+fun helper(x: int): int {
+    if (x > 50) {
+        return x - 50;
+    }
+    return x + 1;
+}
+fun f(a: int, b: int): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < b) {
+        acc = acc + helper(a + i);
+        i = i + 1;
+        if (acc > 100) {
+            return acc * 2;
+        }
+    }
+    send(acc);
+    return acc;
+}`
+	prog := parse(t, src)
+	norm := unroll.Normalize(prog, unroll.Options{LoopUnroll: 3})
+	opts := interp.SpecOptions(9, false, checker.SecretSources, checker.TransmitSinks, true)
+	opts.MaxLoopIters = 3 // match the unroll factor
+	for _, args := range [][]uint32{{10, 0}, {10, 1}, {10, 2}, {10, 3}, {60, 2}, {200, 3}, {0xFFFFFFF0, 3}} {
+		r1 := run(t, prog, "f", opts, args...)
+		r2 := run(t, norm, "f", opts, args...)
+		if (r1.Return == nil) != (r2.Return == nil) || r1.Return.V != r2.Return.V {
+			t.Errorf("args %v: raw %v vs normalized %v", args, r1.Return, r2.Return)
+		}
+		if len(r1.Hits) != len(r2.Hits) {
+			t.Errorf("args %v: sink hits %d vs %d", args, len(r1.Hits), len(r2.Hits))
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog := parse(t, `
+fun f(): int {
+    var i: int = 0;
+    while (i >= 0) {
+        i = i + 1;
+    }
+    return i;
+}`)
+	_, err := interp.New(prog, interp.Options{MaxSteps: 10, MaxLoopIters: 1 << 30}).Run("f", nil)
+	if err == nil {
+		t.Fatal("expected a step-budget error")
+	}
+}
+
+func TestDivRemSemantics(t *testing.T) {
+	prog := parse(t, `
+fun f(a: int, b: int): int {
+    return a / b + a % b;
+}`)
+	// Division by zero follows the SMT-LIB convention the solver uses:
+	// 10/0 = 0xFFFFFFFF and 10%0 = 10, summing to 9 modulo 2^32.
+	r := run(t, prog, "f", interp.Options{}, 10, 0)
+	if r.Return.V != 9 {
+		t.Errorf("10/0 + 10%%0 = %d, want 9", r.Return.V)
+	}
+}
+
+func TestObserveDivZero(t *testing.T) {
+	prog := parse(t, `
+fun f(a: int, b: int): int {
+    var x: int = a / b;
+    var y: int = a % (b * 2 + 1);
+    return x + y;
+}`)
+	opts := interp.SpecOptions(1, false, []string{"user_input"}, nil, true)
+	opts.ObserveDivZero = true
+	r := run(t, prog, "f", opts, 10, 0)
+	if len(r.Hits) != 1 || r.Hits[0].Callee != "/" {
+		t.Fatalf("expected one zero-division hit, got %+v", r.Hits)
+	}
+	// Odd divisor never traps.
+	r2 := run(t, prog, "f", opts, 10, 7)
+	if len(r2.Hits) != 0 {
+		t.Fatalf("no hit expected, got %+v", r2.Hits)
+	}
+}

@@ -1,0 +1,269 @@
+package lang
+
+import "fmt"
+
+// Type is the type of a value in the language. Integers and pointers are
+// both modeled as 32-bit bit-vectors by the backend; booleans are 1-bit.
+type Type int
+
+// Language types.
+const (
+	TypeInvalid Type = iota
+	TypeVoid
+	TypeInt
+	TypeBool
+	TypePtr
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypePtr:
+		return "ptr"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Param is a formal function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// FuncDecl is a function declaration. Extern functions (the paper's
+// "f(v1, v2, ...) = ∅") have a nil Body.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *BlockStmt // nil for extern functions
+	Extern bool
+	Pos    Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDecl declares and initializes a local variable.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr
+	Pos  Pos
+}
+
+// AssignStmt assigns to an existing variable.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Pos  Pos
+}
+
+// IfStmt is a structured conditional.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is a loop; loops are unrolled a fixed number of times before
+// analysis, following the paper's bounded-model-checking assumption.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function, with an optional value.
+type ReturnStmt struct {
+	Val Expr // nil for bare return
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression (a call) for its effect.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*VarDecl) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+func (s *BlockStmt) StmtPos() Pos  { return s.Pos }
+func (s *VarDecl) StmtPos() Pos    { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+func (s *IfStmt) StmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos  { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
+
+// IntLitExpr is an integer literal.
+type IntLitExpr struct {
+	Value uint32
+	Pos   Pos
+}
+
+// BoolLitExpr is true or false.
+type BoolLitExpr struct {
+	Value bool
+	Pos   Pos
+}
+
+// NullLitExpr is the null pointer literal.
+type NullLitExpr struct {
+	Pos Pos
+}
+
+// IdentExpr references a variable.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// UnaryOp is a unary operator.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNeg UnaryOp = iota // -x
+	OpNot                // !x
+)
+
+func (op UnaryOp) String() string {
+	if op == OpNeg {
+		return "-"
+	}
+	return "!"
+}
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // logical &&
+	OpOr  // logical ||
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+	OpShl
+	OpShr
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||", OpBitAnd: "&", OpBitOr: "|", OpBitXor: "^",
+	OpShl: "<<", OpShr: ">>",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// integer operands.
+func (op BinOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether the operator combines booleans.
+func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos  Pos
+}
+
+// CallExpr invokes a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*IntLitExpr) exprNode()  {}
+func (*BoolLitExpr) exprNode() {}
+func (*NullLitExpr) exprNode() {}
+func (*IdentExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()   {}
+func (*BinExpr) exprNode()     {}
+func (*CallExpr) exprNode()    {}
+
+func (e *IntLitExpr) ExprPos() Pos  { return e.Pos }
+func (e *BoolLitExpr) ExprPos() Pos { return e.Pos }
+func (e *NullLitExpr) ExprPos() Pos { return e.Pos }
+func (e *IdentExpr) ExprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos   { return e.Pos }
+func (e *BinExpr) ExprPos() Pos     { return e.Pos }
+func (e *CallExpr) ExprPos() Pos    { return e.Pos }

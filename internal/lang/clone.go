@@ -1,0 +1,82 @@
+package lang
+
+import "fmt"
+
+// CloneFunc returns a deep copy of a function declaration.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	nf := &FuncDecl{Name: f.Name, Ret: f.Ret, Extern: f.Extern, Pos: f.Pos}
+	nf.Params = append([]Param(nil), f.Params...)
+	if f.Body != nil {
+		nf.Body = CloneBlock(f.Body)
+	}
+	return nf
+}
+
+// CloneBlock returns a deep copy of a block.
+func CloneBlock(b *BlockStmt) *BlockStmt {
+	nb := &BlockStmt{Pos: b.Pos}
+	for _, s := range b.Stmts {
+		nb.Stmts = append(nb.Stmts, CloneStmt(s))
+	}
+	return nb
+}
+
+// CloneStmt returns a deep copy of a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return CloneBlock(s)
+	case *VarDecl:
+		return &VarDecl{Name: s.Name, Type: s.Type, Init: CloneExpr(s.Init), Pos: s.Pos}
+	case *AssignStmt:
+		return &AssignStmt{Name: s.Name, Val: CloneExpr(s.Val), Pos: s.Pos}
+	case *IfStmt:
+		ns := &IfStmt{Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Pos: s.Pos}
+		if s.Else != nil {
+			ns.Else = CloneBlock(s.Else)
+		}
+		return ns
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body), Pos: s.Pos}
+	case *ReturnStmt:
+		ns := &ReturnStmt{Pos: s.Pos}
+		if s.Val != nil {
+			ns.Val = CloneExpr(s.Val)
+		}
+		return ns
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(s.X), Pos: s.Pos}
+	default:
+		panic(fmt.Sprintf("unknown statement %T", s))
+	}
+}
+
+// CloneExpr returns a deep copy of an expression.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLitExpr:
+		v := *e
+		return &v
+	case *BoolLitExpr:
+		v := *e
+		return &v
+	case *NullLitExpr:
+		v := *e
+		return &v
+	case *IdentExpr:
+		v := *e
+		return &v
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: CloneExpr(e.X), Pos: e.Pos}
+	case *BinExpr:
+		return &BinExpr{Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R), Pos: e.Pos}
+	case *CallExpr:
+		nc := &CallExpr{Name: e.Name, Pos: e.Pos}
+		for _, a := range e.Args {
+			nc.Args = append(nc.Args, CloneExpr(a))
+		}
+		return nc
+	default:
+		panic(fmt.Sprintf("unknown expression %T", e))
+	}
+}

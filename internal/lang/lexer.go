@@ -1,0 +1,208 @@
+package lang
+
+import "fmt"
+
+// Lexer converts source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%s: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token, or an error on invalid input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: p}, nil
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off < len(l.src) && isLetter(l.peek()) {
+			return Token{}, fmt.Errorf("%s: malformed integer literal", p)
+		}
+		return Token{Kind: IntLit, Text: l.src[start:l.off], Pos: p}, nil
+	}
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Pos: p}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Pos: p}, nil
+	}
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semi)
+	case ':':
+		return one(Colon)
+	case '+':
+		return one(Plus)
+	case '-':
+		return one(Minus)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '^':
+		return one(Caret)
+	case '=':
+		if l.peek2() == '=' {
+			return two(Eq)
+		}
+		return one(Assign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(Neq)
+		}
+		return one(Not)
+	case '<':
+		switch l.peek2() {
+		case '=':
+			return two(Le)
+		case '<':
+			return two(Shl)
+		}
+		return one(Lt)
+	case '>':
+		switch l.peek2() {
+		case '=':
+			return two(Ge)
+		case '>':
+			return two(Shr)
+		}
+		return one(Gt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(AndAnd)
+		}
+		return one(Amp)
+	case '|':
+		if l.peek2() == '|' {
+			return two(OrOr)
+		}
+		return one(Pipe)
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", p, c)
+}
+
+// Tokenize lexes the whole input, returning every token up to and
+// excluding EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,114 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks, err := Tokenize("fun f(a: int): int { return a + 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		KwFun, Ident, LParen, Ident, Colon, KwInt, RParen, Colon, KwInt,
+		LBrace, KwReturn, Ident, Plus, IntLit, Semi, RBrace,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "== != <= >= << >> && || = < > ! & | ^ + - * / %"
+	want := []Kind{
+		Eq, Neq, Le, Ge, Shl, Shr, AndAnd, OrOr, Assign, Lt, Gt, Not,
+		Amp, Pipe, Caret, Plus, Minus, Star, Slash, Percent,
+	}
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := "a // line comment\n b /* block\n comment */ c"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %v", len(toks), toks)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if toks[i].Text != name {
+			t.Errorf("token %d: got %q, want %q", i, toks[i].Text, name)
+		}
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("token c line: got %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("ab at %s, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("cd at %s, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{"@", "123abc", "/* unterminated", "99999999999999999999"}
+	for _, src := range cases {
+		if _, err := Tokenize(src); src != "99999999999999999999" && err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+	// Out-of-range literal is caught by the parser, not the lexer.
+	if _, err := Parse("fun f(): int { return 99999999999999999999; }"); err == nil {
+		t.Error("expected out-of-range literal to fail parsing")
+	}
+}
+
+func TestKeywordRecognition(t *testing.T) {
+	toks, err := Tokenize("fun extern var if else while return true false null int bool ptr funx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		KwFun, KwExtern, KwVar, KwIf, KwElse, KwWhile, KwReturn, KwTrue,
+		KwFalse, KwNull, KwInt, KwBool, KwPtr, Ident,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}

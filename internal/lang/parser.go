@@ -1,0 +1,403 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds an AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.atEnd() {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. It is intended for tests and
+// examples with literal sources.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEnd() {
+		last := Pos{Line: 1, Col: 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %s, found %s", t.Pos, k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	t := p.next()
+	switch t.Kind {
+	case KwInt:
+		return TypeInt, nil
+	case KwBool:
+		return TypeBool, nil
+	case KwPtr:
+		return TypePtr, nil
+	default:
+		return TypeInvalid, fmt.Errorf("%s: expected a type, found %s", t.Pos, t)
+	}
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	extern := p.accept(KwExtern)
+	kw, err := p.expect(KwFun)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Extern: extern, Ret: TypeVoid, Pos: kw.Pos}
+	for !p.at(RParen) {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Name: pn.Text, Type: pt, Pos: pn.Pos})
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if p.accept(Colon) {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.Ret = rt
+	}
+	if extern {
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, fmt.Errorf("%s: unexpected end of input in block", p.cur().Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwVar:
+		p.next()
+		name, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.Text, Type: ty, Init: init, Pos: t.Pos}, nil
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els *BlockStmt
+		if p.accept(KwElse) {
+			if p.at(KwIf) {
+				// else-if chains: wrap the nested if in a block.
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = &BlockStmt{Stmts: []Stmt{inner}, Pos: inner.StmtPos()}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: t.Pos}, nil
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case KwReturn:
+		p.next()
+		if p.accept(Semi) {
+			return &ReturnStmt{Pos: t.Pos}, nil
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: val, Pos: t.Pos}, nil
+	case LBrace:
+		return p.parseBlock()
+	case Ident:
+		// Either an assignment or a call statement.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == Assign {
+			name := p.next()
+			p.next() // =
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.Text, Val: val, Pos: t.Pos}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := x.(*CallExpr); !ok {
+			return nil, fmt.Errorf("%s: expression statement must be a call", t.Pos)
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: t.Pos}, nil
+	default:
+		return nil, fmt.Errorf("%s: unexpected token %s at start of statement", t.Pos, t)
+	}
+}
+
+// Binary operator precedence, loosest first.
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Pipe:   3,
+	Caret:  4,
+	Amp:    5,
+	Eq:     6, Neq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+var binOpOfKind = map[Kind]BinOp{
+	OrOr: OpOr, AndAnd: OpAnd, Pipe: OpBitOr, Caret: OpBitXor, Amp: OpBitAnd,
+	Eq: OpEq, Neq: OpNe, Lt: OpLt, Le: OpLe, Gt: OpGt, Ge: OpGe,
+	Shl: OpShl, Shr: OpShr, Plus: OpAdd, Minus: OpSub, Star: OpMul,
+	Slash: OpDiv, Percent: OpRem,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *Parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: binOpOfKind[op.Kind], L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNeg, X: x, Pos: t.Pos}, nil
+	case Not:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNot, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case IntLit:
+		v, err := strconv.ParseUint(t.Text, 10, 64)
+		if err != nil || v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%s: integer literal %s out of 32-bit range", t.Pos, t.Text)
+		}
+		return &IntLitExpr{Value: uint32(v), Pos: t.Pos}, nil
+	case KwTrue:
+		return &BoolLitExpr{Value: true, Pos: t.Pos}, nil
+	case KwFalse:
+		return &BoolLitExpr{Value: false, Pos: t.Pos}, nil
+	case KwNull:
+		return &NullLitExpr{Pos: t.Pos}, nil
+	case LParen:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case Ident:
+		if p.at(LParen) {
+			p.next()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			for !p.at(RParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			p.next() // )
+			return call, nil
+		}
+		return &IdentExpr{Name: t.Text, Pos: t.Pos}, nil
+	default:
+		return nil, fmt.Errorf("%s: unexpected token %s in expression", t.Pos, t)
+	}
+}

@@ -1,0 +1,173 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+extern fun gets(): ptr;
+
+fun bar(x: int): int {
+    var y: int = x * 2;
+    var z: int = y;
+    return z;
+}
+
+fun foo(a: int, b: int): ptr {
+    var p: ptr = null;
+    var c: int = bar(a);
+    var d: int = bar(b);
+    if (c < d) {
+        return p;
+    }
+    return gets();
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("got %d functions, want 3", len(prog.Funcs))
+	}
+	g := prog.Func("gets")
+	if g == nil || !g.Extern || g.Ret != TypePtr || g.Body != nil {
+		t.Errorf("gets: wrong extern declaration: %+v", g)
+	}
+	bar := prog.Func("bar")
+	if bar == nil || len(bar.Params) != 1 || bar.Params[0].Type != TypeInt {
+		t.Fatalf("bar: wrong signature")
+	}
+	if len(bar.Body.Stmts) != 3 {
+		t.Errorf("bar body: got %d statements, want 3", len(bar.Body.Stmts))
+	}
+	foo := prog.Func("foo")
+	if foo == nil || len(foo.Params) != 2 || foo.Ret != TypePtr {
+		t.Fatalf("foo: wrong signature")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse("fun f(a: int, b: int, c: int): int { return a + b * c; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	bin, ok := ret.Val.(*BinExpr)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("top-level operator: got %v, want +", ret.Val)
+	}
+	r, ok := bin.R.(*BinExpr)
+	if !ok || r.Op != OpMul {
+		t.Fatalf("right operand: got %v, want *", bin.R)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	prog := MustParse("fun f(a: bool, b: bool, c: bool): bool { return a || b && c; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	bin := ret.Val.(*BinExpr)
+	if bin.Op != OpOr {
+		t.Fatalf("top-level operator: got %s, want ||", bin.Op)
+	}
+	if r := bin.R.(*BinExpr); r.Op != OpAnd {
+		t.Fatalf("right operand: got %s, want &&", r.Op)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	prog := MustParse("fun f(a: int): bool { return !(a < 0 - a); }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	u, ok := ret.Val.(*UnaryExpr)
+	if !ok || u.Op != OpNot {
+		t.Fatalf("got %v, want unary !", ret.Val)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog := MustParse(`
+fun f(a: int): int {
+    var r: int = 0;
+    if (a < 0) { r = 1; } else if (a < 10) { r = 2; } else { r = 3; }
+    return r;
+}`)
+	ifs := prog.Funcs[0].Body.Stmts[1].(*IfStmt)
+	if ifs.Else == nil || len(ifs.Else.Stmts) != 1 {
+		t.Fatal("else branch missing or malformed")
+	}
+	inner, ok := ifs.Else.Stmts[0].(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Fatal("else-if chain not nested correctly")
+	}
+}
+
+func TestParseWhileAndCallStmt(t *testing.T) {
+	prog := MustParse(`
+extern fun sink(x: int);
+fun f(n: int) {
+    var i: int = 0;
+    while (i < n) {
+        sink(i);
+        i = i + 1;
+    }
+}`)
+	f := prog.Func("f")
+	w, ok := f.Body.Stmts[1].(*WhileStmt)
+	if !ok {
+		t.Fatalf("expected while, got %T", f.Body.Stmts[1])
+	}
+	if _, ok := w.Body.Stmts[0].(*ExprStmt); !ok {
+		t.Errorf("expected call statement, got %T", w.Body.Stmts[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing semi", "fun f() { var x: int = 1 }"},
+		{"missing type", "fun f(a) {}"},
+		{"bad stmt start", "fun f() { + ; }"},
+		{"expr stmt not call", "fun f(a: int) { a + 1; }"},
+		{"unclosed block", "fun f() { "},
+		{"extern with body", "extern fun f() { }"},
+		{"missing paren", "fun f( { }"},
+		{"bad call args", "fun f() { g(1,; }"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog := MustParse(sampleSrc)
+	text := Format(prog)
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	text2 := Format(prog2)
+	if text != text2 {
+		t.Errorf("format not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestFormatExprParens(t *testing.T) {
+	prog := MustParse("fun f(a: int, b: int): int { return (a + b) * a; }")
+	s := FormatExpr(prog.Funcs[0].Body.Stmts[0].(*ReturnStmt).Val)
+	if !strings.Contains(s, "((a + b) * a)") {
+		t.Errorf("got %q, want explicit parens preserving grouping", s)
+	}
+}
+
+func TestProgramFuncLookup(t *testing.T) {
+	prog := MustParse(sampleSrc)
+	if prog.Func("nonexistent") != nil {
+		t.Error("lookup of missing function should return nil")
+	}
+	if f := prog.Func("bar"); f == nil || f.Name != "bar" {
+		t.Error("lookup of bar failed")
+	}
+}

@@ -1,0 +1,123 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to source text. The output reparses to an
+// equivalent AST, which the tests rely on as a round-trip property.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatFunc(&b, f)
+	}
+	return b.String()
+}
+
+func formatFunc(b *strings.Builder, f *FuncDecl) {
+	if f.Extern {
+		b.WriteString("extern ")
+	}
+	fmt.Fprintf(b, "fun %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s: %s", p.Name, p.Type)
+	}
+	b.WriteString(")")
+	if f.Ret != TypeVoid {
+		fmt.Fprintf(b, ": %s", f.Ret)
+	}
+	if f.Extern {
+		b.WriteString(";\n")
+		return
+	}
+	b.WriteString(" ")
+	formatBlock(b, f.Body, 0)
+	b.WriteByte('\n')
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *BlockStmt:
+		formatBlock(b, s, depth)
+		b.WriteByte('\n')
+	case *VarDecl:
+		fmt.Fprintf(b, "var %s: %s = %s;\n", s.Name, s.Type, FormatExpr(s.Init))
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s;\n", s.Name, FormatExpr(s.Val))
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) ", FormatExpr(s.Cond))
+		formatBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			formatBlock(b, s.Else, depth)
+		}
+		b.WriteByte('\n')
+	case *WhileStmt:
+		fmt.Fprintf(b, "while (%s) ", FormatExpr(s.Cond))
+		formatBlock(b, s.Body, depth)
+		b.WriteByte('\n')
+	case *ReturnStmt:
+		if s.Val == nil {
+			b.WriteString("return;\n")
+		} else {
+			fmt.Fprintf(b, "return %s;\n", FormatExpr(s.Val))
+		}
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", FormatExpr(s.X))
+	default:
+		panic(fmt.Sprintf("unknown statement %T", s))
+	}
+}
+
+// FormatExpr renders an expression with explicit parentheses around every
+// binary operation, so precedence is preserved on reparse.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *IntLitExpr:
+		return fmt.Sprintf("%d", e.Value)
+	case *BoolLitExpr:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *NullLitExpr:
+		return "null"
+	case *IdentExpr:
+		return e.Name
+	case *UnaryExpr:
+		return fmt.Sprintf("%s(%s)", e.Op, FormatExpr(e.X))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.L), e.Op, FormatExpr(e.R))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	default:
+		panic(fmt.Sprintf("unknown expression %T", e))
+	}
+}

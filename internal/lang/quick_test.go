@@ -1,0 +1,152 @@
+package lang_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fusion/internal/interp"
+	"fusion/internal/lang"
+	"fusion/internal/sema"
+)
+
+// randomProgram builds a random but well-typed program: a few pure
+// functions over int parameters with nested branches and bounded loops.
+func randomProgram(rng *rand.Rand) *lang.Program {
+	nFuncs := 1 + rng.Intn(3)
+	prog := &lang.Program{}
+	names := []string{"f0", "f1", "f2"}
+	for fi := 0; fi < nFuncs; fi++ {
+		nParams := 1 + rng.Intn(3)
+		f := &lang.FuncDecl{Name: names[fi], Ret: lang.TypeInt}
+		var vars []string
+		for p := 0; p < nParams; p++ {
+			name := string(rune('a' + p))
+			f.Params = append(f.Params, lang.Param{Name: name, Type: lang.TypeInt})
+			vars = append(vars, name)
+		}
+		fresh := 0
+		var intExpr func(depth int) lang.Expr
+		intExpr = func(depth int) lang.Expr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return &lang.IdentExpr{Name: vars[rng.Intn(len(vars))]}
+				}
+				return &lang.IntLitExpr{Value: rng.Uint32() % 1000}
+			}
+			ops := []lang.BinOp{lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpBitXor, lang.OpBitAnd, lang.OpShl}
+			// Calls to earlier functions keep the call graph acyclic.
+			if fi > 0 && rng.Intn(5) == 0 {
+				callee := rng.Intn(fi)
+				nArgs := 1 + (callee+rng.Intn(3))%3
+				_ = nArgs
+				// Match the callee's arity exactly.
+				var args []lang.Expr
+				for range prog.Funcs[callee].Params {
+					args = append(args, intExpr(depth-1))
+				}
+				return &lang.CallExpr{Name: prog.Funcs[callee].Name, Args: args}
+			}
+			return &lang.BinExpr{
+				Op: ops[rng.Intn(len(ops))],
+				L:  intExpr(depth - 1),
+				R:  intExpr(depth - 1),
+			}
+		}
+		boolExpr := func(depth int) lang.Expr {
+			cmps := []lang.BinOp{lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe}
+			return &lang.BinExpr{
+				Op: cmps[rng.Intn(len(cmps))],
+				L:  intExpr(depth),
+				R:  intExpr(depth),
+			}
+		}
+		var stmts func(depth, count int) []lang.Stmt
+		stmts = func(depth, count int) []lang.Stmt {
+			var out []lang.Stmt
+			for i := 0; i < count; i++ {
+				switch {
+				case depth > 0 && rng.Intn(4) == 0:
+					// Names declared inside a branch go out of scope at its
+					// end; restore the visible set so later statements do
+					// not reference them.
+					save := len(vars)
+					thenB := &lang.BlockStmt{Stmts: stmts(depth-1, 1+rng.Intn(2))}
+					vars = vars[:save]
+					ifs := &lang.IfStmt{Cond: boolExpr(1), Then: thenB}
+					if rng.Intn(2) == 0 {
+						ifs.Else = &lang.BlockStmt{Stmts: stmts(depth-1, 1+rng.Intn(2))}
+						vars = vars[:save]
+					}
+					out = append(out, ifs)
+				case rng.Intn(3) == 0:
+					out = append(out, &lang.AssignStmt{
+						Name: vars[rng.Intn(len(vars))],
+						Val:  intExpr(2),
+					})
+				default:
+					name := "t" + string(rune('0'+fresh%10)) + string(rune('a'+fresh/10))
+					fresh++
+					out = append(out, &lang.VarDecl{Name: name, Type: lang.TypeInt, Init: intExpr(2)})
+					vars = append(vars, name)
+				}
+			}
+			return out
+		}
+		body := stmts(2, 2+rng.Intn(4))
+		body = append(body, &lang.ReturnStmt{Val: intExpr(2)})
+		f.Body = &lang.BlockStmt{Stmts: body}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog
+}
+
+// TestQuickFormatParseRoundTrip: for random well-typed programs, Format
+// output reparses and type-checks, reformats identically (fixpoint), and
+// the reparsed program computes the same results as the original.
+func TestQuickFormatParseRoundTrip(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomProgram(rng)
+		if errs := sema.Check(prog); len(errs) > 0 {
+			t.Logf("seed %d: generated program fails sema: %v", seed, errs[0])
+			return false
+		}
+		text := lang.Format(prog)
+		prog2, err := lang.Parse(text)
+		if err != nil {
+			t.Logf("seed %d: reparse failed: %v\n%s", seed, err, text)
+			return false
+		}
+		if errs := sema.Check(prog2); len(errs) > 0 {
+			t.Logf("seed %d: reparsed program fails sema: %v", seed, errs[0])
+			return false
+		}
+		if text2 := lang.Format(prog2); text2 != text {
+			t.Logf("seed %d: format not a fixpoint", seed)
+			return false
+		}
+		// Semantic equality on a few random inputs.
+		last := prog.Funcs[len(prog.Funcs)-1]
+		for trial := 0; trial < 4; trial++ {
+			args := make([]interp.Value, len(last.Params))
+			for i := range args {
+				args[i] = interp.Value{V: rng.Uint32() % 128}
+			}
+			r1, err1 := interp.New(prog, interp.Options{}).Run(last.Name, args)
+			r2, err2 := interp.New(prog2, interp.Options{}).Run(last.Name, args)
+			if (err1 == nil) != (err2 == nil) {
+				t.Logf("seed %d: interp error mismatch: %v vs %v", seed, err1, err2)
+				return false
+			}
+			if err1 == nil && r1.Return.V != r2.Return.V {
+				t.Logf("seed %d: semantic mismatch: %d vs %d", seed, r1.Return.V, r2.Return.V)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package lang implements the small imperative language of the paper
+// (Figure 4), extended with the practical constructs the evaluation needs:
+// integer, boolean and pointer types, structured control flow, loops (which
+// are later unrolled), function calls, and extern functions without bodies
+// that model third-party library routines.
+package lang
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	// Keywords.
+	KwFun
+	KwExtern
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwReturn
+	KwTrue
+	KwFalse
+	KwNull
+	KwInt
+	KwBool
+	KwPtr
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Comma
+	Semi
+	Colon
+	// Operators.
+	Assign // =
+	Plus   // +
+	Minus  // -
+	Star   // *
+	Slash  // /
+	Percent
+	Eq  // ==
+	Neq // !=
+	Lt  // <
+	Le  // <=
+	Gt  // >
+	Ge  // >=
+	AndAnd
+	OrOr
+	Not
+	Amp   // &
+	Pipe  // |
+	Caret // ^
+	Shl   // <<
+	Shr   // >>
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	KwFun: "fun", KwExtern: "extern", KwVar: "var", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwReturn: "return", KwTrue: "true", KwFalse: "false",
+	KwNull: "null", KwInt: "int", KwBool: "bool", KwPtr: "ptr",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", Comma: ",", Semi: ";",
+	Colon: ":", Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Eq: "==", Neq: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!", Amp: "&", Pipe: "|", Caret: "^",
+	Shl: "<<", Shr: ">>",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"fun": KwFun, "extern": KwExtern, "var": KwVar, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "return": KwReturn, "true": KwTrue, "false": KwFalse,
+	"null": KwNull, "int": KwInt, "bool": KwBool, "ptr": KwPtr,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // literal text for Ident and IntLit
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,81 @@
+package pdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fusion/internal/ssa"
+)
+
+// ToDOT renders the program dependence graph in Graphviz DOT format, one
+// cluster per function: solid edges are data dependence, dashed edges
+// control dependence, and bold labeled edges the call/return pairs — the
+// visual convention of the paper's Figure 3.
+func ToDOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph pdg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	id := func(v *ssa.Value) string {
+		return fmt.Sprintf("%q", fmt.Sprintf("%s.v%d", v.Fn.Name, v.ID))
+	}
+	label := func(v *ssa.Value) string {
+		name := v.Name
+		if name == "" {
+			name = fmt.Sprintf("v%d", v.ID)
+		}
+		switch v.Op {
+		case ssa.OpConst:
+			return fmt.Sprintf("%s = %d", name, v.Const)
+		case ssa.OpParam:
+			return fmt.Sprintf("%s = <%s>", name, name)
+		case ssa.OpBin:
+			return fmt.Sprintf("%s = %s", name, v.BinOp)
+		case ssa.OpCall, ssa.OpExtern:
+			return fmt.Sprintf("%s = %s()#%d", name, v.Callee, v.Site)
+		case ssa.OpBranch:
+			return fmt.Sprintf("branch v%d", v.ID)
+		case ssa.OpReturn:
+			return "return"
+		default:
+			return fmt.Sprintf("%s = %s", name, v.Op)
+		}
+	}
+
+	funcs := append([]*ssa.Function(nil), g.Prog.Order...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name < funcs[j].Name })
+	for fi, f := range funcs {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", fi, f.Name)
+		for _, v := range f.Values {
+			fmt.Fprintf(&b, "    %s [label=%q];\n", id(v), label(v))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, f := range funcs {
+		for _, v := range f.Values {
+			if v.Op != ssa.OpCall {
+				for _, a := range v.Args {
+					fmt.Fprintf(&b, "  %s -> %s;\n", id(a), id(v))
+				}
+			}
+			if v.Guard != nil {
+				fmt.Fprintf(&b, "  %s -> %s [style=dashed];\n", id(v), id(v.Guard))
+			}
+			if v.Op == ssa.OpCall {
+				callee := g.Callee(v)
+				for i, a := range v.Args {
+					if i < len(callee.Params) {
+						fmt.Fprintf(&b, "  %s -> %s [style=bold, label=\"(%d\"];\n",
+							id(a), id(callee.Params[i]), v.Site)
+					}
+				}
+				if callee.Ret != nil {
+					fmt.Fprintf(&b, "  %s -> %s [style=bold, label=\")%d\"];\n",
+						id(callee.Ret), id(v), v.Site)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,118 @@
+// Package pdg implements the program dependence graph of Definition 3.1 and
+// the slicing rules (1)-(3) of Figure 8.
+//
+// The SSA form built by package ssa already encodes the intra-procedural
+// graph: Value.Args are the data-dependence predecessors and Value.Guard is
+// the innermost control dependence (the paper notes the SSA graph is a
+// program dependence graph variant). This package adds the inter-procedural
+// structure: call and return edges labeled with a unique call-site
+// parenthesis pair, following the CFL-reachability convention, plus the
+// reverse maps the sparse analysis and the slicer need.
+package pdg
+
+import (
+	"fusion/internal/lang"
+	"fusion/internal/ssa"
+)
+
+// Graph is the whole-program dependence graph.
+type Graph struct {
+	Prog *ssa.Program
+	// Callers maps a defined function name to the call vertices that
+	// target it, across the whole program.
+	Callers map[string][]*ssa.Value
+	// SiteCall maps a call-site ID to its call vertex.
+	SiteCall []*ssa.Value
+}
+
+// Build constructs the program dependence graph for an SSA program.
+func Build(p *ssa.Program) *Graph {
+	g := &Graph{
+		Prog:     p,
+		Callers:  map[string][]*ssa.Value{},
+		SiteCall: make([]*ssa.Value, p.NumSites),
+	}
+	for _, f := range p.Order {
+		for _, v := range f.Values {
+			switch v.Op {
+			case ssa.OpCall:
+				g.Callers[v.Callee] = append(g.Callers[v.Callee], v)
+				g.SiteCall[v.Site] = v
+			case ssa.OpExtern:
+				g.SiteCall[v.Site] = v
+			}
+		}
+	}
+	return g
+}
+
+// Callee returns the SSA function a call vertex targets, or nil for extern
+// calls.
+func (g *Graph) Callee(call *ssa.Value) *ssa.Function {
+	if call.Op != ssa.OpCall {
+		return nil
+	}
+	return g.Prog.Funcs[call.Callee]
+}
+
+// Stats summarizes graph size, matching the columns of Table 2.
+type Stats struct {
+	Functions    int
+	Vertices     int
+	DataEdges    int // intra-procedural data dependence
+	ControlEdges int
+	CallEdges    int // actual -> formal, labeled "(s"
+	ReturnEdges  int // return -> receiver, labeled ")s"
+}
+
+// Edges returns the total edge count.
+func (s Stats) Edges() int {
+	return s.DataEdges + s.ControlEdges + s.CallEdges + s.ReturnEdges
+}
+
+// ComputeStats counts vertices and edges of the graph.
+func ComputeStats(g *Graph) Stats {
+	var st Stats
+	st.Functions = len(g.Prog.Order)
+	for _, f := range g.Prog.Order {
+		st.Vertices += len(f.Values)
+		for _, v := range f.Values {
+			if v.Guard != nil {
+				st.ControlEdges++
+			}
+			switch v.Op {
+			case ssa.OpCall:
+				callee := g.Callee(v)
+				st.CallEdges += min(len(v.Args), len(callee.Params))
+				if callee.Ret != nil {
+					st.ReturnEdges++
+				}
+			default:
+				st.DataEdges += len(v.Args)
+			}
+		}
+	}
+	return st
+}
+
+// ParamIndex returns which parameter of its function a param vertex is, or
+// -1 if v is not a parameter.
+func ParamIndex(v *ssa.Value) int {
+	if v.Op != ssa.OpParam {
+		return -1
+	}
+	for i, p := range v.Fn.Params {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// TypeBits returns the bit-vector width used to model a value of type t.
+func TypeBits(t lang.Type) int {
+	if t == lang.TypeBool {
+		return 1
+	}
+	return 32
+}

@@ -1,0 +1,84 @@
+package pdg
+
+import (
+	"fmt"
+	"strings"
+
+	"fusion/internal/ssa"
+)
+
+// StepKind classifies how a data-dependence path arrived at a vertex.
+type StepKind int
+
+// Step kinds.
+const (
+	StepStart  StepKind = iota // first vertex of the path
+	StepIntra                  // ordinary intra-procedural data dependence
+	StepCall                   // actual -> formal edge, labeled "(Site"
+	StepReturn                 // return -> receiver edge, labeled ")Site"
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepStart:
+		return "start"
+	case StepIntra:
+		return "intra"
+	case StepCall:
+		return "call"
+	case StepReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step is one vertex of a data-dependence path, together with the labeled
+// edge that reached it.
+type Step struct {
+	V    *ssa.Value
+	Kind StepKind
+	Site int // call-site ID for StepCall and StepReturn
+}
+
+// Path is a data-dependence path on the program dependence graph (the π of
+// Algorithm 1/2), recording the call/return labels it crossed.
+type Path []Step
+
+// Start returns the first vertex.
+func (p Path) Start() *ssa.Value { return p[0].V }
+
+// End returns the last vertex.
+func (p Path) End() *ssa.Value { return p[len(p)-1].V }
+
+// String renders the path for diagnostics.
+func (p Path) String() string {
+	var b strings.Builder
+	for i, s := range p {
+		if i > 0 {
+			switch s.Kind {
+			case StepCall:
+				fmt.Fprintf(&b, " -(%d-> ", s.Site)
+			case StepReturn:
+				fmt.Fprintf(&b, " -)%d-> ", s.Site)
+			default:
+				b.WriteString(" -> ")
+			}
+		}
+		name := s.V.Name
+		if name == "" {
+			name = fmt.Sprintf("v%d", s.V.ID)
+		}
+		fmt.Fprintf(&b, "%s.%s", s.V.Fn.Name, name)
+	}
+	return b.String()
+}
+
+// Extend returns a new path with one more step appended. The receiver is
+// not modified and may continue to be extended elsewhere (paths share
+// prefixes structurally).
+func (p Path) Extend(v *ssa.Value, kind StepKind, site int) Path {
+	np := make(Path, len(p), len(p)+1)
+	copy(np, p)
+	return append(np, Step{V: v, Kind: kind, Site: site})
+}

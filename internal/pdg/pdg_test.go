@@ -1,0 +1,217 @@
+package pdg_test
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+func buildGraph(t *testing.T, src string) *pdg.Graph {
+	t.Helper()
+	prog, err := lang.Parse(checker.Prelude + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	p, err := ssa.Build(norm)
+	if err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	return pdg.Build(p)
+}
+
+const fig1Src = `
+fun bar(x: int): int {
+    var y: int = x * 2;
+    var z: int = y;
+    return z;
+}
+
+fun foo(a: int, b: int) {
+    var p: ptr = null;
+    var c: int = bar(a);
+    var d: int = bar(b);
+    if (c < d) {
+        deref(p);
+    }
+}
+`
+
+func TestGraphBuild(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	if len(g.Callers["bar"]) != 2 {
+		t.Fatalf("bar callers: got %d, want 2", len(g.Callers["bar"]))
+	}
+	for _, c := range g.Callers["bar"] {
+		if g.SiteCall[c.Site] != c {
+			t.Error("SiteCall inconsistent with call vertex")
+		}
+		if g.Callee(c).Name != "bar" {
+			t.Error("Callee lookup failed")
+		}
+	}
+	st := pdg.ComputeStats(g)
+	if st.Functions != 2 {
+		t.Errorf("functions: got %d, want 2", st.Functions)
+	}
+	if st.CallEdges != 2 || st.ReturnEdges != 2 {
+		t.Errorf("call/return edges: got %d/%d, want 2/2", st.CallEdges, st.ReturnEdges)
+	}
+	if st.Vertices == 0 || st.Edges() <= st.CallEdges+st.ReturnEdges {
+		t.Errorf("implausible stats: %+v", st)
+	}
+}
+
+func TestParamIndex(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	foo := g.Prog.Funcs["foo"]
+	if pdg.ParamIndex(foo.Params[0]) != 0 || pdg.ParamIndex(foo.Params[1]) != 1 {
+		t.Error("ParamIndex wrong for parameters")
+	}
+	for _, v := range foo.Values {
+		if v.Op != ssa.OpParam && pdg.ParamIndex(v) != -1 {
+			t.Errorf("ParamIndex of non-param %v must be -1", v)
+		}
+	}
+}
+
+func TestTypeBits(t *testing.T) {
+	if pdg.TypeBits(lang.TypeBool) != 1 {
+		t.Error("bool must be 1 bit")
+	}
+	if pdg.TypeBits(lang.TypeInt) != 32 || pdg.TypeBits(lang.TypePtr) != 32 {
+		t.Error("int and ptr must be 32 bits")
+	}
+}
+
+// findNullToDeref runs the null checker's propagation and returns the
+// single candidate path.
+func findNullToDeref(t *testing.T, g *pdg.Graph) pdg.Path {
+	t.Helper()
+	eng := sparse.NewEngine(g)
+	cands := eng.Run(checker.NullDeref())
+	if len(cands) != 1 {
+		t.Fatalf("candidates: got %d, want 1", len(cands))
+	}
+	return cands[0].Path
+}
+
+func TestSliceFigure3(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	path := findNullToDeref(t, g)
+	sl := pdg.ComputeSlice(g, []pdg.Path{path})
+
+	// The slice must reach into bar: its return, the multiplication, and
+	// the parameter.
+	bar := g.Prog.Funcs["bar"]
+	if !sl.Values[bar.Ret] {
+		t.Error("slice must contain bar's return")
+	}
+	foundMul := false
+	for v := range sl.Values {
+		if v.Fn == bar && v.Op == ssa.OpBin {
+			foundMul = true
+		}
+	}
+	if !foundMul {
+		t.Error("slice must contain y = x * 2")
+	}
+	// bar is entered through both call sites.
+	if got := len(sl.Entered[bar]); got != 2 {
+		t.Errorf("bar entered sites: got %d, want 2", got)
+	}
+	// foo is a slice root (its parameters are free).
+	roots := sl.Roots()
+	if len(roots) != 1 || roots[0].Name != "foo" {
+		t.Errorf("roots: got %v, want [foo]", roots)
+	}
+	// Slice size is linear: no larger than the whole program.
+	if sl.Size() > g.Prog.NumValues() {
+		t.Error("slice larger than the program")
+	}
+}
+
+func TestSliceItePruning(t *testing.T) {
+	g := buildGraph(t, `
+fun f(a: int, q: ptr) {
+    var p: ptr = null;
+    var r: ptr = q;
+    if (a > 0) {
+        r = p;
+    }
+    deref(r);
+}
+`)
+	path := findNullToDeref(t, g)
+	sl := pdg.ComputeSlice(g, []pdg.Path{path})
+	// Find the ite merging r.
+	var ite *ssa.Value
+	for v := range sl.Values {
+		if v.Op == ssa.OpIte && v.Name == "r" {
+			ite = v
+		}
+	}
+	if ite == nil {
+		t.Fatal("ite for r not in slice")
+	}
+	thenIn, elseIn := sl.IteTaken(ite)
+	if !thenIn || elseIn {
+		t.Errorf("ite pruning: thenIn=%v elseIn=%v, want true/false", thenIn, elseIn)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	path := findNullToDeref(t, g)
+	s := path.String()
+	if s == "" {
+		t.Fatal("empty path rendering")
+	}
+	if path.Start().Op != ssa.OpConst {
+		t.Errorf("path must start at the null constant, got %s", path.Start().Op)
+	}
+	if path.End().Op != ssa.OpExtern || path.End().Callee != "deref" {
+		t.Errorf("path must end at deref, got %v", path.End())
+	}
+}
+
+func TestSliceMultiplePathsShareWork(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	path := findNullToDeref(t, g)
+	s1 := pdg.ComputeSlice(g, []pdg.Path{path})
+	s2 := pdg.ComputeSlice(g, []pdg.Path{path, path})
+	if s1.Size() != s2.Size() {
+		t.Errorf("duplicate paths changed the slice: %d vs %d", s1.Size(), s2.Size())
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	g := buildGraph(t, fig1Src)
+	dot := pdg.ToDOT(g)
+	for _, want := range []string{
+		"digraph pdg {",
+		"subgraph cluster_0",
+		"label=\"bar\"",
+		"style=dashed", // control dependence
+		"style=bold",   // call/return edges
+		"x = <x>",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}

@@ -1,0 +1,395 @@
+// Package progen deterministically generates synthetic benchmark programs
+// in the analysis language, standing in for the paper's SPEC CINT2000 and
+// industrial subjects (Table 2), which are C/C++ code we cannot compile
+// without LLVM. The generator preserves the structural properties the
+// paper's effect depends on — layered call graphs, several call sites per
+// callee (the k of Table 1), branch-dense bodies, conditions threaded
+// through return values — and injects bugs with known ground truth:
+// "feasible" bugs lie on satisfiable paths (true positives) and
+// "infeasible" ones are guarded by contradictions that only a
+// path-sensitive analysis can exclude.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes one generated subject.
+type Config struct {
+	Name string
+	Seed int64
+	// Funcs is the number of ordinary (non-buggy) functions.
+	Funcs int
+	// Layers is the call-graph depth; each function calls functions one
+	// layer below, twice per callee.
+	Layers int
+	// StmtsPerFunc controls body size.
+	StmtsPerFunc int
+	// Per-checker injected bug counts.
+	FeasibleNull, InfeasibleNull   int
+	FeasibleTaint, InfeasibleTaint int // split across CWE-23 and CWE-402
+	FeasibleDiv, InfeasibleDiv     int // CWE-369 (division by zero)
+}
+
+// Bug is one injected defect and its ground truth.
+type Bug struct {
+	ID       int
+	Checker  string // "null-deref", "cwe-23", "cwe-402"
+	Feasible bool
+	Func     string // function containing the sink call
+	SinkLine int    // 1-based source line of the sink call
+}
+
+// GroundTruth records every injected bug.
+type GroundTruth struct {
+	Bugs []Bug
+}
+
+// Feasible returns the injected bugs with the given feasibility.
+func (gt GroundTruth) Feasible(want bool) []Bug {
+	var out []Bug
+	for _, b := range gt.Bugs {
+		if b.Feasible == want {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByChecker returns the bugs for one checker.
+func (gt GroundTruth) ByChecker(name string) []Bug {
+	var out []Bug
+	for _, b := range gt.Bugs {
+		if b.Checker == name {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// emitter builds source text while tracking line numbers.
+type emitter struct {
+	b    strings.Builder
+	line int
+}
+
+func newEmitter() *emitter { return &emitter{line: 1} }
+
+func (e *emitter) writef(format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	e.b.WriteString(s)
+	e.line += strings.Count(s, "\n")
+}
+
+// Generate produces the subject's source text (without the checker
+// prelude) and its ground truth. Output is deterministic in the config.
+func Generate(cfg Config) (string, GroundTruth) {
+	if cfg.Layers < 2 {
+		cfg.Layers = 2
+	}
+	if cfg.Funcs < cfg.Layers {
+		cfg.Funcs = cfg.Layers
+	}
+	if cfg.StmtsPerFunc < 3 {
+		cfg.StmtsPerFunc = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := newEmitter()
+	g := &gen{cfg: cfg, rng: rng, e: e}
+	g.layout()
+	for _, fn := range g.funcs {
+		g.emitFunc(fn)
+	}
+	g.emitBugFuncs()
+	return e.b.String(), g.gt
+}
+
+type funcInfo struct {
+	name    string
+	layer   int
+	nParams int
+}
+
+type gen struct {
+	cfg   Config
+	rng   *rand.Rand
+	e     *emitter
+	funcs []funcInfo
+	// byLayer[l] lists functions in layer l (0 = leaves).
+	byLayer [][]funcInfo
+	gt      GroundTruth
+	bugID   int
+	// lastSinkLine records where emitBugFunc placed the most recent sink
+	// call, for the ground-truth record.
+	lastSinkLine int
+}
+
+// layout distributes functions over layers.
+func (g *gen) layout() {
+	g.byLayer = make([][]funcInfo, g.cfg.Layers)
+	for i := 0; i < g.cfg.Funcs; i++ {
+		layer := i % g.cfg.Layers
+		fn := funcInfo{
+			name:    fmt.Sprintf("fn_%s_%d", layerTag(layer), i),
+			layer:   layer,
+			nParams: 1 + g.rng.Intn(2),
+		}
+		g.funcs = append(g.funcs, fn)
+		g.byLayer[layer] = append(g.byLayer[layer], fn)
+	}
+}
+
+func layerTag(l int) string { return string(rune('a' + l)) }
+
+// pickCallee returns a function from a lower layer, or none for leaves.
+func (g *gen) pickCallee(layer int) (funcInfo, bool) {
+	if layer == 0 {
+		return funcInfo{}, false
+	}
+	cands := g.byLayer[layer-1]
+	if len(cands) == 0 {
+		return funcInfo{}, false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+// emitFunc writes one ordinary function: an arithmetic chain over the
+// parameters, a couple of branches, and (above layer 0) two calls to each
+// of up to two lower-layer callees — the "k call sites per callee" shape
+// of Table 1.
+func (g *gen) emitFunc(fn funcInfo) {
+	e := g.e
+	params := make([]string, fn.nParams)
+	for i := range params {
+		params[i] = fmt.Sprintf("p%d", i)
+	}
+	e.writef("fun %s(", fn.name)
+	for i, p := range params {
+		if i > 0 {
+			e.writef(", ")
+		}
+		e.writef("%s: int", p)
+	}
+	e.writef("): int {\n")
+
+	vars := append([]string(nil), params...)
+	v := func() string { return vars[g.rng.Intn(len(vars))] }
+	nv := 0
+	fresh := func() string {
+		nv++
+		return fmt.Sprintf("t%d", nv-1)
+	}
+
+	// Calls to the lower layer (twice per callee).
+	if callee, ok := g.pickCallee(fn.layer); ok {
+		for rep := 0; rep < 2; rep++ {
+			name := fresh()
+			e.writef("    var %s: int = %s(%s);\n", name, callee.name, g.argList(callee, v))
+			vars = append(vars, name)
+		}
+		if callee2, ok2 := g.pickCallee(fn.layer); ok2 && g.rng.Intn(2) == 0 {
+			name := fresh()
+			e.writef("    var %s: int = %s(%s);\n", name, callee2.name, g.argList(callee2, v))
+			vars = append(vars, name)
+		}
+	}
+
+	// Straight-line arithmetic.
+	for i := 0; i < g.cfg.StmtsPerFunc; i++ {
+		name := fresh()
+		e.writef("    var %s: int = %s;\n", name, g.arith(v))
+		vars = append(vars, name)
+	}
+
+	// Occasionally a bounded loop, which normalization unrolls away.
+	if g.rng.Intn(4) == 0 {
+		idx := fresh()
+		sum := fresh()
+		e.writef("    var %s: int = 0;\n", idx)
+		e.writef("    var %s: int = %s;\n", sum, v())
+		e.writef("    while (%s < %d) {\n", idx, 1+g.rng.Intn(3))
+		e.writef("        %s = %s + %s;\n", sum, sum, v())
+		e.writef("        %s = %s + 1;\n", idx, idx)
+		e.writef("    }\n")
+		vars = append(vars, sum)
+	}
+
+	// About half of the functions return a plain arithmetic result (like
+	// the paper's bar with "return 2x"); the rest mutate an accumulator
+	// under one or two branches, so their return-value conditions carry
+	// control dependence.
+	acc := fresh()
+	e.writef("    var %s: int = %s;\n", acc, v())
+	branches := g.rng.Intn(2) + g.rng.Intn(2) // 0..2, weighted toward 1
+	for i := 0; i < branches; i++ {
+		e.writef("    if (%s %s %s) {\n", v(), g.cmp(), g.smallConst())
+		e.writef("        %s = %s + %s;\n", acc, acc, v())
+		if g.rng.Intn(2) == 0 {
+			e.writef("    } else {\n        %s = %s - %d;\n    }\n", acc, acc, 1+g.rng.Intn(9))
+		} else {
+			e.writef("    }\n")
+		}
+	}
+	e.writef("    return %s;\n}\n\n", acc)
+}
+
+func (g *gen) argList(callee funcInfo, v func() string) string {
+	args := make([]string, callee.nParams)
+	for i := range args {
+		if g.rng.Intn(4) == 0 {
+			args[i] = fmt.Sprintf("%d", g.rng.Intn(100))
+		} else {
+			args[i] = v()
+		}
+	}
+	return strings.Join(args, ", ")
+}
+
+func (g *gen) arith(v func() string) string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s + %s", v(), v())
+	case 1:
+		return fmt.Sprintf("%s - %s", v(), v())
+	case 2:
+		return fmt.Sprintf("%s * %d", v(), 1+g.rng.Intn(7))
+	case 3:
+		return fmt.Sprintf("(%s + %s) * %d", v(), v(), 1+g.rng.Intn(3))
+	case 4:
+		return fmt.Sprintf("%s ^ %s", v(), v())
+	default:
+		return fmt.Sprintf("%s + %d", v(), g.rng.Intn(50))
+	}
+}
+
+func (g *gen) cmp() string {
+	return []string{"<", ">", "<=", ">=", "=="}[g.rng.Intn(5)]
+}
+
+func (g *gen) smallConst() string { return fmt.Sprintf("%d", g.rng.Intn(64)) }
+
+// emitBugFuncs writes one root function per injected bug. Roots are never
+// called, so their parameters are free — the path condition is over them.
+func (g *gen) emitBugFuncs() {
+	emit := func(checker string, feasible bool) {
+		id := g.bugID
+		g.bugID++
+		fname := fmt.Sprintf("bug_%s_%d", strings.ReplaceAll(checker, "-", "_"), id)
+		g.emitBugFunc(fname, checker, feasible)
+		g.gt.Bugs = append(g.gt.Bugs, Bug{
+			ID: id, Checker: checker, Feasible: feasible, Func: fname,
+			SinkLine: g.lastSinkLine,
+		})
+	}
+	for i := 0; i < g.cfg.FeasibleNull; i++ {
+		emit("null-deref", true)
+	}
+	for i := 0; i < g.cfg.InfeasibleNull; i++ {
+		emit("null-deref", false)
+	}
+	for i := 0; i < g.cfg.FeasibleTaint; i++ {
+		if i%2 == 0 {
+			emit("cwe-23", true)
+		} else {
+			emit("cwe-402", true)
+		}
+	}
+	for i := 0; i < g.cfg.InfeasibleTaint; i++ {
+		if i%2 == 0 {
+			emit("cwe-23", false)
+		} else {
+			emit("cwe-402", false)
+		}
+	}
+	for i := 0; i < g.cfg.FeasibleDiv; i++ {
+		emit("cwe-369", true)
+	}
+	for i := 0; i < g.cfg.InfeasibleDiv; i++ {
+		emit("cwe-369", false)
+	}
+}
+
+func (g *gen) emitBugFunc(fname, checker string, feasible bool) {
+	e := g.e
+	e.writef("fun %s(a: int, b: int) {\n", fname)
+
+	// Thread conditions through the call graph when possible, so the
+	// feasibility check must reason inter-procedurally.
+	condVars := []string{"a", "b"}
+	if top := g.cfg.Layers - 1; top >= 0 && len(g.byLayer[top]) > 0 {
+		callee := g.byLayer[top][g.rng.Intn(len(g.byLayer[top]))]
+		e.writef("    var c0: int = %s(%s);\n", callee.name, g.argList(callee, func() string { return condVars[g.rng.Intn(2)] }))
+		e.writef("    var c1: int = %s(%s);\n", callee.name, g.argList(callee, func() string { return condVars[g.rng.Intn(2)] }))
+		condVars = append(condVars, "c0", "c1")
+	}
+	cv := func() string { return condVars[g.rng.Intn(len(condVars))] }
+
+	// The tracked value.
+	var valDecl, sink string
+	switch checker {
+	case "null-deref":
+		valDecl = "    var p: ptr = null;\n"
+		sink = "deref(p);"
+	case "cwe-23":
+		valDecl = "    var p: ptr = gets();\n"
+		sink = "unlink(p);"
+	case "cwe-402":
+		valDecl = "    var s: int = read_secret();\n"
+		sink = "send(s);"
+	case "cwe-369":
+		// The sink is the division itself; feasibility is decided by
+		// whether the divisor can be zero, not by a guard.
+		e.writef("    var n: int = user_input();\n")
+		if feasible {
+			e.writef("    var d: int = n - %d;\n", g.rng.Intn(50))
+		} else {
+			e.writef("    var d: int = n * 2 + 1;\n") // odd: never zero
+		}
+		g.lastSinkLine = e.line
+		e.writef("    var q: int = %d / d;\n", 10+g.rng.Intn(90))
+		e.writef("    send(q + a + b);\n")
+		e.writef("}\n\n")
+		return
+	}
+	e.writef("%s", valDecl)
+
+	if feasible {
+		// A satisfiable guard. Call results are threaded into the
+		// condition so feasibility requires inter-procedural reasoning,
+		// but a disjunct over a free parameter keeps the ground truth
+		// certainly satisfiable regardless of what the callees compute.
+		switch g.rng.Intn(3) {
+		case 0:
+			e.writef("    if (a < b) {\n")
+		case 1:
+			e.writef("    if (%s < %s || a > 3) {\n", cv(), cv())
+		default:
+			e.writef("    if (%s == %d || b == 5) {\n", cv(), 10+g.rng.Intn(30))
+		}
+		g.lastSinkLine = e.line
+		e.writef("        %s\n    }\n", sink)
+	} else {
+		// A contradiction a path-sensitive analysis refutes.
+		switch g.rng.Intn(3) {
+		case 0:
+			x := cv()
+			e.writef("    if (%s > 10) {\n    if (%s < 5) {\n", x, x)
+			g.lastSinkLine = e.line
+			e.writef("        %s\n    }\n    }\n", sink)
+		case 1:
+			x := cv()
+			e.writef("    if (%s * 2 == 7) {\n", x)
+			g.lastSinkLine = e.line
+			e.writef("        %s\n    }\n", sink)
+		default:
+			x := cv()
+			e.writef("    var z%s: int = %s - %s;\n", "q", x, x)
+			e.writef("    if (zq == 1) {\n")
+			g.lastSinkLine = e.line
+			e.writef("        %s\n    }\n", sink)
+		}
+	}
+	e.writef("}\n\n")
+}

@@ -1,0 +1,192 @@
+package progen_test
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/progen"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := progen.Config{Name: "t", Seed: 7, Funcs: 12, Layers: 3, StmtsPerFunc: 4,
+		FeasibleNull: 2, InfeasibleNull: 1, FeasibleTaint: 2, InfeasibleTaint: 1}
+	s1, gt1 := progen.Generate(cfg)
+	s2, gt2 := progen.Generate(cfg)
+	if s1 != s2 {
+		t.Fatal("generation is not deterministic")
+	}
+	if len(gt1.Bugs) != len(gt2.Bugs) || len(gt1.Bugs) != 6 {
+		t.Fatalf("ground truth: got %d bugs, want 6", len(gt1.Bugs))
+	}
+}
+
+func TestGeneratedProgramIsValid(t *testing.T) {
+	for _, sub := range progen.Subjects[:6] {
+		src, gt, lines := sub.Build(0.02)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", sub.Name, err)
+		}
+		if errs := sema.Check(prog); len(errs) > 0 {
+			t.Fatalf("%s: sema: %v", sub.Name, errs[0])
+		}
+		if lines <= 0 || len(gt.Bugs) == 0 {
+			t.Errorf("%s: empty subject", sub.Name)
+		}
+		norm := unroll.Normalize(prog, unroll.Options{})
+		if _, err := ssa.Build(norm); err != nil {
+			t.Fatalf("%s: ssa: %v", sub.Name, err)
+		}
+	}
+}
+
+func TestSubjectLookup(t *testing.T) {
+	s, err := progen.SubjectByName("mysql")
+	if err != nil || s.ID != 15 || !s.Large() {
+		t.Fatalf("mysql lookup: %v %+v", err, s)
+	}
+	if _, err := progen.SubjectByName("nope"); err == nil {
+		t.Fatal("expected error for unknown subject")
+	}
+	if progen.Subjects[0].Large() {
+		t.Error("mcf is not a large subject")
+	}
+}
+
+// buildSubject compiles a subject to a PDG.
+func buildSubject(t *testing.T, sub progen.Subject, scale float64) (*pdg.Graph, progen.GroundTruth) {
+	t.Helper()
+	src, gt, _ := sub.Build(scale)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	return pdg.Build(ssa.MustBuild(norm)), gt
+}
+
+// TestGroundTruthAgainstFusion is the system-level correctness test: on a
+// generated subject, the fused engine must report every feasible injected
+// bug and reject every infeasible one.
+func TestGroundTruthAgainstFusion(t *testing.T) {
+	g, gt := buildSubject(t, progen.Subjects[3], 0.05) // parser
+	eng := sparse.NewEngine(g)
+	fus := engines.NewFusion()
+
+	for _, spec := range checker.All() {
+		cands := eng.Run(spec)
+		verdicts := fus.Check(g, cands)
+		reported := map[int]bool{} // sink line -> reported feasible
+		for _, v := range verdicts {
+			if v.Status == sat.Sat {
+				reported[v.Cand.Sink.Pos.Line] = true
+			} else if v.Status == sat.Unknown {
+				t.Errorf("%s: unknown verdict", spec.Name)
+			}
+		}
+		for _, b := range gt.ByChecker(spec.Name) {
+			if b.Feasible && !reported[b.SinkLine] {
+				t.Errorf("%s: feasible bug %d (line %d) not reported", spec.Name, b.ID, b.SinkLine)
+			}
+			if !b.Feasible && reported[b.SinkLine] {
+				t.Errorf("%s: infeasible bug %d (line %d) wrongly reported", spec.Name, b.ID, b.SinkLine)
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeOnGeneratedSubjects is the differential property: the
+// fused solver and the conventional engine must return identical verdicts
+// on every candidate of several generated subjects.
+func TestEnginesAgreeOnGeneratedSubjects(t *testing.T) {
+	for _, sub := range progen.Subjects[:4] {
+		g, _ := buildSubject(t, sub, 0.05)
+		eng := sparse.NewEngine(g)
+		for _, spec := range checker.All() {
+			cands := eng.Run(spec)
+			fus := engines.NewFusion().Check(g, cands)
+			pin := engines.NewPinpoint(engines.Plain).Check(g, cands)
+			if len(fus) != len(pin) {
+				t.Fatalf("%s/%s: verdict count mismatch", sub.Name, spec.Name)
+			}
+			for i := range fus {
+				if fus[i].Status != pin[i].Status {
+					t.Errorf("%s/%s: disagreement on %s: fusion=%s pinpoint=%s",
+						sub.Name, spec.Name, fus[i].Cand.Path, fus[i].Status, pin[i].Status)
+				}
+			}
+		}
+	}
+}
+
+// TestVariantSoundness: LFS and HFS must not change verdicts; AR must agree
+// too (it refines to the full condition).
+func TestVariantSoundness(t *testing.T) {
+	g, _ := buildSubject(t, progen.Subjects[0], 0.2) // mcf, small
+	eng := sparse.NewEngine(g)
+	cands := eng.Run(checker.NullDeref())
+	base := engines.NewPinpoint(engines.Plain).Check(g, cands)
+	for _, variant := range []engines.Variant{engines.LFS, engines.HFS, engines.AR} {
+		got := engines.NewPinpoint(variant).Check(g, cands)
+		for i := range base {
+			if got[i].Status != base[i].Status && got[i].Status != sat.Unknown {
+				t.Errorf("%s: disagreement on candidate %d: %s vs %s",
+					variant, i, got[i].Status, base[i].Status)
+			}
+		}
+	}
+}
+
+// TestInferOverReports: the path-insensitive engine reports infeasible
+// flows as bugs (its false positives).
+func TestInferOverReports(t *testing.T) {
+	g, gt := buildSubject(t, progen.Subjects[3], 0.05)
+	eng := sparse.NewEngine(g)
+	cands := eng.Run(checker.NullDeref())
+	inf := engines.NewInfer()
+	verdicts := inf.Check(g, cands)
+	reportedLines := map[int]bool{}
+	for _, v := range verdicts {
+		if v.Status == sat.Sat {
+			reportedLines[v.Cand.Sink.Pos.Line] = true
+		}
+	}
+	fps := 0
+	for _, b := range gt.ByChecker("null-deref") {
+		if !b.Feasible && reportedLines[b.SinkLine] {
+			fps++
+		}
+	}
+	if fps == 0 {
+		t.Error("the path-insensitive engine should report infeasible bugs as false positives")
+	}
+	if inf.ConditionBytes() <= 0 {
+		t.Error("summary memory accounting missing")
+	}
+}
+
+func TestBuildOffsetsSinkLines(t *testing.T) {
+	src, gt, _ := progen.Subjects[0].Build(0.2)
+	for _, b := range gt.Bugs {
+		lines := strings.Split(src, "\n")
+		if b.SinkLine-1 >= len(lines) {
+			t.Fatalf("sink line %d out of range", b.SinkLine)
+		}
+		line := lines[b.SinkLine-1]
+		if !strings.Contains(line, "(") && !strings.Contains(line, "/") {
+			t.Errorf("bug %d: line %d is %q, expected a sink", b.ID, b.SinkLine, line)
+		}
+	}
+}

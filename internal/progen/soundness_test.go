@@ -1,0 +1,126 @@
+package progen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/interp"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/progen"
+	"fusion/internal/sat"
+	"fusion/internal/sema"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+// flowKey identifies a source-to-sink flow by source positions, which are
+// stable between the raw program (interpreted) and the normalized one
+// (analyzed).
+type flowKey struct {
+	source lang.Pos
+	sink   lang.Pos
+	argIdx int
+}
+
+// specInterpOpts derives interpreter taint options from a checker spec.
+func specInterpOpts(spec *sparse.Spec, seed int64) interp.Options {
+	var sources []string
+	switch spec.Name {
+	case "cwe-23":
+		sources = checker.TaintInputSources
+	case "cwe-402":
+		sources = checker.SecretSources
+	}
+	var sinks []string
+	for s := range spec.SinkCalls {
+		sinks = append(sinks, s)
+	}
+	return interp.SpecOptions(seed, spec.Name == "null-deref", sources, sinks, spec.TaintThroughExtern)
+}
+
+// TestAnalysisSoundAgainstConcreteExecutions is the end-to-end soundness
+// fuzz: every flow witnessed by a concrete execution (the tracked value
+// observably reaching a sink) must be found by the sparse analysis and
+// judged feasible by both engines — the execution is a satisfying witness
+// of the path condition.
+func TestAnalysisSoundAgainstConcreteExecutions(t *testing.T) {
+	for _, subIdx := range []int{2, 5, 9} {
+		info := progen.Subjects[subIdx]
+		src, _, _ := info.Build(0.05)
+		raw, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := sema.Check(raw); len(errs) > 0 {
+			t.Fatal(errs[0])
+		}
+		norm := unroll.Normalize(raw, unroll.Options{})
+		g := pdg.Build(ssa.MustBuild(norm))
+		eng := sparse.NewEngine(g)
+		rng := rand.New(rand.NewSource(int64(subIdx) * 77))
+
+		for _, spec := range checker.All() {
+			// Static side: verdicts per flow key.
+			cands := eng.Run(spec)
+			fus := engines.NewFusion().Check(g, cands)
+			pin := engines.NewPinpoint(engines.Plain).Check(g, cands)
+			verdictF := map[flowKey]sat.Status{}
+			verdictP := map[flowKey]sat.Status{}
+			for i, v := range fus {
+				k := flowKey{v.Cand.Source.Pos, v.Cand.Sink.Pos, v.Cand.ArgIdx}
+				verdictF[k] = v.Status
+				verdictP[k] = pin[i].Status
+			}
+
+			// Dynamic side: execute every root bug function on random and
+			// targeted inputs, collecting witnessed flows.
+			for _, f := range raw.Funcs {
+				if f.Extern || len(f.Params) == 0 || f.Name[:3] != "bug" {
+					continue
+				}
+				for trial := 0; trial < 30; trial++ {
+					args := make([]interp.Value, len(f.Params))
+					for i := range args {
+						switch trial % 3 {
+						case 0:
+							args[i] = interp.Value{V: rng.Uint32() % 8}
+						case 1:
+							args[i] = interp.Value{V: rng.Uint32() % 64}
+						default:
+							args[i] = interp.Value{V: rng.Uint32()}
+						}
+					}
+					opts := specInterpOpts(spec, int64(trial))
+					opts.MaxLoopIters = 2 // match the analysis's loop unrolling
+					r, err := interp.New(raw, opts).Run(f.Name, args)
+					if err != nil {
+						t.Fatalf("%s/%s: interp: %v", info.Name, f.Name, err)
+					}
+					for _, hit := range r.Hits {
+						for srcPos := range hit.Taint {
+							k := flowKey{srcPos, hit.CallPos, hit.ArgIdx}
+							st, found := verdictF[k]
+							if !found {
+								t.Errorf("%s/%s/%s: witnessed flow %v not found by the sparse analysis",
+									info.Name, spec.Name, f.Name, k)
+								continue
+							}
+							if st != sat.Sat {
+								t.Errorf("%s/%s/%s: witnessed flow %v judged %s by fusion",
+									info.Name, spec.Name, f.Name, k, st)
+							}
+							if verdictP[k] != sat.Sat {
+								t.Errorf("%s/%s/%s: witnessed flow %v judged %s by pinpoint",
+									info.Name, spec.Name, f.Name, k, verdictP[k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

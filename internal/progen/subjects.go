@@ -1,0 +1,120 @@
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"fusion/internal/checker"
+)
+
+// Subject describes one benchmark subject, named after the paper's Table 2
+// entries. PaperKLoC and PaperFuncs are the original sizes; the generator
+// scales them down so the suite runs on a laptop (the paper's absolute
+// sizes need its LLVM/C++ corpus, which this reproduction replaces with
+// synthetic programs — see DESIGN.md).
+type Subject struct {
+	ID         int
+	Name       string
+	PaperKLoC  float64
+	PaperFuncs int
+}
+
+// Subjects lists the sixteen subjects of Table 2 in order.
+var Subjects = []Subject{
+	{1, "mcf", 2, 26},
+	{2, "bzip2", 3, 74},
+	{3, "gzip", 6, 89},
+	{4, "parser", 8, 324},
+	{5, "vpr", 11, 272},
+	{6, "crafty", 13, 108},
+	{7, "twolf", 18, 191},
+	{8, "eon", 22, 3400},
+	{9, "gap", 36, 843},
+	{10, "vortex", 49, 923},
+	{11, "perlbmk", 73, 1100},
+	{12, "gcc", 135, 2200},
+	{13, "ffmpeg", 1001, 74200},
+	{14, "v8", 1201, 260400},
+	{15, "mysql", 2030, 79200},
+	{16, "wine", 4108, 133000},
+}
+
+// SubjectByName returns the subject with the given name.
+func SubjectByName(name string) (Subject, error) {
+	for _, s := range Subjects {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Subject{}, fmt.Errorf("progen: unknown subject %q", name)
+}
+
+// Large reports whether the subject is one of the four industrial-sized
+// projects (IDs 13-16) used in Tables 4 and 5 and Figure 1(c).
+func (s Subject) Large() bool { return s.ID >= 13 }
+
+// Config derives a generator configuration at the given scale (1.0 = the
+// paper's sizes; the default harness uses a much smaller scale). Bug
+// counts grow slowly with subject size so every subject has work to do.
+func (s Subject) Config(scale float64) Config {
+	funcs := int(float64(s.PaperFuncs) * scale)
+	if funcs < 6 {
+		funcs = 6
+	}
+	// Lines per function in the original subjects varies widely; derive
+	// statement counts from the KLoC-to-function ratio, clamped to keep
+	// single functions tractable.
+	stmts := 4
+	if funcs > 0 {
+		perFunc := s.PaperKLoC * 1000 * scale / float64(funcs)
+		stmts = int(perFunc / 3)
+	}
+	if stmts < 3 {
+		stmts = 3
+	}
+	if stmts > 40 {
+		stmts = 40
+	}
+	layers := 4
+	if funcs >= 60 {
+		layers = 5
+	}
+	if funcs >= 150 {
+		layers = 6
+	}
+	if funcs >= 300 {
+		layers = 7
+	}
+	if funcs >= 500 {
+		layers = 8
+	}
+	bugs := 2 + funcs/25
+	if bugs > 40 {
+		bugs = 40
+	}
+	return Config{
+		Name:            s.Name,
+		Seed:            int64(1000 + s.ID),
+		Funcs:           funcs,
+		Layers:          layers,
+		StmtsPerFunc:    stmts,
+		FeasibleNull:    bugs,
+		InfeasibleNull:  bugs / 2,
+		FeasibleTaint:   bugs,
+		InfeasibleTaint: bugs / 2,
+		FeasibleDiv:     bugs / 2,
+		InfeasibleDiv:   bugs / 2,
+	}
+}
+
+// Build generates the subject at the given scale and returns the full
+// source (checker prelude included), the ground truth with sink lines
+// adjusted to the full source, and the generated line count.
+func (s Subject) Build(scale float64) (src string, gt GroundTruth, genLines int) {
+	body, gt := Generate(s.Config(scale))
+	offset := strings.Count(checker.Prelude, "\n")
+	for i := range gt.Bugs {
+		gt.Bugs[i].SinkLine += offset
+	}
+	return checker.Prelude + body, gt, strings.Count(body, "\n")
+}

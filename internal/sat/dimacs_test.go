@@ -1,0 +1,118 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `
+c a comment
+p cnf 3 4
+1 2 0
+-1 2 0
+1 -2 0
+3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("got %s err %v, want sat", st, err)
+	}
+	if !s.ValueOf(0) || !s.ValueOf(1) || !s.ValueOf(2) {
+		t.Errorf("model: %v %v %v, want all true", s.ValueOf(0), s.ValueOf(1), s.ValueOf(2))
+	}
+}
+
+func TestParseDIMACSUnsatAndErrors(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Solve(); st != Unsat {
+		t.Fatalf("got %s, want unsat", st)
+	}
+	for _, bad := range []string{
+		"p cnf x 2\n",
+		"p dnf 1 1\n1 0\n",
+		"p cnf 1 1\n2 0\n", // exceeds declared vars
+		"1 q 0\n",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 3 1\n1\n2\n3 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Solve(); st != Sat {
+		t.Fatalf("got %s, want sat", st)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 40; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(4*nVars)
+		var cls [][]int
+		for i := 0; i < nClauses; i++ {
+			var c []int
+			for j := 0; j < 3; j++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			cls = append(cls, c)
+		}
+		s1 := newSolverWithVars(nVars)
+		for _, c := range cls {
+			s1.AddClause(lits(s1, c...)...)
+		}
+		var buf bytes.Buffer
+		if err := s1.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: reparse: %v\n%s", iter, err, buf.String())
+		}
+		st1, err1 := s1.Solve()
+		st2, err2 := s2.Solve()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if st1 != st2 {
+			t.Fatalf("iter %d: round trip changed satisfiability: %s vs %s\n%s",
+				iter, st1, st2, buf.String())
+		}
+	}
+}
+
+func TestWriteDIMACSTriviallyUnsat(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(lits(s, 1)...)
+	s.AddClause(lits(s, -1)...)
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s2.Solve(); st != Unsat {
+		t.Fatalf("got %s, want unsat", st)
+	}
+}

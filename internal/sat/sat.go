@@ -1,0 +1,611 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-literal watching, VSIDS-style activity ordering, first-UIP
+// conflict analysis with non-chronological backjumping, Luby restarts, and
+// phase saving. It is the decision engine the bit-vector solver bit-blasts
+// into, standing in for the SAT core of Z3 in the paper's stack.
+package sat
+
+import (
+	"errors"
+	"time"
+)
+
+// Lit is a literal: variable index shifted left once, low bit = negated.
+// Variables are 0-based.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complementary literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) flip() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits     []Lit
+	learned  bool
+	activity float64
+}
+
+// Status is a solver verdict.
+type Status int
+
+// Verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBudget is returned when the conflict budget or deadline is exhausted.
+var ErrBudget = errors.New("sat: budget exhausted")
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]*clause // watches[lit] = clauses watching lit
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	phase    []lbool // saved phases
+
+	claInc float64
+
+	ok        bool // false once a top-level conflict is found
+	Conflicts int64
+	Props     int64
+	Decisions int64
+
+	// MaxConflicts bounds the search; <= 0 means unbounded.
+	MaxConflicts int64
+	// Deadline aborts the search when passed; zero means none.
+	Deadline time.Time
+
+	seen    []bool
+	toClear []int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, lFalse)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return v.flip()
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns false if the
+// formula became trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause after solving started")
+	}
+	// Normalize: drop duplicate and false literals, detect tautologies.
+	var out []Lit
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l.Var() >= s.NumVars() {
+			panic("sat: literal over unallocated variable")
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		if seen[l.Flip()] {
+			return true // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], c)
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if confl != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Flip() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				confl = c
+				continue
+			}
+			s.Props++
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			s.qhead = len(s.trail)
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, l := range s.learnts {
+			l.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis and returns the learnt
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.toClear = append(s.toClear, v)
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		confl = s.reason[v]
+		counter--
+		if counter == 0 {
+			break
+		}
+		if p != -1 && confl != nil {
+			// Put p first so the reason iteration skips it.
+			if confl.lits[0] != p {
+				for i, l := range confl.lits {
+					if l == p {
+						confl.lits[0], confl.lits[i] = confl.lits[i], confl.lits[0]
+						break
+					}
+				}
+			}
+		}
+	}
+	learnt[0] = p.Flip()
+
+	// Backjump level: max level among the other literals.
+	back := 0
+	for i := 1; i < len(learnt); i++ {
+		if int(s.level[learnt[i].Var()]) > back {
+			back = int(s.level[learnt[i].Var()])
+		}
+	}
+	// Move a literal of the backjump level into slot 1 for watching.
+	if len(learnt) > 1 {
+		mi := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[mi].Var()] {
+				mi = i
+			}
+		}
+		learnt[1], learnt[mi] = learnt[mi], learnt[1]
+	}
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+	return learnt, back
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = s.assigns[v]
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() Lit {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			neg := s.phase[v] != lTrue
+			return MkLit(v, neg)
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// reduceDB removes half of the learnt clauses with the lowest activity.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 100 {
+		return
+	}
+	// Partial selection: keep clauses that are reasons or highly active.
+	lim := medianActivity(s.learnts)
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if s.isReason(c) || c.activity >= lim || len(c.lits) <= 2 {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func medianActivity(cs []*clause) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cs {
+		sum += c.activity
+	}
+	return sum / float64(len(cs))
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assigns[v] != lUndef && s.reason[v] == c
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0].Flip(), c.lits[1].Flip()} {
+		ws := s.watches[w]
+		for i, x := range ws {
+			if x == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Solve runs the CDCL search and returns Sat, Unsat, or an error when the
+// budget is exhausted.
+func (s *Solver) Solve() (Status, error) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	restartIdx := int64(1)
+	conflictsAtStart := s.Conflicts
+	for {
+		budget := luby(restartIdx) * 100
+		restartIdx++
+		st, err := s.search(budget, conflictsAtStart)
+		if err != nil || st != Unknown {
+			return st, err
+		}
+	}
+}
+
+func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, error) {
+	conflictsThisRestart := int64(0)
+	checkCounter := 0
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsThisRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, nil
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if s.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.MaxConflicts {
+				return Unknown, ErrBudget
+			}
+			if conflictsThisRestart >= restartBudget {
+				s.cancelUntil(0)
+				s.reduceDB()
+				return Unknown, nil
+			}
+			continue
+		}
+		if !s.Deadline.IsZero() {
+			checkCounter++
+			if checkCounter%256 == 0 && time.Now().After(s.Deadline) {
+				return Unknown, ErrBudget
+			}
+		}
+		next := s.pickBranch()
+		if next == -1 {
+			return Sat, nil
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// ValueOf returns the model value of variable v after a Sat result.
+func (s *Solver) ValueOf(v int) bool { return s.assigns[v] == lTrue }
+
+// varHeap is a max-heap over variable activity with lazy deletion.
+type varHeap struct {
+	act   *[]float64
+	items []int
+	pos   map[int]int
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[h.items[a]] > (*h.act)[h.items[b]] }
+
+func (h *varHeap) swap(a, b int) {
+	h.items[a], h.items[b] = h.items[b], h.items[a]
+	h.pos[h.items[a]] = a
+	h.pos[h.items[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.items)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			return
+		}
+		h.swap(i, c)
+		i = c
+	}
+}
+
+func (h *varHeap) push(v int) {
+	if h.pos == nil {
+		h.pos = map[int]int{}
+	}
+	if _, ok := h.pos[v]; ok {
+		return
+	}
+	h.items = append(h.items, v)
+	h.pos[v] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	v := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	delete(h.pos, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int) {
+	if i, ok := h.pos[v]; ok {
+		h.up(i)
+		h.down(h.pos[v])
+		_ = i
+	}
+}

@@ -1,0 +1,285 @@
+// Package sema implements name resolution and type checking for the small
+// language. Analysis passes downstream (unrolling, SSA construction, PDG
+// building) assume a program that has passed Check.
+package sema
+
+import (
+	"fmt"
+
+	"fusion/internal/lang"
+)
+
+// Error is a semantic diagnostic attached to a source position.
+type Error struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// checker carries the state for checking one program.
+type checker struct {
+	prog   *lang.Program
+	funcs  map[string]*lang.FuncDecl
+	errs   []error
+	scopes []map[string]lang.Type
+	cur    *lang.FuncDecl
+}
+
+// Check verifies the whole program and returns all diagnostics found.
+// A nil return means the program is well-formed.
+func Check(prog *lang.Program) []error {
+	c := &checker{prog: prog, funcs: map[string]*lang.FuncDecl{}}
+	for _, f := range prog.Funcs {
+		if prev, ok := c.funcs[f.Name]; ok {
+			c.errorf(f.Pos, "function %s redeclared (previous at %s)", f.Name, prev.Pos)
+			continue
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	return c.errs
+}
+
+// MustCheck panics if the program has semantic errors. Intended for tests
+// and examples with literal sources.
+func MustCheck(prog *lang.Program) {
+	if errs := Check(prog); len(errs) > 0 {
+		panic(errs[0])
+	}
+}
+
+func (c *checker) errorf(pos lang.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]lang.Type{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t lang.Type, pos lang.Pos) {
+	for _, s := range c.scopes {
+		if _, ok := s[name]; ok {
+			c.errorf(pos, "variable %s shadows an existing declaration", name)
+			return
+		}
+	}
+	c.scopes[len(c.scopes)-1][name] = t
+}
+
+func (c *checker) lookup(name string) (lang.Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return lang.TypeInvalid, false
+}
+
+func (c *checker) checkFunc(f *lang.FuncDecl) {
+	if f.Extern {
+		if f.Body != nil {
+			c.errorf(f.Pos, "extern function %s must not have a body", f.Name)
+		}
+		return
+	}
+	if f.Body == nil {
+		c.errorf(f.Pos, "function %s has no body", f.Name)
+		return
+	}
+	c.cur = f
+	c.pushScope()
+	for _, p := range f.Params {
+		if p.Type == lang.TypeVoid {
+			c.errorf(p.Pos, "parameter %s has void type", p.Name)
+		}
+		c.declare(p.Name, p.Type, p.Pos)
+	}
+	c.checkBlock(f.Body)
+	c.popScope()
+	if f.Ret != lang.TypeVoid && !alwaysReturns(f.Body) {
+		c.errorf(f.Pos, "function %s: missing return (not all paths return a value)", f.Name)
+	}
+	c.cur = nil
+}
+
+// alwaysReturns conservatively reports whether every execution of the block
+// ends in a return statement.
+func alwaysReturns(b *lang.BlockStmt) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *lang.ReturnStmt:
+			return true
+		case *lang.IfStmt:
+			if s.Else != nil && alwaysReturns(s.Then) && alwaysReturns(s.Else) {
+				return true
+			}
+		case *lang.BlockStmt:
+			if alwaysReturns(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) checkBlock(b *lang.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		c.checkBlock(s)
+	case *lang.VarDecl:
+		t := c.checkExpr(s.Init)
+		if t != lang.TypeInvalid && !assignable(s.Type, t) {
+			c.errorf(s.Pos, "cannot initialize %s (%s) with %s value", s.Name, s.Type, t)
+		}
+		if s.Type == lang.TypeVoid {
+			c.errorf(s.Pos, "variable %s has void type", s.Name)
+		}
+		c.declare(s.Name, s.Type, s.Pos)
+	case *lang.AssignStmt:
+		vt, ok := c.lookup(s.Name)
+		if !ok {
+			c.errorf(s.Pos, "assignment to undeclared variable %s", s.Name)
+			vt = lang.TypeInvalid
+		}
+		t := c.checkExpr(s.Val)
+		if vt != lang.TypeInvalid && t != lang.TypeInvalid && !assignable(vt, t) {
+			c.errorf(s.Pos, "cannot assign %s value to %s (%s)", t, s.Name, vt)
+		}
+	case *lang.IfStmt:
+		if t := c.checkExpr(s.Cond); t != lang.TypeInvalid && t != lang.TypeBool {
+			c.errorf(s.Pos, "if condition must be bool, got %s", t)
+		}
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkBlock(s.Else)
+		}
+	case *lang.WhileStmt:
+		if t := c.checkExpr(s.Cond); t != lang.TypeInvalid && t != lang.TypeBool {
+			c.errorf(s.Pos, "while condition must be bool, got %s", t)
+		}
+		c.checkBlock(s.Body)
+	case *lang.ReturnStmt:
+		want := c.cur.Ret
+		if s.Val == nil {
+			if want != lang.TypeVoid {
+				c.errorf(s.Pos, "function %s must return a %s value", c.cur.Name, want)
+			}
+			return
+		}
+		if want == lang.TypeVoid {
+			c.errorf(s.Pos, "function %s returns no value", c.cur.Name)
+			c.checkExpr(s.Val)
+			return
+		}
+		if t := c.checkExpr(s.Val); t != lang.TypeInvalid && !assignable(want, t) {
+			c.errorf(s.Pos, "cannot return %s value from function returning %s", t, want)
+		}
+	case *lang.ExprStmt:
+		c.checkExpr(s.X)
+	default:
+		panic(fmt.Sprintf("unknown statement %T", s))
+	}
+}
+
+// assignable reports whether a value of type src can be stored into a
+// location of type dst. Null literals type as ptr, so only identical types
+// are assignable.
+func assignable(dst, src lang.Type) bool { return dst == src }
+
+func (c *checker) checkExpr(e lang.Expr) lang.Type {
+	switch e := e.(type) {
+	case *lang.IntLitExpr:
+		return lang.TypeInt
+	case *lang.BoolLitExpr:
+		return lang.TypeBool
+	case *lang.NullLitExpr:
+		return lang.TypePtr
+	case *lang.IdentExpr:
+		t, ok := c.lookup(e.Name)
+		if !ok {
+			c.errorf(e.Pos, "undeclared variable %s", e.Name)
+			return lang.TypeInvalid
+		}
+		return t
+	case *lang.UnaryExpr:
+		t := c.checkExpr(e.X)
+		switch e.Op {
+		case lang.OpNeg:
+			if t != lang.TypeInvalid && t != lang.TypeInt {
+				c.errorf(e.Pos, "operator - requires int, got %s", t)
+				return lang.TypeInvalid
+			}
+			return lang.TypeInt
+		case lang.OpNot:
+			if t != lang.TypeInvalid && t != lang.TypeBool {
+				c.errorf(e.Pos, "operator ! requires bool, got %s", t)
+				return lang.TypeInvalid
+			}
+			return lang.TypeBool
+		}
+		return lang.TypeInvalid
+	case *lang.BinExpr:
+		lt := c.checkExpr(e.L)
+		rt := c.checkExpr(e.R)
+		if lt == lang.TypeInvalid || rt == lang.TypeInvalid {
+			if e.Op.IsComparison() || e.Op.IsLogical() {
+				return lang.TypeBool
+			}
+			return lang.TypeInvalid
+		}
+		switch {
+		case e.Op.IsLogical():
+			if lt != lang.TypeBool || rt != lang.TypeBool {
+				c.errorf(e.Pos, "operator %s requires bool operands, got %s and %s", e.Op, lt, rt)
+			}
+			return lang.TypeBool
+		case e.Op == lang.OpEq || e.Op == lang.OpNe:
+			if lt != rt || lt == lang.TypeVoid {
+				c.errorf(e.Pos, "operator %s requires matching operand types, got %s and %s", e.Op, lt, rt)
+			}
+			return lang.TypeBool
+		case e.Op.IsComparison():
+			if lt != lang.TypeInt || rt != lang.TypeInt {
+				c.errorf(e.Pos, "operator %s requires int operands, got %s and %s", e.Op, lt, rt)
+			}
+			return lang.TypeBool
+		default: // arithmetic and bitwise
+			if lt != lang.TypeInt || rt != lang.TypeInt {
+				c.errorf(e.Pos, "operator %s requires int operands, got %s and %s", e.Op, lt, rt)
+				return lang.TypeInvalid
+			}
+			return lang.TypeInt
+		}
+	case *lang.CallExpr:
+		f, ok := c.funcs[e.Name]
+		if !ok {
+			c.errorf(e.Pos, "call to undeclared function %s", e.Name)
+			for _, a := range e.Args {
+				c.checkExpr(a)
+			}
+			return lang.TypeInvalid
+		}
+		if len(e.Args) != len(f.Params) {
+			c.errorf(e.Pos, "function %s takes %d arguments, got %d", f.Name, len(f.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at := c.checkExpr(a)
+			if i < len(f.Params) && at != lang.TypeInvalid && !assignable(f.Params[i].Type, at) {
+				c.errorf(a.ExprPos(), "argument %d of %s: cannot pass %s as %s", i+1, f.Name, at, f.Params[i].Type)
+			}
+		}
+		return f.Ret
+	default:
+		panic(fmt.Sprintf("unknown expression %T", e))
+	}
+}

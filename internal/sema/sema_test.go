@@ -1,0 +1,124 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/lang"
+)
+
+func checkSrc(t *testing.T, src string) []error {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func wantOK(t *testing.T, src string) {
+	t.Helper()
+	if errs := checkSrc(t, src); len(errs) > 0 {
+		t.Errorf("unexpected errors: %v", errs)
+	}
+}
+
+func wantErr(t *testing.T, src, substr string) {
+	t.Helper()
+	errs := checkSrc(t, src)
+	if len(errs) == 0 {
+		t.Errorf("expected error containing %q, got none", substr)
+		return
+	}
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Errorf("expected error containing %q, got %v", substr, errs)
+}
+
+func TestCheckValidProgram(t *testing.T) {
+	wantOK(t, `
+extern fun gets(): ptr;
+fun bar(x: int): int {
+    var y: int = x * 2;
+    return y;
+}
+fun foo(a: int, b: int): ptr {
+    var p: ptr = null;
+    var c: int = bar(a);
+    var d: int = bar(b);
+    if (c < d) {
+        return p;
+    }
+    return gets();
+}`)
+}
+
+func TestCheckUndeclaredVariable(t *testing.T) {
+	wantErr(t, "fun f(): int { return x; }", "undeclared variable x")
+	wantErr(t, "fun f() { x = 1; }", "undeclared variable x")
+}
+
+func TestCheckUndeclaredFunction(t *testing.T) {
+	wantErr(t, "fun f(): int { return g(); }", "undeclared function g")
+}
+
+func TestCheckTypeMismatches(t *testing.T) {
+	wantErr(t, "fun f() { var x: int = true; }", "cannot initialize")
+	wantErr(t, "fun f(a: int) { a = null; }", "cannot assign")
+	wantErr(t, "fun f(a: int) { if (a) { } }", "must be bool")
+	wantErr(t, "fun f(a: bool) { var x: int = a + 1; }", "requires int operands")
+	wantErr(t, "fun f(a: bool, b: int) { var x: bool = a && (b == b); var y: bool = a && b; }", "requires bool operands")
+	wantErr(t, "fun f(a: ptr, b: int) { var x: bool = a == b; }", "matching operand types")
+	wantErr(t, "fun f(a: int): bool { return a; }", "cannot return")
+	wantErr(t, "fun f(a: bool) { var x: int = -a; }", "requires int")
+	wantErr(t, "fun f(a: int) { var x: bool = !a; }", "requires bool")
+}
+
+func TestCheckCallArity(t *testing.T) {
+	wantErr(t, `
+fun g(x: int): int { return x; }
+fun f(): int { return g(); }`, "takes 1 arguments, got 0")
+	wantErr(t, `
+fun g(x: int): int { return x; }
+fun f(): int { return g(true); }`, "cannot pass bool as int")
+}
+
+func TestCheckMissingReturn(t *testing.T) {
+	wantErr(t, "fun f(a: int): int { if (a > 0) { return 1; } }", "missing return")
+	wantOK(t, "fun f(a: int): int { if (a > 0) { return 1; } else { return 2; } }")
+	wantOK(t, "fun f(a: int): int { if (a > 0) { return 1; } return 2; }")
+}
+
+func TestCheckVoidMisuse(t *testing.T) {
+	wantErr(t, `
+fun g() { }
+fun f(): int { return g(); }`, "cannot return void")
+	wantErr(t, `
+fun g() { return 1; }`, "returns no value")
+	wantErr(t, `fun f(): int { return; }`, "must return a int value")
+}
+
+func TestCheckShadowing(t *testing.T) {
+	wantErr(t, "fun f(a: int) { var a: int = 1; }", "shadows")
+	wantErr(t, "fun f(a: int) { if (a > 0) { var a: int = 1; } }", "shadows")
+}
+
+func TestCheckRedeclaredFunction(t *testing.T) {
+	wantErr(t, "fun f() { }\nfun f() { }", "redeclared")
+}
+
+func TestCheckScoping(t *testing.T) {
+	// A variable declared in a block is not visible outside it.
+	wantErr(t, "fun f(a: int) { if (a > 0) { var x: int = 1; } a = x; }", "undeclared variable x")
+	// But two sibling blocks may each declare the same name.
+	wantOK(t, "fun f(a: int) { if (a > 0) { var x: int = 1; a = x; } if (a < 0) { var x: int = 2; a = x; } }")
+}
+
+func TestCheckPtrComparison(t *testing.T) {
+	wantOK(t, "fun f(p: ptr): bool { return p == null; }")
+	wantOK(t, "fun f(p: ptr, q: ptr): bool { return p != q; }")
+	wantErr(t, "fun f(p: ptr): bool { return p < null; }", "requires int operands")
+}

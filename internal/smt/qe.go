@@ -1,0 +1,127 @@
+package smt
+
+import (
+	"errors"
+
+	"fusion/internal/sat"
+)
+
+// Quantifier elimination for the Pinpoint+QE baseline variant. Given a
+// conjunction φ and a set of variables to eliminate (the callee-internal
+// variables of a summary), Eliminate returns a formula over the remaining
+// variables equivalent to ∃vars.φ.
+//
+// The procedure mirrors the practical behaviour of a general QE tactic:
+// cheap substitution when an eliminated variable has a solvable defining
+// equation, and model-enumeration projection otherwise. Projection is
+// worst-case exponential in the solution count — QE over bit-vectors is
+// inherently super-polynomial — which is precisely why the paper's
+// Pinpoint+QE variant exhausts its memory budget on all but the smallest
+// subject (§5.1).
+
+// ErrQEBudget reports that elimination exceeded its work budget.
+var ErrQEBudget = errors.New("smt: quantifier elimination budget exhausted")
+
+// QEOptions configure Eliminate.
+type QEOptions struct {
+	// MaxCubes bounds the projection enumeration; beyond it, elimination
+	// fails with ErrQEBudget. Zero means 64.
+	MaxCubes int
+	// Solve decides subformulas during projection and must return a model
+	// covering every free variable of the query when satisfiable; wire it
+	// to the standalone solver with preprocessing disabled, since
+	// preprocessing may drop pinned variables from the model. Required.
+	Solve func(b *Builder, phi *Term) (st sat.Status, model Assignment)
+}
+
+// Eliminate computes ∃vars.φ, or returns ErrQEBudget when projection blows
+// up.
+func Eliminate(b *Builder, phi *Term, vars []*Term, opts QEOptions) (*Term, error) {
+	maxCubes := opts.MaxCubes
+	if maxCubes <= 0 {
+		maxCubes = 64
+	}
+	elim := map[*Term]bool{}
+	for _, v := range vars {
+		elim[v] = true
+	}
+
+	// Phase 1: substitution. A conjunct v = t with v eliminable and t free
+	// of eliminable variables defines v away.
+	for changed := true; changed; {
+		changed = false
+		for _, cj := range Conjuncts(phi) {
+			if cj.Op != OpEq {
+				continue
+			}
+			for _, ord := range [2][2]*Term{{cj.Args[0], cj.Args[1]}, {cj.Args[1], cj.Args[0]}} {
+				v, t := ord[0], ord[1]
+				if v.Op != OpVar || !elim[v] || mentionsAny(t, elim) {
+					continue
+				}
+				phi = Substitute(b, phi, map[*Term]*Term{v: t})
+				delete(elim, v)
+				changed = true
+				break
+			}
+			if changed {
+				break
+			}
+		}
+	}
+	// Drop eliminable variables that no longer occur.
+	remaining := map[*Term]bool{}
+	for _, v := range Vars(phi) {
+		if elim[v] {
+			remaining[v] = true
+		}
+	}
+	if len(remaining) == 0 {
+		return phi, nil
+	}
+
+	// Phase 2: projection by model enumeration over the *kept* variables:
+	// ∃e.φ = the disjunction of all assignments to the kept variables that
+	// extend to a model. Each discovered model contributes one cube and is
+	// blocked; bit-vector domains make the cube count explode, faithfully
+	// reproducing QE's cost profile.
+	var keep []*Term
+	for _, v := range Vars(phi) {
+		if !remaining[v] {
+			keep = append(keep, v)
+		}
+	}
+	work := phi
+	cubes := b.False()
+	for i := 0; ; i++ {
+		if i >= maxCubes {
+			return nil, ErrQEBudget
+		}
+		st, model := opts.Solve(b, work)
+		if st == sat.Unsat {
+			break
+		}
+		if st != sat.Sat {
+			return nil, ErrQEBudget
+		}
+		if len(keep) == 0 {
+			return b.True(), nil
+		}
+		cube := b.True()
+		for _, v := range keep {
+			cube = b.And(cube, b.Eq(v, b.Const(model[v], v.Width)))
+		}
+		cubes = b.Or(cubes, cube)
+		work = b.And(work, b.Not(cube))
+	}
+	return cubes, nil
+}
+
+func mentionsAny(t *Term, vars map[*Term]bool) bool {
+	for _, v := range Vars(t) {
+		if vars[v] {
+			return true
+		}
+	}
+	return false
+}

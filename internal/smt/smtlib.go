@@ -1,0 +1,563 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SMT-LIB v2 interchange for the bit-vector fragment this package uses.
+// Terms are width-1-boolean internally; on export, predicates become Bool
+// via (ite ... #b1 #b0) unwrapping where possible, and the top-level
+// assertion compares against #b1. ToSMTLIB output is accepted by standard
+// solvers (QF_BV); ParseSMTLIB reads the same subset back, which the tests
+// use as a round-trip property.
+
+// ToSMTLIB renders a complete SMT-LIB v2 script deciding phi.
+func ToSMTLIB(phi *Term) string {
+	var b strings.Builder
+	b.WriteString("(set-logic QF_BV)\n")
+	vars := Vars(phi)
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	for _, v := range vars {
+		fmt.Fprintf(&b, "(declare-const %s (_ BitVec %d))\n", symbol(v.Name), v.Width)
+	}
+	b.WriteString("(assert ")
+	writeBool(&b, phi)
+	b.WriteString(")\n(check-sat)\n")
+	return b.String()
+}
+
+// symbol quotes names that are not plain SMT-LIB simple symbols.
+func symbol(name string) string {
+	plain := true
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '$':
+		default:
+			plain = false
+		}
+	}
+	if plain && len(name) > 0 && !(name[0] >= '0' && name[0] <= '9') {
+		return name
+	}
+	return "|" + name + "|"
+}
+
+// writeBool renders a width-1 term as an SMT-LIB Bool.
+func writeBool(b *strings.Builder, t *Term) {
+	switch {
+	case t.IsTrue():
+		b.WriteString("true")
+	case t.IsFalse():
+		b.WriteString("false")
+	case t.Op == OpNot:
+		b.WriteString("(not ")
+		writeBool(b, t.Args[0])
+		b.WriteString(")")
+	case t.Op == OpAnd && t.Width == 1:
+		b.WriteString("(and")
+		for _, a := range t.Args {
+			b.WriteString(" ")
+			writeBool(b, a)
+		}
+		b.WriteString(")")
+	case t.Op == OpOr && t.Width == 1:
+		b.WriteString("(or")
+		for _, a := range t.Args {
+			b.WriteString(" ")
+			writeBool(b, a)
+		}
+		b.WriteString(")")
+	case isPredicate(t.Op):
+		fmt.Fprintf(b, "(%s ", predName(t.Op))
+		writeBV(b, t.Args[0])
+		b.WriteString(" ")
+		writeBV(b, t.Args[1])
+		b.WriteString(")")
+	default:
+		// A width-1 bit-vector term used as a boolean.
+		b.WriteString("(= ")
+		writeBV(b, t)
+		b.WriteString(" #b1)")
+	}
+}
+
+func isPredicate(op Op) bool {
+	switch op {
+	case OpEq, OpUlt, OpUle, OpSlt, OpSle:
+		return true
+	}
+	return false
+}
+
+func predName(op Op) string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpUlt:
+		return "bvult"
+	case OpUle:
+		return "bvule"
+	case OpSlt:
+		return "bvslt"
+	default:
+		return "bvsle"
+	}
+}
+
+// writeBV renders a term as a bit-vector expression.
+func writeBV(b *strings.Builder, t *Term) {
+	switch t.Op {
+	case OpVar:
+		b.WriteString(symbol(t.Name))
+	case OpConst:
+		if t.Width == 1 {
+			if t.Const == 1 {
+				b.WriteString("#b1")
+			} else {
+				b.WriteString("#b0")
+			}
+			return
+		}
+		fmt.Fprintf(b, "(_ bv%d %d)", t.Const, t.Width)
+	case OpNot:
+		writeUnary(b, "bvnot", t)
+	case OpNeg:
+		writeUnary(b, "bvneg", t)
+	case OpAnd:
+		writeNary(b, "bvand", t)
+	case OpOr:
+		writeNary(b, "bvor", t)
+	case OpXor:
+		writeNary(b, "bvxor", t)
+	case OpAdd:
+		writeNary(b, "bvadd", t)
+	case OpSub:
+		writeNary(b, "bvsub", t)
+	case OpMul:
+		writeNary(b, "bvmul", t)
+	case OpUDiv:
+		writeNary(b, "bvudiv", t)
+	case OpURem:
+		writeNary(b, "bvurem", t)
+	case OpShl:
+		writeNary(b, "bvshl", t)
+	case OpLshr:
+		writeNary(b, "bvlshr", t)
+	case OpEq, OpUlt, OpUle, OpSlt, OpSle:
+		// Predicate in bit-vector position: reify.
+		b.WriteString("(ite ")
+		writeBool(b, t)
+		b.WriteString(" #b1 #b0)")
+	case OpIte:
+		b.WriteString("(ite ")
+		writeBool(b, t.Args[0])
+		b.WriteString(" ")
+		writeBV(b, t.Args[1])
+		b.WriteString(" ")
+		writeBV(b, t.Args[2])
+		b.WriteString(")")
+	default:
+		panic(fmt.Sprintf("smt: smtlib: unhandled operator %s", t.Op))
+	}
+}
+
+func writeUnary(b *strings.Builder, name string, t *Term) {
+	fmt.Fprintf(b, "(%s ", name)
+	writeBV(b, t.Args[0])
+	b.WriteString(")")
+}
+
+func writeNary(b *strings.Builder, name string, t *Term) {
+	fmt.Fprintf(b, "(%s", name)
+	for _, a := range t.Args {
+		b.WriteString(" ")
+		writeBV(b, a)
+	}
+	b.WriteString(")")
+}
+
+// --- Parsing ---
+
+// sexpr is an S-expression: an atom or a list.
+type sexpr struct {
+	atom string
+	list []sexpr
+}
+
+func (s sexpr) isAtom() bool { return s.list == nil }
+
+// tokenizeSexpr splits SMT-LIB text into parens and atoms.
+func tokenizeSexpr(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '|':
+			j := i + 1
+			for j < len(src) && src[j] != '|' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("smt: smtlib: unterminated quoted symbol")
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r();|", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseSexprs(toks []string) ([]sexpr, error) {
+	var parse func(pos int) (sexpr, int, error)
+	parse = func(pos int) (sexpr, int, error) {
+		if pos >= len(toks) {
+			return sexpr{}, pos, fmt.Errorf("smt: smtlib: unexpected end of input")
+		}
+		t := toks[pos]
+		if t == "(" {
+			out := sexpr{list: []sexpr{}}
+			pos++
+			for pos < len(toks) && toks[pos] != ")" {
+				child, next, err := parse(pos)
+				if err != nil {
+					return sexpr{}, pos, err
+				}
+				out.list = append(out.list, child)
+				pos = next
+			}
+			if pos >= len(toks) {
+				return sexpr{}, pos, fmt.Errorf("smt: smtlib: missing )")
+			}
+			return out, pos + 1, nil
+		}
+		if t == ")" {
+			return sexpr{}, pos, fmt.Errorf("smt: smtlib: unexpected )")
+		}
+		return sexpr{atom: t}, pos + 1, nil
+	}
+	var out []sexpr
+	pos := 0
+	for pos < len(toks) {
+		e, next, err := parse(pos)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		pos = next
+	}
+	return out, nil
+}
+
+// ParseSMTLIB reads a script in the subset ToSMTLIB emits (declare-const
+// with BitVec sorts, one or more asserts, check-sat) and returns the
+// conjunction of the assertions built in b.
+func ParseSMTLIB(b *Builder, src string) (*Term, error) {
+	toks, err := tokenizeSexpr(src)
+	if err != nil {
+		return nil, err
+	}
+	exprs, err := parseSexprs(toks)
+	if err != nil {
+		return nil, err
+	}
+	p := &smtlibParser{b: b, decls: map[string]*Term{}}
+	var asserts []*Term
+	for _, e := range exprs {
+		if e.isAtom() || len(e.list) == 0 || !e.list[0].isAtom() {
+			return nil, fmt.Errorf("smt: smtlib: malformed command")
+		}
+		switch e.list[0].atom {
+		case "set-logic", "check-sat", "exit", "get-model", "set-option", "set-info":
+			// ignored
+		case "declare-const", "declare-fun":
+			if err := p.declare(e); err != nil {
+				return nil, err
+			}
+		case "assert":
+			if len(e.list) != 2 {
+				return nil, fmt.Errorf("smt: smtlib: malformed assert")
+			}
+			t, err := p.boolTerm(e.list[1])
+			if err != nil {
+				return nil, err
+			}
+			asserts = append(asserts, t)
+		default:
+			return nil, fmt.Errorf("smt: smtlib: unsupported command %s", e.list[0].atom)
+		}
+	}
+	return b.And(asserts...), nil
+}
+
+type smtlibParser struct {
+	b     *Builder
+	decls map[string]*Term
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '|' && s[len(s)-1] == '|' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func (p *smtlibParser) declare(e sexpr) error {
+	// (declare-const name sort) or (declare-fun name () sort).
+	args := e.list[1:]
+	if e.list[0].atom == "declare-fun" {
+		if len(args) != 3 || !args[1].isAtom() && len(args[1].list) != 0 {
+			return fmt.Errorf("smt: smtlib: only zero-arity declare-fun supported")
+		}
+		args = []sexpr{args[0], args[2]}
+	}
+	if len(args) != 2 || !args[0].isAtom() {
+		return fmt.Errorf("smt: smtlib: malformed declaration")
+	}
+	name := unquote(args[0].atom)
+	width, err := parseSort(args[1])
+	if err != nil {
+		return err
+	}
+	p.decls[name] = p.b.Var(name, width)
+	return nil
+}
+
+func parseSort(e sexpr) (int, error) {
+	if e.isAtom() {
+		if e.atom == "Bool" {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("smt: smtlib: unsupported sort %s", e.atom)
+	}
+	// (_ BitVec n)
+	if len(e.list) == 3 && e.list[0].atom == "_" && e.list[1].atom == "BitVec" {
+		n, err := strconv.Atoi(e.list[2].atom)
+		if err != nil || n < 1 || n > 32 {
+			return 0, fmt.Errorf("smt: smtlib: bad width %v", e.list[2].atom)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("smt: smtlib: unsupported sort")
+}
+
+// boolTerm parses a Bool-sorted expression into a width-1 term.
+func (p *smtlibParser) boolTerm(e sexpr) (*Term, error) {
+	b := p.b
+	if e.isAtom() {
+		switch e.atom {
+		case "true":
+			return b.True(), nil
+		case "false":
+			return b.False(), nil
+		}
+		if v, ok := p.decls[unquote(e.atom)]; ok && v.Width == 1 {
+			return v, nil
+		}
+		return nil, fmt.Errorf("smt: smtlib: unknown boolean %s", e.atom)
+	}
+	if len(e.list) == 0 || !e.list[0].isAtom() {
+		return nil, fmt.Errorf("smt: smtlib: malformed boolean term")
+	}
+	head := e.list[0].atom
+	args := e.list[1:]
+	switch head {
+	case "not":
+		x, err := p.boolTerm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return b.Not(x), nil
+	case "and", "or":
+		var xs []*Term
+		for _, a := range args {
+			x, err := p.boolTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, x)
+		}
+		if head == "and" {
+			return b.And(xs...), nil
+		}
+		return b.Or(xs...), nil
+	case "=", "bvult", "bvule", "bvslt", "bvsle":
+		x, err := p.bvTerm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.bvTerm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch head {
+		case "=":
+			return b.Eq(x, y), nil
+		case "bvult":
+			return b.Ult(x, y), nil
+		case "bvule":
+			return b.Ule(x, y), nil
+		case "bvslt":
+			return b.Slt(x, y), nil
+		default:
+			return b.Sle(x, y), nil
+		}
+	case "ite":
+		c, err := p.boolTerm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := p.boolTerm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.boolTerm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return b.Ite(c, x, y), nil
+	}
+	// Fall back: a width-1 bit-vector expression used as Bool.
+	t, err := p.bvTerm(e)
+	if err != nil {
+		return nil, err
+	}
+	if t.Width != 1 {
+		return nil, fmt.Errorf("smt: smtlib: expected boolean, got width %d", t.Width)
+	}
+	return t, nil
+}
+
+// bvTerm parses a bit-vector-sorted expression.
+func (p *smtlibParser) bvTerm(e sexpr) (*Term, error) {
+	b := p.b
+	if e.isAtom() {
+		a := e.atom
+		switch {
+		case a == "#b1":
+			return b.Const(1, 1), nil
+		case a == "#b0":
+			return b.Const(0, 1), nil
+		case strings.HasPrefix(a, "#x"):
+			v, err := strconv.ParseUint(a[2:], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("smt: smtlib: bad hex literal %s", a)
+			}
+			return b.Const(uint32(v), 4*len(a[2:])), nil
+		case strings.HasPrefix(a, "#b"):
+			v, err := strconv.ParseUint(a[2:], 2, 64)
+			if err != nil {
+				return nil, fmt.Errorf("smt: smtlib: bad binary literal %s", a)
+			}
+			return b.Const(uint32(v), len(a[2:])), nil
+		}
+		if v, ok := p.decls[unquote(a)]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("smt: smtlib: unknown symbol %s", a)
+	}
+	head := e.list[0]
+	args := e.list[1:]
+	// (_ bvN w) constants.
+	if head.isAtom() && head.atom == "_" && len(args) == 2 &&
+		strings.HasPrefix(args[0].atom, "bv") {
+		v, err1 := strconv.ParseUint(args[0].atom[2:], 10, 64)
+		w, err2 := strconv.Atoi(args[1].atom)
+		if err1 != nil || err2 != nil || w < 1 || w > 32 {
+			return nil, fmt.Errorf("smt: smtlib: bad constant")
+		}
+		return b.Const(uint32(v), w), nil
+	}
+	if !head.isAtom() {
+		return nil, fmt.Errorf("smt: smtlib: malformed term")
+	}
+	var xs []*Term
+	for _, a := range args {
+		if head.atom == "ite" {
+			break
+		}
+		x, err := p.bvTerm(a)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, x)
+	}
+	fold := func(f func(x, y *Term) *Term) (*Term, error) {
+		if len(xs) < 2 {
+			return nil, fmt.Errorf("smt: smtlib: %s needs two operands", head.atom)
+		}
+		out := xs[0]
+		for _, x := range xs[1:] {
+			out = f(out, x)
+		}
+		return out, nil
+	}
+	switch head.atom {
+	case "bvnot":
+		return b.Not(xs[0]), nil
+	case "bvneg":
+		return b.Neg(xs[0]), nil
+	case "bvand":
+		return b.And(xs...), nil
+	case "bvor":
+		return b.Or(xs...), nil
+	case "bvxor":
+		return fold(b.Xor)
+	case "bvadd":
+		return fold(b.Add)
+	case "bvsub":
+		return fold(b.Sub)
+	case "bvmul":
+		return fold(b.Mul)
+	case "bvudiv":
+		return fold(b.UDiv)
+	case "bvurem":
+		return fold(b.URem)
+	case "bvshl":
+		return fold(b.Shl)
+	case "bvlshr":
+		return fold(b.Lshr)
+	case "ite":
+		c, err := p.boolTerm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := p.bvTerm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.bvTerm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return b.Ite(c, x, y), nil
+	case "=", "bvult", "bvule", "bvslt", "bvsle":
+		// Predicate reified as a width-1 vector.
+		t, err := p.boolTerm(e)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("smt: smtlib: unsupported operator %s", head.atom)
+}

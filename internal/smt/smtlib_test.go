@@ -1,0 +1,155 @@
+package smt_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+	"fusion/internal/solver"
+)
+
+func TestToSMTLIBShape(t *testing.T) {
+	b := smt.NewBuilder()
+	x := b.Var("x", 32)
+	p := b.Var("foo.v3@2", 1) // needs quoting
+	phi := b.And(b.Ult(x, b.Const(10, 32)), p)
+	s := smt.ToSMTLIB(phi)
+	for _, want := range []string{
+		"(set-logic QF_BV)",
+		"(declare-const x (_ BitVec 32))",
+		"(declare-const |foo.v3@2| (_ BitVec 1))",
+		"(assert ",
+		"(bvult x (_ bv10 32))",
+		"(check-sat)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Balanced parentheses.
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("unbalanced parentheses")
+		}
+	}
+	if depth != 0 {
+		t.Fatal("unbalanced parentheses at end")
+	}
+}
+
+func TestSMTLIBRoundTrip(t *testing.T) {
+	b := smt.NewBuilder()
+	x, y := b.Var("x", 32), b.Var("y", 32)
+	c := b.Var("cond", 1)
+	cases := []*smt.Term{
+		b.Eq(b.Add(x, y), b.Const(100, 32)),
+		b.And(b.Ult(x, y), b.Not(b.Eq(x, b.Const(0, 32)))),
+		b.Or(c, b.Slt(x, b.Const(5, 32))),
+		b.Eq(b.Ite(c, x, y), b.Mul(x, b.Const(3, 32))),
+		b.Eq(b.UDiv(x, y), b.URem(y, x)),
+		b.Sle(b.Shl(x, b.Const(2, 32)), b.Lshr(y, b.Const(1, 32))),
+		b.Eq(b.Xor(x, b.Neg(y)), b.Not(x)),
+	}
+	for i, phi := range cases {
+		text := smt.ToSMTLIB(phi)
+		b2 := smt.NewBuilder()
+		got, err := smt.ParseSMTLIB(b2, text)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v\n%s", i, err, text)
+		}
+		// Semantic equality on random assignments: rebuild the original in
+		// b2's namespace for comparison.
+		vars2 := map[string]*smt.Term{}
+		for _, v := range smt.Vars(got) {
+			vars2[v.Name] = v
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		for trial := 0; trial < 50; trial++ {
+			a1 := smt.Assignment{}
+			a2 := smt.Assignment{}
+			for _, v := range smt.Vars(phi) {
+				val := rng.Uint32()
+				if v.Width == 1 {
+					val &= 1
+				}
+				a1[v] = val
+				if v2 := vars2[v.Name]; v2 != nil {
+					a2[v2] = val
+				}
+			}
+			if smt.Eval(phi, a1) != smt.Eval(got, a2) {
+				t.Fatalf("case %d: semantics changed after round trip\noriginal: %v\nparsed:   %v\nscript:\n%s",
+					i, phi, got, text)
+			}
+		}
+	}
+}
+
+func TestParseSMTLIBHandwritten(t *testing.T) {
+	src := `
+; a comment
+(set-logic QF_BV)
+(declare-const a (_ BitVec 8))
+(declare-fun b () (_ BitVec 8))
+(assert (bvult a b))
+(assert (= (bvadd a (_ bv1 8)) #x0a))
+(check-sat)
+`
+	b := smt.NewBuilder()
+	phi, err := smt.ParseSMTLIB(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := solver.Solve(b, phi, solver.Options{WantModel: true})
+	if r.Status != sat.Sat {
+		t.Fatalf("got %s, want sat", r.Status)
+	}
+	if smt.Eval(phi, r.Model) != 1 {
+		t.Fatal("model check failed")
+	}
+	a := b.Var("a", 8)
+	if r.Model[a] != 9 {
+		t.Errorf("a = %d, want 9", r.Model[a])
+	}
+}
+
+func TestParseSMTLIBErrors(t *testing.T) {
+	cases := []string{
+		"(assert",                         // unbalanced
+		"(frobnicate x)",                  // unknown command
+		"(assert (bvfoo x y))",            // unknown op inside assert needs decl first
+		"(declare-const x (Array))",       // unsupported sort
+		"(declare-const x (_ BitVec 99))", // width out of range
+		"(assert (= x y))",                // undeclared symbols
+	}
+	for _, src := range cases {
+		if _, err := smt.ParseSMTLIB(smt.NewBuilder(), src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestSMTLIBBooleanSort(t *testing.T) {
+	src := `
+(declare-const p Bool)
+(assert p)
+(check-sat)
+`
+	b := smt.NewBuilder()
+	phi, err := smt.ParseSMTLIB(b, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != b.Var("p", 1) {
+		t.Errorf("got %v, want the variable p", phi)
+	}
+}

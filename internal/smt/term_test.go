@@ -1,0 +1,237 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	if b.Add(x, y) != b.Add(x, y) {
+		t.Error("identical terms must be pointer-equal")
+	}
+	if b.Var("x", 32) != x {
+		t.Error("same variable name must intern to the same term")
+	}
+	if b.Const(5, 32) != b.Const(5, 32) {
+		t.Error("constants must intern")
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	b := NewBuilder()
+	c := func(v uint32) *Term { return b.Const(v, 32) }
+	cases := []struct {
+		got  *Term
+		want uint32
+	}{
+		{b.Add(c(3), c(4)), 7},
+		{b.Sub(c(3), c(4)), 0xFFFFFFFF},
+		{b.Mul(c(6), c(7)), 42},
+		{b.UDiv(c(42), c(5)), 8},
+		{b.UDiv(c(42), c(0)), 0xFFFFFFFF},
+		{b.URem(c(42), c(5)), 2},
+		{b.URem(c(42), c(0)), 42},
+		{b.Shl(c(1), c(4)), 16},
+		{b.Shl(c(1), c(40)), 0},
+		{b.Lshr(c(16), c(4)), 1},
+		{b.Neg(c(1)), 0xFFFFFFFF},
+		{b.Xor(c(0xF0), c(0xFF)), 0x0F},
+	}
+	for i, cse := range cases {
+		if !cse.got.IsConst() || cse.got.Const != cse.want {
+			t.Errorf("case %d: got %v, want %d", i, cse.got, cse.want)
+		}
+	}
+}
+
+func TestBooleanCanonicalization(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 1)
+	q := b.Var("q", 1)
+	if b.And(p, b.True()) != p {
+		t.Error("and with true must elide")
+	}
+	if !b.And(p, b.False()).IsFalse() {
+		t.Error("and with false must absorb")
+	}
+	if b.Or(p, b.False()) != p {
+		t.Error("or with false must elide")
+	}
+	if b.Not(b.Not(p)) != p {
+		t.Error("double negation must cancel")
+	}
+	if b.And(p, q, p) != b.And(p, q) {
+		t.Error("and must deduplicate")
+	}
+	if b.And(b.And(p, q), p) != b.And(p, q) {
+		t.Error("and must flatten")
+	}
+	if !b.Eq(p, p).IsTrue() {
+		t.Error("x = x must fold to true")
+	}
+	if b.Eq(p, b.True()) != p {
+		t.Error("p = true must fold to p")
+	}
+	if b.Eq(b.False(), p) != b.Not(p) {
+		t.Error("false = p must fold to !p")
+	}
+	if b.Ite(b.True(), p, q) != p || b.Ite(b.False(), p, q) != q {
+		t.Error("ite with constant condition must fold")
+	}
+	if b.Ite(b.Not(p), q, p) != b.Ite(p, p, q) {
+		t.Error("ite over a negated condition must swap arms")
+	}
+}
+
+func TestComparisonFolding(t *testing.T) {
+	b := NewBuilder()
+	c := func(v uint32) *Term { return b.Const(v, 8) }
+	if !b.Ult(c(3), c(4)).IsTrue() || !b.Ult(c(4), c(3)).IsFalse() {
+		t.Error("ult folding wrong")
+	}
+	// Signed: 0xFF is -1 as int8.
+	if !b.Slt(c(0xFF), c(0)).IsTrue() {
+		t.Error("slt must treat 0xFF as negative at width 8")
+	}
+	if !b.Sle(c(0x80), c(0x7F)).IsTrue() {
+		t.Error("INT8_MIN <= INT8_MAX must hold")
+	}
+	x := b.Var("x", 8)
+	if !b.Ult(x, x).IsFalse() || !b.Ule(x, x).IsTrue() {
+		t.Error("reflexive comparisons must fold")
+	}
+}
+
+func TestSizeAndVars(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	sum := b.Add(x, y)
+	phi := b.Eq(b.Mul(sum, sum), b.Const(4, 32))
+	if got := Size(phi); got != 6 { // phi, mul, sum, x, y, const
+		t.Errorf("Size: got %d, want 6", got)
+	}
+	vars := Vars(phi)
+	if len(vars) != 2 {
+		t.Errorf("Vars: got %d, want 2", len(vars))
+	}
+	// TreeSize counts the shared sum (3 nodes) twice: eq + mul + 2*3 + const.
+	if got := TreeSize(phi, 1000); got != 9 {
+		t.Errorf("TreeSize: got %d, want 9", got)
+	}
+	if got := TreeSize(phi, 3); got != 3 {
+		t.Errorf("TreeSize cap: got %d, want 3", got)
+	}
+}
+
+func TestEvalMatchesGoSemantics(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	f := func(xv, yv uint32) bool {
+		a := Assignment{x: xv, y: yv}
+		if Eval(b.Add(x, y), a) != xv+yv {
+			return false
+		}
+		if Eval(b.Mul(x, y), a) != xv*yv {
+			return false
+		}
+		if Eval(b.Slt(x, y), a) != boolVal(int32(xv) < int32(yv)) {
+			return false
+		}
+		if Eval(b.Sle(x, y), a) != boolVal(int32(xv) <= int32(yv)) {
+			return false
+		}
+		if Eval(b.Ult(x, y), a) != boolVal(xv < yv) {
+			return false
+		}
+		if yv != 0 && Eval(b.UDiv(x, y), a) != xv/yv {
+			return false
+		}
+		sh := yv % 64
+		want := uint32(0)
+		if sh < 32 {
+			want = xv << sh
+		}
+		if Eval(b.Shl(x, b.Const(sh, 32)), a) != want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	phi := b.Eq(b.Add(x, y), b.Const(10, 32))
+	got := Substitute(b, phi, map[*Term]*Term{x: b.Const(4, 32)})
+	want := b.Eq(y, b.Const(6, 32))
+	// Substitution folds 4 + y = 10; depending on canonicalization this is
+	// Eq(Add(4, y), 10). Either form must be semantically y = 6.
+	if Eval(got, Assignment{y: 6}) != 1 || Eval(got, Assignment{y: 7}) != 0 {
+		t.Errorf("substitute: got %v, want equivalent of %v", got, want)
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	phi := b.Eq(x, b.Const(1, 32))
+	got := RenameVars(b, phi, func(n string) string { return n + "@1" })
+	vars := Vars(got)
+	if len(vars) != 1 || vars[0].Name != "x@1" {
+		t.Errorf("rename: got vars %v", vars)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := rng.Uint32() | 1 // odd
+		inv := modInverse(a, 32)
+		if a*inv != 1 {
+			t.Fatalf("modInverse(%d) = %d: product %d", a, inv, a*inv)
+		}
+	}
+	if got := modInverse(3, 8); mask(3*got, 8) != 1 {
+		t.Errorf("width-8 inverse of 3 wrong: %d", got)
+	}
+}
+
+func TestBuilderAccounting(t *testing.T) {
+	b := NewBuilder()
+	if b.NumTerms() != 0 {
+		t.Error("fresh builder must be empty")
+	}
+	x := b.Var("x", 32)
+	b.Add(x, b.Const(1, 32))
+	if b.NumTerms() != 3 {
+		t.Errorf("NumTerms: got %d, want 3", b.NumTerms())
+	}
+	if b.EstimatedBytes() <= 0 {
+		t.Error("EstimatedBytes must grow")
+	}
+	v1 := b.FreshVar(32)
+	v2 := b.FreshVar(32)
+	if v1 == v2 {
+		t.Error("FreshVar must not collide")
+	}
+}
+
+func TestMixedWidthPanics(t *testing.T) {
+	b := NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mixed-width equality")
+		}
+	}()
+	b.Eq(b.Var("a", 8), b.Var("b", 16))
+}

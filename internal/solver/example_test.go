@@ -1,0 +1,38 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"fusion/internal/smt"
+	"fusion/internal/solver"
+)
+
+// ExampleSolve decides a bit-vector constraint system and extracts a
+// verified model.
+func ExampleSolve() {
+	b := smt.NewBuilder()
+	x, y := b.Var("x", 32), b.Var("y", 32)
+	phi := b.And(
+		b.Eq(b.Add(x, y), b.Const(10, 32)),
+		b.Eq(b.Mul(x, b.Const(3, 32)), b.Add(y, b.Const(2, 32))),
+	)
+	r := solver.Solve(b, phi, solver.Options{WantModel: true})
+	fmt.Println(r.Status)
+	fmt.Println(r.Model[x], r.Model[y])
+	fmt.Println(smt.Eval(phi, r.Model) == 1)
+	// Output:
+	// sat
+	// 3 7
+	// true
+}
+
+// ExampleSolve_unsat shows a parity refutation: 2x = 7 has no solution
+// modulo 2^32.
+func ExampleSolve_unsat() {
+	b := smt.NewBuilder()
+	x := b.Var("x", 32)
+	r := solver.Solve(b, b.Eq(b.Mul(x, b.Const(2, 32)), b.Const(7, 32)), solver.Options{})
+	fmt.Println(r.Status)
+	// Output:
+	// unsat
+}

@@ -1,0 +1,160 @@
+// Package solver is the standalone SMT solving front-end (Algorithm 3):
+// preprocessing passes over the input formula, early exit when they decide
+// it, and bit-blasting into the CDCL SAT core otherwise. It plays the role
+// of Z3 in the paper's evaluation.
+package solver
+
+import (
+	"time"
+
+	"fusion/internal/bitblast"
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+)
+
+// Options configure a standalone solve (Algorithm 3).
+type Options struct {
+	// Passes is the preprocessing pipeline; nil means smt.DefaultPasses. Use
+	// NoPasses to disable preprocessing entirely.
+	Passes []smt.Pass
+	// MaxConflicts bounds the SAT search; <= 0 means the default budget.
+	MaxConflicts int64
+	// Timeout bounds wall time of the SAT search; 0 means none. The paper
+	// runs each solver call with a 10-second limit.
+	Timeout time.Duration
+	// WantModel requests a model covering every free variable of the
+	// original formula. Preprocessing substitutes variables away, so when
+	// the model would otherwise be partial, a second pass-free solve
+	// reconstructs it; equisatisfiability guarantees one exists.
+	WantModel bool
+	// NoProbe disables the concrete-execution model probe that runs
+	// between preprocessing and bit-blasting.
+	NoProbe bool
+}
+
+// NoPasses is a non-nil empty pipeline that disables preprocessing.
+var NoPasses = []smt.Pass{}
+
+// Result reports a solve outcome with the cost breakdown the evaluation
+// plots.
+type Result struct {
+	Status sat.Status
+	// Preprocessed reports that preprocessing alone decided the formula
+	// (the "21% of cases" statistic of §5.1).
+	Preprocessed bool
+	// DecidedByProbe reports that the concrete-execution probe found a
+	// model, skipping the SAT core.
+	DecidedByProbe bool
+	// Model holds satisfying values for the formula's free variables when
+	// Status is Sat and the SAT solver ran.
+	Model smt.Assignment
+	// SizeBefore and SizeAfter are the formula DAG sizes around
+	// preprocessing.
+	SizeBefore, SizeAfter int
+	PreprocessTime        time.Duration
+	SearchTime            time.Duration
+	Conflicts             int64
+}
+
+// Solve implements the conventional SMT solution of Algorithm 3: apply the
+// equisatisfiable preprocessing pipeline, return early when it decides the
+// formula, and otherwise bit-blast into the CDCL solver.
+func Solve(b *smt.Builder, phi *smt.Term, opts Options) Result {
+	res := solveOnce(b, phi, opts)
+	if opts.WantModel && res.Status == sat.Sat && !modelCovers(res.Model, phi) {
+		raw := opts
+		raw.Passes = NoPasses
+		raw.WantModel = false
+		if full := solveOnce(b, phi, raw); full.Status == sat.Sat {
+			res.Model = full.Model
+		}
+	}
+	return res
+}
+
+func modelCovers(m smt.Assignment, phi *smt.Term) bool {
+	for _, v := range smt.Vars(phi) {
+		if _, ok := m[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
+	var res Result
+	res.SizeBefore = smt.Size(phi)
+	// Cheap model probing first, on the original formula: path conditions
+	// are mostly systems of definitions, and concrete execution over
+	// sampled inputs decides many satisfiable instances without paying
+	// for preprocessing or bit-blasting. Probing never misclassifies: a
+	// model is verified by evaluation.
+	if !opts.NoProbe && !phi.IsConst() {
+		if m, ok := Probe(phi, 32); ok {
+			res.Status = sat.Sat
+			res.DecidedByProbe = true
+			res.Model = m
+			return res
+		}
+	}
+	passes := opts.Passes
+	if passes == nil {
+		passes = smt.DefaultPasses()
+	}
+	t0 := time.Now()
+	phi = smt.Preprocess(b, phi, passes)
+	res.PreprocessTime = time.Since(t0)
+	res.SizeAfter = smt.Size(phi)
+	if phi.IsTrue() {
+		res.Status = sat.Sat
+		res.Preprocessed = true
+		return res
+	}
+	if phi.IsFalse() {
+		res.Status = sat.Unsat
+		res.Preprocessed = true
+		return res
+	}
+
+	t1 := time.Now()
+	s := sat.New()
+	if opts.MaxConflicts > 0 {
+		s.MaxConflicts = opts.MaxConflicts
+	} else {
+		s.MaxConflicts = 4_000_000
+	}
+	if opts.Timeout > 0 {
+		s.Deadline = time.Now().Add(opts.Timeout)
+	}
+	bl := bitblast.New(s)
+	bl.AssertTrue(phi)
+	st, err := s.Solve()
+	res.SearchTime = time.Since(t1)
+	res.Conflicts = s.Conflicts
+	if err != nil {
+		res.Status = sat.Unknown
+		return res
+	}
+	res.Status = st
+	if st == sat.Sat {
+		res.Model = smt.Assignment{}
+		for _, v := range smt.Vars(phi) {
+			res.Model[v] = bl.ModelValue(v)
+		}
+	}
+	return res
+}
+
+// Decide is a convenience wrapper returning (sat, unknown) for use by the
+// context simplifier and the abstraction-refinement loop.
+func Decide(b *smt.Builder, phi *smt.Term, opts Options) (isSat bool, unknown bool) {
+	r := Solve(b, phi, opts)
+	switch r.Status {
+	case sat.Sat:
+		return true, false
+	case sat.Unsat:
+		return false, false
+	default:
+		return false, true
+	}
+}

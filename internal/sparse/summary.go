@@ -1,0 +1,272 @@
+package sparse
+
+import (
+	"sort"
+
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/ssa"
+)
+
+// SummaryEngine is the summary-based variant of the sparse propagation —
+// Algorithm 2's S_t: to avoid repetitively analyzing a function, the flow
+// segments from each of its vertices to its exits (return value and sinks)
+// are computed once and composed at call sites. Without the fused design
+// the conventional analysis would also attach a path condition φ_π to each
+// segment; here summaries carry only the paths (Algorithm 5's point: the
+// analysis side computes no conditions).
+//
+// On recursion-free programs it enumerates the same (source, sink,
+// argument) flows as the DFS Engine, typically visiting far fewer states
+// on wide call graphs; the tests check the agreement and the benchmarks
+// measure the difference.
+type SummaryEngine struct {
+	G      *pdg.Graph
+	Limits Limits
+
+	spec *Spec
+	lim  Limits
+	memo map[*ssa.Value]*valueSummary
+}
+
+// NewSummaryEngine returns a summary-based enumerator with default limits.
+func NewSummaryEngine(g *pdg.Graph) *SummaryEngine { return &SummaryEngine{G: g} }
+
+// sinkFlow is a flow segment ending at a sink.
+type sinkFlow struct {
+	sink   *ssa.Value
+	argIdx int
+	seg    pdg.Path
+	// constrainFromEnd > 0 pins seg[len(seg)-constrainFromEnd] to
+	// constrainValue (the divisor-zero constraint).
+	constrainFromEnd int
+	constrainValue   uint32
+}
+
+// valueSummary lists where a vertex's value flows within (and below) its
+// function: segments to the function's return and segments to sinks.
+// Every segment starts at the vertex itself (StepStart).
+type valueSummary struct {
+	toRet   []pdg.Path
+	toSinks []sinkFlow
+}
+
+// maxSegs bounds the segments kept per vertex and exit kind.
+func (e *SummaryEngine) maxSegs() int {
+	n := e.lim.MaxPathsPerSource
+	if n <= 0 {
+		n = 8
+	}
+	return n
+}
+
+// Run enumerates candidates for a spec across the whole program.
+func (e *SummaryEngine) Run(spec *Spec) []Candidate {
+	e.spec = spec
+	e.lim = e.Limits.withDefaults()
+	e.memo = map[*ssa.Value]*valueSummary{}
+
+	var out []Candidate
+	for _, f := range e.G.Prog.Order {
+		for _, v := range f.Values {
+			if !spec.IsSource(v) {
+				continue
+			}
+			sum := e.summarize(v)
+			// Local and descending flows.
+			for _, sf := range sum.toSinks {
+				out = append(out, e.candidate(v, sf))
+			}
+			// Flows escaping through the return value ascend into every
+			// caller, transitively (the unbalanced prefix of the path).
+			out = append(out, e.ascend(v, f, sum.toRet, 0)...)
+		}
+	}
+	return out
+}
+
+func (e *SummaryEngine) candidate(src *ssa.Value, sf sinkFlow) Candidate {
+	c := Candidate{
+		Spec: e.spec, Source: src, Sink: sf.sink, ArgIdx: sf.argIdx,
+		Path: sf.seg, ConstrainStep: -1,
+	}
+	if sf.constrainFromEnd > 0 {
+		c.ConstrainStep = len(sf.seg) - sf.constrainFromEnd
+		c.ConstrainValue = sf.constrainValue
+	}
+	return c
+}
+
+// ascend continues return-escaping segments into the callers of f.
+func (e *SummaryEngine) ascend(src *ssa.Value, f *ssa.Function, segs []pdg.Path, depth int) []Candidate {
+	if len(segs) == 0 || depth > 64 {
+		return nil
+	}
+	var out []Candidate
+	callers := append([]*ssa.Value(nil), e.G.Callers[f.Name]...)
+	sort.Slice(callers, func(i, j int) bool { return callers[i].Site < callers[j].Site })
+	for _, c := range callers {
+		csum := e.summarize(c)
+		var nextUp []pdg.Path
+		for _, seg := range segs {
+			// Splice: ...ret -)site-> call vertex, then continue with the
+			// call vertex's own summary.
+			for _, sf := range csum.toSinks {
+				comp := spliceReturn(seg, c, sf.seg)
+				out = append(out, e.candidate(src, sinkFlow{
+					sink: sf.sink, argIdx: sf.argIdx, seg: comp,
+					constrainFromEnd: sf.constrainFromEnd,
+					constrainValue:   sf.constrainValue,
+				}))
+				if len(out) >= e.maxSegs()*4 {
+					return out
+				}
+			}
+			for _, rseg := range csum.toRet {
+				if len(nextUp) < e.maxSegs() {
+					nextUp = append(nextUp, spliceReturn(seg, c, rseg))
+				}
+			}
+		}
+		out = append(out, e.ascend(src, c.Fn, nextUp, depth+1)...)
+	}
+	return out
+}
+
+// spliceReturn joins a segment ending at a callee's return with a
+// continuation starting at the receiving call vertex.
+func spliceReturn(seg pdg.Path, call *ssa.Value, cont pdg.Path) pdg.Path {
+	out := make(pdg.Path, 0, len(seg)+len(cont))
+	out = append(out, seg...)
+	out = append(out, pdg.Step{V: call, Kind: pdg.StepReturn, Site: call.Site})
+	out = append(out, cont[1:]...) // cont[0] is the call vertex itself
+	return out
+}
+
+// spliceCall joins a prefix ending at an actual argument with a callee-side
+// segment starting at the formal parameter.
+func spliceCall(prefix pdg.Path, site int, calleeSeg pdg.Path) pdg.Path {
+	out := make(pdg.Path, 0, len(prefix)+len(calleeSeg))
+	out = append(out, prefix...)
+	out = append(out, pdg.Step{V: calleeSeg[0].V, Kind: pdg.StepCall, Site: site})
+	out = append(out, calleeSeg[1:]...)
+	return out
+}
+
+// summarize computes (memoized) where v's value flows. The use graph and
+// the call graph are acyclic after normalization, so plain recursion
+// terminates.
+func (e *SummaryEngine) summarize(v *ssa.Value) *valueSummary {
+	if s, ok := e.memo[v]; ok {
+		return s
+	}
+	s := &valueSummary{}
+	e.memo[v] = s // placed before recursion as a (harmless) cycle guard
+	cap := e.maxSegs()
+
+	self := pdg.Path{{V: v, Kind: pdg.StepStart}}
+	if v == v.Fn.Ret {
+		s.toRet = append(s.toRet, self)
+	}
+
+	uses := append([]*ssa.Value(nil), v.Uses...)
+	sort.Slice(uses, func(i, j int) bool { return uses[i].ID < uses[j].ID })
+
+	appendCont := func(prefixToUse func(cont pdg.Path) pdg.Path, usum *valueSummary) {
+		for _, seg := range usum.toRet {
+			if len(s.toRet) < cap {
+				s.toRet = append(s.toRet, prefixToUse(seg))
+			}
+		}
+		for _, sf := range usum.toSinks {
+			if len(s.toSinks) < cap {
+				s.toSinks = append(s.toSinks, sinkFlow{
+					sink: sf.sink, argIdx: sf.argIdx, seg: prefixToUse(sf.seg),
+					constrainFromEnd: sf.constrainFromEnd,
+					constrainValue:   sf.constrainValue,
+				})
+			}
+		}
+	}
+	// viaIntra extends self by one intra edge to u and then follows u's
+	// summary (whose segments start at u).
+	viaIntra := func(u *ssa.Value) func(cont pdg.Path) pdg.Path {
+		return func(cont pdg.Path) pdg.Path {
+			out := make(pdg.Path, 0, 1+len(cont))
+			out = append(out, pdg.Step{V: v, Kind: pdg.StepStart})
+			out = append(out, pdg.Step{V: cont[0].V, Kind: pdg.StepIntra})
+			out = append(out, cont[1:]...)
+			return out
+		}
+	}
+
+	for _, u := range uses {
+		switch u.Op {
+		case ssa.OpCall:
+			callee := e.G.Callee(u)
+			for idx, a := range u.Args {
+				if a != v || idx >= len(callee.Params) {
+					continue
+				}
+				psum := e.summarize(callee.Params[idx])
+				// Flows that stay below the call: sinks inside the callee.
+				for _, sf := range psum.toSinks {
+					if len(s.toSinks) < cap {
+						s.toSinks = append(s.toSinks, sinkFlow{
+							sink: sf.sink, argIdx: sf.argIdx,
+							seg:              spliceCall(self, u.Site, sf.seg),
+							constrainFromEnd: sf.constrainFromEnd,
+							constrainValue:   sf.constrainValue,
+						})
+					}
+				}
+				// Flows returning to the receiver continue from u.
+				if len(psum.toRet) > 0 {
+					usum := e.summarize(u)
+					for _, rseg := range psum.toRet {
+						prefix := spliceCall(self, u.Site, rseg)
+						appendCont(func(cont pdg.Path) pdg.Path {
+							return spliceReturn(prefix[:len(prefix)], u, cont)
+						}, usum)
+					}
+				}
+			}
+		case ssa.OpExtern:
+			if idxs, ok := e.spec.SinkCalls[u.Callee]; ok {
+				for ai, a := range u.Args {
+					if a != v {
+						continue
+					}
+					if len(idxs) > 0 && !containsInt(idxs, ai) {
+						continue
+					}
+					if len(s.toSinks) < cap {
+						s.toSinks = append(s.toSinks, sinkFlow{
+							sink: u, argIdx: ai,
+							seg: pdg.Path{{V: v, Kind: pdg.StepStart}, {V: u, Kind: pdg.StepIntra}},
+						})
+					}
+				}
+			}
+			if e.spec.TaintThroughExtern {
+				appendCont(viaIntra(u), e.summarize(u))
+			}
+		case ssa.OpBranch:
+			// Facts do not flow through control decisions.
+		default:
+			if e.spec.SinkDivisors && u.Op == ssa.OpBin &&
+				(u.BinOp == lang.OpDiv || u.BinOp == lang.OpRem) && u.Args[1] == v {
+				if len(s.toSinks) < cap {
+					s.toSinks = append(s.toSinks, sinkFlow{
+						sink: u, argIdx: 1,
+						seg:              pdg.Path{{V: v, Kind: pdg.StepStart}, {V: u, Kind: pdg.StepIntra}},
+						constrainFromEnd: 2,
+						constrainValue:   0,
+					})
+				}
+			}
+			appendCont(viaIntra(u), e.summarize(u))
+		}
+	}
+	return s
+}

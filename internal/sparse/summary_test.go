@@ -1,0 +1,169 @@
+package sparse_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"fusion/internal/checker"
+	"fusion/internal/engines"
+	"fusion/internal/pdg"
+	"fusion/internal/progen"
+	"fusion/internal/sparse"
+	"fusion/internal/ssa"
+)
+
+// flowTriples renders candidates as comparable (source, sink, arg) keys.
+func flowTriples(cands []sparse.Candidate) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range cands {
+		k := fmt.Sprintf("%s/%s -> %s/%s arg%d",
+			c.Source.Fn.Name, c.Source.Pos, c.Sink.Fn.Name, c.Sink.Pos, c.ArgIdx)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func summaryGraph(t *testing.T, src string) *pdg.Graph {
+	t.Helper()
+	return buildGraph(t, src)
+}
+
+// TestSummaryEngineAgreesWithDFS: on hand-written programs and generated
+// subjects, the summary-based enumeration must discover exactly the same
+// flows as the DFS engine.
+func TestSummaryEngineAgreesWithDFS(t *testing.T) {
+	sources := []string{
+		`
+fun id(p: ptr): ptr { return p; }
+fun use(p: ptr) { deref(p); }
+fun f(x: ptr) {
+    var n: ptr = null;
+    use(id(n));
+    load(id(x));
+    deref(n);
+}`,
+		`
+fun mk(): ptr { return null; }
+fun f1() { deref(mk()); }
+fun f2() { load(mk()); }`,
+		`
+fun relay(x: int): int { return x; }
+fun f(a: int) {
+    var s: int = read_secret();
+    var v: int = relay(relay(s));
+    if (a > 0) {
+        send(v);
+    }
+    sendmsg(v, a);
+}`,
+	}
+	for i, src := range sources {
+		g := summaryGraph(t, src)
+		for _, spec := range checker.All() {
+			dfs := flowTriples(sparse.NewEngine(g).Run(spec))
+			sum := flowTriples(sparse.NewSummaryEngine(g).Run(spec))
+			if len(dfs) != len(sum) {
+				t.Fatalf("case %d/%s: DFS %d flows, summary %d flows\nDFS: %v\nSUM: %v",
+					i, spec.Name, len(dfs), len(sum), dfs, sum)
+			}
+			for j := range dfs {
+				if dfs[j] != sum[j] {
+					t.Errorf("case %d/%s: flow %d differs: %s vs %s", i, spec.Name, j, dfs[j], sum[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryEngineOnGeneratedSubjects(t *testing.T) {
+	for _, idx := range []int{3, 9} {
+		src, _, _ := progen.Subjects[idx].Build(0.05)
+		g := summaryGraph(t, src[len(checker.Prelude):]) // buildGraph re-adds the prelude
+		for _, spec := range checker.All() {
+			dfs := flowTriples(sparse.NewEngine(g).Run(spec))
+			sum := flowTriples(sparse.NewSummaryEngine(g).Run(spec))
+			if fmt.Sprint(dfs) != fmt.Sprint(sum) {
+				t.Errorf("%s/%s: flow sets differ\nDFS: %v\nSUM: %v",
+					progen.Subjects[idx].Name, spec.Name, dfs, sum)
+			}
+		}
+	}
+}
+
+// TestSummaryPathsAreWellFormed: spliced paths must carry CFL-consistent
+// labels — every matched return pops the call it entered through — and be
+// accepted by the feasibility engines.
+func TestSummaryPathsAreWellFormed(t *testing.T) {
+	g := summaryGraph(t, `
+fun dig(p: ptr): ptr { return p; }
+fun f(a: int) {
+    var n: ptr = null;
+    var q: ptr = dig(dig(n));
+    if (a > 1) {
+        deref(q);
+    }
+}`)
+	cands := sparse.NewSummaryEngine(g).Run(checker.NullDeref())
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		var stack []int
+		for _, st := range c.Path {
+			switch st.Kind {
+			case pdg.StepCall:
+				stack = append(stack, st.Site)
+			case pdg.StepReturn:
+				if len(stack) > 0 {
+					if stack[len(stack)-1] != st.Site {
+						t.Fatalf("mismatched return in %s", c.Path)
+					}
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+		// The feasibility engine must accept summary-produced paths.
+		fus := engines.NewFusion().Check(g, []sparse.Candidate{c})
+		if fus[0].Status.String() == "unknown" {
+			t.Errorf("engine could not decide summary path %s", c.Path)
+		}
+	}
+}
+
+// TestSummaryDivisorConstraints: the constraint offset must survive
+// splicing across calls.
+func TestSummaryDivisorConstraints(t *testing.T) {
+	g := summaryGraph(t, `
+fun divide(d: int): int {
+    var x: int = 100 / d;
+    return x;
+}
+fun f() {
+    var n: int = user_input();
+    var r: int = divide(n * 2 + 1);
+    send(r);
+}`)
+	cands := sparse.NewSummaryEngine(g).Run(checker.DivByZero())
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(cands))
+	}
+	c := cands[0]
+	if c.ConstrainStep < 0 || c.ConstrainStep >= len(c.Path) {
+		t.Fatalf("bad constraint step %d for path %s", c.ConstrainStep, c.Path)
+	}
+	if c.Path[c.ConstrainStep].V.Op != ssa.OpParam {
+		// The constrained vertex is the divisor value (the callee param).
+		t.Errorf("constrained vertex is %s, want the divisor", c.Path[c.ConstrainStep].V.Op)
+	}
+	// The odd divisor makes the flow infeasible.
+	fus := engines.NewFusion().Check(g, cands)
+	if fus[0].Status.String() != "unsat" {
+		t.Errorf("odd divisor through a call: got %s, want unsat", fus[0].Status)
+	}
+}

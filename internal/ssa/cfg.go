@@ -1,0 +1,120 @@
+package ssa
+
+import (
+	"fmt"
+	"strings"
+
+	"fusion/internal/lang"
+)
+
+// The control-flow graph here serves two purposes: it is the classic
+// substrate from which control dependence is defined (Ferrante et al.), and
+// the tests use it to validate that the structural Guard chains the SSA
+// builder produces agree with control dependence computed from first
+// principles via post-dominance frontiers.
+
+// Block is a basic block of a CFG.
+type Block struct {
+	ID    int
+	Stmts []lang.Stmt // straight-line statements (no control flow)
+	// Cond is the branch condition if the block ends in a two-way branch.
+	Cond lang.Expr
+	// IfPos is the position of the if-statement that ends the block, when
+	// Cond is set. Tests use it to correlate CFG branches with the
+	// structural guards of the SSA builder.
+	IfPos lang.Pos
+	// Succs are the control-flow successors: for a branching block,
+	// Succs[0] is the true edge and Succs[1] the false edge.
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "b%d ->", b.ID)
+	for _, s := range b.Succs {
+		fmt.Fprintf(&sb, " b%d", s.ID)
+	}
+	return sb.String()
+}
+
+// CFG is a single-entry single-exit control-flow graph of a normalized
+// function.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// BuildCFG constructs the CFG of a normalized (loop-free) function body.
+func BuildCFG(fd *lang.FuncDecl) (*CFG, error) {
+	if fd.Body == nil {
+		return nil, fmt.Errorf("cfg: function %s has no body", fd.Name)
+	}
+	g := &CFG{}
+	g.Entry = g.newBlock()
+	last, err := g.buildBlock(g.Entry, fd.Body)
+	if err != nil {
+		return nil, err
+	}
+	g.Exit = g.newBlock()
+	g.link(last, g.Exit)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+	return g, nil
+}
+
+func (g *CFG) newBlock() *Block {
+	b := &Block{ID: len(g.Blocks)}
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+func (g *CFG) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// buildBlock appends the statements of blk starting in cur and returns the
+// block where control continues.
+func (g *CFG) buildBlock(cur *Block, blk *lang.BlockStmt) (*Block, error) {
+	for _, s := range blk.Stmts {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			next, err := g.buildBlock(cur, s)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		case *lang.IfStmt:
+			cur.Cond = s.Cond
+			cur.IfPos = s.Pos
+			thenB := g.newBlock()
+			g.link(cur, thenB)
+			thenEnd, err := g.buildBlock(thenB, s.Then)
+			if err != nil {
+				return nil, err
+			}
+			elseB := g.newBlock()
+			g.link(cur, elseB)
+			elseEnd := elseB
+			if s.Else != nil {
+				elseEnd, err = g.buildBlock(elseB, s.Else)
+				if err != nil {
+					return nil, err
+				}
+			}
+			join := g.newBlock()
+			g.link(thenEnd, join)
+			g.link(elseEnd, join)
+			cur = join
+		case *lang.WhileStmt:
+			return nil, fmt.Errorf("cfg: %s: loop present; function was not normalized", s.Pos)
+		default:
+			cur.Stmts = append(cur.Stmts, s)
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,202 @@
+package ssa
+
+// Dominator computation on an arbitrary directed graph, using the iterative
+// algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance
+// Algorithm"). It is near-linear on the reducible graphs produced from
+// structured code and requires no auxiliary data structures beyond a
+// reverse-postorder numbering.
+
+// Graph is the minimal shape the dominance routines need.
+type Graph interface {
+	// NumNodes returns the node count; nodes are identified by 0..n-1.
+	NumNodes() int
+	// Succs returns the successor node IDs of n.
+	Succs(n int) []int
+	// Preds returns the predecessor node IDs of n.
+	Preds(n int) []int
+}
+
+// DomTree holds immediate dominators for a graph rooted at Entry.
+type DomTree struct {
+	Entry int
+	// Idom[n] is the immediate dominator of n, or -1 for the entry and
+	// for nodes unreachable from the entry.
+	Idom []int
+	// order[n] is the reverse-postorder index of n (entry = 0), or -1.
+	order []int
+}
+
+// Dominators computes the dominator tree of g rooted at entry.
+func Dominators(g Graph, entry int) *DomTree {
+	n := g.NumNodes()
+	t := &DomTree{Entry: entry, Idom: make([]int, n), order: make([]int, n)}
+	for i := range t.Idom {
+		t.Idom[i] = -1
+		t.order[i] = -1
+	}
+
+	// Reverse postorder via iterative DFS.
+	post := make([]int, 0, n)
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		node int
+		i    int
+	}
+	stack := []frame{{node: entry}}
+	state[entry] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.node)
+		if f.i < len(succs) {
+			s := succs[f.i]
+			f.i++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		state[f.node] = 2
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	for i, node := range rpo {
+		t.order[node] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for t.order[a] > t.order[b] {
+				a = t.Idom[a]
+			}
+			for t.order[b] > t.order[a] {
+				b = t.Idom[b]
+			}
+		}
+		return a
+	}
+
+	t.Idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, node := range rpo {
+			if node == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds(node) {
+				if t.order[p] < 0 || t.Idom[p] == -1 {
+					continue // unreachable or unprocessed predecessor
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && t.Idom[node] != newIdom {
+				t.Idom[node] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.Idom[entry] = -1
+	return t
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b int) bool {
+	if t.order[b] < 0 {
+		return false // b unreachable
+	}
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b]
+	}
+	return false
+}
+
+// Reachable reports whether n is reachable from the entry.
+func (t *DomTree) Reachable(n int) bool { return t.order[n] >= 0 || n == t.Entry }
+
+// reverseGraph adapts a Graph with successor/predecessor roles swapped, so
+// post-dominators are dominators of the reversed graph.
+type reverseGraph struct{ g Graph }
+
+func (r reverseGraph) NumNodes() int     { return r.g.NumNodes() }
+func (r reverseGraph) Succs(n int) []int { return r.g.Preds(n) }
+func (r reverseGraph) Preds(n int) []int { return r.g.Succs(n) }
+
+// PostDominators computes the post-dominator tree of g rooted at exit.
+func PostDominators(g Graph, exit int) *DomTree {
+	return Dominators(reverseGraph{g}, exit)
+}
+
+// ControlDeps computes control dependence per Ferrante, Ottenstein and
+// Warren: node w is control-dependent on edge (u -> v) when w post-dominates
+// v but does not post-dominate u. The result maps each node to the set of
+// branch nodes u it is control-dependent on, keyed by the successor index
+// of the taken edge.
+type ControlDep struct {
+	Branch int // the branching node
+	Edge   int // index into Succs(Branch) of the edge that enables the node
+}
+
+// ControlDeps returns, for every node, the control dependences computed
+// from the post-dominance relation.
+func ControlDeps(g Graph, exit int) map[int][]ControlDep {
+	pdom := PostDominators(g, exit)
+	out := map[int][]ControlDep{}
+	for u := 0; u < g.NumNodes(); u++ {
+		succs := g.Succs(u)
+		if len(succs) < 2 {
+			continue
+		}
+		for ei, v := range succs {
+			// Walk the post-dominator tree from v up to (but excluding)
+			// ipdom(u); everything on the way is control-dependent on
+			// (u, v).
+			stop := pdom.Idom[u]
+			for w := v; w != -1 && w != stop; w = pdom.Idom[w] {
+				out[w] = append(out[w], ControlDep{Branch: u, Edge: ei})
+				if w == u {
+					break // self-loop; should not occur in our CFGs
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cfgGraph adapts *CFG to the Graph interface.
+type cfgGraph struct{ c *CFG }
+
+func (a cfgGraph) NumNodes() int { return len(a.c.Blocks) }
+func (a cfgGraph) Succs(n int) []int {
+	out := make([]int, len(a.c.Blocks[n].Succs))
+	for i, s := range a.c.Blocks[n].Succs {
+		out[i] = s.ID
+	}
+	return out
+}
+func (a cfgGraph) Preds(n int) []int {
+	out := make([]int, len(a.c.Blocks[n].Preds))
+	for i, s := range a.c.Blocks[n].Preds {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// AsGraph exposes the CFG through the generic Graph interface.
+func (c *CFG) AsGraph() Graph { return cfgGraph{c} }
+
+// CFGControlDeps computes control dependences of a CFG's blocks.
+func CFGControlDeps(c *CFG) map[int][]ControlDep {
+	return ControlDeps(c.AsGraph(), c.Exit.ID)
+}

@@ -1,0 +1,119 @@
+package ssa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteDominates computes dominance from first principles: a dominates b
+// iff b is unreachable from the entry once a is removed (and b is
+// reachable at all).
+func bruteDominates(g Graph, entry, a, b int) bool {
+	reach := func(skip int) map[int]bool {
+		seen := map[int]bool{}
+		if entry == skip {
+			return seen
+		}
+		stack := []int{entry}
+		seen[entry] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.Succs(n) {
+				if s != skip && !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return seen
+	}
+	if !reach(-1)[b] {
+		return false // unreachable nodes are dominated by nothing
+	}
+	if a == b {
+		return true
+	}
+	return !reach(a)[b]
+}
+
+// TestQuickDominatorsAgainstBruteForce validates the iterative dominator
+// computation against the removal-based definition on random digraphs.
+func TestQuickDominatorsAgainstBruteForce(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		var edges [][2]int
+		// A random spine keeps a good portion of the graph reachable.
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		g := newSliceGraph(n, edges)
+		d := Dominators(g, 0)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := bruteDominates(g, 0, a, b)
+				got := d.Dominates(a, b)
+				if got != want {
+					t.Logf("seed %d: dominates(%d, %d): got %v, want %v (edges %v)",
+						seed, a, b, got, want, edges)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPostDominators checks post-dominance by duality on random DAGs
+// with a unique exit.
+func TestQuickPostDominators(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		var edges [][2]int
+		// Forward edges only, plus every sink wired to the last node so it
+		// is the unique exit.
+		for i := 0; i < n-1; i++ {
+			out := 1 + rng.Intn(2)
+			for j := 0; j < out; j++ {
+				to := i + 1 + rng.Intn(n-i-1)
+				edges = append(edges, [2]int{i, to})
+			}
+		}
+		g := newSliceGraph(n, edges)
+		hasSucc := make([]bool, n)
+		for _, e := range edges {
+			hasSucc[e[0]] = true
+		}
+		for i := 0; i < n-1; i++ {
+			if !hasSucc[i] {
+				edges = append(edges, [2]int{i, n - 1})
+			}
+		}
+		g = newSliceGraph(n, edges)
+		pd := PostDominators(g, n-1)
+		rev := reverseGraph{g}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := bruteDominates(rev, n-1, a, b)
+				if pd.Dominates(a, b) != want {
+					t.Logf("seed %d: postdom(%d, %d) mismatch", seed, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

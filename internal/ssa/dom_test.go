@@ -1,0 +1,252 @@
+package ssa
+
+import (
+	"testing"
+
+	"fusion/internal/lang"
+	"fusion/internal/sema"
+	"fusion/internal/unroll"
+)
+
+// sliceGraph is a simple adjacency-list Graph for tests.
+type sliceGraph struct {
+	succs [][]int
+	preds [][]int
+}
+
+func newSliceGraph(n int, edges [][2]int) *sliceGraph {
+	g := &sliceGraph{succs: make([][]int, n), preds: make([][]int, n)}
+	for _, e := range edges {
+		g.succs[e[0]] = append(g.succs[e[0]], e[1])
+		g.preds[e[1]] = append(g.preds[e[1]], e[0])
+	}
+	return g
+}
+
+func (g *sliceGraph) NumNodes() int     { return len(g.succs) }
+func (g *sliceGraph) Succs(n int) []int { return g.succs[n] }
+func (g *sliceGraph) Preds(n int) []int { return g.preds[n] }
+
+func TestDominatorsDiamond(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+	g := newSliceGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	d := Dominators(g, 0)
+	if d.Idom[1] != 0 || d.Idom[2] != 0 || d.Idom[3] != 0 {
+		t.Errorf("diamond idoms: got %v, want all 0", d.Idom)
+	}
+	if !d.Dominates(0, 3) || d.Dominates(1, 3) || !d.Dominates(3, 3) {
+		t.Error("Dominates relation wrong on diamond")
+	}
+}
+
+func TestDominatorsChainAndNested(t *testing.T) {
+	// 0 -> 1 -> 2 -> 5; 1 -> 3 -> 4 -> 5 nested inside.
+	g := newSliceGraph(6, [][2]int{{0, 1}, {1, 2}, {2, 5}, {1, 3}, {3, 4}, {4, 5}})
+	d := Dominators(g, 0)
+	want := []int{-1, 0, 1, 1, 3, 1}
+	for i, w := range want {
+		if d.Idom[i] != w {
+			t.Errorf("idom[%d]: got %d, want %d", i, d.Idom[i], w)
+		}
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := newSliceGraph(3, [][2]int{{0, 1}})
+	d := Dominators(g, 0)
+	if d.Reachable(2) {
+		t.Error("node 2 should be unreachable")
+	}
+	if d.Dominates(0, 2) {
+		t.Error("nothing dominates an unreachable node")
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	g := newSliceGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	pd := PostDominators(g, 3)
+	if pd.Idom[0] != 3 || pd.Idom[1] != 3 || pd.Idom[2] != 3 {
+		t.Errorf("post-idoms: got %v", pd.Idom)
+	}
+}
+
+func TestControlDepsDiamond(t *testing.T) {
+	// Branch at 0; 1 and 2 are each control-dependent on one edge of 0.
+	g := newSliceGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	cd := ControlDeps(g, 3)
+	if len(cd[1]) != 1 || cd[1][0].Branch != 0 || cd[1][0].Edge != 0 {
+		t.Errorf("cd[1]: got %v", cd[1])
+	}
+	if len(cd[2]) != 1 || cd[2][0].Branch != 0 || cd[2][0].Edge != 1 {
+		t.Errorf("cd[2]: got %v", cd[2])
+	}
+	if len(cd[3]) != 0 {
+		t.Errorf("join must not be control-dependent: %v", cd[3])
+	}
+	if len(cd[0]) != 0 {
+		t.Errorf("branch itself must not be control-dependent: %v", cd[0])
+	}
+}
+
+// guardPositions collects the if-statement positions on a value's guard
+// chain.
+func guardPositions(v *Value) map[lang.Pos]bool {
+	out := map[lang.Pos]bool{}
+	for g := v.Guard; g != nil; g = g.Guard {
+		out[g.Pos] = true
+	}
+	return out
+}
+
+// cfgDepPositions collects, transitively, the if-positions of the branch
+// blocks a block is control-dependent on.
+func cfgDepPositions(c *CFG, cd map[int][]ControlDep, b int) map[lang.Pos]bool {
+	out := map[lang.Pos]bool{}
+	var walk func(n int)
+	seen := map[int]bool{}
+	walk = func(n int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, d := range cd[n] {
+			out[c.Blocks[d.Branch].IfPos] = true
+			walk(d.Branch)
+		}
+	}
+	walk(b)
+	return out
+}
+
+// TestStructuralGuardsMatchCFGControlDeps validates the SSA builder's
+// structural guard chains against control dependence computed from post-
+// dominance frontiers on the CFG — the two must agree on structured code.
+func TestStructuralGuardsMatchCFGControlDeps(t *testing.T) {
+	src := `
+fun f(a: int, b: int, c: int): int {
+    var x: int = 0;
+    var y: int = 0;
+    if (a > 0) {
+        x = 1;
+        if (b > 0) {
+            y = 2;
+        } else {
+            y = 3;
+        }
+    } else {
+        if (c > 0) {
+            x = 4;
+        }
+        y = 5;
+    }
+    if (a > b) {
+        x = x + y;
+    }
+    return x;
+}`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	p, err := Build(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := norm.Func("f")
+	c, err := BuildCFG(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := CFGControlDeps(c)
+
+	// For each assignment statement, the set of if-positions guarding it in
+	// the SSA must equal the transitive CFG control-dependence positions of
+	// its block.
+	stmtBlock := map[lang.Stmt]int{}
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Stmts {
+			stmtBlock[s] = blk.ID
+		}
+	}
+	f := p.Funcs["f"]
+	checked := 0
+	for s, blockID := range stmtBlock {
+		as, ok := s.(*lang.AssignStmt)
+		if !ok {
+			continue
+		}
+		// Find the SSA value created at this statement position.
+		var v *Value
+		for _, cand := range f.Values {
+			if cand.Name == as.Name && cand.Pos == as.Pos {
+				v = cand
+			}
+		}
+		if v == nil {
+			continue
+		}
+		got := guardPositions(v)
+		want := cfgDepPositions(c, cd, blockID)
+		if len(got) != len(want) {
+			t.Errorf("%s at %s: guard chain %v != CFG deps %v", as.Name, as.Pos, got, want)
+			continue
+		}
+		for pos := range want {
+			if !got[pos] {
+				t.Errorf("%s at %s: missing guard at %s", as.Name, as.Pos, pos)
+			}
+		}
+		checked++
+	}
+	if checked < 6 {
+		t.Fatalf("only %d assignments cross-checked; expected at least 6", checked)
+	}
+}
+
+func TestBuildCFGShape(t *testing.T) {
+	prog := lang.MustParse(`
+fun f(a: int): int {
+    var x: int = 0;
+    if (a > 0) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return x;
+}`)
+	sema.MustCheck(prog)
+	norm := unroll.Normalize(prog, unroll.Options{})
+	c, err := BuildCFG(norm.Func("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Entry == nil || c.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	if len(c.Exit.Succs) != 0 {
+		t.Error("exit must have no successors")
+	}
+	branches := 0
+	for _, b := range c.Blocks {
+		if len(b.Succs) == 2 {
+			branches++
+			if b.Cond == nil {
+				t.Error("branching block without condition")
+			}
+		}
+	}
+	if branches != 1 {
+		t.Errorf("branch blocks: got %d, want 1", branches)
+	}
+}
+
+func TestBuildCFGRejectsLoops(t *testing.T) {
+	prog := lang.MustParse(`fun f(n: int) { while (n > 0) { n = n - 1; } }`)
+	if _, err := BuildCFG(prog.Func("f")); err == nil {
+		t.Fatal("expected error for loop in CFG build")
+	}
+}

@@ -1,0 +1,185 @@
+package ssa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusion/internal/interp"
+	"fusion/internal/lang"
+	"fusion/internal/progen"
+	"fusion/internal/sema"
+	"fusion/internal/ssa"
+	"fusion/internal/unroll"
+)
+
+// evalSSA evaluates an extern-free SSA function on concrete arguments,
+// resolving calls recursively. It is an independent executable semantics
+// for the gated-SSA form: guards are irrelevant for value computation
+// because every merge is an explicit ite.
+func evalSSA(p *ssa.Program, f *ssa.Function, args []uint32) uint32 {
+	memo := map[*ssa.Value]uint32{}
+	var ev func(v *ssa.Value) uint32
+	ev = func(v *ssa.Value) uint32 {
+		if r, ok := memo[v]; ok {
+			return r
+		}
+		var r uint32
+		switch v.Op {
+		case ssa.OpConst:
+			r = v.Const
+		case ssa.OpParam:
+			for i, prm := range f.Params {
+				if prm == v {
+					r = args[i]
+				}
+			}
+		case ssa.OpCopy, ssa.OpReturn:
+			r = ev(v.Args[0])
+		case ssa.OpNot:
+			r = ev(v.Args[0]) ^ 1
+		case ssa.OpNeg:
+			r = -ev(v.Args[0])
+		case ssa.OpIte:
+			if ev(v.Args[0]) == 1 {
+				r = ev(v.Args[1])
+			} else {
+				r = ev(v.Args[2])
+			}
+		case ssa.OpBin:
+			r = evalBin(v.BinOp, ev(v.Args[0]), ev(v.Args[1]))
+		case ssa.OpCall:
+			callee := p.Funcs[v.Callee]
+			sub := make([]uint32, len(v.Args))
+			for i, a := range v.Args {
+				sub[i] = ev(a)
+			}
+			r = evalSSA(p, callee, sub)
+		case ssa.OpBranch:
+			r = ev(v.Args[0])
+		default:
+			panic("evalSSA: extern in extern-free program")
+		}
+		memo[v] = r
+		return r
+	}
+	if f.Ret == nil {
+		return 0
+	}
+	return ev(f.Ret)
+}
+
+func evalBin(op lang.BinOp, l, r uint32) uint32 {
+	b := func(v bool) uint32 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case lang.OpAdd:
+		return l + r
+	case lang.OpSub:
+		return l - r
+	case lang.OpMul:
+		return l * r
+	case lang.OpDiv:
+		if r == 0 {
+			return ^uint32(0)
+		}
+		return l / r
+	case lang.OpRem:
+		if r == 0 {
+			return l
+		}
+		return l % r
+	case lang.OpEq:
+		return b(l == r)
+	case lang.OpNe:
+		return b(l != r)
+	case lang.OpLt:
+		return b(int32(l) < int32(r))
+	case lang.OpLe:
+		return b(int32(l) <= int32(r))
+	case lang.OpGt:
+		return b(int32(l) > int32(r))
+	case lang.OpGe:
+		return b(int32(l) >= int32(r))
+	case lang.OpAnd, lang.OpBitAnd:
+		return l & r
+	case lang.OpOr, lang.OpBitOr:
+		return l | r
+	case lang.OpBitXor:
+		return l ^ r
+	case lang.OpShl:
+		if r >= 32 {
+			return 0
+		}
+		return l << r
+	case lang.OpShr:
+		if r >= 32 {
+			return 0
+		}
+		return l >> r
+	}
+	panic("evalBin: unknown op")
+}
+
+// TestSSAAgreesWithInterpreter is the semantic differential for gated SSA:
+// on the generator's extern-free functions, evaluating the SSA form must
+// match the reference interpreter on random inputs.
+func TestSSAAgreesWithInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, subIdx := range []int{0, 4, 9, 11} {
+		info := progen.Subjects[subIdx]
+		src, _, _ := info.Build(0.05)
+		raw, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := sema.Check(raw); len(errs) > 0 {
+			t.Fatal(errs[0])
+		}
+		norm := unroll.Normalize(raw, unroll.Options{})
+		p, err := ssa.Build(norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Loops are unrolled twice by normalization; bound the reference
+		// interpreter identically so both sides share the bounded semantics.
+		it := interp.New(raw, interp.Options{MaxLoopIters: 2})
+
+		checked := 0
+		for _, f := range p.Order {
+			if f.Ret == nil || len(f.Name) < 3 || f.Name[:3] != "fn_" {
+				continue // only the generator's pure arithmetic functions
+			}
+			for trial := 0; trial < 12; trial++ {
+				args := make([]uint32, len(f.Params))
+				iargs := make([]interp.Value, len(f.Params))
+				for i := range args {
+					switch trial % 3 {
+					case 0:
+						args[i] = rng.Uint32() % 100
+					case 1:
+						args[i] = rng.Uint32()
+					default:
+						args[i] = uint32(int32(-(rng.Int31() % 100)))
+					}
+					iargs[i] = interp.Value{V: args[i]}
+				}
+				want, err := it.Run(f.Name, iargs)
+				if err != nil {
+					t.Fatalf("%s/%s: interp: %v", info.Name, f.Name, err)
+				}
+				got := evalSSA(p, f, args)
+				if want.Return == nil || got != want.Return.V {
+					t.Fatalf("%s/%s(%v): ssa=%d interp=%v", info.Name, f.Name, args, got, want.Return)
+				}
+				checked++
+			}
+		}
+		if checked < 30 {
+			t.Fatalf("%s: only %d function evaluations checked", info.Name, checked)
+		}
+	}
+}

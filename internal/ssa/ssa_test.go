@@ -1,0 +1,274 @@
+package ssa
+
+import (
+	"testing"
+
+	"fusion/internal/lang"
+	"fusion/internal/sema"
+	"fusion/internal/unroll"
+)
+
+func buildSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	norm := unroll.Normalize(prog, unroll.Options{})
+	p, err := Build(norm)
+	if err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	return p
+}
+
+// find returns the latest value defining the given source name.
+func find(f *Function, name string) *Value {
+	var out *Value
+	for _, v := range f.Values {
+		if v.Name == name {
+			out = v
+		}
+	}
+	return out
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	p := buildSrc(t, `
+fun bar(x: int): int {
+    var y: int = x * 2;
+    var z: int = y;
+    return z;
+}`)
+	f := p.Funcs["bar"]
+	if f == nil {
+		t.Fatal("bar missing")
+	}
+	y := find(f, "y")
+	if y == nil || y.Op != OpBin || y.BinOp != lang.OpMul {
+		t.Fatalf("y: got %v, want bin *", y)
+	}
+	z := find(f, "z")
+	if z == nil || z.Op != OpCopy || z.Args[0] != y {
+		t.Fatalf("z: got %v, want copy of y", z)
+	}
+	if f.Ret == nil || f.Ret.Args[0] != z {
+		t.Fatalf("return: got %v, want return z", f.Ret)
+	}
+	if y.Guard != nil || z.Guard != nil {
+		t.Error("straight-line values must have no guard")
+	}
+}
+
+func TestBuildIteMerge(t *testing.T) {
+	p := buildSrc(t, `
+fun f(a: int): int {
+    var x: int = 0;
+    if (a > 0) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return x;
+}`)
+	f := p.Funcs["f"]
+	x := find(f, "x")
+	if x.Op != OpIte {
+		t.Fatalf("merged x: got %s, want ite", x.Op)
+	}
+	cond := x.Args[0]
+	if cond.Op != OpBin || cond.BinOp != lang.OpGt {
+		t.Fatalf("ite condition: got %v", cond)
+	}
+	tv, ev := x.Args[1], x.Args[2]
+	if tv.Op != OpCopy || tv.Args[0].Const != 1 {
+		t.Errorf("then value: got %v, want copy of 1", tv)
+	}
+	if ev.Op != OpCopy || ev.Args[0].Const != 2 {
+		t.Errorf("else value: got %v, want copy of 2", ev)
+	}
+	if x.Guard != nil {
+		t.Error("ite merge at top level must be unguarded")
+	}
+	// The branch assignments themselves must be guarded.
+	if tv.Guard == nil || tv.Guard.Op != OpBranch {
+		t.Errorf("then assignment guard: got %v", tv.Guard)
+	}
+	if ev.Guard == nil || ev.Guard.Op != OpBranch {
+		t.Errorf("else assignment guard: got %v", ev.Guard)
+	}
+	// The else guard condition is the negation of the then guard condition.
+	eg := ev.Guard.Args[0]
+	if eg.Op != OpNot || eg.Args[0] != tv.Guard.Args[0] {
+		t.Errorf("else guard: got %v, want not(then cond)", eg)
+	}
+}
+
+func TestBuildIfWithoutElse(t *testing.T) {
+	p := buildSrc(t, `
+fun f(a: int): int {
+    var x: int = 5;
+    if (a > 0) {
+        x = a;
+    }
+    return x;
+}`)
+	f := p.Funcs["f"]
+	x := find(f, "x")
+	if x.Op != OpIte {
+		t.Fatalf("merged x: got %s, want ite", x.Op)
+	}
+	// else value falls back to the pre-if definition (the constant 5 copy).
+	ev := x.Args[2]
+	if ev.Name != "x" || ev.Op != OpCopy || ev.Args[0].Const != 5 {
+		t.Errorf("else value: got %v, want original x = 5", ev)
+	}
+}
+
+func TestBuildNestedGuards(t *testing.T) {
+	p := buildSrc(t, `
+fun f(a: int, b: int): int {
+    var x: int = 0;
+    if (a > 0) {
+        if (b > 0) {
+            x = 1;
+        }
+    }
+    return x;
+}`)
+	f := p.Funcs["f"]
+	// Find the innermost assignment x = 1.
+	var inner *Value
+	for _, v := range f.Values {
+		if v.Name == "x" && v.Op == OpCopy && len(v.Args) == 1 && v.Args[0].Const == 1 {
+			inner = v
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner assignment not found")
+	}
+	g1 := inner.Guard
+	if g1 == nil || g1.Op != OpBranch {
+		t.Fatalf("inner guard missing: %v", inner)
+	}
+	g2 := g1.Guard
+	if g2 == nil || g2.Op != OpBranch {
+		t.Fatalf("outer guard missing on nested branch")
+	}
+	if g2.Guard != nil {
+		t.Error("outer guard should be at top level")
+	}
+}
+
+func TestBuildCalls(t *testing.T) {
+	p := buildSrc(t, `
+extern fun gets(): ptr;
+fun bar(x: int): int { return x * 2; }
+fun foo(a: int, b: int): int {
+    var c: int = bar(a);
+    var d: int = bar(b);
+    var p: ptr = gets();
+    if (p == null) {
+        return c;
+    }
+    return d;
+}`)
+	foo := p.Funcs["foo"]
+	var calls, externs int
+	sites := map[int]bool{}
+	for _, v := range foo.Values {
+		switch v.Op {
+		case OpCall:
+			calls++
+			if v.Callee != "bar" {
+				t.Errorf("call target: got %s", v.Callee)
+			}
+			if sites[v.Site] {
+				t.Errorf("duplicate call site ID %d", v.Site)
+			}
+			sites[v.Site] = true
+		case OpExtern:
+			externs++
+		}
+	}
+	if calls != 2 {
+		t.Errorf("calls: got %d, want 2", calls)
+	}
+	if externs != 1 {
+		t.Errorf("extern calls: got %d, want 1", externs)
+	}
+	if len(foo.CallSites()) != 3 {
+		t.Errorf("CallSites: got %d, want 3", len(foo.CallSites()))
+	}
+}
+
+func TestBuildUses(t *testing.T) {
+	p := buildSrc(t, `
+fun f(a: int): int {
+    var b: int = a + 1;
+    var c: int = a + b;
+    return c;
+}`)
+	f := p.Funcs["f"]
+	a := f.Params[0]
+	if len(a.Uses) != 2 {
+		t.Errorf("uses of a: got %d, want 2", len(a.Uses))
+	}
+	c := find(f, "c")
+	if len(c.Uses) != 1 || c.Uses[0].Op != OpReturn {
+		t.Errorf("uses of c: got %v, want the return", c.Uses)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	src := `
+fun f(a: int, b: int): int {
+    var x: int = 0;
+    var y: int = 0;
+    var z: int = 0;
+    if (a > b) {
+        x = 1;
+        y = 2;
+        z = 3;
+    } else {
+        x = 4;
+        z = 5;
+    }
+    return x + y + z;
+}`
+	first := buildSrc(t, src).Funcs["f"].String()
+	for i := 0; i < 5; i++ {
+		if got := buildSrc(t, src).Funcs["f"].String(); got != first {
+			t.Fatalf("nondeterministic SSA build:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func TestBuildRejectsLoops(t *testing.T) {
+	prog := lang.MustParse(`
+fun f(n: int): int {
+    while (n > 0) { n = n - 1; }
+    return n;
+}`)
+	if _, err := Build(prog); err == nil {
+		t.Fatal("expected error for non-normalized program with loops")
+	}
+}
+
+func TestProgramCounts(t *testing.T) {
+	p := buildSrc(t, `
+fun g(x: int): int { return x; }
+fun f(a: int): int { return g(a); }`)
+	if p.NumValues() <= 0 {
+		t.Error("NumValues must be positive")
+	}
+	if p.NumSites != 1 {
+		t.Errorf("NumSites: got %d, want 1", p.NumSites)
+	}
+	if len(p.Externs) != 3 { // the three havoc declarations
+		t.Errorf("externs: got %d, want 3", len(p.Externs))
+	}
+}

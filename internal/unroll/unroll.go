@@ -1,0 +1,541 @@
+// Package unroll normalizes a checked program into the loop-free,
+// recursion-free, single-exit form the paper's analyses assume (§3.1):
+//
+//   - loops are unrolled a fixed number of times (bounded model checking),
+//   - recursive cycles on the call graph are unrolled twice (§4), with
+//     calls beyond the unrolling depth replaced by unconstrained "havoc"
+//     extern calls,
+//   - every function is rewritten to have a single return statement as its
+//     unique exit, using a guard flag.
+//
+// The reserved identifier prefix "__fusion_" is used for synthesized
+// variables and extern functions; input programs must not use it.
+package unroll
+
+import (
+	"fmt"
+
+	"fusion/internal/lang"
+)
+
+// Reserved name components synthesized by normalization.
+const (
+	retVar      = "__fusion_ret"
+	returnedVar = "__fusion_returned"
+	havocInt    = "__fusion_havoc_int"
+	havocBool   = "__fusion_havoc_bool"
+	havocPtr    = "__fusion_havoc_ptr"
+)
+
+// HavocFuncs maps each value type to the extern function that models an
+// unconstrained value of that type.
+var HavocFuncs = map[lang.Type]string{
+	lang.TypeInt:  havocInt,
+	lang.TypeBool: havocBool,
+	lang.TypePtr:  havocPtr,
+}
+
+// IsHavoc reports whether name is one of the synthesized havoc externs.
+func IsHavoc(name string) bool {
+	return name == havocInt || name == havocBool || name == havocPtr
+}
+
+// Options configure normalization.
+type Options struct {
+	// LoopUnroll is the number of loop iterations to retain. Zero or
+	// negative means the default of 2, matching the paper.
+	LoopUnroll int
+	// RecursionUnroll is the number of times call-graph cycles are
+	// unrolled. Zero or negative means the default of 2 (§4).
+	RecursionUnroll int
+}
+
+func (o Options) loopUnroll() int {
+	if o.LoopUnroll <= 0 {
+		return 2
+	}
+	return o.LoopUnroll
+}
+
+func (o Options) recursionUnroll() int {
+	if o.RecursionUnroll <= 0 {
+		return 2
+	}
+	return o.RecursionUnroll
+}
+
+// Normalize returns a new program in normalized form. The input program is
+// not modified.
+func Normalize(prog *lang.Program, opts Options) *lang.Program {
+	out := &lang.Program{}
+	for _, f := range prog.Funcs {
+		out.Funcs = append(out.Funcs, lang.CloneFunc(f))
+	}
+	for _, f := range out.Funcs {
+		if f.Body != nil {
+			f.Body = unrollLoopsBlock(f.Body, opts.loopUnroll())
+		}
+	}
+	out = unrollRecursion(out, opts.recursionUnroll())
+	for _, f := range out.Funcs {
+		if f.Body != nil {
+			singleExit(f)
+		}
+	}
+	ensureHavocDecls(out)
+	return out
+}
+
+func ensureHavocDecls(prog *lang.Program) {
+	have := map[string]bool{}
+	for _, f := range prog.Funcs {
+		have[f.Name] = true
+	}
+	add := func(name string, ret lang.Type) {
+		if !have[name] {
+			prog.Funcs = append(prog.Funcs, &lang.FuncDecl{Name: name, Ret: ret, Extern: true})
+		}
+	}
+	add(havocInt, lang.TypeInt)
+	add(havocBool, lang.TypeBool)
+	add(havocPtr, lang.TypePtr)
+}
+
+// --- Loop unrolling ---
+
+func unrollLoopsBlock(b *lang.BlockStmt, k int) *lang.BlockStmt {
+	nb := &lang.BlockStmt{Pos: b.Pos}
+	for _, s := range b.Stmts {
+		nb.Stmts = append(nb.Stmts, unrollLoopsStmt(s, k))
+	}
+	return nb
+}
+
+func unrollLoopsStmt(s lang.Stmt, k int) lang.Stmt {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		return unrollLoopsBlock(s, k)
+	case *lang.IfStmt:
+		ns := &lang.IfStmt{Cond: s.Cond, Then: unrollLoopsBlock(s.Then, k), Pos: s.Pos}
+		if s.Else != nil {
+			ns.Else = unrollLoopsBlock(s.Else, k)
+		}
+		return ns
+	case *lang.WhileStmt:
+		body := unrollLoopsBlock(s.Body, k)
+		// k nested conditionals: if (c) { body; if (c) { body; ... } }.
+		var cur lang.Stmt
+		for i := 0; i < k; i++ {
+			then := lang.CloneBlock(body)
+			if cur != nil {
+				then.Stmts = append(then.Stmts, cur)
+			}
+			cur = &lang.IfStmt{Cond: lang.CloneExpr(s.Cond), Then: then, Pos: s.Pos}
+		}
+		return cur
+	default:
+		return s
+	}
+}
+
+// --- Recursion unrolling ---
+
+// callGraph returns, for each defined function, the set of function names
+// it calls.
+func callGraph(prog *lang.Program) map[string]map[string]bool {
+	g := map[string]map[string]bool{}
+	for _, f := range prog.Funcs {
+		callees := map[string]bool{}
+		if f.Body != nil {
+			collectCalls(f.Body, callees)
+		}
+		g[f.Name] = callees
+	}
+	return g
+}
+
+func collectCalls(b *lang.BlockStmt, out map[string]bool) {
+	var visitExpr func(e lang.Expr)
+	visitExpr = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.UnaryExpr:
+			visitExpr(e.X)
+		case *lang.BinExpr:
+			visitExpr(e.L)
+			visitExpr(e.R)
+		case *lang.CallExpr:
+			out[e.Name] = true
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+		}
+	}
+	var visitStmt func(s lang.Stmt)
+	visitStmt = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			for _, t := range s.Stmts {
+				visitStmt(t)
+			}
+		case *lang.VarDecl:
+			visitExpr(s.Init)
+		case *lang.AssignStmt:
+			visitExpr(s.Val)
+		case *lang.IfStmt:
+			visitExpr(s.Cond)
+			visitStmt(s.Then)
+			if s.Else != nil {
+				visitStmt(s.Else)
+			}
+		case *lang.WhileStmt:
+			visitExpr(s.Cond)
+			visitStmt(s.Body)
+		case *lang.ReturnStmt:
+			if s.Val != nil {
+				visitExpr(s.Val)
+			}
+		case *lang.ExprStmt:
+			visitExpr(s.X)
+		}
+	}
+	visitStmt(b)
+}
+
+// sccs computes strongly connected components of the call graph with
+// Tarjan's algorithm, returning a map from function name to component ID
+// and a set of component IDs that are recursive (size > 1 or self-loop).
+func sccs(g map[string]map[string]bool) (comp map[string]int, recursive map[int]bool) {
+	comp = map[string]int{}
+	recursive = map[int]bool{}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	compID := 0
+
+	// Iterative Tarjan to avoid deep Go stacks on long call chains.
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+	names := make([]string, 0, len(g))
+	for n := range g {
+		names = append(names, n)
+	}
+	succsOf := func(n string) []string {
+		var out []string
+		for m := range g[n] {
+			if _, defined := g[m]; defined {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var frames []frame
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		frames = append(frames, frame{node: root, succs: succsOf(root)})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succs: succsOf(w)})
+				} else if onStack[w] && low[f.node] > index[w] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			// Finished f.node.
+			if low[f.node] == index[f.node] {
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = compID
+					size++
+					if w == f.node {
+						break
+					}
+				}
+				if size > 1 || g[f.node][f.node] {
+					recursive[compID] = true
+				}
+				compID++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[parent.node] > low[f.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return comp, recursive
+}
+
+// unrollRecursion clones every function that belongs to a recursive cycle
+// depth times. In the clone at depth d, a call to a function in the same
+// cycle targets the depth d+1 clone; at the maximum depth the call is
+// replaced by a havoc extern call (an unconstrained value).
+func unrollRecursion(prog *lang.Program, depth int) *lang.Program {
+	g := callGraph(prog)
+	comp, recursive := sccs(g)
+	rets := map[string]lang.Type{}
+	inCycle := map[string]bool{}
+	for _, f := range prog.Funcs {
+		rets[f.Name] = f.Ret
+		if recursive[comp[f.Name]] && !f.Extern {
+			inCycle[f.Name] = true
+		}
+	}
+	if len(inCycle) == 0 {
+		return prog
+	}
+	cloneName := func(name string, d int) string {
+		if d == 0 {
+			return name
+		}
+		return fmt.Sprintf("%s__fusion_r%d", name, d)
+	}
+	out := &lang.Program{}
+	for _, f := range prog.Funcs {
+		if !inCycle[f.Name] {
+			// Calls from non-recursive functions enter cycles at depth 0,
+			// which keeps the original name: copy verbatim.
+			out.Funcs = append(out.Funcs, lang.CloneFunc(f))
+			continue
+		}
+		for d := 0; d < depth; d++ {
+			nf := lang.CloneFunc(f)
+			nf.Name = cloneName(f.Name, d)
+			myComp := comp[f.Name]
+			dd := d
+			rewriteCallsStmt(nf.Body, func(c *lang.CallExpr) {
+				if !inCycle[c.Name] || comp[c.Name] != myComp {
+					return
+				}
+				if dd+1 < depth {
+					c.Name = cloneName(c.Name, dd+1)
+					return
+				}
+				// Bottom of the unrolling: havoc the call.
+				c.Name = HavocFuncs[rets[c.Name]]
+				if c.Name == "" {
+					c.Name = havocInt
+				}
+				c.Args = nil
+			})
+			out.Funcs = append(out.Funcs, nf)
+		}
+	}
+	return out
+}
+
+// rewriteCallsStmt applies fn to every call expression in the block, in
+// evaluation order.
+func rewriteCallsStmt(b *lang.BlockStmt, fn func(*lang.CallExpr)) {
+	var visitExpr func(e lang.Expr)
+	visitExpr = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.UnaryExpr:
+			visitExpr(e.X)
+		case *lang.BinExpr:
+			visitExpr(e.L)
+			visitExpr(e.R)
+		case *lang.CallExpr:
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+			fn(e)
+		}
+	}
+	var visitStmt func(s lang.Stmt)
+	visitStmt = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			for _, t := range s.Stmts {
+				visitStmt(t)
+			}
+		case *lang.VarDecl:
+			visitExpr(s.Init)
+		case *lang.AssignStmt:
+			visitExpr(s.Val)
+		case *lang.IfStmt:
+			visitExpr(s.Cond)
+			visitStmt(s.Then)
+			if s.Else != nil {
+				visitStmt(s.Else)
+			}
+		case *lang.WhileStmt:
+			visitExpr(s.Cond)
+			visitStmt(s.Body)
+		case *lang.ReturnStmt:
+			if s.Val != nil {
+				visitExpr(s.Val)
+			}
+		case *lang.ExprStmt:
+			visitExpr(s.X)
+		}
+	}
+	visitStmt(b)
+}
+
+// --- Single-exit normalization ---
+
+// singleExit rewrites f so that it contains exactly one return statement,
+// as the last statement of the body (the paper assumes one return as the
+// single exit). Early returns become assignments to a synthesized result
+// variable plus a guard flag; statements after a potentially-returning
+// statement are wrapped in "if (!returned) { ... }".
+func singleExit(f *lang.FuncDecl) {
+	if !mayReturnBlock(f.Body) && f.Ret == lang.TypeVoid {
+		return // nothing to normalize; void function without returns
+	}
+	if isTrivialSingleExit(f) {
+		return
+	}
+	body := &lang.BlockStmt{Pos: f.Body.Pos}
+	if f.Ret != lang.TypeVoid {
+		body.Stmts = append(body.Stmts, &lang.VarDecl{
+			Name: retVar, Type: f.Ret, Init: zeroValue(f.Ret), Pos: f.Pos,
+		})
+	}
+	body.Stmts = append(body.Stmts, &lang.VarDecl{
+		Name: returnedVar, Type: lang.TypeBool,
+		Init: &lang.BoolLitExpr{Value: false}, Pos: f.Pos,
+	})
+	rewritten := rewriteReturns(f.Body, f.Ret)
+	body.Stmts = append(body.Stmts, rewritten.Stmts...)
+	if f.Ret != lang.TypeVoid {
+		body.Stmts = append(body.Stmts, &lang.ReturnStmt{
+			Val: &lang.IdentExpr{Name: retVar}, Pos: f.Pos,
+		})
+	}
+	f.Body = body
+}
+
+// isTrivialSingleExit reports whether the body already has exactly one
+// return, as its final top-level statement, and no other returns anywhere.
+func isTrivialSingleExit(f *lang.FuncDecl) bool {
+	n := len(f.Body.Stmts)
+	if n == 0 {
+		return f.Ret == lang.TypeVoid
+	}
+	last := f.Body.Stmts[n-1]
+	_, lastIsRet := last.(*lang.ReturnStmt)
+	if f.Ret != lang.TypeVoid && !lastIsRet {
+		return false
+	}
+	for i, s := range f.Body.Stmts {
+		if i == n-1 && lastIsRet {
+			continue
+		}
+		if mayReturnStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func zeroValue(t lang.Type) lang.Expr {
+	switch t {
+	case lang.TypeBool:
+		return &lang.BoolLitExpr{Value: false}
+	case lang.TypePtr:
+		return &lang.NullLitExpr{}
+	default:
+		return &lang.IntLitExpr{Value: 0}
+	}
+}
+
+func mayReturnBlock(b *lang.BlockStmt) bool {
+	for _, s := range b.Stmts {
+		if mayReturnStmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func mayReturnStmt(s lang.Stmt) bool {
+	switch s := s.(type) {
+	case *lang.ReturnStmt:
+		return true
+	case *lang.BlockStmt:
+		return mayReturnBlock(s)
+	case *lang.IfStmt:
+		if mayReturnBlock(s.Then) {
+			return true
+		}
+		return s.Else != nil && mayReturnBlock(s.Else)
+	case *lang.WhileStmt:
+		return mayReturnBlock(s.Body)
+	default:
+		return false
+	}
+}
+
+// rewriteReturns converts every return in the block into assignments to
+// the synthesized variables, guarding all statements that follow a
+// potentially-returning statement.
+func rewriteReturns(b *lang.BlockStmt, ret lang.Type) *lang.BlockStmt {
+	out := &lang.BlockStmt{Pos: b.Pos}
+	for i, s := range b.Stmts {
+		ns := rewriteReturnsStmt(s, ret)
+		out.Stmts = append(out.Stmts, ns...)
+		if mayReturnStmt(s) && i+1 < len(b.Stmts) {
+			rest := rewriteReturns(&lang.BlockStmt{Stmts: b.Stmts[i+1:], Pos: b.Pos}, ret)
+			out.Stmts = append(out.Stmts, &lang.IfStmt{
+				Cond: &lang.UnaryExpr{Op: lang.OpNot, X: &lang.IdentExpr{Name: returnedVar}},
+				Then: rest,
+				Pos:  s.StmtPos(),
+			})
+			return out
+		}
+	}
+	return out
+}
+
+func rewriteReturnsStmt(s lang.Stmt, ret lang.Type) []lang.Stmt {
+	switch s := s.(type) {
+	case *lang.ReturnStmt:
+		var out []lang.Stmt
+		if s.Val != nil {
+			out = append(out, &lang.AssignStmt{Name: retVar, Val: s.Val, Pos: s.Pos})
+		}
+		out = append(out, &lang.AssignStmt{
+			Name: returnedVar, Val: &lang.BoolLitExpr{Value: true}, Pos: s.Pos,
+		})
+		return out
+	case *lang.BlockStmt:
+		return []lang.Stmt{rewriteReturns(s, ret)}
+	case *lang.IfStmt:
+		ns := &lang.IfStmt{Cond: s.Cond, Then: rewriteReturns(s.Then, ret), Pos: s.Pos}
+		if s.Else != nil {
+			ns.Else = rewriteReturns(s.Else, ret)
+		}
+		return []lang.Stmt{ns}
+	case *lang.WhileStmt:
+		// Loops are unrolled before single-exit normalization, so a while
+		// here indicates a pipeline ordering bug.
+		panic("unroll: while statement present during single-exit normalization")
+	default:
+		return []lang.Stmt{s}
+	}
+}

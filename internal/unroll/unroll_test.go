@@ -1,0 +1,299 @@
+package unroll
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/lang"
+	"fusion/internal/sema"
+)
+
+func normalize(t *testing.T, src string, opts Options) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	return Normalize(prog, opts)
+}
+
+func countWhile(b *lang.BlockStmt) int {
+	n := 0
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			for _, t := range s.Stmts {
+				walk(t)
+			}
+		case *lang.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.WhileStmt:
+			n++
+			walk(s.Body)
+		}
+	}
+	walk(b)
+	return n
+}
+
+func countIf(b *lang.BlockStmt) int {
+	n := 0
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			for _, t := range s.Stmts {
+				walk(t)
+			}
+		case *lang.IfStmt:
+			n++
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.WhileStmt:
+			walk(s.Body)
+		}
+	}
+	walk(b)
+	return n
+}
+
+func countReturns(b *lang.BlockStmt) int {
+	n := 0
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			for _, t := range s.Stmts {
+				walk(t)
+			}
+		case *lang.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.WhileStmt:
+			walk(s.Body)
+		case *lang.ReturnStmt:
+			n++
+		}
+	}
+	walk(b)
+	return n
+}
+
+func TestLoopUnrolling(t *testing.T) {
+	prog := normalize(t, `
+fun f(n: int): int {
+    var i: int = 0;
+    while (i < n) {
+        i = i + 1;
+    }
+    return i;
+}`, Options{LoopUnroll: 3})
+	f := prog.Func("f")
+	if got := countWhile(f.Body); got != 0 {
+		t.Errorf("loops remaining after unrolling: %d", got)
+	}
+	if got := countIf(f.Body); got != 3 {
+		t.Errorf("unrolled iterations: got %d ifs, want 3", got)
+	}
+}
+
+func TestNestedLoopUnrolling(t *testing.T) {
+	prog := normalize(t, `
+fun f(n: int): int {
+    var i: int = 0;
+    while (i < n) {
+        var j: int = 0;
+        while (j < n) {
+            j = j + 1;
+        }
+        i = i + j;
+    }
+    return i;
+}`, Options{LoopUnroll: 2})
+	f := prog.Func("f")
+	if got := countWhile(f.Body); got != 0 {
+		t.Errorf("loops remaining after unrolling: %d", got)
+	}
+	// Outer loop contributes 2 ifs, each containing 2 from the inner loop.
+	if got := countIf(f.Body); got != 6 {
+		t.Errorf("nested unroll: got %d ifs, want 6", got)
+	}
+}
+
+func TestSingleExit(t *testing.T) {
+	prog := normalize(t, `
+fun f(a: int): int {
+    if (a > 0) {
+        return 1;
+    }
+    return 2;
+}`, Options{})
+	f := prog.Func("f")
+	if got := countReturns(f.Body); got != 1 {
+		t.Fatalf("returns after normalization: got %d, want 1", got)
+	}
+	last := f.Body.Stmts[len(f.Body.Stmts)-1]
+	if _, ok := last.(*lang.ReturnStmt); !ok {
+		t.Errorf("last statement is %T, want return", last)
+	}
+}
+
+func TestSingleExitPreservesTrivial(t *testing.T) {
+	src := `
+fun f(a: int): int {
+    var b: int = a + 1;
+    return b;
+}`
+	prog := normalize(t, src, Options{})
+	f := prog.Func("f")
+	if got := len(f.Body.Stmts); got != 2 {
+		t.Errorf("trivial single-exit function was rewritten: %d statements", got)
+	}
+}
+
+func TestSelfRecursionUnrolled(t *testing.T) {
+	prog := normalize(t, `
+fun fact(n: int): int {
+    if (n <= 1) {
+        return 1;
+    }
+    return n * fact(n - 1);
+}`, Options{RecursionUnroll: 2})
+	if prog.Func("fact") == nil {
+		t.Fatal("original entry clone missing")
+	}
+	if prog.Func("fact__fusion_r1") == nil {
+		t.Fatal("depth-1 clone missing")
+	}
+	if prog.Func("fact__fusion_r2") != nil {
+		t.Fatal("unexpected depth-2 clone for RecursionUnroll=2")
+	}
+	// The deepest clone must not call fact at all.
+	deep := prog.Func("fact__fusion_r1")
+	text := lang.Format(&lang.Program{Funcs: []*lang.FuncDecl{deep}})
+	if strings.Contains(text, "fact(") {
+		t.Errorf("deepest clone still recursive:\n%s", text)
+	}
+	if !strings.Contains(text, "__fusion_havoc_int()") {
+		t.Errorf("deepest clone should call havoc:\n%s", text)
+	}
+}
+
+func TestMutualRecursionUnrolled(t *testing.T) {
+	prog := normalize(t, `
+fun even(n: int): bool {
+    if (n == 0) {
+        return true;
+    }
+    return odd(n - 1);
+}
+fun odd(n: int): bool {
+    if (n == 0) {
+        return false;
+    }
+    return even(n - 1);
+}`, Options{RecursionUnroll: 2})
+	for _, name := range []string{"even", "odd", "even__fusion_r1", "odd__fusion_r1"} {
+		if prog.Func(name) == nil {
+			t.Errorf("missing clone %s", name)
+		}
+	}
+	// even at depth 0 must call odd__fusion_r1.
+	text := lang.Format(&lang.Program{Funcs: []*lang.FuncDecl{prog.Func("even")}})
+	if !strings.Contains(text, "odd__fusion_r1(") {
+		t.Errorf("depth-0 even should call depth-1 odd:\n%s", text)
+	}
+}
+
+func TestNonRecursiveProgramUntouchedByRecursionPass(t *testing.T) {
+	prog := normalize(t, `
+fun g(x: int): int { return x + 1; }
+fun f(a: int): int { return g(g(a)); }`, Options{})
+	// Only f, g, and the three havoc externs should exist.
+	if len(prog.Funcs) != 5 {
+		t.Errorf("got %d functions, want 5 (f, g, 3 havocs)", len(prog.Funcs))
+	}
+}
+
+func TestHavocDeclsPresent(t *testing.T) {
+	prog := normalize(t, "fun f() { }", Options{})
+	for _, name := range []string{"__fusion_havoc_int", "__fusion_havoc_bool", "__fusion_havoc_ptr"} {
+		f := prog.Func(name)
+		if f == nil || !f.Extern {
+			t.Errorf("havoc extern %s missing", name)
+		}
+		if !IsHavoc(name) {
+			t.Errorf("IsHavoc(%s) = false", name)
+		}
+	}
+	if IsHavoc("f") {
+		t.Error("IsHavoc(f) = true")
+	}
+}
+
+func TestNormalizedOutputStillChecks(t *testing.T) {
+	// The normalized program must remain semantically valid.
+	prog := normalize(t, `
+fun fact(n: int): int {
+    if (n <= 1) {
+        return 1;
+    }
+    return n * fact(n - 1);
+}
+fun f(n: int): int {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        total = total + fact(i);
+        i = i + 1;
+        if (total > 100) {
+            return total;
+        }
+    }
+    return total;
+}`, Options{})
+	if errs := sema.Check(prog); len(errs) > 0 {
+		t.Fatalf("normalized program fails sema: %v\n%s", errs, lang.Format(prog))
+	}
+	for _, f := range prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		if countWhile(f.Body) != 0 {
+			t.Errorf("%s: loops remain", f.Name)
+		}
+		if n := countReturns(f.Body); n > 1 {
+			t.Errorf("%s: %d returns remain", f.Name, n)
+		}
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	src := `
+fun f(n: int): int {
+    while (n > 0) {
+        n = n - 1;
+    }
+    return n;
+}`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := lang.Format(prog)
+	Normalize(prog, Options{})
+	if after := lang.Format(prog); after != before {
+		t.Error("Normalize mutated its input program")
+	}
+}
