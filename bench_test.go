@@ -233,3 +233,36 @@ func BenchmarkAblationEnumeration(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAblationAbsint toggles the interval abstract-interpretation
+// tier on the value-constrained checkers, reporting how many queries the
+// tier decides (refuted or pruned before solving) and how many reach the
+// bit-precise solver.
+func BenchmarkAblationAbsint(b *testing.B) {
+	sub := compile(b, progen.Subjects[9], benchScale)
+	for _, cfg := range []struct {
+		name string
+		on   bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var decided, solved, reports int
+				for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
+					e := engines.NewFusion()
+					e.UseAbsint = cfg.on
+					c := bench.Run(sub, spec, e, benchBudget)
+					if c.Failed {
+						b.Fatalf("engine run failed: %s", c.FailNote)
+					}
+					decided += c.AbsintDecided + c.AbsintPruned
+					solved += c.SolverCalls
+					reports += c.Reports
+				}
+				b.ReportMetric(float64(decided), "absint-decided")
+				b.ReportMetric(float64(solved), "solver-calls")
+				b.ReportMetric(float64(reports), "reports")
+			}
+		})
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|all] [-engine NAME] [-no-prelude] file.fl
+//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME] [-absint on|off] [-no-prelude] file.fl
 //
 // Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
 // pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"fusion/internal/absint"
 	"fusion/internal/checker"
 	"fusion/internal/engines"
 	"fusion/internal/fusioncore"
@@ -27,23 +28,28 @@ import (
 )
 
 func main() {
-	checkerName := flag.String("checker", "all", "checker to run: null-deref, cwe-23, cwe-402, cwe-369, or all")
+	checkerName := flag.String("checker", "all", "checker to run: null-deref, cwe-23, cwe-402, cwe-369, cwe-125, or all")
 	engineName := flag.String("engine", "fusion", "engine: fusion, fusion-unopt, pinpoint[+qe|+lfs|+hfs|+ar], infer")
 	noPrelude := flag.Bool("no-prelude", false, "do not prepend the standard extern declarations")
 	showPaths := flag.Bool("paths", false, "print the data-dependence path of each report")
 	joint := flag.Bool("joint", false, "additionally check the joint feasibility of multi-argument sinks")
 	enum := flag.String("enum", "dfs", "path enumeration: dfs or summary")
 	dot := flag.Bool("dot", false, "print the program dependence graph in Graphviz DOT format and exit")
+	absintMode := flag.String("absint", "on", "interval abstract-interpretation tier: on or off (fusion engines and -dot annotations)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fusion [flags] file.fl")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *absintMode != "on" && *absintMode != "off" {
+		fmt.Fprintf(os.Stderr, "fusion: -absint must be on or off, got %q\n", *absintMode)
+		os.Exit(2)
+	}
 	cfg := config{
 		path: flag.Arg(0), checker: *checkerName, engine: *engineName,
 		prelude: !*noPrelude, showPaths: *showPaths, joint: *joint,
-		enum: *enum, dot: *dot,
+		enum: *enum, dot: *dot, absint: *absintMode == "on",
 		out: os.Stdout,
 	}
 	if err := run(cfg); err != nil {
@@ -61,6 +67,7 @@ type config struct {
 	joint     bool
 	enum      string
 	dot       bool
+	absint    bool
 	out       interface{ Write([]byte) (int, error) }
 }
 
@@ -115,7 +122,12 @@ func run(cfg config) error {
 	}
 	g := pdg.Build(sp)
 	if cfg.dot {
-		fmt.Fprint(cfg.out, pdg.ToDOT(g))
+		if cfg.absint {
+			an := absint.Analyze(g)
+			fmt.Fprint(cfg.out, pdg.ToDOTAnnotated(g, an.Annotation))
+		} else {
+			fmt.Fprint(cfg.out, pdg.ToDOT(g))
+		}
 		return nil
 	}
 
@@ -133,11 +145,28 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// The interval tier applies to the fused engine: it refutes queries
+	// before any formula is built, and its invariants prune provably-safe
+	// candidates during DFS enumeration.
+	var an *absint.Analysis
+	if f, ok := eng.(*engines.Fusion); ok && cfg.absint {
+		f.UseAbsint = true
+		an = f.Absint(g)
+	}
 
+	pruned := 0
 	enumerate := func(spec *sparse.Spec) ([]sparse.Candidate, error) {
 		switch cfg.enum {
 		case "", "dfs":
-			return sparse.NewEngine(g).Run(spec), nil
+			e := sparse.NewEngine(g)
+			if an != nil {
+				e.Oracle = func(c sparse.Candidate) bool {
+					return an.PrunePath(c.Path, c.Constraints(0)...)
+				}
+			}
+			cands := e.Run(spec)
+			pruned += e.Pruned
+			return cands, nil
 		case "summary":
 			return sparse.NewSummaryEngine(g).Run(spec), nil
 		default:
@@ -145,7 +174,7 @@ func run(cfg config) error {
 		}
 	}
 
-	total := 0
+	total, decided := 0, 0
 	for _, spec := range specs {
 		cands, err := enumerate(spec)
 		if err != nil {
@@ -153,6 +182,9 @@ func run(cfg config) error {
 		}
 		verdicts := eng.Check(g, cands)
 		for _, v := range verdicts {
+			if v.DecidedByAbsint {
+				decided++
+			}
 			switch v.Status {
 			case sat.Sat:
 				total++
@@ -179,6 +211,9 @@ func run(cfg config) error {
 					len(jv.Group.Flows), verdict)
 			}
 		}
+	}
+	if an != nil {
+		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies), pruned %d candidate(s)\n", decided, pruned)
 	}
 	fmt.Fprintf(cfg.out, "%d bug(s) reported by %s\n", total, eng.Name())
 	return nil

@@ -1,0 +1,339 @@
+package absint
+
+import (
+	"fmt"
+	"strings"
+
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/ssa"
+)
+
+// Analysis holds the whole-program interval facts: one invariant interval
+// per PDG vertex (sound for every calling context, i.e. computed with top
+// parameters), plus per-function return summaries and a bounded cache of
+// call-site instantiations with sharper argument intervals.
+type Analysis struct {
+	G *pdg.Graph
+
+	// vals is the context-insensitive invariant per vertex: the interval
+	// of every value the vertex can compute in any execution, assuming its
+	// guard chain holds (gated SSA only consumes a value under its guard).
+	vals map[*ssa.Value]Interval
+	// summaries maps each function to its return interval with top
+	// parameters.
+	summaries map[*ssa.Function]Interval
+
+	instMemo map[instCacheKey]Interval
+	visiting map[*ssa.Function]bool
+	budget   int
+
+	Stats Stats
+}
+
+// Stats accounts for the analysis work and precision.
+type Stats struct {
+	Functions      int
+	Vertices       int
+	NonTrivial     int // vertices with an interval strictly below top
+	Instantiations int
+	CacheHits      int
+}
+
+type instCacheKey struct {
+	f    *ssa.Function
+	args string
+}
+
+const (
+	maxInstDepth = 32
+	// evalBudget bounds the total number of per-call-site re-evaluations;
+	// beyond it the top-parameter summary is used instead.
+	evalBudget = 20000
+)
+
+func width(v *ssa.Value) int { return pdg.TypeBits(v.Type) }
+
+// Analyze runs the sparse abstract interpretation over the whole program:
+// functions are processed bottom-up over the call graph (callees before
+// callers) so call vertices can use callee summaries; call-graph cycles —
+// which normalization removes, so they indicate an unnormalized input —
+// degrade to the top summary (the degenerate widening).
+func Analyze(g *pdg.Graph) *Analysis {
+	a := &Analysis{
+		G:         g,
+		vals:      map[*ssa.Value]Interval{},
+		summaries: map[*ssa.Function]Interval{},
+		instMemo:  map[instCacheKey]Interval{},
+		visiting:  map[*ssa.Function]bool{},
+		budget:    evalBudget,
+	}
+	// Bottom-up call-graph order.
+	done := map[*ssa.Function]bool{}
+	var visit func(f *ssa.Function)
+	visit = func(f *ssa.Function) {
+		if done[f] || a.visiting[f] {
+			return
+		}
+		a.visiting[f] = true
+		for _, v := range f.Values {
+			if v.Op == ssa.OpCall {
+				visit(g.Callee(v))
+			}
+		}
+		delete(a.visiting, f)
+		done[f] = true
+		a.summaries[f] = a.evalFunction(f, nil, true, 0)
+		a.Stats.Functions++
+	}
+	for _, f := range g.Prog.Order {
+		visit(f)
+	}
+	for _, iv := range a.vals {
+		a.Stats.Vertices++
+		if !iv.IsTop() {
+			a.Stats.NonTrivial++
+		}
+	}
+	return a
+}
+
+// IntervalOf returns the invariant interval of a vertex.
+func (a *Analysis) IntervalOf(v *ssa.Value) (Interval, bool) {
+	iv, ok := a.vals[v]
+	return iv, ok
+}
+
+// Bounds returns the exportable signed bounds of a 32-bit vertex: ok is
+// false for booleans, constants, unanalyzed or top vertices, and for
+// bottom (unreachable) vertices, which the refutation tier handles.
+func (a *Analysis) Bounds(v *ssa.Value) (lo, hi int64, ok bool) {
+	if width(v) != 32 || v.Op == ssa.OpConst {
+		return 0, 0, false
+	}
+	iv, found := a.vals[v]
+	if !found || iv.IsTop() || iv.IsBottom() {
+		return 0, 0, false
+	}
+	return iv.Lo, iv.Hi, true
+}
+
+// Annotation renders a vertex's interval for graph dumps; empty for
+// vertices without a nontrivial fact.
+func (a *Analysis) Annotation(v *ssa.Value) string {
+	iv, ok := a.vals[v]
+	if !ok || iv.IsTop() {
+		return ""
+	}
+	if width(v) == 1 && iv.Lo == 0 && iv.Hi == 1 {
+		return ""
+	}
+	return iv.String()
+}
+
+// evalFunction evaluates f's body with the given argument intervals (nil
+// means all top). With record set, per-vertex results are stored as the
+// whole-program invariants. f.Values is in construction (topological)
+// order and normalized programs are loop-free, so a single forward pass
+// reaches the fixpoint.
+func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, depth int) Interval {
+	local := make(map[*ssa.Value]Interval, len(f.Values))
+	ref := newRefiner(local)
+
+	for _, v := range f.Values {
+		look := func(x *ssa.Value) Interval {
+			return ref.lookup(x, v.Guard)
+		}
+		var iv Interval
+		if v.Guard != nil && ref.contradicted(v.Guard) {
+			iv = Bottom() // the guard chain can never hold: dead code
+		} else {
+			iv = a.transfer(v, f, args, look, depth)
+		}
+		local[v] = iv
+		if record {
+			a.vals[v] = iv
+		}
+	}
+	if f.Ret == nil {
+		return Top(32)
+	}
+	return local[f.Ret]
+}
+
+// transfer evaluates one vertex given an operand-lookup function that
+// applies the vertex's guard-chain refinements.
+func (a *Analysis) transfer(v *ssa.Value, f *ssa.Function, args []Interval, look func(*ssa.Value) Interval, depth int) Interval {
+	switch v.Op {
+	case ssa.OpConst:
+		return Single(v.Const)
+	case ssa.OpParam:
+		idx := pdg.ParamIndex(v)
+		if args != nil && idx >= 0 && idx < len(args) {
+			return args[idx]
+		}
+		return Top(width(v))
+	case ssa.OpCopy, ssa.OpReturn, ssa.OpBranch:
+		return look(v.Args[0])
+	case ssa.OpNot:
+		return NotBool(look(v.Args[0]))
+	case ssa.OpNeg:
+		return Neg(look(v.Args[0]))
+	case ssa.OpIte:
+		c := look(v.Args[0])
+		switch {
+		case c.IsBottom():
+			return Bottom()
+		case c.Lo == 1:
+			return look(v.Args[1])
+		case c.Hi == 0:
+			return look(v.Args[2])
+		default:
+			return look(v.Args[1]).Join(look(v.Args[2]))
+		}
+	case ssa.OpCall:
+		callee := a.G.Callee(v)
+		callArgs := make([]Interval, len(v.Args))
+		for i, x := range v.Args {
+			callArgs[i] = look(x)
+		}
+		return a.evalCall(callee, callArgs, depth)
+	case ssa.OpExtern:
+		return Top(width(v))
+	case ssa.OpBin:
+		return a.binTransfer(v, look)
+	default:
+		return Top(width(v))
+	}
+}
+
+// binTransfer mirrors cond.BinTerm's operator semantics on intervals,
+// including the same-operand identities the bit-level encoding enjoys
+// (x - x = 0, x ^ x = 0, x == x, ...), which interval arithmetic cannot
+// see through correlation.
+func (a *Analysis) binTransfer(v *ssa.Value, look func(*ssa.Value) Interval) Interval {
+	x, y := v.Args[0], v.Args[1]
+	if x == y {
+		switch v.BinOp {
+		case lang.OpSub, lang.OpBitXor:
+			if look(x).IsBottom() {
+				return Bottom()
+			}
+			return Interval{0, 0}
+		case lang.OpEq, lang.OpLe, lang.OpGe:
+			if look(x).IsBottom() {
+				return Bottom()
+			}
+			return Interval{1, 1}
+		case lang.OpNe, lang.OpLt, lang.OpGt:
+			if look(x).IsBottom() {
+				return Bottom()
+			}
+			return Interval{0, 0}
+		case lang.OpAnd, lang.OpOr, lang.OpBitAnd, lang.OpBitOr:
+			return look(x)
+		}
+	}
+	l, r := look(x), look(y)
+	isBool := v.Type == lang.TypeBool && x.Type == lang.TypeBool
+	switch v.BinOp {
+	case lang.OpAdd:
+		return Add(l, r)
+	case lang.OpSub:
+		return Sub(l, r)
+	case lang.OpMul:
+		return Mul(l, r)
+	case lang.OpDiv:
+		return UDiv(l, r)
+	case lang.OpRem:
+		return URem(l, r)
+	case lang.OpEq:
+		return Eq(l, r)
+	case lang.OpNe:
+		return NotBool(Eq(l, r))
+	case lang.OpLt:
+		return Slt(l, r)
+	case lang.OpLe:
+		return Sle(l, r)
+	case lang.OpGt:
+		return Slt(r, l)
+	case lang.OpGe:
+		return Sle(r, l)
+	case lang.OpAnd, lang.OpBitAnd:
+		if isBool {
+			return AndBool(l, r)
+		}
+		return BitAnd(l, r)
+	case lang.OpOr, lang.OpBitOr:
+		if isBool {
+			return OrBool(l, r)
+		}
+		return BitOr(l, r)
+	case lang.OpBitXor:
+		return BitXor(l, r)
+	case lang.OpShl:
+		return Shl(l, r)
+	case lang.OpShr:
+		return Lshr(l, r)
+	default:
+		return Top(width(v))
+	}
+}
+
+// evalCall resolves a call vertex: the callee body is re-evaluated with
+// the actual argument intervals when they carry information (memoized and
+// budgeted), otherwise the top-parameter summary answers directly.
+func (a *Analysis) evalCall(callee *ssa.Function, args []Interval, depth int) Interval {
+	if callee.Ret == nil {
+		return Top(32)
+	}
+	if a.visiting[callee] || depth >= maxInstDepth {
+		return a.summaryOrTop(callee)
+	}
+	allTop := true
+	for i, iv := range args {
+		if i < len(callee.Params) && !iv.IsTop() {
+			allTop = false
+			break
+		}
+	}
+	if allTop {
+		return a.summaryOrTop(callee)
+	}
+	key := instCacheKey{f: callee, args: intervalKey(args)}
+	if iv, ok := a.instMemo[key]; ok {
+		a.Stats.CacheHits++
+		return iv
+	}
+	if a.budget <= 0 {
+		return a.summaryOrTop(callee)
+	}
+	a.budget--
+	a.Stats.Instantiations++
+	a.visiting[callee] = true
+	iv := a.evalFunction(callee, args, false, depth+1)
+	delete(a.visiting, callee)
+	// Stay within the top-parameter summary: the instantiation can only
+	// sharpen it.
+	iv = iv.Meet(a.summaryOrTop(callee))
+	a.instMemo[key] = iv
+	return iv
+}
+
+func (a *Analysis) summaryOrTop(f *ssa.Function) Interval {
+	if iv, ok := a.summaries[f]; ok {
+		return iv
+	}
+	if f.Ret != nil {
+		return Top(width(f.Ret))
+	}
+	return Top(32)
+}
+
+func intervalKey(args []Interval) string {
+	var b strings.Builder
+	for _, iv := range args {
+		fmt.Fprintf(&b, "%d:%d;", iv.Lo, iv.Hi)
+	}
+	return b.String()
+}

@@ -1,0 +1,401 @@
+// Package absint is a sparse abstract interpretation over the program
+// dependence graph: a signed-interval (plus null/non-null) domain evaluated
+// directly on the SSA value graph, branch-refined along control-dependence
+// edges, and made interprocedural by per-function summaries instantiated
+// bottom-up over the call graph.
+//
+// It is the analysis-side counterpart of the solver's syntactic
+// preprocessing tier: where package smt rewrites formulas, absint decides
+// queries before a formula is ever built. The facts it computes are
+// invariants of every concrete execution, so it may only ever refute a
+// query ("no execution reaches this sink with the constrained value") —
+// never confirm one. fusioncore consults it as a pre-solver tier, the
+// sparse engine uses it as a candidate-pruning oracle, and the bench
+// harness reports its decision rate next to the Figure 11 preprocessing
+// statistic.
+package absint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a signed interpretation of the 32-bit values the analysis
+// language computes: the set {v : Lo <= int32(v) <= Hi}. Booleans use the
+// sub-lattice over [0, 1]. Lo > Hi encodes bottom (no value). Bounds are
+// held in int64 so transfer functions can detect int32 overflow exactly.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Lattice constants.
+const (
+	minI32 = math.MinInt32
+	maxI32 = math.MaxInt32
+)
+
+// Top returns the full interval for a value of the given bit width
+// (1 = bool, 32 = int/ptr).
+func Top(width int) Interval {
+	if width == 1 {
+		return Interval{0, 1}
+	}
+	return Interval{minI32, maxI32}
+}
+
+// Bottom is the empty interval.
+func Bottom() Interval { return Interval{1, 0} }
+
+// Single is the singleton interval {v} under signed interpretation.
+func Single(v uint32) Interval {
+	s := int64(int32(v))
+	return Interval{s, s}
+}
+
+// IsBottom reports the empty interval.
+func (iv Interval) IsBottom() bool { return iv.Lo > iv.Hi }
+
+// IsTop reports the full 32-bit interval.
+func (iv Interval) IsTop() bool { return iv.Lo <= minI32 && iv.Hi >= maxI32 }
+
+// Contains reports whether the signed value s lies in the interval.
+func (iv Interval) Contains(s int64) bool { return iv.Lo <= s && s <= iv.Hi }
+
+// ExcludesZero reports that no value in the interval is zero — the
+// "provably non-null / non-zero-divisor" fact.
+func (iv Interval) ExcludesZero() bool { return !iv.IsBottom() && !iv.Contains(0) }
+
+// Within reports iv ⊆ [lo, hi].
+func (iv Interval) Within(lo, hi int64) bool {
+	return !iv.IsBottom() && iv.Lo >= lo && iv.Hi <= hi
+}
+
+// Join is the lattice join (interval hull). Bottom is the identity.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsBottom() {
+		return o
+	}
+	if o.IsBottom() {
+		return iv
+	}
+	return Interval{min64(iv.Lo, o.Lo), max64(iv.Hi, o.Hi)}
+}
+
+// Meet is the lattice meet (intersection).
+func (iv Interval) Meet(o Interval) Interval {
+	return Interval{max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)}
+}
+
+func (iv Interval) String() string {
+	if iv.IsBottom() {
+		return "⊥"
+	}
+	if iv.IsTop() {
+		return "⊤"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// clamp widens any interval that escapes the signed 32-bit range to top:
+// escaping the range means the machine arithmetic may have wrapped, and
+// the hull of wrapped values is the full range.
+func clamp(lo, hi int64) Interval {
+	if lo < minI32 || hi > maxI32 {
+		return Top(32)
+	}
+	return Interval{lo, hi}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Transfer functions ---
+//
+// Every function below must over-approximate the concrete semantics the
+// SMT encoding uses (smt.foldBinary / interp.binOp): comparisons and
+// negation are signed, division and remainder are UNSIGNED with the
+// SMT-LIB conventions x/0 = all-ones (= -1 signed) and x%0 = x, and
+// add/sub/mul wrap modulo 2^32.
+
+// unsignedRange converts a signed interval to an unsigned [lo, hi] range
+// when it is contiguous under unsigned interpretation; mixed-sign
+// intervals wrap around and are widened to the full unsigned range.
+func unsignedRange(iv Interval) (lo, hi uint64, exact bool) {
+	switch {
+	case iv.Lo >= 0:
+		return uint64(iv.Lo), uint64(iv.Hi), true
+	case iv.Hi < 0:
+		return uint64(iv.Lo + (1 << 32)), uint64(iv.Hi + (1 << 32)), true
+	default:
+		return 0, (1 << 32) - 1, false
+	}
+}
+
+// signedFromUnsigned converts an unsigned range back to a signed interval,
+// widening to top when the range straddles the sign boundary.
+func signedFromUnsigned(lo, hi uint64) Interval {
+	switch {
+	case hi <= maxI32:
+		return Interval{int64(lo), int64(hi)}
+	case lo > maxI32:
+		return Interval{int64(lo) - (1 << 32), int64(hi) - (1 << 32)}
+	default:
+		return Top(32)
+	}
+}
+
+// Add is the transfer for 32-bit addition.
+func Add(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	return clamp(a.Lo+b.Lo, a.Hi+b.Hi)
+}
+
+// Sub is the transfer for 32-bit subtraction.
+func Sub(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	return clamp(a.Lo-b.Hi, a.Hi-b.Lo)
+}
+
+// Neg is the transfer for 32-bit two's-complement negation.
+func Neg(a Interval) Interval {
+	if a.IsBottom() {
+		return Bottom()
+	}
+	return clamp(-a.Hi, -a.Lo)
+}
+
+// Mul is the transfer for 32-bit multiplication. Corner products fit in
+// int64 (|bound| <= 2^31, product <= 2^62), so overflow detection is exact.
+func Mul(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	p1, p2, p3, p4 := a.Lo*b.Lo, a.Lo*b.Hi, a.Hi*b.Lo, a.Hi*b.Hi
+	return clamp(min64(min64(p1, p2), min64(p3, p4)), max64(max64(p1, p2), max64(p3, p4)))
+}
+
+// UDiv is the transfer for unsigned division with the SMT-LIB convention
+// x/0 = all-ones (-1 signed).
+func UDiv(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	al, ah, _ := unsignedRange(a)
+	bl, bh, _ := unsignedRange(b)
+	var out Interval = Bottom()
+	if b.Contains(0) {
+		out = out.Join(Interval{-1, -1}) // x / 0 = all-ones
+		if bl == 0 {
+			bl = 1
+		}
+	}
+	if bh >= bl && bh > 0 { // some nonzero divisor exists
+		if bl == 0 {
+			bl = 1
+		}
+		out = out.Join(signedFromUnsigned(al/bh, ah/bl))
+	}
+	return out
+}
+
+// URem is the transfer for unsigned remainder with the SMT-LIB convention
+// x%0 = x.
+func URem(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	al, ah, aExact := unsignedRange(a)
+	bl, bh, _ := unsignedRange(b)
+	var out Interval = Bottom()
+	if b.Contains(0) {
+		out = out.Join(a) // x % 0 = x
+	}
+	if bh > 0 { // some nonzero divisor exists
+		if bl == 0 {
+			bl = 1
+		}
+		if aExact && ah < bl {
+			// Dividend always below the divisor: identity.
+			out = out.Join(signedFromUnsigned(al, ah))
+		} else {
+			out = out.Join(signedFromUnsigned(0, bh-1))
+		}
+	}
+	return out
+}
+
+// boolFrom3 encodes a three-valued comparison outcome as an interval over
+// {0, 1}.
+func boolFrom3(canFalse, canTrue bool) Interval {
+	switch {
+	case canTrue && canFalse:
+		return Interval{0, 1}
+	case canTrue:
+		return Interval{1, 1}
+	case canFalse:
+		return Interval{0, 0}
+	default:
+		return Bottom()
+	}
+}
+
+// Slt is the transfer for signed less-than.
+func Slt(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	return boolFrom3(a.Hi >= b.Lo, a.Lo < b.Hi)
+}
+
+// Sle is the transfer for signed less-or-equal.
+func Sle(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	return boolFrom3(a.Hi > b.Lo, a.Lo <= b.Hi)
+}
+
+// Eq is the transfer for equality (any width).
+func Eq(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	overlap := a.Lo <= b.Hi && b.Lo <= a.Hi
+	bothSingle := a.Lo == a.Hi && b.Lo == b.Hi
+	return boolFrom3(!(overlap && bothSingle), overlap)
+}
+
+// NotBool is the transfer for boolean negation over [0, 1].
+func NotBool(a Interval) Interval {
+	if a.IsBottom() {
+		return Bottom()
+	}
+	return Interval{max64(0, 1-a.Hi), min64(1, 1-a.Lo)}.Meet(Interval{0, 1})
+}
+
+// AndBool / OrBool are the transfers for the logical (non-short-circuit)
+// boolean operators, which the language evaluates bitwise over {0, 1}.
+func AndBool(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	return Interval{min64(a.Lo, b.Lo), min64(a.Hi, b.Hi)}.Meet(Interval{0, 1})
+}
+
+func OrBool(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	return Interval{max64(a.Lo, b.Lo), max64(a.Hi, b.Hi)}.Meet(Interval{0, 1})
+}
+
+// BitAnd is the transfer for bitwise and. When either operand is provably
+// non-negative with top bit clear, the result is non-negative and bounded
+// by that operand under unsigned comparison.
+func BitAnd(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return Interval{0, min64(a.Hi, b.Hi)}
+	}
+	if a.Lo >= 0 {
+		return Interval{0, a.Hi}
+	}
+	if b.Lo >= 0 {
+		return Interval{0, b.Hi}
+	}
+	return Top(32)
+}
+
+// BitOr is the transfer for bitwise or.
+func BitOr(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		// or never clears bits below the highest set bit bound.
+		return Interval{max64(a.Lo, b.Lo), upPow2(max64(a.Hi, b.Hi))}
+	}
+	return Top(32)
+}
+
+// BitXor is the transfer for bitwise xor.
+func BitXor(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return Interval{0, upPow2(max64(a.Hi, b.Hi))}
+	}
+	return Top(32)
+}
+
+// upPow2 returns 2^ceil(log2(n+1)) - 1: the smallest all-ones bound
+// covering n, clamped to maxI32.
+func upPow2(n int64) int64 {
+	if n < 0 {
+		return maxI32
+	}
+	var b int64 = 1
+	for b-1 < n {
+		if b > maxI32 {
+			return maxI32
+		}
+		b <<= 1
+	}
+	return b - 1
+}
+
+// Shl is the transfer for left shift (shift >= 32 yields 0 in the
+// language; the SMT encoding agrees).
+func Shl(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	if b.Lo == b.Hi && b.Lo >= 0 && b.Lo < 31 && a.Lo >= 0 {
+		s := uint(b.Lo)
+		if a.Hi <= maxI32>>s {
+			return Interval{a.Lo << s, a.Hi << s}
+		}
+	}
+	return Top(32)
+}
+
+// Lshr is the transfer for logical right shift.
+func Lshr(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return Bottom()
+	}
+	if b.Lo == b.Hi && b.Lo >= 1 && b.Lo < 32 {
+		s := uint(b.Lo)
+		if a.Lo >= 0 {
+			return Interval{a.Lo >> s, a.Hi >> s}
+		}
+		// Negative inputs have the top bit set; a logical shift by >= 1
+		// clears it, bounding the result by 2^(32-s) - 1.
+		return Interval{0, (int64(1) << (32 - s)) - 1}
+	}
+	if b.Lo == b.Hi && b.Lo == 0 {
+		return a
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return Interval{0, a.Hi}
+	}
+	return Top(32)
+}

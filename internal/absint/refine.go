@@ -1,0 +1,230 @@
+package absint
+
+import (
+	"fusion/internal/lang"
+	"fusion/internal/ssa"
+)
+
+// refiner narrows vertex intervals under a guard chain. Gated SSA wraps
+// else-branches in an explicit OpNot, so a guard vertex always asserts
+// that its condition (Args[0]) is true; refinement environments are
+// memoized per guard vertex and extend the parent guard's environment.
+type refiner struct {
+	local map[*ssa.Value]Interval
+	envs  map[*ssa.Value]*refEnv
+	empty *refEnv
+}
+
+type refEnv struct {
+	refined map[*ssa.Value]Interval
+	dead    bool // the guard chain is contradictory: code under it is unreachable
+}
+
+const maxDeriveDepth = 64
+
+func newRefiner(local map[*ssa.Value]Interval) *refiner {
+	return &refiner{
+		local: local,
+		envs:  map[*ssa.Value]*refEnv{},
+		empty: &refEnv{refined: map[*ssa.Value]Interval{}},
+	}
+}
+
+// lookup returns x's interval as seen under the given guard chain.
+func (r *refiner) lookup(x *ssa.Value, guard *ssa.Value) Interval {
+	env := r.envFor(guard)
+	if iv, ok := env.refined[x]; ok {
+		return iv
+	}
+	return r.base(x)
+}
+
+// contradicted reports whether the guard chain can never hold.
+func (r *refiner) contradicted(guard *ssa.Value) bool {
+	return r.envFor(guard).dead
+}
+
+func (r *refiner) base(x *ssa.Value) Interval {
+	if iv, ok := r.local[x]; ok {
+		return iv
+	}
+	return Top(width(x))
+}
+
+func (r *refiner) envFor(g *ssa.Value) *refEnv {
+	if g == nil {
+		return r.empty
+	}
+	if env, ok := r.envs[g]; ok {
+		return env
+	}
+	parent := r.envFor(g.Guard)
+	env := &refEnv{
+		refined: make(map[*ssa.Value]Interval, len(parent.refined)+2),
+		dead:    parent.dead,
+	}
+	for v, iv := range parent.refined {
+		env.refined[v] = iv
+	}
+	if !env.dead {
+		r.derive(g.Args[0], true, env, 0)
+	}
+	r.envs[g] = env
+	return env
+}
+
+func (r *refiner) cur(x *ssa.Value, env *refEnv) Interval {
+	if iv, ok := env.refined[x]; ok {
+		return iv
+	}
+	return r.base(x)
+}
+
+// constrain meets x's interval with the given fact; an empty meet marks
+// the environment dead.
+func (r *refiner) constrain(x *ssa.Value, with Interval, env *refEnv) {
+	m := r.cur(x, env).Meet(with)
+	if m.IsBottom() {
+		env.dead = true
+		return
+	}
+	if x.Op != ssa.OpConst {
+		env.refined[x] = m
+	}
+}
+
+// derive propagates the fact "c evaluates to want" into the environment,
+// walking the condition's structure.
+func (r *refiner) derive(c *ssa.Value, want bool, env *refEnv, depth int) {
+	if env.dead || depth > maxDeriveDepth {
+		return
+	}
+	// The condition vertex itself is now known.
+	if want {
+		r.constrain(c, Interval{1, 1}, env)
+	} else {
+		r.constrain(c, Interval{0, 0}, env)
+	}
+	if env.dead {
+		return
+	}
+	switch c.Op {
+	case ssa.OpCopy:
+		r.derive(c.Args[0], want, env, depth+1)
+	case ssa.OpNot:
+		r.derive(c.Args[0], !want, env, depth+1)
+	case ssa.OpBin:
+		switch c.BinOp {
+		case lang.OpAnd:
+			if want {
+				r.derive(c.Args[0], true, env, depth+1)
+				r.derive(c.Args[1], true, env, depth+1)
+			}
+		case lang.OpOr:
+			if !want {
+				r.derive(c.Args[0], false, env, depth+1)
+				r.derive(c.Args[1], false, env, depth+1)
+			}
+		case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe:
+			r.deriveCmp(c.BinOp, c.Args[0], c.Args[1], want, env)
+		}
+	}
+}
+
+// deriveCmp refines both operands of a comparison known to evaluate to
+// want. All comparisons are signed, matching the SMT encoding.
+func (r *refiner) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, env *refEnv) {
+	rl, swap := normalizeRel(op, want)
+	if swap {
+		x, y = y, x
+	}
+	cx, cy := r.cur(x, env), r.cur(y, env)
+	if cx.IsBottom() || cy.IsBottom() {
+		env.dead = true
+		return
+	}
+	nx, ny := relConstraints(rl, cx, cy)
+	r.constrain(x, nx, env)
+	r.constrain(y, ny, env)
+}
+
+// rel is a canonical comparison relation after polarity normalization.
+type rel int
+
+const (
+	relLt rel = iota // x < y
+	relLe            // x <= y
+	relEq            // x == y
+	relNe            // x != y
+)
+
+// normalizeRel maps a comparison operator known to evaluate to want onto a
+// canonical relation, possibly with swapped operands:
+// ¬(x<y) = y<=x, ¬(x<=y) = y<x, ¬(x==y) = x!=y, ¬(x!=y) = x==y.
+func normalizeRel(op lang.BinOp, want bool) (rl rel, swap bool) {
+	switch op {
+	case lang.OpLt:
+		rl = relLt
+	case lang.OpLe:
+		rl = relLe
+	case lang.OpGt:
+		rl, swap = relLt, true
+	case lang.OpGe:
+		rl, swap = relLe, true
+	case lang.OpEq:
+		rl = relEq
+	case lang.OpNe:
+		rl = relNe
+	}
+	if !want {
+		switch rl {
+		case relLt:
+			rl, swap = relLe, !swap
+		case relLe:
+			rl, swap = relLt, !swap
+		case relEq:
+			rl = relNe
+		case relNe:
+			rl = relEq
+		}
+	}
+	return rl, swap
+}
+
+// relConstraints returns the intervals to meet into x and y given that
+// "x rl y" holds and the operands currently lie in cx and cy. A bottom
+// result signals a contradiction.
+func relConstraints(rl rel, cx, cy Interval) (nx, ny Interval) {
+	switch rl {
+	case relLt:
+		return Interval{minI32, cy.Hi - 1}, Interval{cx.Lo + 1, maxI32}
+	case relLe:
+		return Interval{minI32, cy.Hi}, Interval{cx.Lo, maxI32}
+	case relEq:
+		return cy, cx
+	case relNe:
+		nx, ny = cx, cy
+		if cy.Lo == cy.Hi {
+			nx = trimmed(cx, cy.Lo)
+		}
+		if cx.Lo == cx.Hi {
+			ny = trimmed(cy, cx.Lo)
+		}
+		return nx, ny
+	}
+	return Top(32), Top(32)
+}
+
+// trimmed removes a single excluded value from an interval when it sits on
+// an endpoint (intervals cannot represent interior holes).
+func trimmed(c Interval, excluded int64) Interval {
+	switch {
+	case c.Lo == c.Hi && c.Lo == excluded:
+		return Bottom()
+	case c.Lo == excluded:
+		return Interval{c.Lo + 1, c.Hi}
+	case c.Hi == excluded:
+		return Interval{c.Lo, c.Hi - 1}
+	}
+	return c
+}

@@ -1,0 +1,409 @@
+package absint
+
+import (
+	"fusion/internal/cond"
+	"fusion/internal/lang"
+	"fusion/internal/pdg"
+	"fusion/internal/ssa"
+)
+
+// The refuter decides one slice query in the interval domain before any
+// formula is built. It models exactly the constraint system fusioncore
+// emits — defining equations for sliced vertices (with rule (1)'s pruned
+// ite edges), the paths' guard-chain assertions, and the value
+// constraints — so "the abstract system has no solution" implies the SMT
+// query is unsatisfiable. Because the domain over-approximates, a failed
+// refutation decides nothing.
+
+type ctxVal struct {
+	v   *ssa.Value
+	ctx *cond.Ctx
+}
+
+type refuter struct {
+	a    *Analysis
+	sl   *pdg.Slice
+	tree *cond.CtxTree
+	// refined holds facts derived from the asserted guards and equality
+	// constraints; entries only ever tighten.
+	refined map[ctxVal]Interval
+	// memo caches equation evaluation within one round; it is dropped
+	// between rounds so new refinements propagate.
+	memo map[ctxVal]Interval
+	// asserted marks path-step instantiations whose guard chains the
+	// formula asserts; the whole-program invariants (which assume exactly
+	// those guards) apply to them.
+	asserted map[ctxVal]bool
+	refuted  bool
+	changed  bool
+}
+
+const (
+	maxEvalDepth    = 48
+	maxRefuteRounds = 4
+)
+
+// RefuteSlice reports whether the query represented by the slice — its
+// paths' guard assertions plus its value constraints — is provably
+// unsatisfiable in the interval domain. False decides nothing.
+func (a *Analysis) RefuteSlice(sl *pdg.Slice) bool {
+	r := &refuter{
+		a: a, sl: sl, tree: cond.NewCtxTree(),
+		refined:  map[ctxVal]Interval{},
+		asserted: map[ctxVal]bool{},
+	}
+	return r.run()
+}
+
+func (r *refuter) run() bool {
+	// Collect the asserted guard instantiations, mirroring
+	// cond.GuardAssertions / fusioncore.buildResidual.
+	type guardAt struct {
+		gd  *ssa.Value
+		ctx *cond.Ctx
+	}
+	var guards []guardAt
+	pathCtxs := make([][]*cond.Ctx, len(r.sl.Paths))
+	for pi, p := range r.sl.Paths {
+		ctxs := cond.AssignContexts(r.tree, p)
+		pathCtxs[pi] = ctxs
+		for i, step := range p {
+			r.asserted[ctxVal{step.V, ctxs[i]}] = true
+			for gd := step.V.Guard; gd != nil; gd = gd.Guard {
+				guards = append(guards, guardAt{gd, ctxs[i]})
+			}
+			if step.Kind == pdg.StepCall {
+				if c := r.sl.G.SiteCall[step.Site]; c != nil {
+					r.asserted[ctxVal{c, ctxs[i].Parent}] = true
+					for gd := c.Guard; gd != nil; gd = gd.Guard {
+						guards = append(guards, guardAt{gd, ctxs[i].Parent})
+					}
+				}
+			}
+		}
+	}
+
+	for round := 0; round < maxRefuteRounds && !r.refuted; round++ {
+		r.memo = map[ctxVal]Interval{}
+		r.changed = false
+		for _, g := range guards {
+			r.derive(g.gd, true, g.ctx, 0)
+			if r.refuted {
+				return true
+			}
+		}
+		for _, vc := range r.sl.Constraints {
+			r.applyConstraint(vc, pathCtxs)
+			if r.refuted {
+				return true
+			}
+		}
+		if !r.changed {
+			break
+		}
+	}
+	return r.refuted
+}
+
+// applyConstraint checks (and, for equalities, adopts) one value
+// constraint.
+func (r *refuter) applyConstraint(vc pdg.ValueConstraint, pathCtxs [][]*cond.Ctx) {
+	if vc.Path >= len(r.sl.Paths) {
+		return
+	}
+	p := r.sl.Paths[vc.Path]
+	if vc.Step >= len(p) {
+		return
+	}
+	v, ctx := p[vc.Step].V, pathCtxs[vc.Path][vc.Step]
+	switch vc.Kind {
+	case pdg.ConstraintOutOfBounds:
+		iv := r.eval(v, ctx, 0)
+		if iv.Within(0, int64(int32(vc.Bound))-1) {
+			r.refuted = true // the index provably stays in bounds
+		}
+	default:
+		r.constrain(v, ctx, Single(vc.Value))
+	}
+}
+
+// eval computes the interval of v instantiated in ctx under the emitted
+// equation system, meeting in derived refinements and — for instantiations
+// whose guard chains are asserted — the whole-program invariants.
+func (r *refuter) eval(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
+	vc := ctxVal{v, ctx}
+	if iv, ok := r.memo[vc]; ok {
+		return iv
+	}
+	iv := Top(width(v))
+	if depth < maxEvalDepth {
+		iv = r.equationOf(v, ctx, depth)
+	}
+	if rv, ok := r.refined[vc]; ok {
+		iv = iv.Meet(rv)
+	}
+	if r.asserted[vc] {
+		if inv, ok := r.a.vals[v]; ok {
+			iv = iv.Meet(inv)
+		}
+	}
+	if iv.IsBottom() {
+		r.refuted = true
+	}
+	r.memo[vc] = iv
+	return iv
+}
+
+// equationOf mirrors cond.Translator.Equation: vertices outside the slice
+// have no defining equation and stay free.
+func (r *refuter) equationOf(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
+	if v.Op == ssa.OpConst {
+		return Single(v.Const)
+	}
+	if !r.sl.Values[v] {
+		return Top(width(v))
+	}
+	g := r.sl.G
+	switch v.Op {
+	case ssa.OpParam:
+		if ctx.Parent == nil {
+			return Top(width(v))
+		}
+		c := g.SiteCall[ctx.Site]
+		idx := pdg.ParamIndex(v)
+		if c == nil || idx < 0 || idx >= len(c.Args) {
+			return Top(width(v))
+		}
+		return r.eval(c.Args[idx], ctx.Parent, depth+1)
+	case ssa.OpCopy, ssa.OpReturn, ssa.OpBranch:
+		return r.eval(v.Args[0], ctx, depth+1)
+	case ssa.OpNot:
+		return NotBool(r.eval(v.Args[0], ctx, depth+1))
+	case ssa.OpNeg:
+		return Neg(r.eval(v.Args[0], ctx, depth+1))
+	case ssa.OpIte:
+		thenIn, elseIn := r.sl.IteTaken(v)
+		switch {
+		case thenIn && elseIn:
+			c := r.eval(v.Args[0], ctx, depth+1)
+			switch {
+			case c.IsBottom():
+				return Bottom()
+			case c.Lo == 1:
+				return r.eval(v.Args[1], ctx, depth+1)
+			case c.Hi == 0:
+				return r.eval(v.Args[2], ctx, depth+1)
+			default:
+				return r.eval(v.Args[1], ctx, depth+1).Join(r.eval(v.Args[2], ctx, depth+1))
+			}
+		case thenIn:
+			// Rule (1) pruned the else edge: the equation additionally
+			// asserts the condition, which only strengthens — ignoring it
+			// here stays sound for refutation.
+			return r.eval(v.Args[1], ctx, depth+1)
+		case elseIn:
+			return r.eval(v.Args[2], ctx, depth+1)
+		default:
+			// Both edges pruned by conflicting paths: the equation is
+			// literally false.
+			r.refuted = true
+			return Bottom()
+		}
+	case ssa.OpCall:
+		callee := g.Callee(v)
+		if callee == nil || callee.Ret == nil {
+			return Top(width(v))
+		}
+		return r.eval(callee.Ret, r.tree.Child(ctx, v.Site), depth+1)
+	case ssa.OpExtern:
+		return Top(width(v))
+	case ssa.OpBin:
+		return r.binEval(v, ctx, depth)
+	default:
+		return Top(width(v))
+	}
+}
+
+func (r *refuter) binEval(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
+	x, y := v.Args[0], v.Args[1]
+	if x == y {
+		// Same-operand identities; see binTransfer.
+		xv := r.eval(x, ctx, depth+1)
+		switch v.BinOp {
+		case lang.OpSub, lang.OpBitXor:
+			if xv.IsBottom() {
+				return Bottom()
+			}
+			return Interval{0, 0}
+		case lang.OpEq, lang.OpLe, lang.OpGe:
+			if xv.IsBottom() {
+				return Bottom()
+			}
+			return Interval{1, 1}
+		case lang.OpNe, lang.OpLt, lang.OpGt:
+			if xv.IsBottom() {
+				return Bottom()
+			}
+			return Interval{0, 0}
+		case lang.OpAnd, lang.OpOr, lang.OpBitAnd, lang.OpBitOr:
+			return xv
+		}
+	}
+	l, rr := r.eval(x, ctx, depth+1), r.eval(y, ctx, depth+1)
+	isBool := v.Type == lang.TypeBool && x.Type == lang.TypeBool
+	switch v.BinOp {
+	case lang.OpAdd:
+		return Add(l, rr)
+	case lang.OpSub:
+		return Sub(l, rr)
+	case lang.OpMul:
+		return Mul(l, rr)
+	case lang.OpDiv:
+		return UDiv(l, rr)
+	case lang.OpRem:
+		return URem(l, rr)
+	case lang.OpEq:
+		return Eq(l, rr)
+	case lang.OpNe:
+		return NotBool(Eq(l, rr))
+	case lang.OpLt:
+		return Slt(l, rr)
+	case lang.OpLe:
+		return Sle(l, rr)
+	case lang.OpGt:
+		return Slt(rr, l)
+	case lang.OpGe:
+		return Sle(rr, l)
+	case lang.OpAnd, lang.OpBitAnd:
+		if isBool {
+			return AndBool(l, rr)
+		}
+		return BitAnd(l, rr)
+	case lang.OpOr, lang.OpBitOr:
+		if isBool {
+			return OrBool(l, rr)
+		}
+		return BitOr(l, rr)
+	case lang.OpBitXor:
+		return BitXor(l, rr)
+	case lang.OpShl:
+		return Shl(l, rr)
+	case lang.OpShr:
+		return Lshr(l, rr)
+	default:
+		return Top(width(v))
+	}
+}
+
+// constrain meets a derived fact into (v, ctx); an empty meet refutes the
+// query.
+func (r *refuter) constrain(v *ssa.Value, ctx *cond.Ctx, with Interval) {
+	cur := r.eval(v, ctx, 0)
+	m := cur.Meet(with)
+	if m.IsBottom() {
+		r.refuted = true
+		return
+	}
+	if v.Op == ssa.OpConst {
+		return
+	}
+	vc := ctxVal{v, ctx}
+	if old, ok := r.refined[vc]; !ok || old != m {
+		r.refined[vc] = m
+		r.changed = true
+		delete(r.memo, vc) // downstream evals must see the tighter fact
+	}
+}
+
+// derive propagates "c evaluates to want in ctx" through the condition's
+// structure, mirroring refiner.derive but context-sensitively.
+func (r *refuter) derive(c *ssa.Value, want bool, ctx *cond.Ctx, depth int) {
+	if r.refuted || depth > maxDeriveDepth {
+		return
+	}
+	if want {
+		r.constrain(c, ctx, Interval{1, 1})
+	} else {
+		r.constrain(c, ctx, Interval{0, 0})
+	}
+	if r.refuted {
+		return
+	}
+	// Vertices outside the slice have no defining equation, so their
+	// structure is not in the formula.
+	if !r.sl.Values[c] && c.Op != ssa.OpConst {
+		return
+	}
+	switch c.Op {
+	case ssa.OpCopy, ssa.OpBranch:
+		r.derive(c.Args[0], want, ctx, depth+1)
+	case ssa.OpNot:
+		r.derive(c.Args[0], !want, ctx, depth+1)
+	case ssa.OpBin:
+		switch c.BinOp {
+		case lang.OpAnd:
+			if want {
+				r.derive(c.Args[0], true, ctx, depth+1)
+				r.derive(c.Args[1], true, ctx, depth+1)
+			}
+		case lang.OpOr:
+			if !want {
+				r.derive(c.Args[0], false, ctx, depth+1)
+				r.derive(c.Args[1], false, ctx, depth+1)
+			}
+		case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe:
+			r.deriveCmp(c.BinOp, c.Args[0], c.Args[1], want, ctx)
+		}
+	}
+}
+
+func (r *refuter) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, ctx *cond.Ctx) {
+	rl, swap := normalizeRel(op, want)
+	if swap {
+		x, y = y, x
+	}
+	cx, cy := r.eval(x, ctx, 0), r.eval(y, ctx, 0)
+	if r.refuted {
+		return
+	}
+	nx, ny := relConstraints(rl, cx, cy)
+	r.constrain(x, ctx, nx)
+	if r.refuted {
+		return
+	}
+	r.constrain(y, ctx, ny)
+}
+
+// PrunePath reports whether a candidate path (with its sink constraints,
+// which reference path index 0) is provably infeasible from the
+// whole-program invariants alone: either a step runs through code whose
+// guard chain can never hold, or a sink constraint contradicts the sink
+// value's invariant. This is the sparse engine's pruning oracle — much
+// cheaper than RefuteSlice since it needs no slice or context tree.
+func (a *Analysis) PrunePath(p pdg.Path, vcs ...pdg.ValueConstraint) bool {
+	for _, step := range p {
+		if iv, ok := a.vals[step.V]; ok && iv.IsBottom() {
+			return true
+		}
+	}
+	for _, vc := range vcs {
+		if vc.Path != 0 || vc.Step >= len(p) {
+			continue
+		}
+		iv, ok := a.vals[p[vc.Step].V]
+		if !ok {
+			continue
+		}
+		switch vc.Kind {
+		case pdg.ConstraintOutOfBounds:
+			if iv.Within(0, int64(int32(vc.Bound))-1) {
+				return true
+			}
+		default:
+			if !iv.Contains(int64(int32(vc.Value))) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -79,6 +79,13 @@ type Cost struct {
 	Unknown  int
 	Failed   bool   // exceeded Budget
 	FailNote string // why
+	// AbsintDecided counts queries refuted by the interval tier before any
+	// formula was built; AbsintPruned counts candidates the enumeration
+	// oracle discarded; SolverCalls counts candidates that reached the
+	// bit-precise solver.
+	AbsintDecided int
+	AbsintPruned  int
+	SolverCalls   int
 }
 
 // Budget bounds one engine run, mirroring the paper's 12-hour/100GB limit
@@ -100,7 +107,17 @@ func Run(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cos
 		budget = DefaultBudget
 	}
 	cost := Cost{Engine: eng.Name(), Subject: sub.Info.Name, Checker: spec.Name}
-	cands := sparse.NewEngine(sub.Graph).Run(spec)
+	senge := sparse.NewEngine(sub.Graph)
+	// An absint-enabled fusion engine also prunes during enumeration.
+	if f, ok := eng.(*engines.Fusion); ok {
+		if an := f.Absint(sub.Graph); an != nil {
+			senge.Oracle = func(c sparse.Candidate) bool {
+				return an.PrunePath(c.Path, c.Constraints(0)...)
+			}
+		}
+	}
+	cands := senge.Run(spec)
+	cost.AbsintPruned = senge.Pruned
 
 	start := time.Now()
 	done := make(chan []engines.Verdict, 1)
@@ -133,6 +150,11 @@ func Run(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cos
 			reportedLines[v.Cand.Sink.Pos.Line] = true
 		case sat.Unknown:
 			cost.Unknown++
+		}
+		if v.DecidedByAbsint {
+			cost.AbsintDecided++
+		} else {
+			cost.SolverCalls++
 		}
 	}
 	for _, b := range sub.GT.ByChecker(spec.Name) {

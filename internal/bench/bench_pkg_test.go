@@ -9,6 +9,7 @@ import (
 	"fusion/internal/checker"
 	"fusion/internal/engines"
 	"fusion/internal/progen"
+	"fusion/internal/sparse"
 )
 
 // tinyOpts keeps experiment tests fast.
@@ -175,5 +176,47 @@ func TestDumpSMT2(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "(check-sat)") {
 		t.Error("missing check-sat in dumped instance")
+	}
+}
+
+// TestAblationAbsintSoundAndEffective is the acceptance check for the
+// interval tier on the four industrial-sized subjects: with the tier on,
+// the report set (and its scoring) is identical, the tier decides a
+// nonzero number of queries, and strictly fewer candidates reach the
+// bit-precise solver.
+func TestAblationAbsintSoundAndEffective(t *testing.T) {
+	budget := Budget{Time: 2 * time.Minute, CondBytes: 1 << 30}
+	for _, name := range []string{"ffmpeg", "v8", "mysql", "wine"} {
+		info, err := progen.SubjectByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := Compile(info, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
+			off := Run(sub, spec, engines.NewFusion(), budget)
+			on := engines.NewFusion()
+			on.UseAbsint = true
+			onc := Run(sub, spec, on, budget)
+			if off.Failed || onc.Failed {
+				t.Fatalf("%s/%s: run failed: %s%s", name, spec.Name, off.FailNote, onc.FailNote)
+			}
+			if onc.Reports != off.Reports || onc.TP != off.TP || onc.FP != off.FP {
+				t.Errorf("%s/%s: reports differ: off %d (TP %d, FP %d), on %d (TP %d, FP %d)",
+					name, spec.Name, off.Reports, off.TP, off.FP, onc.Reports, onc.TP, onc.FP)
+			}
+			if onc.AbsintDecided+onc.AbsintPruned == 0 {
+				t.Errorf("%s/%s: interval tier never fired", name, spec.Name)
+			}
+			if onc.SolverCalls >= off.SolverCalls {
+				t.Errorf("%s/%s: solver calls not reduced: off %d, on %d",
+					name, spec.Name, off.SolverCalls, onc.SolverCalls)
+			}
+			if off.AbsintDecided != 0 || off.AbsintPruned != 0 {
+				t.Errorf("%s/%s: tier fired while disabled", name, spec.Name)
+			}
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"fusion/internal/absint"
 	"fusion/internal/checker"
 	"fusion/internal/cond"
 	"fusion/internal/engines"
@@ -30,6 +31,9 @@ type Options struct {
 	// Parallel sets the fused engine's worker count (the paper runs its
 	// analyses with fifteen threads); 0 means sequential.
 	Parallel int
+	// Absint enables the interval abstract-interpretation tier in every
+	// fused engine the experiments construct.
+	Absint bool
 }
 
 func (o Options) scale() float64 {
@@ -42,6 +46,7 @@ func (o Options) scale() float64 {
 func (o Options) fusion() *engines.Fusion {
 	e := engines.NewFusion()
 	e.Parallel = o.Parallel
+	e.UseAbsint = o.Absint
 	return e
 }
 
@@ -178,6 +183,8 @@ type Instance struct {
 	Sat        bool
 	// Preprocessed reports the fused solve was decided by preprocessing.
 	Preprocessed bool
+	// Absint reports the fused solve was refuted by the interval tier.
+	Absint bool
 }
 
 // Fig11Instances collects per-instance solving times: every candidate's
@@ -192,12 +199,13 @@ func Fig11Instances(opts Options) ([]Instance, error) {
 			return nil, err
 		}
 		cands := sparse.NewEngine(sub.Graph).Run(spec)
+		an := absint.Analyze(sub.Graph)
 		for _, c := range cands {
 			paths := []pdg.Path{c.Path}
 
 			fb := smt.NewBuilder()
 			t0 := time.Now()
-			fr := fusioncore.Solve(fb, sub.Graph, paths, fusioncore.Options{})
+			fr := fusioncore.Solve(fb, sub.Graph, paths, fusioncore.Options{Absint: an})
 			fused := time.Since(t0)
 
 			eb := smt.NewBuilder()
@@ -213,6 +221,7 @@ func Fig11Instances(opts Options) ([]Instance, error) {
 			out = append(out, Instance{
 				Subject: info.Name, Fused: fused, Standalone: standalone,
 				Sat: fr.Status == sat.Sat, Preprocessed: fr.Preprocessed,
+				Absint: fr.DecidedByAbsint,
 			})
 		}
 	}
@@ -257,7 +266,7 @@ func Fig11(opts Options) (string, error) {
 	if len(insts) == 0 {
 		return "no instances", nil
 	}
-	var nSat, nPre int
+	var nSat, nPre, nAbs int
 	var satF, satS, unsatF, unsatS float64
 	for _, in := range insts {
 		if in.Sat {
@@ -271,6 +280,9 @@ func Fig11(opts Options) (string, error) {
 		if in.Preprocessed {
 			nPre++
 		}
+		if in.Absint {
+			nAbs++
+		}
 	}
 	n := len(insts)
 	var b strings.Builder
@@ -279,6 +291,8 @@ func Fig11(opts Options) (string, error) {
 		nSat, 100*float64(nSat)/float64(n), n-nSat, 100*float64(n-nSat)/float64(n))
 	fmt.Fprintf(&b, "  decided in preprocessing: %d (%.0f%%)\n",
 		nPre, 100*float64(nPre)/float64(n))
+	fmt.Fprintf(&b, "  absint decision rate: %d (%.0f%%)\n",
+		nAbs, 100*float64(nAbs)/float64(n))
 	if satF > 0 {
 		fmt.Fprintf(&b, "  sat speedup (standalone/fused): %.1fx\n", satS/satF)
 	}
@@ -410,6 +424,55 @@ func CWE369(opts Options) (string, error) {
 		}
 	}
 	return t.String(), nil
+}
+
+// AblationAbsint measures the interval tier's contribution on the
+// industrial-sized subjects: the value-constrained checkers (CWE-369,
+// CWE-125) run with the tier on and off. The tier must never change the
+// report set — it only refutes queries the solver would also refute — while
+// strictly reducing the number of bit-precise solver calls.
+func AblationAbsint(opts Options) (string, error) {
+	t := &Table{
+		Title: "Ablation: interval abstract-interpretation tier (absint)",
+		Header: []string{"Program", "Checker", "Absint", "Time", "#Report",
+			"#Decided", "#Pruned", "#SolverCalls"},
+	}
+	var identical = true
+	for _, info := range opts.subjects(largeSubjects()) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return "", err
+		}
+		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
+			// Explicit on/off engines: the ablation ignores Options.Absint.
+			offEng := opts.fusion()
+			offEng.UseAbsint = false
+			off := Run(sub, spec, offEng, opts.Budget)
+			on := opts.fusion()
+			on.UseAbsint = true
+			onc := Run(sub, spec, on, opts.Budget)
+			if onc.Reports != off.Reports {
+				identical = false
+			}
+			for _, c := range []struct {
+				tag string
+				c   Cost
+			}{{"off", off}, {"on", onc}} {
+				t.AddRow(info.Name, spec.Name, c.tag, fd(c.c.Time),
+					fmt.Sprintf("%d", c.c.Reports),
+					fmt.Sprintf("%d", c.c.AbsintDecided),
+					fmt.Sprintf("%d", c.c.AbsintPruned),
+					fmt.Sprintf("%d", c.c.SolverCalls))
+			}
+		}
+	}
+	s := t.String()
+	if identical {
+		s += "\nreport sets identical with the tier on and off\n"
+	} else {
+		s += "\nWARNING: report sets differ between absint on and off\n"
+	}
+	return s, nil
 }
 
 // largeSubjects returns the four industrial-sized subjects (ffmpeg, v8,

@@ -27,7 +27,17 @@ var (
 	SecretSources = []string{"getpass", "read_secret", "load_key"}
 	// TransmitSinks send data to the outside world (CWE-402).
 	TransmitSinks = []string{"send", "sendmsg", "write_socket", "log_remote"}
+	// IndexSinks access a fixed-size buffer at an index argument (CWE-125):
+	// sink name -> (index argument position, buffer size).
+	IndexSinks = map[string]sparse.IndexSink{
+		"buf_read":  {Arg: 0, Size: BufSize},
+		"buf_write": {Arg: 0, Size: BufSize},
+	}
 )
+
+// BufSize is the modeled element count of the buffers behind buf_read and
+// buf_write; an index outside [0, BufSize) is an out-of-bounds access.
+const BufSize = 256
 
 // Prelude is language source text declaring every extern the checkers know
 // about; prepend it to programs that use them.
@@ -50,6 +60,8 @@ extern fun send(x: int);
 extern fun sendmsg(a: int, b: int);
 extern fun write_socket(x: int);
 extern fun log_remote(x: int);
+extern fun buf_read(i: int): int;
+extern fun buf_write(i: int, v: int);
 `
 
 func sinkMap(names []string) map[string][]int {
@@ -108,9 +120,24 @@ func DivByZero() *sparse.Spec {
 	}
 }
 
+// IndexOOB returns the CWE-125 spec: attacker-controlled values flowing
+// into fixed-size buffer accesses. The sink carries an interval constraint
+// — the index must escape [0, size) on the reported path — which the
+// absint tier can often refute outright (e.g. "n % 100 stays in bounds")
+// and the solver otherwise decides bit-precisely.
+func IndexOOB() *sparse.Spec {
+	return &sparse.Spec{
+		Name:               "cwe-125",
+		IsSource:           sparse.ExternCallSource(TaintInputSources...),
+		SinkCalls:          map[string][]int{},
+		SinkBounds:         IndexSinks,
+		TaintThroughExtern: true,
+	}
+}
+
 // All returns every checker spec.
 func All() []*sparse.Spec {
-	return []*sparse.Spec{NullDeref(), PathTraversal(), PrivateLeak(), DivByZero()}
+	return []*sparse.Spec{NullDeref(), PathTraversal(), PrivateLeak(), DivByZero(), IndexOOB()}
 }
 
 // ByName returns the spec with the given name.

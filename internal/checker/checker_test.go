@@ -29,7 +29,7 @@ func buildGraph(t *testing.T, src string) *pdg.Graph {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"null-deref", "cwe-23", "cwe-402", "cwe-369"} {
+	for _, name := range []string{"null-deref", "cwe-23", "cwe-402", "cwe-369", "cwe-125"} {
 		s, err := checker.ByName(name)
 		if err != nil || s.Name != name {
 			t.Errorf("%s: %v", name, err)
@@ -38,8 +38,8 @@ func TestByName(t *testing.T) {
 	if _, err := checker.ByName("nope"); err == nil {
 		t.Error("expected error for unknown checker")
 	}
-	if len(checker.All()) != 4 {
-		t.Errorf("All: got %d checkers, want 4", len(checker.All()))
+	if len(checker.All()) != 5 {
+		t.Errorf("All: got %d checkers, want 5", len(checker.All()))
 	}
 }
 

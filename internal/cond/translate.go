@@ -218,7 +218,19 @@ func (tr *Translator) ValueConstraints() []*smt.Term {
 		}
 		ctxs := AssignContexts(tr.T, p)
 		v := p[vc.Step].V
-		out = append(out, tr.B.Eq(tr.Term(v, ctxs[vc.Step]), tr.B.Const(vc.Value, pdg.TypeBits(v.Type))))
+		term := tr.Term(v, ctxs[vc.Step])
+		switch vc.Kind {
+		case pdg.ConstraintOutOfBounds:
+			// The access misses [0, Bound): index < 0 or index >= Bound,
+			// signed.
+			bits := pdg.TypeBits(v.Type)
+			out = append(out, tr.B.Or(
+				tr.B.Slt(term, tr.B.Const(0, bits)),
+				tr.B.Sle(tr.B.Const(vc.Bound, bits), term),
+			))
+		default:
+			out = append(out, tr.B.Eq(term, tr.B.Const(vc.Value, pdg.TypeBits(v.Type))))
+		}
 	}
 	return out
 }

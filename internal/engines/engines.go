@@ -21,6 +21,7 @@ import (
 	"time"
 	"unsafe"
 
+	"fusion/internal/absint"
 	"fusion/internal/cond"
 	"fusion/internal/fusioncore"
 	"fusion/internal/pdg"
@@ -37,6 +38,9 @@ type Verdict struct {
 	Status sat.Status // Sat = feasible = reported bug
 	// Preprocessed reports the solve was decided during preprocessing.
 	Preprocessed bool
+	// DecidedByAbsint reports the query was refuted by the interval
+	// abstract-interpretation tier before any formula was built.
+	DecidedByAbsint bool
 	// SolveTime is the feasibility-decision time for this candidate.
 	SolveTime time.Duration
 	// ConditionSize is the DAG size of the condition solved (0 when the
@@ -80,10 +84,35 @@ type Fusion struct {
 	Cfg SolverConfig
 	// Opts tunes the fused solver (ablations).
 	Opts fusioncore.Options
+	// UseAbsint enables the interval abstract-interpretation tier: the
+	// whole-program analysis is computed once per graph and consulted
+	// before every solve.
+	UseAbsint bool
 	// Parallel is the worker count for Check; 0 or 1 means sequential.
 	Parallel int
 	mu       sync.Mutex
 	peak     int64
+	absG     *pdg.Graph
+	abs      *absint.Analysis
+}
+
+// Absint returns the engine's interval analysis for the graph, building
+// and caching it on first use. Nil unless UseAbsint is set (or an analysis
+// was injected through Opts.Absint).
+func (e *Fusion) Absint(g *pdg.Graph) *absint.Analysis {
+	if e.Opts.Absint != nil {
+		return e.Opts.Absint
+	}
+	if !e.UseAbsint {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.absG != g {
+		e.abs = absint.Analyze(g)
+		e.absG = g
+	}
+	return e.abs
 }
 
 // NewFusion returns the fused engine with default options.
@@ -131,15 +160,14 @@ func (e *Fusion) checkOne(g *pdg.Graph, c sparse.Candidate) Verdict {
 	b := smt.NewBuilder()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
-	opts.Constraints = nil
-	if c.ConstrainStep >= 0 {
-		opts.Constraints = []pdg.ValueConstraint{{Path: 0, Step: c.ConstrainStep, Value: c.ConstrainValue}}
-	}
+	opts.Constraints = c.Constraints(0)
+	opts.Absint = e.Absint(g)
 	t0 := time.Now()
 	r := fusioncore.Solve(b, g, []pdg.Path{c.Path}, opts)
 	v := Verdict{
 		Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
-		SolveTime: time.Since(t0), ConditionSize: r.SizeBefore,
+		DecidedByAbsint: r.DecidedByAbsint,
+		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
 	}
 	e.mu.Lock()
 	if b.EstimatedBytes() > e.peak {

@@ -20,6 +20,7 @@ import (
 
 	"fusion/internal/sat"
 
+	"fusion/internal/absint"
 	"fusion/internal/cond"
 	"fusion/internal/pdg"
 	"fusion/internal/smt"
@@ -51,6 +52,11 @@ type Options struct {
 	// pdg.ValueConstraint), e.g. the zero divisor of a division-by-zero
 	// candidate.
 	Constraints []pdg.ValueConstraint
+	// Absint, when set, adds the interval abstract interpretation as the
+	// first preprocessing tier: queries it refutes are decided unsat with
+	// no formula built at all, and its invariant bounds on path-step
+	// vertices are exported as extra conjuncts of the residual.
+	Absint *absint.Analysis
 }
 
 func (o Options) inlineThreshold() int {
@@ -74,6 +80,12 @@ type Result struct {
 	// LocalPreprocessTime is the total time spent in per-function
 	// preprocessing.
 	LocalPreprocessTime time.Duration
+	// DecidedByAbsint reports the query was refuted by the interval tier
+	// before any formula was built.
+	DecidedByAbsint bool
+	// AbsintBounds counts the invariant bound conjuncts exported into the
+	// residual formula.
+	AbsintBounds int
 	// Phi is the residual formula handed to the final solve (after
 	// emission, before its global preprocessing), for inspection.
 	Phi *smt.Term
@@ -82,6 +94,13 @@ type Result struct {
 // instKey identifies a materialized (function, context) instance.
 type instKey struct {
 	f   *ssa.Function
+	ctx *cond.Ctx
+}
+
+// boundKey identifies a vertex instantiation whose invariant bounds were
+// exported.
+type boundKey struct {
+	v   *ssa.Value
 	ctx *cond.Ctx
 }
 
@@ -104,8 +123,9 @@ type state struct {
 	sliceVals map[*ssa.Function][]*ssa.Value
 	// forcedSites are call sites the paths pass through; their callee
 	// instances are materialized regardless of quick paths.
-	forcedSites map[int]bool
-	localPrep   time.Duration
+	forcedSites  map[int]bool
+	localPrep    time.Duration
+	absintBounds int
 }
 
 // Solve decides the feasibility of a set of data-dependence paths directly
@@ -115,6 +135,16 @@ func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result 
 	sl.Constraints = append(sl.Constraints, opts.Constraints...)
 	var res Result
 	res.SliceSize = sl.Size()
+
+	// Interval tier: the abstract interpretation models the very equation
+	// system emitted below, so an abstract contradiction proves the query
+	// unsat without building a formula (and soundness tests hold it to
+	// that).
+	if opts.Absint != nil && opts.Absint.RefuteSlice(sl) {
+		res.Status = sat.Unsat
+		res.DecidedByAbsint = true
+		return res
+	}
 
 	if opts.Unoptimized {
 		// Algorithm 4: eager translation, then the conventional solver.
@@ -132,6 +162,9 @@ func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result 
 	if !opts.DisableGraphProbe && !opts.Solver.NoProbe && rawProbeAffordable(sl) {
 		rawOpts := opts
 		rawOpts.DisableLocalPreprocess = true
+		// The probe wants the bare equational shape; exported bound
+		// conjuncts only slow the concrete execution down.
+		rawOpts.Absint = nil
 		rawSt := buildResidual(b, g, sl, rawOpts)
 		if _, ok := solver.Probe(rawSt.phi, 32); ok {
 			res.Status = sat.Sat
@@ -144,6 +177,7 @@ func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result 
 
 	r := buildResidual(b, g, sl, opts)
 	res.LocalPreprocessTime = r.st.localPrep
+	res.AbsintBounds = r.st.absintBounds
 	res.Phi = r.phi
 	res.Result = solver.Solve(b, r.phi, opts.Solver)
 	res.Clones = len(r.st.emitted)
@@ -211,12 +245,34 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 	}
 
 	// Emit instances needed by the paths' guard assertions, pulling in
-	// callee and caller instances on demand (delayed cloning).
+	// callee and caller instances on demand (delayed cloning). When absint
+	// ran, its invariant bounds on path-step vertices become extra
+	// conjuncts: the invariants hold exactly under the guard chains
+	// asserted here, so they are implied facts that sharpen the residual
+	// for the probe-free solve without changing satisfiability.
 	var asserts []*smt.Term
+	boundDone := map[boundKey]bool{}
+	exportBounds := func(v *ssa.Value, ctx *cond.Ctx) {
+		if opts.Absint == nil || boundDone[boundKey{v, ctx}] {
+			return
+		}
+		boundDone[boundKey{v, ctx}] = true
+		lo, hi, ok := opts.Absint.Bounds(v)
+		if !ok {
+			return
+		}
+		term := st.tr.Var(v, ctx)
+		bits := pdg.TypeBits(v.Type)
+		asserts = append(asserts,
+			b.Sle(b.Const(uint32(int32(lo)), bits), term),
+			b.Sle(term, b.Const(uint32(int32(hi)), bits)))
+		st.absintBounds++
+	}
 	for _, p := range sl.Paths {
 		ctxs := cond.AssignContexts(st.tr.T, p)
 		for i, step := range p {
 			st.emit(step.V.Fn, ctxs[i])
+			exportBounds(step.V, ctxs[i])
 			for gd := step.V.Guard; gd != nil; gd = gd.Guard {
 				asserts = append(asserts, st.tr.Var(gd, ctxs[i]))
 			}

@@ -82,6 +82,18 @@ type Options struct {
 	// division or remainder executes with a zero divisor, carrying the
 	// divisor's taint — the dynamic counterpart of the CWE-369 checker.
 	ObserveDivZero bool
+	// SinkBounds maps extern names to a bounds-checked index argument: a
+	// SinkHit is recorded only when the index actually falls outside
+	// [0, Size) under the signed interpretation — the dynamic counterpart
+	// of the CWE-125 checker.
+	SinkBounds map[string]SinkBound
+}
+
+// SinkBound describes a bounds-checked extern argument (mirrors the sparse
+// engine's IndexSink without importing it).
+type SinkBound struct {
+	Arg  int
+	Size uint32
 }
 
 func (o Options) maxSteps() int {
@@ -340,6 +352,14 @@ func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
 			for i, a := range args {
 				in.hits = append(in.hits, SinkHit{
 					Callee: f.Name, CallPos: x.Pos, ArgIdx: i, Taint: a.Taint.clone(),
+				})
+			}
+		}
+		if sb, ok := in.opts.SinkBounds[x.Name]; f.Extern && ok && sb.Arg < len(args) {
+			idx := args[sb.Arg]
+			if int32(idx.V) < 0 || int32(idx.V) >= int32(sb.Size) {
+				in.hits = append(in.hits, SinkHit{
+					Callee: f.Name, CallPos: x.Pos, ArgIdx: sb.Arg, Taint: idx.Taint.clone(),
 				})
 			}
 		}

@@ -13,6 +13,14 @@ import (
 // control dependence, and bold labeled edges the call/return pairs — the
 // visual convention of the paper's Figure 3.
 func ToDOT(g *Graph) string {
+	return ToDOTAnnotated(g, nil)
+}
+
+// ToDOTAnnotated is ToDOT with a per-vertex annotation hook: when annot
+// returns a non-empty string for a vertex (e.g. an interval invariant from
+// the absint tier, which this package cannot import), it is rendered on a
+// second label line.
+func ToDOTAnnotated(g *Graph, annot func(*ssa.Value) string) string {
 	var b strings.Builder
 	b.WriteString("digraph pdg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
 
@@ -47,7 +55,13 @@ func ToDOT(g *Graph) string {
 	for fi, f := range funcs {
 		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", fi, f.Name)
 		for _, v := range f.Values {
-			fmt.Fprintf(&b, "    %s [label=%q];\n", id(v), label(v))
+			l := label(v)
+			if annot != nil {
+				if a := annot(v); a != "" {
+					l += "\n" + a
+				}
+			}
+			fmt.Fprintf(&b, "    %s [label=%q];\n", id(v), l)
 		}
 		b.WriteString("  }\n")
 	}

@@ -32,17 +32,40 @@ type Slice struct {
 	Constraints []ValueConstraint
 }
 
-// ValueConstraint requires the vertex at Paths[Path][Step] to equal Value
-// in the context the path visits it in.
+// ConstraintKind discriminates how a value constraint pins a path step.
+type ConstraintKind int
+
+const (
+	// ConstraintEq requires the step value to equal Value exactly (e.g. a
+	// zero divisor at a division sink).
+	ConstraintEq ConstraintKind = iota
+	// ConstraintOutOfBounds requires the step value to fall outside the
+	// index range [0, Bound) under signed interpretation — the sink
+	// condition of an out-of-bounds access checker.
+	ConstraintOutOfBounds
+)
+
+// ValueConstraint constrains the vertex at Paths[Path][Step] in the
+// context the path visits it in: ConstraintEq pins it to Value,
+// ConstraintOutOfBounds requires it to miss [0, Bound).
 type ValueConstraint struct {
 	Path  int
 	Step  int
-	Value uint32
+	Kind  ConstraintKind
+	Value uint32 // ConstraintEq payload
+	Bound uint32 // ConstraintOutOfBounds payload
 }
 
-// Constrain records a value constraint on a path step.
+// Constrain records an equality constraint on a path step.
 func (s *Slice) Constrain(path, step int, value uint32) {
 	s.Constraints = append(s.Constraints, ValueConstraint{Path: path, Step: step, Value: value})
+}
+
+// ConstrainBounds records an out-of-bounds constraint on a path step.
+func (s *Slice) ConstrainBounds(path, step int, bound uint32) {
+	s.Constraints = append(s.Constraints, ValueConstraint{
+		Path: path, Step: step, Kind: ConstraintOutOfBounds, Bound: bound,
+	})
 }
 
 // ComputeSlice applies rules (1)-(3) to the paths and returns the slice.

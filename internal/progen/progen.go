@@ -31,12 +31,13 @@ type Config struct {
 	FeasibleNull, InfeasibleNull   int
 	FeasibleTaint, InfeasibleTaint int // split across CWE-23 and CWE-402
 	FeasibleDiv, InfeasibleDiv     int // CWE-369 (division by zero)
+	FeasibleOOB, InfeasibleOOB     int // CWE-125 (out-of-bounds index)
 }
 
 // Bug is one injected defect and its ground truth.
 type Bug struct {
 	ID       int
-	Checker  string // "null-deref", "cwe-23", "cwe-402"
+	Checker  string // "null-deref", "cwe-23", "cwe-402", "cwe-369", "cwe-125"
 	Feasible bool
 	Func     string // function containing the sink call
 	SinkLine int    // 1-based source line of the sink call
@@ -124,6 +125,9 @@ type gen struct {
 	// lastSinkLine records where emitBugFunc placed the most recent sink
 	// call, for the ground-truth record.
 	lastSinkLine int
+	// nInfDiv counts infeasible CWE-369 bugs, alternating their divisor
+	// pattern between the interval-refutable and the bit-precise variant.
+	nInfDiv int
 }
 
 // layout distributes functions over layers.
@@ -309,6 +313,12 @@ func (g *gen) emitBugFuncs() {
 	for i := 0; i < g.cfg.InfeasibleDiv; i++ {
 		emit("cwe-369", false)
 	}
+	for i := 0; i < g.cfg.FeasibleOOB; i++ {
+		emit("cwe-125", true)
+	}
+	for i := 0; i < g.cfg.InfeasibleOOB; i++ {
+		emit("cwe-125", false)
+	}
 }
 
 func (g *gen) emitBugFunc(fname, checker string, feasible bool) {
@@ -344,12 +354,36 @@ func (g *gen) emitBugFunc(fname, checker string, feasible bool) {
 		e.writef("    var n: int = user_input();\n")
 		if feasible {
 			e.writef("    var d: int = n - %d;\n", g.rng.Intn(50))
+		} else if g.nInfDiv++; g.nInfDiv%2 == 1 {
+			// Never zero, and interval reasoning alone sees it ([1,13]).
+			e.writef("    var d: int = n %% 13 + 1;\n")
 		} else {
-			e.writef("    var d: int = n * 2 + 1;\n") // odd: never zero
+			// Never zero, but only bit-precise reasoning sees it.
+			e.writef("    var d: int = n * 2 + 1;\n")
 		}
 		g.lastSinkLine = e.line
 		e.writef("    var q: int = %d / d;\n", 10+g.rng.Intn(90))
 		e.writef("    send(q + a + b);\n")
+		e.writef("}\n\n")
+		return
+	case "cwe-125":
+		// The sink is a fixed-size buffer access; feasibility is decided
+		// by whether the index can escape [0, BufSize).
+		e.writef("    var n: int = user_input();\n")
+		if feasible {
+			e.writef("    var i: int = n + %d;\n", g.rng.Intn(8))
+		} else {
+			// Unsigned remainder keeps the index inside the buffer, which
+			// the interval tier proves without bit-blasting.
+			e.writef("    var i: int = n %% %d;\n", 50+g.rng.Intn(50))
+		}
+		g.lastSinkLine = e.line
+		if g.rng.Intn(2) == 0 {
+			e.writef("    var q: int = buf_read(i);\n")
+			e.writef("    send(q + a + b);\n")
+		} else {
+			e.writef("    buf_write(i, a + b);\n")
+		}
 		e.writef("}\n\n")
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fusion/internal/absint"
 	"fusion/internal/checker"
 	"fusion/internal/engines"
 	"fusion/internal/interp"
@@ -34,12 +35,22 @@ func specInterpOpts(spec *sparse.Spec, seed int64) interp.Options {
 		sources = checker.TaintInputSources
 	case "cwe-402":
 		sources = checker.SecretSources
+	case "cwe-369", "cwe-125":
+		sources = checker.TaintInputSources
 	}
 	var sinks []string
 	for s := range spec.SinkCalls {
 		sinks = append(sinks, s)
 	}
-	return interp.SpecOptions(seed, spec.Name == "null-deref", sources, sinks, spec.TaintThroughExtern)
+	o := interp.SpecOptions(seed, spec.Name == "null-deref", sources, sinks, spec.TaintThroughExtern)
+	o.ObserveDivZero = spec.SinkDivisors
+	if len(spec.SinkBounds) > 0 {
+		o.SinkBounds = map[string]interp.SinkBound{}
+		for name, is := range spec.SinkBounds {
+			o.SinkBounds[name] = interp.SinkBound{Arg: is.Arg, Size: is.Size}
+		}
+	}
+	return o
 }
 
 // TestAnalysisSoundAgainstConcreteExecutions is the end-to-end soundness
@@ -61,19 +72,30 @@ func TestAnalysisSoundAgainstConcreteExecutions(t *testing.T) {
 		norm := unroll.Normalize(raw, unroll.Options{})
 		g := pdg.Build(ssa.MustBuild(norm))
 		eng := sparse.NewEngine(g)
+		an := absint.Analyze(g)
 		rng := rand.New(rand.NewSource(int64(subIdx) * 77))
 
 		for _, spec := range checker.All() {
-			// Static side: verdicts per flow key.
+			// Static side: verdicts per flow key, with and without the
+			// interval tier, plus which flows the oracle would prune.
 			cands := eng.Run(spec)
 			fus := engines.NewFusion().Check(g, cands)
+			fa := engines.NewFusion()
+			fa.UseAbsint = true
+			fusAbs := fa.Check(g, cands)
 			pin := engines.NewPinpoint(engines.Plain).Check(g, cands)
 			verdictF := map[flowKey]sat.Status{}
+			verdictA := map[flowKey]sat.Status{}
 			verdictP := map[flowKey]sat.Status{}
+			prunedK := map[flowKey]bool{}
 			for i, v := range fus {
 				k := flowKey{v.Cand.Source.Pos, v.Cand.Sink.Pos, v.Cand.ArgIdx}
 				verdictF[k] = v.Status
+				verdictA[k] = fusAbs[i].Status
 				verdictP[k] = pin[i].Status
+				if an.PrunePath(v.Cand.Path, v.Cand.Constraints(0)...) {
+					prunedK[k] = true
+				}
 			}
 
 			// Dynamic side: execute every root bug function on random and
@@ -113,9 +135,17 @@ func TestAnalysisSoundAgainstConcreteExecutions(t *testing.T) {
 								t.Errorf("%s/%s/%s: witnessed flow %v judged %s by fusion",
 									info.Name, spec.Name, f.Name, k, st)
 							}
+							if verdictA[k] != sat.Sat {
+								t.Errorf("%s/%s/%s: witnessed flow %v judged %s by fusion+absint",
+									info.Name, spec.Name, f.Name, k, verdictA[k])
+							}
 							if verdictP[k] != sat.Sat {
 								t.Errorf("%s/%s/%s: witnessed flow %v judged %s by pinpoint",
 									info.Name, spec.Name, f.Name, k, verdictP[k])
+							}
+							if prunedK[k] {
+								t.Errorf("%s/%s/%s: witnessed flow %v pruned by the absint oracle",
+									info.Name, spec.Name, f.Name, k)
 							}
 						}
 					}

@@ -104,6 +104,8 @@ func (s Subject) Config(scale float64) Config {
 		InfeasibleTaint: bugs / 2,
 		FeasibleDiv:     bugs / 2,
 		InfeasibleDiv:   bugs / 2,
+		FeasibleOOB:     bugs / 2,
+		InfeasibleOOB:   bugs / 2,
 	}
 }
 

@@ -1,0 +1,148 @@
+package smt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusion/internal/smt"
+)
+
+// genArith returns a random width-4 bit-vector term over the given
+// variables.
+func genArith(b *smt.Builder, rng *rand.Rand, vars []*smt.Term, depth int) *smt.Term {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		return b.Const(rng.Uint32()&15, 4)
+	}
+	x := genArith(b, rng, vars, depth-1)
+	y := genArith(b, rng, vars, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return b.Add(x, y)
+	case 1:
+		return b.Sub(x, y)
+	case 2:
+		return b.Mul(x, y)
+	case 3:
+		return b.UDiv(x, y)
+	case 4:
+		return b.URem(x, y)
+	default:
+		return b.Xor(x, y)
+	}
+}
+
+// genFormula returns a random boolean term (a small constraint system) over
+// the given variables.
+func genFormula(b *smt.Builder, rng *rand.Rand, vars []*smt.Term, depth int) *smt.Term {
+	if depth <= 0 {
+		x := genArith(b, rng, vars, 2)
+		y := genArith(b, rng, vars, 2)
+		switch rng.Intn(5) {
+		case 0:
+			return b.Eq(x, y)
+		case 1:
+			return b.Ult(x, y)
+		case 2:
+			return b.Ule(x, y)
+		case 3:
+			return b.Slt(x, y)
+		default:
+			return b.Sle(x, y)
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return b.And(genFormula(b, rng, vars, depth-1), genFormula(b, rng, vars, depth-1))
+	case 1:
+		return b.Or(genFormula(b, rng, vars, depth-1), genFormula(b, rng, vars, depth-1))
+	case 2:
+		return b.Not(genFormula(b, rng, vars, depth-1))
+	default:
+		return genFormula(b, rng, vars, depth-1)
+	}
+}
+
+// exhaustSat decides satisfiability of a width-4 formula by enumerating
+// every assignment to the given variables.
+func exhaustSat(t *testing.T, phi *smt.Term, vars []*smt.Term) bool {
+	t.Helper()
+	if len(vars) > 4 {
+		t.Fatalf("too many variables for exhaustive enumeration: %d", len(vars))
+	}
+	n := 1
+	for range vars {
+		n *= 16
+	}
+	a := smt.Assignment{}
+	for i := 0; i < n; i++ {
+		x := i
+		for _, v := range vars {
+			a[v] = uint32(x & 15)
+			x >>= 4
+		}
+		if smt.Eval(phi, a) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// varUnion collects the variables of all terms, preserving first-seen
+// order. Passes may eliminate variables but never introduce ones that
+// change the satisfiability question, so enumerating the union decides all
+// terms at once.
+func varUnion(ts ...*smt.Term) []*smt.Term {
+	seen := map[*smt.Term]bool{}
+	var out []*smt.Term
+	for _, t := range ts {
+		for _, v := range smt.Vars(t) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// TestDefaultPassesPreserveSat is the property test for the preprocessing
+// pipeline: every pass of DefaultPasses (and the pipeline as a whole) must
+// preserve satisfiability — not equivalence; passes may rewrite or drop
+// variables — on random small formulas, checked by exhaustive enumeration.
+func TestDefaultPassesPreserveSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240806))
+	passes := smt.DefaultPasses()
+	for trial := 0; trial < 400; trial++ {
+		b := smt.NewBuilder()
+		nv := 1 + rng.Intn(3)
+		vars := make([]*smt.Term, nv)
+		for i := range vars {
+			vars[i] = b.Var(string(rune('x'+i)), 4)
+		}
+		phi := genFormula(b, rng, vars, 1+rng.Intn(2))
+		want := exhaustSat(t, phi, varUnion(phi))
+
+		// Each pass in isolation.
+		for _, p := range passes {
+			psi := p.Run(b, phi)
+			if got := exhaustSat(t, psi, varUnion(phi, psi)); got != want {
+				t.Fatalf("trial %d: pass %s changed satisfiability %v -> %v\n  before: %s\n  after:  %s",
+					trial, p.Name, want, got, smt.ToSMTLIB(phi), smt.ToSMTLIB(psi))
+			}
+		}
+
+		// The full pipeline, applied in order like the solver's
+		// preprocessing round.
+		psi := phi
+		for _, p := range passes {
+			psi = p.Run(b, psi)
+		}
+		if got := exhaustSat(t, psi, varUnion(phi, psi)); got != want {
+			t.Fatalf("trial %d: pipeline changed satisfiability %v -> %v\n  before: %s\n  after:  %s",
+				trial, want, got, smt.ToSMTLIB(phi), smt.ToSMTLIB(psi))
+		}
+	}
+}

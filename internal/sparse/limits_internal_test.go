@@ -1,0 +1,50 @@
+package sparse
+
+import "testing"
+
+func TestLimitsWithDefaults(t *testing.T) {
+	d := Limits{}.withDefaults()
+	if d.MaxPathsPerSource != 8 || d.MaxPathLen != 512 ||
+		d.MaxStepsPerSource != 200_000 || d.MaxCallDepth != 64 {
+		t.Errorf("zero limits got defaults %+v", d)
+	}
+	// Explicit values survive untouched, including partial overrides.
+	l := Limits{MaxPathsPerSource: 3, MaxCallDepth: 7}.withDefaults()
+	if l.MaxPathsPerSource != 3 || l.MaxCallDepth != 7 {
+		t.Errorf("explicit limits overwritten: %+v", l)
+	}
+	if l.MaxPathLen != 512 || l.MaxStepsPerSource != 200_000 {
+		t.Errorf("unset fields not defaulted: %+v", l)
+	}
+	// withDefaults is a value method: the receiver is unchanged.
+	z := Limits{}
+	z.withDefaults()
+	if z.MaxPathsPerSource != 0 {
+		t.Error("withDefaults mutated its receiver")
+	}
+}
+
+func TestStackKeyDistinct(t *testing.T) {
+	stacks := [][]int{
+		{},
+		{0},
+		{1},
+		{1, 2},
+		{2, 1},
+		{513}, // 0x0201: must differ from {1, 2} despite shared bytes
+		{1, 2, 3},
+		{65536},
+		{1 << 23},
+	}
+	seen := map[string][]int{}
+	for _, s := range stacks {
+		k := stackKey(s)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("stackKey collision: %v and %v -> %q", prev, s, k)
+		}
+		seen[k] = s
+		if k != stackKey(s) {
+			t.Errorf("stackKey not deterministic for %v", s)
+		}
+	}
+}

@@ -36,6 +36,17 @@ type Spec struct {
 	// (divisor = 0) that the engines assert when checking feasibility —
 	// the division-by-zero checker (CWE-369).
 	SinkDivisors bool
+	// SinkBounds maps extern function names to an index-sink description:
+	// the candidate carries an out-of-bounds constraint (index outside
+	// [0, Size)) — the out-of-bounds access checker (CWE-125).
+	SinkBounds map[string]IndexSink
+}
+
+// IndexSink describes a bounds-checked extern argument: the Arg-th
+// argument indexes a buffer of Size elements.
+type IndexSink struct {
+	Arg  int
+	Size uint32
 }
 
 // Candidate is one source-to-sink flow discovered by the propagation: the
@@ -47,18 +58,32 @@ type Candidate struct {
 	Sink   *ssa.Value // the sink vertex (an extern call, or a division)
 	ArgIdx int        // which sink argument receives the value
 	Path   pdg.Path
-	// ConstrainStep, when >= 0, is the path index whose value must equal
-	// ConstrainValue for the bug to manifest (e.g. a zero divisor).
+	// ConstrainStep, when >= 0, is the path index the sink constrains:
+	// with ConstrainKind pdg.ConstraintEq its value must equal
+	// ConstrainValue for the bug to manifest (e.g. a zero divisor); with
+	// pdg.ConstraintOutOfBounds it must fall outside [0, ConstrainBound).
 	ConstrainStep  int
+	ConstrainKind  pdg.ConstraintKind
 	ConstrainValue uint32
+	ConstrainBound uint32
+}
+
+// Constraints returns the candidate's value constraints, referencing path
+// index pathIdx.
+func (c Candidate) Constraints(pathIdx int) []pdg.ValueConstraint {
+	if c.ConstrainStep < 0 {
+		return nil
+	}
+	return []pdg.ValueConstraint{{
+		Path: pathIdx, Step: c.ConstrainStep, Kind: c.ConstrainKind,
+		Value: c.ConstrainValue, Bound: c.ConstrainBound,
+	}}
 }
 
 // ApplyConstraint records the candidate's value constraint (if any) on a
 // slice computed over its path.
 func (c Candidate) ApplyConstraint(sl *pdg.Slice, pathIdx int) {
-	if c.ConstrainStep >= 0 {
-		sl.Constrain(pathIdx, c.ConstrainStep, c.ConstrainValue)
-	}
+	sl.Constraints = append(sl.Constraints, c.Constraints(pathIdx)...)
 }
 
 // Limits bound the path enumeration. Zero fields take defaults.
@@ -89,6 +114,13 @@ func (l Limits) withDefaults() Limits {
 type Engine struct {
 	G      *pdg.Graph
 	Limits Limits
+	// Oracle, when set, vetoes candidates that are already proven
+	// infeasible (e.g. by the absint invariants); pruned candidates still
+	// count against MaxPathsPerSource so enumeration order and the
+	// surviving report set are unchanged.
+	Oracle func(Candidate) bool
+	// Pruned counts candidates the oracle discarded.
+	Pruned int
 }
 
 // NewEngine returns an engine with default limits.
@@ -138,11 +170,24 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 	lim := e.Limits.withDefaults()
 	var out []Candidate
 	steps := 0
+	pruned := 0
 	visited := map[visitKey]bool{}
+	// found counts emitted plus oracle-pruned candidates: pruning must not
+	// change which paths the enumeration explores, only drop proven-safe
+	// results.
+	found := func() int { return len(out) + pruned }
+	emit := func(c Candidate) {
+		if e.Oracle != nil && e.Oracle(c) {
+			pruned++
+			e.Pruned++
+			return
+		}
+		out = append(out, c)
+	}
 
 	var dfs func(v *ssa.Value, path pdg.Path, stack []int)
 	dfs = func(v *ssa.Value, path pdg.Path, stack []int) {
-		if len(out) >= lim.MaxPathsPerSource || len(path) >= lim.MaxPathLen {
+		if found() >= lim.MaxPathsPerSource || len(path) >= lim.MaxPathLen {
 			return
 		}
 		steps++
@@ -187,12 +232,32 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 						if len(idxs) > 0 && !containsInt(idxs, ai) {
 							continue
 						}
-						out = append(out, Candidate{
+						emit(Candidate{
 							Spec: spec, Source: src, Sink: u, ArgIdx: ai,
 							Path:          path.Extend(u, pdg.StepIntra, 0),
 							ConstrainStep: -1,
 						})
-						if len(out) >= lim.MaxPathsPerSource {
+						if found() >= lim.MaxPathsPerSource {
+							return
+						}
+					}
+				}
+				if is, ok := spec.SinkBounds[u.Callee]; ok {
+					for ai, a := range u.Args {
+						if a != v || ai != is.Arg {
+							continue
+						}
+						np := path.Extend(u, pdg.StepIntra, 0)
+						emit(Candidate{
+							Spec: spec, Source: src, Sink: u, ArgIdx: ai,
+							Path: np,
+							// The index is the second-to-last step; the bug
+							// manifests when it escapes [0, Size).
+							ConstrainStep:  len(np) - 2,
+							ConstrainKind:  pdg.ConstraintOutOfBounds,
+							ConstrainBound: is.Size,
+						})
+						if found() >= lim.MaxPathsPerSource {
 							return
 						}
 					}
@@ -206,7 +271,7 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 				if spec.SinkDivisors && u.Op == ssa.OpBin &&
 					(u.BinOp == lang.OpDiv || u.BinOp == lang.OpRem) && u.Args[1] == v {
 					np := path.Extend(u, pdg.StepIntra, 0)
-					out = append(out, Candidate{
+					emit(Candidate{
 						Spec: spec, Source: src, Sink: u, ArgIdx: 1,
 						Path: np,
 						// The divisor is the second-to-last step; it must
@@ -214,7 +279,7 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 						ConstrainStep:  len(np) - 2,
 						ConstrainValue: 0,
 					})
-					if len(out) >= lim.MaxPathsPerSource {
+					if found() >= lim.MaxPathsPerSource {
 						return
 					}
 				}

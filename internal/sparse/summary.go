@@ -37,10 +37,21 @@ type sinkFlow struct {
 	sink   *ssa.Value
 	argIdx int
 	seg    pdg.Path
-	// constrainFromEnd > 0 pins seg[len(seg)-constrainFromEnd] to
-	// constrainValue (the divisor-zero constraint).
+	// constrainFromEnd > 0 constrains seg[len(seg)-constrainFromEnd]:
+	// equality to constrainValue (the divisor-zero constraint) or, with
+	// constrainKind pdg.ConstraintOutOfBounds, escape from
+	// [0, constrainBound) (the index-sink constraint).
 	constrainFromEnd int
+	constrainKind    pdg.ConstraintKind
 	constrainValue   uint32
+	constrainBound   uint32
+}
+
+// withSeg returns the flow re-targeted onto a spliced segment, keeping the
+// sink and constraint payload.
+func (sf sinkFlow) withSeg(seg pdg.Path) sinkFlow {
+	sf.seg = seg
+	return sf
 }
 
 // valueSummary lists where a vertex's value flows within (and below) its
@@ -92,7 +103,9 @@ func (e *SummaryEngine) candidate(src *ssa.Value, sf sinkFlow) Candidate {
 	}
 	if sf.constrainFromEnd > 0 {
 		c.ConstrainStep = len(sf.seg) - sf.constrainFromEnd
+		c.ConstrainKind = sf.constrainKind
 		c.ConstrainValue = sf.constrainValue
+		c.ConstrainBound = sf.constrainBound
 	}
 	return c
 }
@@ -112,12 +125,7 @@ func (e *SummaryEngine) ascend(src *ssa.Value, f *ssa.Function, segs []pdg.Path,
 			// Splice: ...ret -)site-> call vertex, then continue with the
 			// call vertex's own summary.
 			for _, sf := range csum.toSinks {
-				comp := spliceReturn(seg, c, sf.seg)
-				out = append(out, e.candidate(src, sinkFlow{
-					sink: sf.sink, argIdx: sf.argIdx, seg: comp,
-					constrainFromEnd: sf.constrainFromEnd,
-					constrainValue:   sf.constrainValue,
-				}))
+				out = append(out, e.candidate(src, sf.withSeg(spliceReturn(seg, c, sf.seg))))
 				if len(out) >= e.maxSegs()*4 {
 					return out
 				}
@@ -180,11 +188,7 @@ func (e *SummaryEngine) summarize(v *ssa.Value) *valueSummary {
 		}
 		for _, sf := range usum.toSinks {
 			if len(s.toSinks) < cap {
-				s.toSinks = append(s.toSinks, sinkFlow{
-					sink: sf.sink, argIdx: sf.argIdx, seg: prefixToUse(sf.seg),
-					constrainFromEnd: sf.constrainFromEnd,
-					constrainValue:   sf.constrainValue,
-				})
+				s.toSinks = append(s.toSinks, sf.withSeg(prefixToUse(sf.seg)))
 			}
 		}
 	}
@@ -212,12 +216,7 @@ func (e *SummaryEngine) summarize(v *ssa.Value) *valueSummary {
 				// Flows that stay below the call: sinks inside the callee.
 				for _, sf := range psum.toSinks {
 					if len(s.toSinks) < cap {
-						s.toSinks = append(s.toSinks, sinkFlow{
-							sink: sf.sink, argIdx: sf.argIdx,
-							seg:              spliceCall(self, u.Site, sf.seg),
-							constrainFromEnd: sf.constrainFromEnd,
-							constrainValue:   sf.constrainValue,
-						})
+						s.toSinks = append(s.toSinks, sf.withSeg(spliceCall(self, u.Site, sf.seg)))
 					}
 				}
 				// Flows returning to the receiver continue from u.
@@ -244,6 +243,22 @@ func (e *SummaryEngine) summarize(v *ssa.Value) *valueSummary {
 						s.toSinks = append(s.toSinks, sinkFlow{
 							sink: u, argIdx: ai,
 							seg: pdg.Path{{V: v, Kind: pdg.StepStart}, {V: u, Kind: pdg.StepIntra}},
+						})
+					}
+				}
+			}
+			if is, ok := e.spec.SinkBounds[u.Callee]; ok {
+				for ai, a := range u.Args {
+					if a != v || ai != is.Arg {
+						continue
+					}
+					if len(s.toSinks) < cap {
+						s.toSinks = append(s.toSinks, sinkFlow{
+							sink: u, argIdx: ai,
+							seg:              pdg.Path{{V: v, Kind: pdg.StepStart}, {V: u, Kind: pdg.StepIntra}},
+							constrainFromEnd: 2,
+							constrainKind:    pdg.ConstraintOutOfBounds,
+							constrainBound:   is.Size,
 						})
 					}
 				}
