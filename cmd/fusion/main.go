@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME] [-absint on|off] [-no-prelude] file.fl
+//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME] [-absint on|off|intervals] [-no-prelude] file.fl
 //
 // Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
 // pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
@@ -35,22 +35,23 @@ func main() {
 	joint := flag.Bool("joint", false, "additionally check the joint feasibility of multi-argument sinks")
 	enum := flag.String("enum", "dfs", "path enumeration: dfs or summary")
 	dot := flag.Bool("dot", false, "print the program dependence graph in Graphviz DOT format and exit")
-	absintMode := flag.String("absint", "on", "interval abstract-interpretation tier: on or off (fusion engines and -dot annotations)")
+	absintMode := flag.String("absint", "on", "abstract-interpretation tier: on (intervals + zone), intervals (zone disabled), or off (fusion engines and -dot annotations)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fusion [flags] file.fl")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *absintMode != "on" && *absintMode != "off" {
-		fmt.Fprintf(os.Stderr, "fusion: -absint must be on or off, got %q\n", *absintMode)
+	if *absintMode != "on" && *absintMode != "off" && *absintMode != "intervals" {
+		fmt.Fprintf(os.Stderr, "fusion: -absint must be on, off, or intervals, got %q\n", *absintMode)
 		os.Exit(2)
 	}
 	cfg := config{
 		path: flag.Arg(0), checker: *checkerName, engine: *engineName,
 		prelude: !*noPrelude, showPaths: *showPaths, joint: *joint,
-		enum: *enum, dot: *dot, absint: *absintMode == "on",
-		out: os.Stdout,
+		enum: *enum, dot: *dot, absint: *absintMode != "off",
+		intervalsOnly: *absintMode == "intervals",
+		out:           os.Stdout,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fusion:", err)
@@ -59,16 +60,17 @@ func main() {
 }
 
 type config struct {
-	path      string
-	checker   string
-	engine    string
-	prelude   bool
-	showPaths bool
-	joint     bool
-	enum      string
-	dot       bool
-	absint    bool
-	out       interface{ Write([]byte) (int, error) }
+	path          string
+	checker       string
+	engine        string
+	prelude       bool
+	showPaths     bool
+	joint         bool
+	enum          string
+	dot           bool
+	absint        bool
+	intervalsOnly bool
+	out           interface{ Write([]byte) (int, error) }
 }
 
 func newEngine(name string) (engines.Engine, error) {
@@ -123,7 +125,7 @@ func run(cfg config) error {
 	g := pdg.Build(sp)
 	if cfg.dot {
 		if cfg.absint {
-			an := absint.Analyze(g)
+			an := absint.AnalyzeWith(g, absint.Config{DisableZone: cfg.intervalsOnly})
 			fmt.Fprint(cfg.out, pdg.ToDOTAnnotated(g, an.Annotation))
 		} else {
 			fmt.Fprint(cfg.out, pdg.ToDOT(g))
@@ -145,12 +147,13 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	// The interval tier applies to the fused engine: it refutes queries
+	// The abstract tier applies to the fused engine: it refutes queries
 	// before any formula is built, and its invariants prune provably-safe
 	// candidates during DFS enumeration.
 	var an *absint.Analysis
 	if f, ok := eng.(*engines.Fusion); ok && cfg.absint {
 		f.UseAbsint = true
+		f.IntervalsOnly = cfg.intervalsOnly
 		an = f.Absint(g)
 	}
 
@@ -174,7 +177,7 @@ func run(cfg config) error {
 		}
 	}
 
-	total, decided := 0, 0
+	total, decided, byZone := 0, 0, 0
 	for _, spec := range specs {
 		cands, err := enumerate(spec)
 		if err != nil {
@@ -184,6 +187,9 @@ func run(cfg config) error {
 		for _, v := range verdicts {
 			if v.DecidedByAbsint {
 				decided++
+			}
+			if v.DecidedByZone {
+				byZone++
 			}
 			switch v.Status {
 			case sat.Sat:
@@ -213,7 +219,7 @@ func run(cfg config) error {
 		}
 	}
 	if an != nil {
-		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies), pruned %d candidate(s)\n", decided, pruned)
+		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies) (%d by zone), pruned %d candidate(s)\n", decided, byZone, pruned)
 	}
 	fmt.Fprintf(cfg.out, "%d bug(s) reported by %s\n", total, eng.Name())
 	return nil

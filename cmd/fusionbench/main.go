@@ -24,18 +24,19 @@ func main() {
 	budget := flag.Duration("budget", 5*time.Minute, "per-engine-run time budget")
 	smt2dir := flag.String("smt2dir", "", "dump every SMT instance as SMT-LIB v2 files into this directory and exit")
 	parallel := flag.Int("parallel", 0, "worker count for the fused engine (0 = sequential)")
-	absint := flag.String("absint", "on", "interval abstract-interpretation tier in the fused engine: on or off")
+	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals + zone), intervals (zone disabled), or off")
 	flag.Parse()
-	if *absint != "on" && *absint != "off" {
-		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on or off, got %q\n", *absint)
+	if *absint != "on" && *absint != "off" && *absint != "intervals" {
+		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on, off, or intervals, got %q\n", *absint)
 		os.Exit(2)
 	}
 
 	opts := bench.Options{
-		Scale:    *scale,
-		Budget:   bench.Budget{Time: *budget, CondBytes: 2 << 30},
-		Parallel: *parallel,
-		Absint:   *absint == "on",
+		Scale:         *scale,
+		Budget:        bench.Budget{Time: *budget, CondBytes: 2 << 30},
+		Parallel:      *parallel,
+		Absint:        *absint != "off",
+		IntervalsOnly: *absint == "intervals",
 	}
 	if *subjects != "" {
 		for _, name := range strings.Split(*subjects, ",") {

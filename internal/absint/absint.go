@@ -28,7 +28,21 @@ type Analysis struct {
 	visiting map[*ssa.Function]bool
 	budget   int
 
+	// zone enables the relational (difference-bound) domain; rootZone and
+	// guardZone record, per function root and per guard vertex, the zone
+	// valid whenever that guard chain holds (computed in the record pass).
+	zone      bool
+	rootZone  map[*ssa.Function]*dbm[*ssa.Value]
+	guardZone map[*ssa.Value]*dbm[*ssa.Value]
+
 	Stats Stats
+}
+
+// Config tunes the analysis.
+type Config struct {
+	// DisableZone turns off the relational (difference-bound) domain,
+	// leaving the interval tier alone — the `-absint=intervals` ablation.
+	DisableZone bool
 }
 
 // Stats accounts for the analysis work and precision.
@@ -38,6 +52,9 @@ type Stats struct {
 	NonTrivial     int // vertices with an interval strictly below top
 	Instantiations int
 	CacheHits      int
+	// ZoneEdges is the total difference-bound fact count recorded across
+	// all guard environments.
+	ZoneEdges int
 }
 
 type instCacheKey struct {
@@ -59,7 +76,10 @@ func width(v *ssa.Value) int { return pdg.TypeBits(v.Type) }
 // callers) so call vertices can use callee summaries; call-graph cycles —
 // which normalization removes, so they indicate an unnormalized input —
 // degrade to the top summary (the degenerate widening).
-func Analyze(g *pdg.Graph) *Analysis {
+func Analyze(g *pdg.Graph) *Analysis { return AnalyzeWith(g, Config{}) }
+
+// AnalyzeWith is Analyze with explicit domain configuration.
+func AnalyzeWith(g *pdg.Graph, cfg Config) *Analysis {
 	a := &Analysis{
 		G:         g,
 		vals:      map[*ssa.Value]Interval{},
@@ -67,6 +87,9 @@ func Analyze(g *pdg.Graph) *Analysis {
 		instMemo:  map[instCacheKey]Interval{},
 		visiting:  map[*ssa.Function]bool{},
 		budget:    evalBudget,
+		zone:      !cfg.DisableZone,
+		rootZone:  map[*ssa.Function]*dbm[*ssa.Value]{},
+		guardZone: map[*ssa.Value]*dbm[*ssa.Value]{},
 	}
 	// Bottom-up call-graph order.
 	done := map[*ssa.Function]bool{}
@@ -95,7 +118,61 @@ func Analyze(g *pdg.Graph) *Analysis {
 			a.Stats.NonTrivial++
 		}
 	}
+	for _, z := range a.rootZone {
+		a.Stats.ZoneEdges += len(z.edges)
+	}
+	for _, z := range a.guardZone {
+		a.Stats.ZoneEdges += len(z.edges)
+	}
 	return a
+}
+
+// RemainingBudget exposes the instantiation budget left after analysis,
+// for tests asserting that no-information calls do not consume it.
+func (a *Analysis) RemainingBudget() int { return a.budget }
+
+// zoneOf returns the zone valid whenever v's guard chain holds: the
+// environment of v's innermost guard, or the function root zone for
+// unguarded vertices. Nil when the zone domain is disabled.
+func (a *Analysis) zoneOf(v *ssa.Value) *dbm[*ssa.Value] {
+	if v.Guard != nil {
+		return a.guardZone[v.Guard]
+	}
+	return a.rootZone[v.Fn]
+}
+
+// ZoneFacts returns the difference-bound facts proven to hold whenever v's
+// guard chain holds, for the differential soundness tests. A nil endpoint
+// in a fact stands for the constant zero.
+func (a *Analysis) ZoneFacts(v *ssa.Value) []DiffFact {
+	z := a.zoneOf(v)
+	if z == nil || z.dead {
+		return nil
+	}
+	out := make([]DiffFact, 0, len(z.edges))
+	for k, c := range z.edges {
+		out = append(out, DiffFact{X: k.x, Y: k.y, C: c})
+	}
+	return out
+}
+
+// DiffBound returns the tightest proven upper bound on x − y valid under
+// the guard chains of both vertices, consulting the zone of each. ok is
+// false when the domain is off or no bound is known.
+func (a *Analysis) DiffBound(x, y *ssa.Value) (c int64, ok bool) {
+	if x == y || x.Op == ssa.OpConst || y.Op == ssa.OpConst ||
+		width(x) != 32 || width(y) != 32 {
+		return 0, false
+	}
+	for _, z := range [2]*dbm[*ssa.Value]{a.zoneOf(x), a.zoneOf(y)} {
+		if z == nil || z.dead {
+			continue
+		}
+		if d, found := z.diff(x, 0, y, 0); found && (!ok || d < c) {
+			c, ok = d, true
+		}
+	}
+	return c, ok
 }
 
 // IntervalOf returns the invariant interval of a vertex.
@@ -138,7 +215,7 @@ func (a *Analysis) Annotation(v *ssa.Value) string {
 // reaches the fixpoint.
 func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, depth int) Interval {
 	local := make(map[*ssa.Value]Interval, len(f.Values))
-	ref := newRefiner(local)
+	ref := newRefiner(local, a.zone)
 
 	for _, v := range f.Values {
 		look := func(x *ssa.Value) Interval {
@@ -151,8 +228,18 @@ func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, d
 			iv = a.transfer(v, f, args, look, depth)
 		}
 		local[v] = iv
+		ref.noteDef(v)
 		if record {
 			a.vals[v] = iv
+		}
+	}
+	if record && a.zone {
+		// The zones are valid for any arguments: the record pass runs with
+		// top parameters, so every recorded fact is a whole-program
+		// invariant under its guard chain.
+		a.rootZone[f] = ref.empty.z
+		for g, env := range ref.envs {
+			a.guardZone[g] = env.z
 		}
 	}
 	if f.Ret == nil {
@@ -292,7 +379,9 @@ func (a *Analysis) evalCall(callee *ssa.Function, args []Interval, depth int) In
 	}
 	allTop := true
 	for i, iv := range args {
-		if i < len(callee.Params) && !iv.IsTop() {
+		// Width-aware: a boolean argument's [0, 1] is its lattice top and
+		// carries no information, so it must not trigger an instantiation.
+		if i < len(callee.Params) && !iv.IsTopFor(width(callee.Params[i])) {
 			allTop = false
 			break
 		}

@@ -265,6 +265,117 @@ fun f() {
 	}
 }
 
+// --- Disjunctive guard facts ---
+
+func TestDeriveDisjunction(t *testing.T) {
+	// x < 3 || x < 5 must still bound x (to the weaker disjunct) instead of
+	// deriving nothing: each disjunct is derived separately and joined.
+	g := buildGraph(t, `
+fun f() {
+    var n: int = user_input();
+    if (n < 3 || n < 5) {
+        var y: int = n;
+        send(y);
+    }
+}`)
+	a := absint.Analyze(g)
+	y := findNamed(t, g, a, "f", "y")
+	if y.Hi != 4 {
+		t.Errorf("y: got %v, want upper bound 4 (join of <3 and <5)", y)
+	}
+}
+
+func TestDeriveNegatedConjunction(t *testing.T) {
+	// The else branch of n < 3 && n < 5 asserts ¬(a ∧ b) = ¬a ∨ ¬b, the
+	// other disjunctive polarity: the join of n >= 3 and n >= 5 is n >= 3.
+	g := buildGraph(t, `
+fun f() {
+    var n: int = user_input();
+    if (n < 3 && n < 5) {
+        send(n);
+    } else {
+        var y: int = n;
+        send(y);
+    }
+}`)
+	a := absint.Analyze(g)
+	y := findNamed(t, g, a, "f", "y")
+	if y.Lo != 3 {
+		t.Errorf("y: got %v, want lower bound 3 (join of >=3 and >=5)", y)
+	}
+}
+
+func TestDeriveDisjunctionDeadBranch(t *testing.T) {
+	// When one disjunct contradicts the outer guard chain, the other
+	// disjunct's facts hold outright.
+	g := buildGraph(t, `
+fun f() {
+    var k: int = user_input();
+    if (k < 10) {
+        if (k > 20 || k < 5) {
+            var y: int = k;
+            send(y);
+        }
+    }
+}`)
+	a := absint.Analyze(g)
+	y := findNamed(t, g, a, "f", "y")
+	if y.Hi != 4 {
+		t.Errorf("y: got %v, want upper bound 4 (k > 20 is dead under k < 10)", y)
+	}
+}
+
+// --- Call instantiation budget ---
+
+func TestBoolTopArgumentBurnsNoBudget(t *testing.T) {
+	// A boolean argument's [0, 1] is its lattice top: a call whose arguments
+	// are all top for their widths carries no information and must answer
+	// from the summary without consuming the instantiation budget.
+	g := buildGraph(t, `
+fun pick(b: bool): int {
+    if (b) {
+        return 1;
+    }
+    return 0;
+}
+fun f() {
+    var n: int = user_input();
+    var m: int = user_input();
+    var q: int = pick(n < m);
+    send(q);
+}`)
+	a := absint.Analyze(g)
+	if a.Stats.Instantiations != 0 || a.Stats.CacheHits != 0 {
+		t.Errorf("all-top call instantiated: %d instantiations, %d cache hits",
+			a.Stats.Instantiations, a.Stats.CacheHits)
+	}
+	// Full budget reference: a program with no calls at all.
+	g0 := buildGraph(t, `
+fun f() {
+    var n: int = user_input();
+    send(n);
+}`)
+	if want := absint.Analyze(g0).RemainingBudget(); a.RemainingBudget() != want {
+		t.Errorf("budget consumed: %d remaining, want %d", a.RemainingBudget(), want)
+	}
+	// Control: an informative integer argument must still instantiate.
+	g2 := buildGraph(t, `
+fun idf(x: int): int {
+    return x;
+}
+fun h() {
+    var q: int = idf(7);
+    send(q);
+}`)
+	a2 := absint.Analyze(g2)
+	if a2.Stats.Instantiations == 0 {
+		t.Error("informative call not instantiated: all-top check too eager")
+	}
+	if iv := findNamed(t, g2, a2, "h", "q"); iv != (absint.Interval{7, 7}) {
+		t.Errorf("q: got %v, want [7,7]", iv)
+	}
+}
+
 // --- Refutation tier ---
 
 // divCandidates enumerates CWE-369 candidates and pairs each with its

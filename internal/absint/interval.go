@@ -58,6 +58,15 @@ func (iv Interval) IsBottom() bool { return iv.Lo > iv.Hi }
 // IsTop reports the full 32-bit interval.
 func (iv Interval) IsTop() bool { return iv.Lo <= minI32 && iv.Hi >= maxI32 }
 
+// IsTopFor reports whether the interval carries no information for a value
+// of the given bit width, i.e. it covers that width's whole top interval.
+// A boolean's [0, 1] is its lattice top even though IsTop (which is
+// 32-bit) says otherwise.
+func (iv Interval) IsTopFor(width int) bool {
+	t := Top(width)
+	return iv.Lo <= t.Lo && iv.Hi >= t.Hi
+}
+
 // Contains reports whether the signed value s lies in the interval.
 func (iv Interval) Contains(s int64) bool { return iv.Lo <= s && s <= iv.Hi }
 

@@ -9,25 +9,41 @@ import (
 // else-branches in an explicit OpNot, so a guard vertex always asserts
 // that its condition (Args[0]) is true; refinement environments are
 // memoized per guard vertex and extend the parent guard's environment.
+//
+// With the zone domain enabled, every environment additionally carries a
+// difference-bound matrix over the function's SSA values: comparisons
+// contribute relational edges (x < y gives x − y ≤ −1), definitions of
+// copies and overflow-free additions/subtractions contribute definitional
+// edges, and a negative cycle marks the guard chain dead just like an
+// empty interval meet does.
 type refiner struct {
 	local map[*ssa.Value]Interval
 	envs  map[*ssa.Value]*refEnv
 	empty *refEnv
+	// zone enables the relational (difference-bound) domain.
+	zone bool
 }
 
 type refEnv struct {
 	refined map[*ssa.Value]Interval
-	dead    bool // the guard chain is contradictory: code under it is unreachable
+	// z is the environment's zone; nil when the domain is disabled.
+	z    *dbm[*ssa.Value]
+	dead bool // the guard chain is contradictory: code under it is unreachable
 }
 
 const maxDeriveDepth = 64
 
-func newRefiner(local map[*ssa.Value]Interval) *refiner {
-	return &refiner{
+func newRefiner(local map[*ssa.Value]Interval, zone bool) *refiner {
+	r := &refiner{
 		local: local,
 		envs:  map[*ssa.Value]*refEnv{},
 		empty: &refEnv{refined: map[*ssa.Value]Interval{}},
+		zone:  zone,
 	}
+	if zone {
+		r.empty.z = newDBM[*ssa.Value]()
+	}
+	return r
 }
 
 // lookup returns x's interval as seen under the given guard chain.
@@ -59,6 +75,16 @@ func (r *refiner) envFor(g *ssa.Value) *refEnv {
 		return env
 	}
 	parent := r.envFor(g.Guard)
+	env := r.childEnv(parent)
+	if !env.dead {
+		r.derive(g.Args[0], true, env, 0)
+	}
+	r.envs[g] = env
+	return env
+}
+
+// childEnv clones an environment: refined intervals and the zone.
+func (r *refiner) childEnv(parent *refEnv) *refEnv {
 	env := &refEnv{
 		refined: make(map[*ssa.Value]Interval, len(parent.refined)+2),
 		dead:    parent.dead,
@@ -66,10 +92,9 @@ func (r *refiner) envFor(g *ssa.Value) *refEnv {
 	for v, iv := range parent.refined {
 		env.refined[v] = iv
 	}
-	if !env.dead {
-		r.derive(g.Args[0], true, env, 0)
+	if parent.z != nil {
+		env.z = parent.z.clone()
 	}
-	r.envs[g] = env
 	return env
 }
 
@@ -90,6 +115,97 @@ func (r *refiner) constrain(x *ssa.Value, with Interval, env *refEnv) {
 	}
 	if x.Op != ssa.OpConst {
 		env.refined[x] = m
+	}
+}
+
+// zoneAdd records (xn + xo) − (yn + yo) ≤ c in the environment's zone; a
+// negative cycle marks the environment dead.
+func (r *refiner) zoneAdd(env *refEnv, xn *ssa.Value, xo int64, yn *ssa.Value, yo int64, c int64) {
+	if env.z == nil || env.dead {
+		return
+	}
+	env.z.addNorm(xn, xo, yn, yo, c)
+	if env.z.dead {
+		env.dead = true
+	}
+}
+
+// zoneOperand normalizes a 32-bit operand to a DBM node plus a constant
+// offset; constants fold into the distinguished zero node (nil).
+func zoneOperand(v *ssa.Value) (n *ssa.Value, off int64, ok bool) {
+	if width(v) != 32 {
+		return nil, 0, false
+	}
+	if v.Op == ssa.OpConst {
+		return nil, int64(int32(v.Const)), true
+	}
+	return v, 0, true
+}
+
+// noteDef records the zone edges implied by v's defining equation into the
+// environment of v's guard. Gated SSA equations are pure, so a copy always
+// yields exact equality edges; machine addition and subtraction only yield
+// edges when the operand intervals prove the operation cannot wrap.
+func (r *refiner) noteDef(v *ssa.Value) {
+	if !r.zone {
+		return
+	}
+	env := r.envFor(v.Guard)
+	if env.z == nil || env.dead || width(v) != 32 || v.Op == ssa.OpConst {
+		return
+	}
+	eq := func(x *ssa.Value) {
+		xn, xo, ok := zoneOperand(x)
+		if !ok {
+			return
+		}
+		r.zoneAdd(env, v, 0, xn, xo, 0)
+		r.zoneAdd(env, xn, xo, v, 0, 0)
+	}
+	switch v.Op {
+	case ssa.OpCopy, ssa.OpReturn:
+		eq(v.Args[0])
+	case ssa.OpIte:
+		c := r.cur(v.Args[0], env)
+		switch {
+		case c.Lo == 1 && c.Hi == 1:
+			eq(v.Args[1])
+		case c.Lo == 0 && c.Hi == 0:
+			eq(v.Args[2])
+		}
+	case ssa.OpBin:
+		x, y := v.Args[0], v.Args[1]
+		ix, iy := r.cur(x, env), r.cur(y, env)
+		if ix.IsBottom() || iy.IsBottom() {
+			return
+		}
+		xn, xo, okx := zoneOperand(x)
+		yn, yo, oky := zoneOperand(y)
+		switch v.BinOp {
+		case lang.OpAdd:
+			if ix.Lo+iy.Lo < minI32 || ix.Hi+iy.Hi > maxI32 {
+				return // may wrap: no integer edge is sound
+			}
+			if okx {
+				r.zoneAdd(env, v, 0, xn, xo, iy.Hi)
+				r.zoneAdd(env, xn, xo, v, 0, -iy.Lo)
+			}
+			if oky {
+				r.zoneAdd(env, v, 0, yn, yo, ix.Hi)
+				r.zoneAdd(env, yn, yo, v, 0, -ix.Lo)
+			}
+		case lang.OpSub:
+			if x == y {
+				return // handled exactly by the interval transfer
+			}
+			if ix.Lo-iy.Hi < minI32 || ix.Hi-iy.Lo > maxI32 {
+				return
+			}
+			if okx {
+				r.zoneAdd(env, v, 0, xn, xo, -iy.Lo)
+				r.zoneAdd(env, xn, xo, v, 0, iy.Hi)
+			}
+		}
 	}
 }
 
@@ -119,15 +235,64 @@ func (r *refiner) derive(c *ssa.Value, want bool, env *refEnv, depth int) {
 			if want {
 				r.derive(c.Args[0], true, env, depth+1)
 				r.derive(c.Args[1], true, env, depth+1)
+			} else {
+				// ¬(a ∧ b) = ¬a ∨ ¬b: derive each disjunct separately
+				// and join.
+				r.deriveJoin(c.Args[0], c.Args[1], false, env, depth)
 			}
 		case lang.OpOr:
 			if !want {
 				r.derive(c.Args[0], false, env, depth+1)
 				r.derive(c.Args[1], false, env, depth+1)
+			} else {
+				r.deriveJoin(c.Args[0], c.Args[1], true, env, depth)
 			}
 		case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe:
 			r.deriveCmp(c.BinOp, c.Args[0], c.Args[1], want, env)
 		}
+	}
+}
+
+// deriveJoin handles a disjunctive fact "a evaluates to want OR b
+// evaluates to want": each disjunct is derived into a scratch copy of the
+// environment and the results are joined, so a guard like x < 3 || x < 5
+// still bounds x (to the weaker of the two facts) instead of deriving
+// nothing. A disjunct whose scratch environment dies is unsatisfiable
+// here, so the other disjunct's facts hold outright; if both die the whole
+// environment is dead.
+func (r *refiner) deriveJoin(a, b *ssa.Value, want bool, env *refEnv, depth int) {
+	ea, eb := r.childEnv(env), r.childEnv(env)
+	r.derive(a, want, ea, depth+1)
+	r.derive(b, want, eb, depth+1)
+	switch {
+	case ea.dead && eb.dead:
+		env.dead = true
+		return
+	case ea.dead:
+		env.refined, env.z = eb.refined, eb.z
+		return
+	case eb.dead:
+		env.refined, env.z = ea.refined, ea.z
+		return
+	}
+	// Interval join over every key either branch refined. Both scratch
+	// environments start from env, so the join is never wider than the
+	// current fact and constrain's meet keeps the tighter of old and new.
+	keys := make(map[*ssa.Value]bool, len(ea.refined)+len(eb.refined))
+	for x := range ea.refined {
+		keys[x] = true
+	}
+	for x := range eb.refined {
+		keys[x] = true
+	}
+	for x := range keys {
+		r.constrain(x, r.cur(x, ea).Join(r.cur(x, eb)), env)
+		if env.dead {
+			return
+		}
+	}
+	if env.z != nil {
+		env.z = ea.z.join(eb.z)
 	}
 }
 
@@ -146,6 +311,25 @@ func (r *refiner) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, env *refE
 	nx, ny := relConstraints(rl, cx, cy)
 	r.constrain(x, nx, env)
 	r.constrain(y, ny, env)
+	if env.dead || env.z == nil {
+		return
+	}
+	// The relation itself becomes a zone edge — the fact the interval
+	// domain necessarily throws away when neither endpoint is constant.
+	xn, xo, okx := zoneOperand(x)
+	yn, yo, oky := zoneOperand(y)
+	if !okx || !oky {
+		return
+	}
+	switch rl {
+	case relLt:
+		r.zoneAdd(env, xn, xo, yn, yo, -1)
+	case relLe:
+		r.zoneAdd(env, xn, xo, yn, yo, 0)
+	case relEq:
+		r.zoneAdd(env, xn, xo, yn, yo, 0)
+		r.zoneAdd(env, yn, yo, xn, xo, 0)
+	}
 }
 
 // rel is a canonical comparison relation after polarity normalization.
@@ -194,6 +378,13 @@ func normalizeRel(op lang.BinOp, want bool) (rl rel, swap bool) {
 // relConstraints returns the intervals to meet into x and y given that
 // "x rl y" holds and the operands currently lie in cx and cy. A bottom
 // result signals a contradiction.
+//
+// Invariant: the relLt endpoints cy.Hi − 1 and cx.Lo + 1 are deliberately
+// NOT clamped. When cy.Hi == minI32 the then-branch result {minI32,
+// minI32 − 1} has Lo > Hi, which is exactly the bottom encoding — x < y
+// with y at the minimum is unsatisfiable — and symmetrically for cx.Lo ==
+// maxI32. A clamp or normalize pass here would silently turn these
+// contradictions into wraparound intervals; see TestRelConstraintsEndpoints.
 func relConstraints(rl rel, cx, cy Interval) (nx, ny Interval) {
 	switch rl {
 	case relLt:

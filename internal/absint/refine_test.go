@@ -1,0 +1,84 @@
+package absint
+
+import (
+	"testing"
+
+	"fusion/internal/lang"
+)
+
+// TestRelConstraintsEndpoints pins the endpoint-underflow behavior of
+// relConstraints documented on the function: the relLt arithmetic cy.Hi − 1
+// and cx.Lo + 1 must NOT be clamped, because at the extreme endpoints the
+// un-clamped result is exactly the bottom encoding (Lo > Hi) that signals
+// the contradiction. A clamp would silently turn "x < minI32" into a
+// satisfiable wraparound interval.
+func TestRelConstraintsEndpoints(t *testing.T) {
+	top := Top(32)
+
+	// x < y with y pinned to the minimum: no x satisfies it.
+	nx, ny := relConstraints(relLt, top, Interval{minI32, minI32})
+	if !nx.IsBottom() {
+		t.Errorf("x < minI32: nx = %v, want bottom (Lo > Hi)", nx)
+	}
+	if ny.IsBottom() {
+		t.Errorf("x < minI32: ny = %v must stay non-bottom (the meet decides)", ny)
+	}
+
+	// x < y with x pinned to the maximum: no y satisfies it.
+	nx, ny = relConstraints(relLt, Interval{maxI32, maxI32}, top)
+	if !ny.IsBottom() {
+		t.Errorf("maxI32 < y: ny = %v, want bottom (Lo > Hi)", ny)
+	}
+	if nx.IsBottom() {
+		t.Errorf("maxI32 < y: nx = %v must stay non-bottom", nx)
+	}
+
+	// One step away from the endpoints the results are the tight singletons,
+	// not bottom: the underflow is confined to the exact corner.
+	nx, ny = relConstraints(relLt, top, Interval{minI32 + 1, minI32 + 1})
+	if nx != (Interval{minI32, minI32}) || ny.IsBottom() {
+		t.Errorf("x < minI32+1: nx = %v, ny = %v", nx, ny)
+	}
+	nx, _ = relConstraints(relLt, Interval{maxI32 - 1, maxI32 - 1}, top)
+	if nx.IsBottom() {
+		t.Errorf("maxI32-1 < y: nx = %v, want non-bottom", nx)
+	}
+
+	// relLe at the same endpoints is satisfiable and must not bottom out.
+	nx, ny = relConstraints(relLe, top, Interval{minI32, minI32})
+	if nx.IsBottom() || ny.IsBottom() {
+		t.Errorf("x <= minI32: got nx = %v, ny = %v, want non-bottom", nx, ny)
+	}
+	nx, ny = relConstraints(relLe, Interval{maxI32, maxI32}, top)
+	if nx.IsBottom() || ny.IsBottom() {
+		t.Errorf("maxI32 <= y: got nx = %v, ny = %v, want non-bottom", nx, ny)
+	}
+}
+
+func TestNormalizeRel(t *testing.T) {
+	for _, tc := range []struct {
+		op   lang.BinOp
+		want bool
+		rl   rel
+		swap bool
+	}{
+		{lang.OpLt, true, relLt, false},
+		{lang.OpLt, false, relLe, true}, // ¬(x<y) = y<=x
+		{lang.OpLe, true, relLe, false},
+		{lang.OpLe, false, relLt, true},  // ¬(x<=y) = y<x
+		{lang.OpGt, true, relLt, true},   // x>y = y<x
+		{lang.OpGt, false, relLe, false}, // ¬(x>y) = x<=y
+		{lang.OpGe, true, relLe, true},
+		{lang.OpGe, false, relLt, false},
+		{lang.OpEq, true, relEq, false},
+		{lang.OpEq, false, relNe, false},
+		{lang.OpNe, true, relNe, false},
+		{lang.OpNe, false, relEq, false},
+	} {
+		rl, swap := normalizeRel(tc.op, tc.want)
+		if rl != tc.rl || swap != tc.swap {
+			t.Errorf("normalizeRel(%v, %v) = (%v, %v), want (%v, %v)",
+				tc.op, tc.want, rl, swap, tc.rl, tc.swap)
+		}
+	}
+}

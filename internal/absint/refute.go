@@ -34,8 +34,13 @@ type refuter struct {
 	// formula asserts; the whole-program invariants (which assume exactly
 	// those guards) apply to them.
 	asserted map[ctxVal]bool
-	refuted  bool
-	changed  bool
+	// zone, when non-nil, tracks difference bounds over value
+	// instantiations; the zero node ctxVal{} stands for the constant 0.
+	// Every edge is implied by the emitted formula (asserted guards and
+	// defining equations), so a negative cycle refutes the query.
+	zone    *dbm[ctxVal]
+	refuted bool
+	changed bool
 }
 
 const (
@@ -45,12 +50,35 @@ const (
 
 // RefuteSlice reports whether the query represented by the slice — its
 // paths' guard assertions plus its value constraints — is provably
-// unsatisfiable in the interval domain. False decides nothing.
+// unsatisfiable in the abstract (intervals, then the zone relational tier
+// when enabled). False decides nothing.
 func (a *Analysis) RefuteSlice(sl *pdg.Slice) bool {
+	refuted, _ := a.RefuteSliceTiered(sl)
+	return refuted
+}
+
+// RefuteSliceTiered runs the refutation tiers in order: the interval
+// domain alone, then — only when intervals fail and the zone domain is
+// enabled — the interval+zone product. byZone reports the relational tier
+// was needed, which is the ablation's zone decision count.
+func (a *Analysis) RefuteSliceTiered(sl *pdg.Slice) (refuted, byZone bool) {
+	if a.refuteOnce(sl, false) {
+		return true, false
+	}
+	if !a.zone {
+		return false, false
+	}
+	return a.refuteOnce(sl, true), true
+}
+
+func (a *Analysis) refuteOnce(sl *pdg.Slice, useZone bool) bool {
 	r := &refuter{
 		a: a, sl: sl, tree: cond.NewCtxTree(),
 		refined:  map[ctxVal]Interval{},
 		asserted: map[ctxVal]bool{},
+	}
+	if useZone {
+		r.zone = newDBM[ctxVal]()
 	}
 	return r.run()
 }
@@ -119,11 +147,58 @@ func (r *refuter) applyConstraint(vc pdg.ValueConstraint, pathCtxs [][]*cond.Ctx
 	switch vc.Kind {
 	case pdg.ConstraintOutOfBounds:
 		iv := r.eval(v, ctx, 0)
+		if r.zone != nil && !r.zone.dead {
+			if n, off, ok := r.ctxNode(v, ctx); ok {
+				iv = iv.Meet(r.zone.unary(n, off))
+			}
+		}
 		if iv.Within(0, int64(int32(vc.Bound))-1) {
 			r.refuted = true // the index provably stays in bounds
 		}
+	case pdg.ConstraintOutOfBoundsDyn:
+		r.applyDynBound(v, ctx, vc)
 	default:
 		r.constrain(v, ctx, Single(vc.Value))
+	}
+}
+
+// applyDynBound handles a dynamic-bound sink: the constraint asserts the
+// index argument escapes [0, bound), where the bound is itself a sink
+// argument. The query is refuted when 0 ≤ idx and idx < bound are both
+// proven — the latter is where the zone earns its keep, since an interval
+// cannot relate an index to an unbounded runtime length.
+func (r *refuter) applyDynBound(v *ssa.Value, ctx *cond.Ctx, vc pdg.ValueConstraint) {
+	if vc.Arg < 0 || vc.Arg >= len(v.Args) || vc.BoundArg < 0 || vc.BoundArg >= len(v.Args) {
+		return
+	}
+	idx, bnd := v.Args[vc.Arg], v.Args[vc.BoundArg]
+	ii, ib := r.eval(idx, ctx, 0), r.eval(bnd, ctx, 0)
+	if r.refuted {
+		return
+	}
+	in, io, okI := r.ctxNode(idx, ctx)
+	bn, bo, okB := r.ctxNode(bnd, ctx)
+	if r.zone != nil && !r.zone.dead {
+		if okI {
+			ii = ii.Meet(r.zone.unary(in, io))
+		}
+		if okB {
+			ib = ib.Meet(r.zone.unary(bn, bo))
+		}
+	}
+	if ii.IsBottom() || ib.IsBottom() {
+		r.refuted = true
+		return
+	}
+	nonneg := ii.Lo >= 0
+	below := ii.Hi < ib.Lo
+	if r.zone != nil && !r.zone.dead && okI && okB {
+		if c, ok := r.zone.diff(in, io, bn, bo); ok && c <= -1 {
+			below = true
+		}
+	}
+	if nonneg && below {
+		r.refuted = true
 	}
 }
 
@@ -151,7 +226,110 @@ func (r *refuter) eval(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
 		r.refuted = true
 	}
 	r.memo[vc] = iv
+	// The memo entry is stored first so the zone hook's operand
+	// evaluations cannot re-enter this instantiation.
+	if r.zone != nil && depth < maxEvalDepth {
+		r.zoneDef(v, ctx, depth)
+	}
 	return iv
+}
+
+// ctxNode normalizes a 32-bit instantiation to a DBM node plus constant
+// offset; constants fold into the distinguished zero node ctxVal{}.
+func (r *refuter) ctxNode(v *ssa.Value, ctx *cond.Ctx) (ctxVal, int64, bool) {
+	if width(v) != 32 {
+		return ctxVal{}, 0, false
+	}
+	if v.Op == ssa.OpConst {
+		return ctxVal{}, int64(int32(v.Const)), true
+	}
+	return ctxVal{v, ctx}, 0, true
+}
+
+// zoneAdd records (xn + xo) − (yn + yo) ≤ c; a negative cycle means the
+// emitted formula is contradictory, refuting the query.
+func (r *refuter) zoneAdd(xn ctxVal, xo int64, yn ctxVal, yo int64, c int64) {
+	if r.zone == nil {
+		return
+	}
+	if r.zone.addNorm(xn, xo, yn, yo, c) {
+		r.changed = true
+	}
+	if r.zone.dead {
+		r.refuted = true
+	}
+}
+
+// zoneDef mirrors refiner.noteDef context-sensitively: the zone edges
+// implied by v's defining equation in ctx. Copies, returns, parameter
+// bindings, and call results are exact equalities; machine addition and
+// subtraction contribute edges only when the operand intervals prove the
+// operation cannot wrap.
+func (r *refuter) zoneDef(v *ssa.Value, ctx *cond.Ctx, depth int) {
+	if r.refuted || v.Op == ssa.OpConst || width(v) != 32 || !r.sl.Values[v] {
+		return
+	}
+	vn := ctxVal{v, ctx}
+	eq := func(x *ssa.Value, xctx *cond.Ctx) {
+		xn, xo, ok := r.ctxNode(x, xctx)
+		if !ok {
+			return
+		}
+		r.zoneAdd(vn, 0, xn, xo, 0)
+		r.zoneAdd(xn, xo, vn, 0, 0)
+	}
+	g := r.sl.G
+	switch v.Op {
+	case ssa.OpParam:
+		if ctx.Parent == nil {
+			return
+		}
+		c := g.SiteCall[ctx.Site]
+		idx := pdg.ParamIndex(v)
+		if c == nil || idx < 0 || idx >= len(c.Args) {
+			return
+		}
+		eq(c.Args[idx], ctx.Parent)
+	case ssa.OpCopy, ssa.OpReturn:
+		eq(v.Args[0], ctx)
+	case ssa.OpCall:
+		callee := g.Callee(v)
+		if callee == nil || callee.Ret == nil {
+			return
+		}
+		eq(callee.Ret, r.tree.Child(ctx, v.Site))
+	case ssa.OpBin:
+		x, y := v.Args[0], v.Args[1]
+		switch v.BinOp {
+		case lang.OpAdd:
+			ix, iy := r.eval(x, ctx, depth+1), r.eval(y, ctx, depth+1)
+			if ix.IsBottom() || iy.IsBottom() ||
+				ix.Lo+iy.Lo < minI32 || ix.Hi+iy.Hi > maxI32 {
+				return // may wrap: no integer edge is sound
+			}
+			if xn, xo, ok := r.ctxNode(x, ctx); ok {
+				r.zoneAdd(vn, 0, xn, xo, iy.Hi)
+				r.zoneAdd(xn, xo, vn, 0, -iy.Lo)
+			}
+			if yn, yo, ok := r.ctxNode(y, ctx); ok {
+				r.zoneAdd(vn, 0, yn, yo, ix.Hi)
+				r.zoneAdd(yn, yo, vn, 0, -ix.Lo)
+			}
+		case lang.OpSub:
+			if x == y {
+				return
+			}
+			ix, iy := r.eval(x, ctx, depth+1), r.eval(y, ctx, depth+1)
+			if ix.IsBottom() || iy.IsBottom() ||
+				ix.Lo-iy.Hi < minI32 || ix.Hi-iy.Lo > maxI32 {
+				return
+			}
+			if xn, xo, ok := r.ctxNode(x, ctx); ok {
+				r.zoneAdd(vn, 0, xn, xo, -iy.Lo)
+				r.zoneAdd(xn, xo, vn, 0, iy.Hi)
+			}
+		}
+	}
 }
 
 // equationOf mirrors cond.Translator.Equation: vertices outside the slice
@@ -372,6 +550,24 @@ func (r *refuter) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, ctx *cond
 		return
 	}
 	r.constrain(y, ctx, ny)
+	if r.refuted || r.zone == nil {
+		return
+	}
+	// Record the relation itself as a zone edge; see refiner.deriveCmp.
+	xn, xo, okx := r.ctxNode(x, ctx)
+	yn, yo, oky := r.ctxNode(y, ctx)
+	if !okx || !oky {
+		return
+	}
+	switch rl {
+	case relLt:
+		r.zoneAdd(xn, xo, yn, yo, -1)
+	case relLe:
+		r.zoneAdd(xn, xo, yn, yo, 0)
+	case relEq:
+		r.zoneAdd(xn, xo, yn, yo, 0)
+		r.zoneAdd(yn, yo, xn, xo, 0)
+	}
 }
 
 // PrunePath reports whether a candidate path (with its sink constraints,
@@ -390,20 +586,73 @@ func (a *Analysis) PrunePath(p pdg.Path, vcs ...pdg.ValueConstraint) bool {
 		if vc.Path != 0 || vc.Step >= len(p) {
 			continue
 		}
-		iv, ok := a.vals[p[vc.Step].V]
-		if !ok {
-			continue
-		}
+		v := p[vc.Step].V
 		switch vc.Kind {
 		case pdg.ConstraintOutOfBounds:
+			// The sink only executes when its guard chain holds, so the
+			// facts of its guard environment — including zone bounds — are
+			// valid for any real hit on this path.
+			iv := a.invariantOf(v)
+			if z := a.zoneOf(v); z != nil && !z.dead {
+				if n, off, ok := zoneOperand(v); ok {
+					iv = iv.Meet(z.unary(n, off))
+				}
+			}
 			if iv.Within(0, int64(int32(vc.Bound))-1) {
 				return true
 			}
+		case pdg.ConstraintOutOfBoundsDyn:
+			if a.pruneDynBound(v, vc) {
+				return true
+			}
 		default:
-			if !iv.Contains(int64(int32(vc.Value))) {
+			iv, ok := a.vals[v]
+			if ok && !iv.Contains(int64(int32(vc.Value))) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// invariantOf returns v's whole-program invariant, defaulting to top.
+func (a *Analysis) invariantOf(v *ssa.Value) Interval {
+	if v.Op == ssa.OpConst {
+		return Single(v.Const)
+	}
+	if iv, ok := a.vals[v]; ok {
+		return iv
+	}
+	return Top(width(v))
+}
+
+// pruneDynBound mirrors refuter.applyDynBound against the whole-program
+// invariants and the sink's guard-environment zone.
+func (a *Analysis) pruneDynBound(v *ssa.Value, vc pdg.ValueConstraint) bool {
+	if vc.Arg < 0 || vc.Arg >= len(v.Args) || vc.BoundArg < 0 || vc.BoundArg >= len(v.Args) {
+		return false
+	}
+	idx, bnd := v.Args[vc.Arg], v.Args[vc.BoundArg]
+	ii, ib := a.invariantOf(idx), a.invariantOf(bnd)
+	in, io, okI := zoneOperand(idx)
+	bn, bo, okB := zoneOperand(bnd)
+	z := a.zoneOf(v)
+	if z != nil && (z.dead || !okI || !okB) {
+		z = nil
+	}
+	if z != nil {
+		ii = ii.Meet(z.unary(in, io))
+		ib = ib.Meet(z.unary(bn, bo))
+	}
+	if ii.IsBottom() || ib.IsBottom() {
+		return false // invariants say the sink is unreachable-ish; leave to RefuteSlice
+	}
+	nonneg := ii.Lo >= 0
+	below := ii.Hi < ib.Lo
+	if z != nil {
+		if c, ok := z.diff(in, io, bn, bo); ok && c <= -1 {
+			below = true
+		}
+	}
+	return nonneg && below
 }

@@ -1,0 +1,249 @@
+package absint
+
+import "testing"
+
+// The DBM unit tests use int nodes; 0 is the distinguished zero node.
+
+func TestDBMClosure(t *testing.T) {
+	d := newDBM[int]()
+	d.add(1, 2, 3) // a − b ≤ 3
+	d.add(2, 3, 4) // b − c ≤ 4
+	if c, ok := d.diff(1, 0, 3, 0); !ok || c != 7 {
+		t.Errorf("a − c: got (%d, %v), want (7, true)", c, ok)
+	}
+	// A tighter direct edge must override the derived bound.
+	d.add(1, 3, 5)
+	if c, ok := d.diff(1, 0, 3, 0); !ok || c != 5 {
+		t.Errorf("a − c after tightening: got (%d, %v), want (5, true)", c, ok)
+	}
+	// A looser insertion must be a no-op.
+	if d.add(1, 2, 10) {
+		t.Error("looser fact reported as a change")
+	}
+	if c, _ := d.diff(1, 0, 2, 0); c != 3 {
+		t.Errorf("a − b loosened to %d", c)
+	}
+	// Closure must also relax paths through the new edge in both
+	// directions: inserting c − d ≤ 1 extends a − d.
+	d.add(3, 4, 1)
+	if c, ok := d.diff(1, 0, 4, 0); !ok || c != 6 {
+		t.Errorf("a − d: got (%d, %v), want (6, true)", c, ok)
+	}
+}
+
+func TestDBMNegativeCycle(t *testing.T) {
+	d := newDBM[int]()
+	d.add(1, 2, -1) // a − b ≤ −1, i.e. a < b
+	if d.dead {
+		t.Fatal("single edge cannot be contradictory")
+	}
+	d.add(2, 1, 0) // b − a ≤ 0, i.e. b ≤ a: contradiction
+	if !d.dead {
+		t.Error("negative cycle not detected")
+	}
+	// A direct negative self-edge is the degenerate cycle.
+	d2 := newDBM[int]()
+	d2.add(7, 7, -1)
+	if !d2.dead {
+		t.Error("negative self-edge not detected")
+	}
+	// A non-negative self-edge is trivially true and must not be stored.
+	d3 := newDBM[int]()
+	if d3.add(7, 7, 0) || len(d3.edges) != 0 {
+		t.Error("trivial self-edge stored")
+	}
+	// A longer cycle: a < b < c ≤ a − 1.
+	d4 := newDBM[int]()
+	d4.add(1, 2, -1)
+	d4.add(2, 3, -1)
+	d4.add(3, 1, 1)
+	if !d4.dead {
+		t.Error("three-edge negative cycle not detected")
+	}
+}
+
+func TestDBMJoin(t *testing.T) {
+	a := newDBM[int]()
+	a.add(1, 2, 3)
+	a.add(1, 3, 5)
+	b := newDBM[int]()
+	b.add(1, 2, 7)
+	b.add(2, 3, 1) // only in b: must be dropped; closure derives (1,3) ≤ 8
+	j := a.join(b)
+	if c, ok := j.diff(1, 0, 2, 0); !ok || c != 7 {
+		t.Errorf("common edge: got (%d, %v), want pointwise max (7, true)", c, ok)
+	}
+	if c, ok := j.diff(1, 0, 3, 0); !ok || c != 8 {
+		t.Errorf("closed common edge: got (%d, %v), want max(5, 8)", c, ok)
+	}
+	if _, ok := j.diff(2, 0, 3, 0); ok {
+		t.Error("one-sided edge survived the join")
+	}
+	// A dead operand contributes nothing: the other side wins outright.
+	dead := newDBM[int]()
+	dead.add(5, 5, -1)
+	if j2 := a.join(dead); j2.dead || len(j2.edges) != len(a.edges) {
+		t.Error("join with dead zone lost facts")
+	}
+	if j3 := dead.join(a); j3.dead || len(j3.edges) != len(a.edges) {
+		t.Error("join from dead zone lost facts")
+	}
+}
+
+func TestDBMOffsetNormalization(t *testing.T) {
+	d := newDBM[int]()
+	// (x + 2) − (0 + 5) ≤ 0, i.e. x ≤ 3: folds to x − zero ≤ 3.
+	d.addNorm(1, 2, 0, 5, 0)
+	if c, ok := d.diff(1, 0, 0, 0); !ok || c != 3 {
+		t.Errorf("x − zero: got (%d, %v), want (3, true)", c, ok)
+	}
+	// diff must re-apply offsets: (x + 10) − (zero + 1) ≤ 3 + 10 − 1.
+	if c, ok := d.diff(1, 10, 0, 1); !ok || c != 12 {
+		t.Errorf("offset diff: got (%d, %v), want (12, true)", c, ok)
+	}
+	// Identical nodes give the exact offset difference with no edge at all.
+	if c, ok := d.diff(9, 4, 9, 1); !ok || c != 3 {
+		t.Errorf("same-node diff: got (%d, %v), want (3, true)", c, ok)
+	}
+}
+
+func TestDBMUnary(t *testing.T) {
+	d := newDBM[int]()
+	d.add(1, 0, 9)  // x ≤ 9
+	d.add(0, 1, -2) // −x ≤ −2, i.e. x ≥ 2
+	if iv := d.unary(1, 0); iv != (Interval{2, 9}) {
+		t.Errorf("unary: got %v, want [2,9]", iv)
+	}
+	if iv := d.unary(1, 5); iv != (Interval{7, 14}) {
+		t.Errorf("unary with offset: got %v, want [7,14]", iv)
+	}
+	// An unconstrained node projects to the full 32-bit range.
+	if iv := d.unary(2, 0); iv != (Interval{minI32, maxI32}) {
+		t.Errorf("unconstrained unary: got %v", iv)
+	}
+}
+
+func TestDBMEdgeCap(t *testing.T) {
+	d := newDBM[int]()
+	// Fill past the cap with unrelated edges (disjoint node pairs keep the
+	// closure from fabricating extras).
+	for i := 0; len(d.edges) < maxZoneEdges; i += 2 {
+		d.add(i+1, i+2, 5)
+	}
+	n := len(d.edges)
+	if d.add(900001, 900002, 1) {
+		t.Error("insertion beyond the cap reported as a change")
+	}
+	if len(d.edges) != n || d.dead {
+		t.Errorf("cap violated: %d edges, dead=%v", len(d.edges), d.dead)
+	}
+	// Dropping facts is sound: existing facts must be unaffected.
+	if c, ok := d.diff(1, 0, 2, 0); !ok || c != 5 {
+		t.Errorf("pre-cap fact lost: (%d, %v)", c, ok)
+	}
+}
+
+func TestClampWeight(t *testing.T) {
+	for _, tc := range []struct{ in, want int64 }{
+		{0, 0},
+		{maxZoneWeight + 1, maxZoneWeight},
+		{-maxZoneWeight - 1, -maxZoneWeight},
+		{42, 42},
+	} {
+		if got := clampWeight(tc.in); got != tc.want {
+			t.Errorf("clampWeight(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// Saturated weights keep closure sums inside int64: each insertion and
+	// each derived sum is clamped back to the bound.
+	d := newDBM[int]()
+	d.add(1, 2, maxZoneWeight*2)
+	d.add(2, 3, maxZoneWeight*2)
+	if c, _ := d.diff(1, 0, 3, 0); c != maxZoneWeight {
+		t.Errorf("saturated sum: got %d, want %d", c, maxZoneWeight)
+	}
+}
+
+// TestDBMRandomizedClosure cross-checks the incremental closure against a
+// from-scratch Floyd–Warshall on small random edge sets.
+func TestDBMRandomizedClosure(t *testing.T) {
+	// Deterministic pseudo-random stream (xorshift) to keep the test
+	// reproducible without seeding from the clock.
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+	const nodes = 5
+	for trial := 0; trial < 200; trial++ {
+		d := newDBM[int]()
+		type edge struct {
+			x, y int
+			c    int64
+		}
+		var edges []edge
+		for k := 0; k < 8; k++ {
+			e := edge{next(nodes), next(nodes), int64(next(21) - 6)}
+			edges = append(edges, e)
+			d.add(e.x, e.y, e.c)
+		}
+		// Reference: dense Floyd–Warshall over the raw edges.
+		const inf = int64(1) << 50
+		var ref [nodes][nodes]int64
+		for i := range ref {
+			for j := range ref[i] {
+				ref[i][j] = inf
+			}
+			ref[i][i] = 0
+		}
+		for _, e := range edges {
+			if e.c < ref[e.x][e.y] {
+				ref[e.x][e.y] = e.c
+			}
+		}
+		for k := 0; k < nodes; k++ {
+			for i := 0; i < nodes; i++ {
+				for j := 0; j < nodes; j++ {
+					if ref[i][k] < inf && ref[k][j] < inf && ref[i][k]+ref[k][j] < ref[i][j] {
+						ref[i][j] = ref[i][k] + ref[k][j]
+					}
+				}
+			}
+		}
+		refDead := false
+		for i := 0; i < nodes; i++ {
+			if ref[i][i] < 0 {
+				refDead = true
+			}
+		}
+		if d.dead != refDead {
+			t.Fatalf("trial %d: dead=%v, reference=%v (%v)", trial, d.dead, refDead, edges)
+		}
+		if d.dead {
+			continue
+		}
+		for i := 0; i < nodes; i++ {
+			for j := 0; j < nodes; j++ {
+				if i == j {
+					continue
+				}
+				got, ok := d.diff(i, 0, j, 0)
+				if ref[i][j] == inf {
+					// The incremental closure may hold a derivable (valid)
+					// bound the reference lacks only if reachable; absent
+					// reference bound means absent fact.
+					if ok {
+						t.Fatalf("trial %d: spurious fact %d−%d ≤ %d (%v)", trial, i, j, got, edges)
+					}
+					continue
+				}
+				if !ok || got != ref[i][j] {
+					t.Fatalf("trial %d: %d−%d: got (%d,%v), want %d (%v)",
+						trial, i, j, got, ok, ref[i][j], edges)
+				}
+			}
+		}
+	}
+}

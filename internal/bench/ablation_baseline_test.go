@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fusion/internal/progen"
+)
+
+var updateBaseline = flag.Bool("update", false, "rewrite testdata/absint_baseline.json from the current run")
+
+// ablationBaseline is the committed floor for the abstract-interpretation
+// tier's decision rates on a pinned subject configuration. CI fails when a
+// change makes the tier decide (or prune) fewer queries than the baseline:
+// precision regressions must be explicit, by re-committing the file.
+type ablationBaseline struct {
+	Scale    float64                 `json:"scale"`
+	Subjects []string                `json:"subjects"`
+	Modes    map[string]baselineMode `json:"modes"`
+}
+
+type baselineMode struct {
+	Decided int `json:"decided"`
+	Zone    int `json:"zone"`
+	Pruned  int `json:"pruned"`
+}
+
+const baselinePath = "testdata/absint_baseline.json"
+
+func baselineOpts(bl ablationBaseline, t *testing.T) Options {
+	opts := Options{
+		Scale:  bl.Scale,
+		Budget: Budget{Time: 2 * time.Minute, CondBytes: 1 << 30},
+	}
+	for _, name := range bl.Subjects {
+		s, err := progen.SubjectByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Subjects = append(opts.Subjects, s)
+	}
+	return opts
+}
+
+// TestAblationBaseline is the absint ablation smoke: it runs the fused
+// engine in all three tier modes (off, intervals, on) on a pinned subject
+// set, requires the report sets to be identical, and compares the tier's
+// decision rates against the committed baseline. Regenerate the baseline
+// with: go test ./internal/bench -run TestAblationBaseline -update
+func TestAblationBaseline(t *testing.T) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("missing committed baseline: %v", err)
+	}
+	var bl ablationBaseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		t.Fatalf("bad baseline: %v", err)
+	}
+
+	costs, identical, err := ablationCosts(baselineOpts(bl, t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical {
+		t.Error("report sets differ across absint modes: the tier changed reports")
+	}
+	got := map[string]baselineMode{}
+	for _, c := range costs {
+		if c.Failed {
+			t.Fatalf("%s/%s/%s: run failed: %s", c.Subject, c.Checker, c.Mode, c.FailNote)
+		}
+		m := got[c.Mode]
+		m.Decided += c.AbsintDecided
+		m.Zone += c.AbsintZone
+		m.Pruned += c.AbsintPruned
+		got[c.Mode] = m
+	}
+
+	if *updateBaseline {
+		bl.Modes = got
+		out, err := json.MarshalIndent(bl, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(baselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %+v", got)
+		return
+	}
+
+	// Structural sanity: modes behave as configured.
+	if m := got["off"]; m.Decided != 0 || m.Zone != 0 || m.Pruned != 0 {
+		t.Errorf("off mode fired: %+v", m)
+	}
+	if got["intervals"].Zone != 0 {
+		t.Errorf("intervals mode made zone decisions: %+v", got["intervals"])
+	}
+	if got["on"].Zone == 0 {
+		t.Error("zone tier never decided a query on the baseline subjects")
+	}
+	// Regression floor: each mode must decide and prune at least as many
+	// queries as the committed baseline.
+	for mode, want := range bl.Modes {
+		g := got[mode]
+		if g.Decided < want.Decided || g.Zone < want.Zone || g.Pruned < want.Pruned {
+			t.Errorf("%s: decision rate regressed: got %+v, baseline %+v", mode, g, want)
+		}
+	}
+}

@@ -79,11 +79,13 @@ type Cost struct {
 	Unknown  int
 	Failed   bool   // exceeded Budget
 	FailNote string // why
-	// AbsintDecided counts queries refuted by the interval tier before any
-	// formula was built; AbsintPruned counts candidates the enumeration
+	// AbsintDecided counts queries refuted by the abstract tiers before
+	// any formula was built; AbsintZone counts the subset that needed the
+	// zone relational tier; AbsintPruned counts candidates the enumeration
 	// oracle discarded; SolverCalls counts candidates that reached the
 	// bit-precise solver.
 	AbsintDecided int
+	AbsintZone    int
 	AbsintPruned  int
 	SolverCalls   int
 }
@@ -153,6 +155,9 @@ func Run(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cos
 		}
 		if v.DecidedByAbsint {
 			cost.AbsintDecided++
+			if v.DecidedByZone {
+				cost.AbsintZone++
+			}
 		} else {
 			cost.SolverCalls++
 		}

@@ -31,9 +31,12 @@ type Options struct {
 	// Parallel sets the fused engine's worker count (the paper runs its
 	// analyses with fifteen threads); 0 means sequential.
 	Parallel int
-	// Absint enables the interval abstract-interpretation tier in every
-	// fused engine the experiments construct.
+	// Absint enables the abstract-interpretation tier in every fused
+	// engine the experiments construct.
 	Absint bool
+	// IntervalsOnly restricts the tier to the interval domain, disabling
+	// the zone relational domain — the `-absint=intervals` ablation.
+	IntervalsOnly bool
 }
 
 func (o Options) scale() float64 {
@@ -47,6 +50,7 @@ func (o Options) fusion() *engines.Fusion {
 	e := engines.NewFusion()
 	e.Parallel = o.Parallel
 	e.UseAbsint = o.Absint
+	e.IntervalsOnly = o.IntervalsOnly
 	return e
 }
 
@@ -183,8 +187,10 @@ type Instance struct {
 	Sat        bool
 	// Preprocessed reports the fused solve was decided by preprocessing.
 	Preprocessed bool
-	// Absint reports the fused solve was refuted by the interval tier.
+	// Absint reports the fused solve was refuted by the abstract tiers.
 	Absint bool
+	// Zone reports the refutation needed the zone relational tier.
+	Zone bool
 }
 
 // Fig11Instances collects per-instance solving times: every candidate's
@@ -199,7 +205,7 @@ func Fig11Instances(opts Options) ([]Instance, error) {
 			return nil, err
 		}
 		cands := sparse.NewEngine(sub.Graph).Run(spec)
-		an := absint.Analyze(sub.Graph)
+		an := absint.AnalyzeWith(sub.Graph, absint.Config{DisableZone: opts.IntervalsOnly})
 		for _, c := range cands {
 			paths := []pdg.Path{c.Path}
 
@@ -221,7 +227,7 @@ func Fig11Instances(opts Options) ([]Instance, error) {
 			out = append(out, Instance{
 				Subject: info.Name, Fused: fused, Standalone: standalone,
 				Sat: fr.Status == sat.Sat, Preprocessed: fr.Preprocessed,
-				Absint: fr.DecidedByAbsint,
+				Absint: fr.DecidedByAbsint, Zone: fr.DecidedByZone,
 			})
 		}
 	}
@@ -266,7 +272,7 @@ func Fig11(opts Options) (string, error) {
 	if len(insts) == 0 {
 		return "no instances", nil
 	}
-	var nSat, nPre, nAbs int
+	var nSat, nPre, nAbs, nZone int
 	var satF, satS, unsatF, unsatS float64
 	for _, in := range insts {
 		if in.Sat {
@@ -283,6 +289,9 @@ func Fig11(opts Options) (string, error) {
 		if in.Absint {
 			nAbs++
 		}
+		if in.Zone {
+			nZone++
+		}
 	}
 	n := len(insts)
 	var b strings.Builder
@@ -293,6 +302,8 @@ func Fig11(opts Options) (string, error) {
 		nPre, 100*float64(nPre)/float64(n))
 	fmt.Fprintf(&b, "  absint decision rate: %d (%.0f%%)\n",
 		nAbs, 100*float64(nAbs)/float64(n))
+	fmt.Fprintf(&b, "  zone decision rate: %d (%.0f%%)\n",
+		nZone, 100*float64(nZone)/float64(n))
 	if satF > 0 {
 		fmt.Fprintf(&b, "  sat speedup (standalone/fused): %.1fx\n", satS/satF)
 	}
@@ -426,53 +437,76 @@ func CWE369(opts Options) (string, error) {
 	return t.String(), nil
 }
 
-// AblationAbsint measures the interval tier's contribution on the
-// industrial-sized subjects: the value-constrained checkers (CWE-369,
-// CWE-125) run with the tier on and off. The tier must never change the
-// report set — it only refutes queries the solver would also refute — while
-// strictly reducing the number of bit-precise solver calls.
+// AblationAbsint measures the abstract-interpretation tiers' contribution
+// on the industrial-sized subjects: the value-constrained checkers
+// (CWE-369, CWE-125) run with the tier off, with intervals alone, and with
+// the full interval+zone product. The tiers must never change the report
+// set — they only refute queries the solver would also refute — while
+// strictly reducing the number of bit-precise solver calls; the #Zone
+// column counts refutations the interval domain alone could not decide.
 func AblationAbsint(opts Options) (string, error) {
-	t := &Table{
-		Title: "Ablation: interval abstract-interpretation tier (absint)",
-		Header: []string{"Program", "Checker", "Absint", "Time", "#Report",
-			"#Decided", "#Pruned", "#SolverCalls"},
+	costs, identical, err := ablationCosts(opts)
+	if err != nil {
+		return "", err
 	}
-	var identical = true
-	for _, info := range opts.subjects(largeSubjects()) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
-		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
-			// Explicit on/off engines: the ablation ignores Options.Absint.
-			offEng := opts.fusion()
-			offEng.UseAbsint = false
-			off := Run(sub, spec, offEng, opts.Budget)
-			on := opts.fusion()
-			on.UseAbsint = true
-			onc := Run(sub, spec, on, opts.Budget)
-			if onc.Reports != off.Reports {
-				identical = false
-			}
-			for _, c := range []struct {
-				tag string
-				c   Cost
-			}{{"off", off}, {"on", onc}} {
-				t.AddRow(info.Name, spec.Name, c.tag, fd(c.c.Time),
-					fmt.Sprintf("%d", c.c.Reports),
-					fmt.Sprintf("%d", c.c.AbsintDecided),
-					fmt.Sprintf("%d", c.c.AbsintPruned),
-					fmt.Sprintf("%d", c.c.SolverCalls))
-			}
-		}
+	t := &Table{
+		Title: "Ablation: abstract-interpretation tiers (absint)",
+		Header: []string{"Program", "Checker", "Absint", "Time", "#Report",
+			"#Decided", "#Zone", "#Pruned", "#SolverCalls"},
+	}
+	for _, c := range costs {
+		t.AddRow(c.Subject, c.Checker, c.Mode, fd(c.Time),
+			fmt.Sprintf("%d", c.Reports),
+			fmt.Sprintf("%d", c.AbsintDecided),
+			fmt.Sprintf("%d", c.AbsintZone),
+			fmt.Sprintf("%d", c.AbsintPruned),
+			fmt.Sprintf("%d", c.SolverCalls))
 	}
 	s := t.String()
 	if identical {
-		s += "\nreport sets identical with the tier on and off\n"
+		s += "\nreport sets identical across off/intervals/on\n"
 	} else {
-		s += "\nWARNING: report sets differ between absint on and off\n"
+		s += "\nWARNING: report sets differ across absint modes\n"
 	}
 	return s, nil
+}
+
+// AblationCost is one engine run of the absint ablation, tagged with its
+// tier mode ("off", "intervals", "on").
+type AblationCost struct {
+	Mode string
+	Cost
+}
+
+// ablationCosts runs the three-mode ablation and reports whether every
+// mode produced the identical report count per (subject, checker).
+func ablationCosts(opts Options) ([]AblationCost, bool, error) {
+	var out []AblationCost
+	identical := true
+	for _, info := range opts.subjects(largeSubjects()) {
+		sub, err := Compile(info, opts.scale())
+		if err != nil {
+			return nil, false, err
+		}
+		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
+			// Explicit engines per mode: the ablation ignores Options.Absint.
+			var reports []int
+			for _, mode := range []string{"off", "intervals", "on"} {
+				eng := opts.fusion()
+				eng.UseAbsint = mode != "off"
+				eng.IntervalsOnly = mode == "intervals"
+				c := Run(sub, spec, eng, opts.Budget)
+				reports = append(reports, c.Reports)
+				out = append(out, AblationCost{Mode: mode, Cost: c})
+			}
+			for _, r := range reports[1:] {
+				if r != reports[0] {
+					identical = false
+				}
+			}
+		}
+	}
+	return out, identical, nil
 }
 
 // largeSubjects returns the four industrial-sized subjects (ffmpeg, v8,

@@ -28,10 +28,15 @@ var (
 	// TransmitSinks send data to the outside world (CWE-402).
 	TransmitSinks = []string{"send", "sendmsg", "write_socket", "log_remote"}
 	// IndexSinks access a fixed-size buffer at an index argument (CWE-125):
-	// sink name -> (index argument position, buffer size).
+	// sink name -> (index argument position, buffer size). The _n variants
+	// take the buffer length as a further argument instead of a fixed
+	// size — deciding those needs a relation between index and length,
+	// which is what the zone refutation tier provides.
 	IndexSinks = map[string]sparse.IndexSink{
-		"buf_read":  {Arg: 0, Size: BufSize},
-		"buf_write": {Arg: 0, Size: BufSize},
+		"buf_read":    {Arg: 0, Size: BufSize},
+		"buf_write":   {Arg: 0, Size: BufSize},
+		"buf_read_n":  {Arg: 0, DynBound: true, BoundArg: 1},
+		"buf_write_n": {Arg: 0, DynBound: true, BoundArg: 1},
 	}
 )
 
@@ -62,6 +67,8 @@ extern fun write_socket(x: int);
 extern fun log_remote(x: int);
 extern fun buf_read(i: int): int;
 extern fun buf_write(i: int, v: int);
+extern fun buf_read_n(i: int, n: int): int;
+extern fun buf_write_n(i: int, n: int, v: int);
 `
 
 func sinkMap(names []string) map[string][]int {

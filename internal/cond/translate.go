@@ -218,17 +218,32 @@ func (tr *Translator) ValueConstraints() []*smt.Term {
 		}
 		ctxs := AssignContexts(tr.T, p)
 		v := p[vc.Step].V
-		term := tr.Term(v, ctxs[vc.Step])
 		switch vc.Kind {
 		case pdg.ConstraintOutOfBounds:
 			// The access misses [0, Bound): index < 0 or index >= Bound,
 			// signed.
+			term := tr.Term(v, ctxs[vc.Step])
 			bits := pdg.TypeBits(v.Type)
 			out = append(out, tr.B.Or(
 				tr.B.Slt(term, tr.B.Const(0, bits)),
 				tr.B.Sle(tr.B.Const(vc.Bound, bits), term),
 			))
+		case pdg.ConstraintOutOfBoundsDyn:
+			// Dynamic bound: the index argument misses [0, bound argument),
+			// signed — index < 0 or bound <= index.
+			if vc.Arg < 0 || vc.Arg >= len(v.Args) || vc.BoundArg < 0 || vc.BoundArg >= len(v.Args) {
+				continue
+			}
+			idx, bnd := v.Args[vc.Arg], v.Args[vc.BoundArg]
+			ti := tr.Term(idx, ctxs[vc.Step])
+			tb := tr.Term(bnd, ctxs[vc.Step])
+			bits := pdg.TypeBits(idx.Type)
+			out = append(out, tr.B.Or(
+				tr.B.Slt(ti, tr.B.Const(0, bits)),
+				tr.B.Sle(tb, ti),
+			))
 		default:
+			term := tr.Term(v, ctxs[vc.Step])
 			out = append(out, tr.B.Eq(term, tr.B.Const(vc.Value, pdg.TypeBits(v.Type))))
 		}
 	}

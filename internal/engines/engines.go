@@ -38,9 +38,12 @@ type Verdict struct {
 	Status sat.Status // Sat = feasible = reported bug
 	// Preprocessed reports the solve was decided during preprocessing.
 	Preprocessed bool
-	// DecidedByAbsint reports the query was refuted by the interval
+	// DecidedByAbsint reports the query was refuted by the
 	// abstract-interpretation tier before any formula was built.
 	DecidedByAbsint bool
+	// DecidedByZone reports the refutation needed the zone relational
+	// tier (implies DecidedByAbsint).
+	DecidedByZone bool
 	// SolveTime is the feasibility-decision time for this candidate.
 	SolveTime time.Duration
 	// ConditionSize is the DAG size of the condition solved (0 when the
@@ -84,10 +87,13 @@ type Fusion struct {
 	Cfg SolverConfig
 	// Opts tunes the fused solver (ablations).
 	Opts fusioncore.Options
-	// UseAbsint enables the interval abstract-interpretation tier: the
+	// UseAbsint enables the abstract-interpretation tier: the
 	// whole-program analysis is computed once per graph and consulted
 	// before every solve.
 	UseAbsint bool
+	// IntervalsOnly disables the zone relational domain, leaving the
+	// interval tier alone — the `-absint=intervals` ablation.
+	IntervalsOnly bool
 	// Parallel is the worker count for Check; 0 or 1 means sequential.
 	Parallel int
 	mu       sync.Mutex
@@ -109,7 +115,7 @@ func (e *Fusion) Absint(g *pdg.Graph) *absint.Analysis {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.absG != g {
-		e.abs = absint.Analyze(g)
+		e.abs = absint.AnalyzeWith(g, absint.Config{DisableZone: e.IntervalsOnly})
 		e.absG = g
 	}
 	return e.abs
@@ -167,6 +173,7 @@ func (e *Fusion) checkOne(g *pdg.Graph, c sparse.Candidate) Verdict {
 	v := Verdict{
 		Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
 		DecidedByAbsint: r.DecidedByAbsint,
+		DecidedByZone:   r.DecidedByZone,
 		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
 	}
 	e.mu.Lock()

@@ -15,6 +15,7 @@
 package fusioncore
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -80,12 +81,18 @@ type Result struct {
 	// LocalPreprocessTime is the total time spent in per-function
 	// preprocessing.
 	LocalPreprocessTime time.Duration
-	// DecidedByAbsint reports the query was refuted by the interval tier
-	// before any formula was built.
+	// DecidedByAbsint reports the query was refuted by the abstract
+	// interpretation before any formula was built.
 	DecidedByAbsint bool
+	// DecidedByZone reports the refutation needed the zone relational
+	// tier — the interval domain alone could not decide it.
+	DecidedByZone bool
 	// AbsintBounds counts the invariant bound conjuncts exported into the
 	// residual formula.
 	AbsintBounds int
+	// AbsintDiffs counts the difference-bound conjuncts exported into the
+	// residual formula by the zone domain.
+	AbsintDiffs int
 	// Phi is the residual formula handed to the final solve (after
 	// emission, before its global preprocessing), for inspection.
 	Phi *smt.Term
@@ -126,6 +133,7 @@ type state struct {
 	forcedSites  map[int]bool
 	localPrep    time.Duration
 	absintBounds int
+	absintDiffs  int
 }
 
 // Solve decides the feasibility of a set of data-dependence paths directly
@@ -140,10 +148,13 @@ func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result 
 	// system emitted below, so an abstract contradiction proves the query
 	// unsat without building a formula (and soundness tests hold it to
 	// that).
-	if opts.Absint != nil && opts.Absint.RefuteSlice(sl) {
-		res.Status = sat.Unsat
-		res.DecidedByAbsint = true
-		return res
+	if opts.Absint != nil {
+		if refuted, byZone := opts.Absint.RefuteSliceTiered(sl); refuted {
+			res.Status = sat.Unsat
+			res.DecidedByAbsint = true
+			res.DecidedByZone = byZone
+			return res
+		}
 	}
 
 	if opts.Unoptimized {
@@ -178,6 +189,7 @@ func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result 
 	r := buildResidual(b, g, sl, opts)
 	res.LocalPreprocessTime = r.st.localPrep
 	res.AbsintBounds = r.st.absintBounds
+	res.AbsintDiffs = r.st.absintDiffs
 	res.Phi = r.phi
 	res.Result = solver.Solve(b, r.phi, opts.Solver)
 	res.Clones = len(r.st.emitted)
@@ -268,11 +280,45 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 			b.Sle(term, b.Const(uint32(int32(hi)), bits)))
 		st.absintBounds++
 	}
+	// Difference facts from the zone domain are exported alongside the
+	// unary bounds: x − y ≤ c becomes x ≤s y + c, which is only faithful
+	// to the integer fact when y + c cannot wrap — guaranteed by also
+	// asserting y's interval bounds and checking [lo+c, hi+c] stays in
+	// 32-bit range.
+	diffDone := map[[2]boundKey]bool{}
+	exportDiff := func(x, y *ssa.Value, ctx *cond.Ctx) {
+		if opts.Absint == nil || x == y {
+			return
+		}
+		k := [2]boundKey{{x, ctx}, {y, ctx}}
+		if diffDone[k] {
+			return
+		}
+		diffDone[k] = true
+		c, ok := opts.Absint.DiffBound(x, y)
+		if !ok || c != int64(int32(c)) {
+			return
+		}
+		lo, hi, ok := opts.Absint.Bounds(y)
+		if !ok || lo+c < math.MinInt32 || hi+c > math.MaxInt32 {
+			return
+		}
+		exportBounds(y, ctx) // the no-wrap side condition needs y's range asserted
+		bits := pdg.TypeBits(x.Type)
+		asserts = append(asserts, b.Sle(
+			st.tr.Var(x, ctx),
+			b.Add(st.tr.Var(y, ctx), b.Const(uint32(int32(c)), bits))))
+		st.absintDiffs++
+	}
 	for _, p := range sl.Paths {
 		ctxs := cond.AssignContexts(st.tr.T, p)
 		for i, step := range p {
 			st.emit(step.V.Fn, ctxs[i])
 			exportBounds(step.V, ctxs[i])
+			if i > 0 && ctxs[i] == ctxs[i-1] {
+				exportDiff(p[i-1].V, step.V, ctxs[i])
+				exportDiff(step.V, p[i-1].V, ctxs[i])
+			}
 			for gd := step.V.Guard; gd != nil; gd = gd.Guard {
 				asserts = append(asserts, st.tr.Var(gd, ctxs[i]))
 			}
@@ -285,6 +331,25 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 				}
 			}
 		}
+	}
+	// Dynamic-bound sinks relate two call arguments; seed the residual
+	// with their bounds and any proven difference between them.
+	for _, vc := range sl.Constraints {
+		if vc.Kind != pdg.ConstraintOutOfBoundsDyn ||
+			vc.Path >= len(sl.Paths) || vc.Step >= len(sl.Paths[vc.Path]) {
+			continue
+		}
+		p := sl.Paths[vc.Path]
+		v := p[vc.Step].V
+		if vc.Arg < 0 || vc.Arg >= len(v.Args) || vc.BoundArg < 0 || vc.BoundArg >= len(v.Args) {
+			continue
+		}
+		ctxs := cond.AssignContexts(st.tr.T, p)
+		idx, bnd := v.Args[vc.Arg], v.Args[vc.BoundArg]
+		exportBounds(idx, ctxs[vc.Step])
+		exportBounds(bnd, ctxs[vc.Step])
+		exportDiff(idx, bnd, ctxs[vc.Step])
+		exportDiff(bnd, idx, ctxs[vc.Step])
 	}
 	asserts = append(asserts, st.tr.ValueConstraints()...)
 	st.conjs = append(st.conjs, asserts...)
@@ -372,12 +437,26 @@ func (st *state) summarize(f *ssa.Function) {
 		keep[cond.VarName(f.Ret, root)] = true
 	}
 	// Vertices pinned by value constraints are referenced from the final
-	// assertions and must survive local preprocessing.
+	// assertions and must survive local preprocessing. A dynamic-bound
+	// constraint references the sink call's index and bound arguments
+	// rather than the step vertex itself.
 	for _, vc := range st.sl.Constraints {
 		if vc.Path < len(st.sl.Paths) && vc.Step < len(st.sl.Paths[vc.Path]) {
-			if v := st.sl.Paths[vc.Path][vc.Step].V; v.Fn == f {
-				keep[cond.VarName(v, root)] = true
+			v := st.sl.Paths[vc.Path][vc.Step].V
+			if v.Fn != f {
+				continue
 			}
+			if vc.Kind == pdg.ConstraintOutOfBoundsDyn {
+				for _, ai := range [2]int{vc.Arg, vc.BoundArg} {
+					if ai >= 0 && ai < len(v.Args) {
+						if a := v.Args[ai]; st.sl.Values[a] && a.Op != ssa.OpConst {
+							keep[cond.VarName(a, root)] = true
+						}
+					}
+				}
+				continue
+			}
+			keep[cond.VarName(v, root)] = true
 		}
 	}
 	// Actuals referenced by callee instances' parameter links must

@@ -90,10 +90,13 @@ type Options struct {
 }
 
 // SinkBound describes a bounds-checked extern argument (mirrors the sparse
-// engine's IndexSink without importing it).
+// engine's IndexSink without importing it). When DynBound is set the
+// buffer length is the BoundArg-th argument of the call rather than Size.
 type SinkBound struct {
-	Arg  int
-	Size uint32
+	Arg      int
+	Size     uint32
+	DynBound bool
+	BoundArg int
 }
 
 func (o Options) maxSteps() int {
@@ -357,7 +360,15 @@ func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
 		}
 		if sb, ok := in.opts.SinkBounds[x.Name]; f.Extern && ok && sb.Arg < len(args) {
 			idx := args[sb.Arg]
-			if int32(idx.V) < 0 || int32(idx.V) >= int32(sb.Size) {
+			size := int32(sb.Size)
+			if sb.DynBound {
+				if sb.BoundArg >= len(args) {
+					size = 0
+				} else {
+					size = int32(args[sb.BoundArg].V)
+				}
+			}
+			if int32(idx.V) < 0 || int32(idx.V) >= size {
 				in.hits = append(in.hits, SinkHit{
 					Callee: f.Name, CallPos: x.Pos, ArgIdx: sb.Arg, Taint: idx.Taint.clone(),
 				})

@@ -43,17 +43,25 @@ const (
 	// index range [0, Bound) under signed interpretation — the sink
 	// condition of an out-of-bounds access checker.
 	ConstraintOutOfBounds
+	// ConstraintOutOfBoundsDyn is the dynamic-bound variant: the step
+	// value is a sink call whose argument Arg must fall outside
+	// [0, args[BoundArg]) under signed interpretation.
+	ConstraintOutOfBoundsDyn
 )
 
 // ValueConstraint constrains the vertex at Paths[Path][Step] in the
 // context the path visits it in: ConstraintEq pins it to Value,
-// ConstraintOutOfBounds requires it to miss [0, Bound).
+// ConstraintOutOfBounds requires it to miss [0, Bound), and
+// ConstraintOutOfBoundsDyn requires the step's Arg argument to miss
+// [0, BoundArg argument).
 type ValueConstraint struct {
-	Path  int
-	Step  int
-	Kind  ConstraintKind
-	Value uint32 // ConstraintEq payload
-	Bound uint32 // ConstraintOutOfBounds payload
+	Path     int
+	Step     int
+	Kind     ConstraintKind
+	Value    uint32 // ConstraintEq payload
+	Bound    uint32 // ConstraintOutOfBounds payload
+	Arg      int    // ConstraintOutOfBoundsDyn: index argument position
+	BoundArg int    // ConstraintOutOfBoundsDyn: bound argument position
 }
 
 // Constrain records an equality constraint on a path step.
@@ -65,6 +73,15 @@ func (s *Slice) Constrain(path, step int, value uint32) {
 func (s *Slice) ConstrainBounds(path, step int, bound uint32) {
 	s.Constraints = append(s.Constraints, ValueConstraint{
 		Path: path, Step: step, Kind: ConstraintOutOfBounds, Bound: bound,
+	})
+}
+
+// ConstrainBoundsDyn records a dynamic-bound out-of-bounds constraint on a
+// path step: the step's call argument arg must miss [0, args[boundArg]).
+func (s *Slice) ConstrainBoundsDyn(path, step, arg, boundArg int) {
+	s.Constraints = append(s.Constraints, ValueConstraint{
+		Path: path, Step: step, Kind: ConstraintOutOfBoundsDyn,
+		Arg: arg, BoundArg: boundArg,
 	})
 }
 
@@ -133,6 +150,15 @@ func ComputeSlice(g *Graph, paths []Path) *Slice {
 				if i > 0 {
 					enter(p[i-1].V.Fn, st.Site)
 				}
+			}
+		}
+		// The sink vertex of a path is where value constraints attach; an
+		// extern sink's arguments (e.g. a dynamic buffer bound) are
+		// referenced by those constraints, so they join the slice even
+		// though the extern receiver itself stays free.
+		if n := len(p); n > 0 && p[n-1].V.Op == ssa.OpExtern {
+			for _, a := range p[n-1].V.Args {
+				add(a)
 			}
 		}
 	}

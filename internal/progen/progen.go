@@ -128,6 +128,11 @@ type gen struct {
 	// nInfDiv counts infeasible CWE-369 bugs, alternating their divisor
 	// pattern between the interval-refutable and the bit-precise variant.
 	nInfDiv int
+	// nOOB / nInfOOB count CWE-125 bugs, alternating between the
+	// fixed-size sink (buf_read) and the dynamic-bound sink (buf_read_n),
+	// whose infeasible variant needs the zone relational tier.
+	nOOB    int
+	nInfOOB int
 }
 
 // layout distributes functions over layers.
@@ -367,15 +372,68 @@ func (g *gen) emitBugFunc(fname, checker string, feasible bool) {
 		e.writef("}\n\n")
 		return
 	case "cwe-125":
-		// The sink is a fixed-size buffer access; feasibility is decided
-		// by whether the index can escape [0, BufSize).
+		// The sink is a buffer access; feasibility is decided by whether
+		// the index can escape the buffer. Bugs alternate between the
+		// fixed-size sink (buf_read, bound BufSize) and the dynamic-bound
+		// sink (buf_read_n, bound passed as an argument).
 		e.writef("    var n: int = user_input();\n")
+		dyn, cross := false, false
 		if feasible {
+			g.nOOB++
+			dyn = g.nOOB%2 == 0
 			e.writef("    var i: int = n + %d;\n", g.rng.Intn(8))
 		} else {
-			// Unsigned remainder keeps the index inside the buffer, which
-			// the interval tier proves without bit-blasting.
-			e.writef("    var i: int = n %% %d;\n", 50+g.rng.Intn(50))
+			// Infeasible bugs rotate through three refutation tiers: the
+			// dynamic bound intra-function (zone oracle), cross-function
+			// (zone refuter), and the static remainder bound (intervals).
+			g.nInfOOB++
+			dyn = g.nInfOOB%3 != 0
+			cross = g.nInfOOB%3 == 2
+			if dyn {
+				// The guard proves 0 <= i < m with m unknown: intervals
+				// cannot relate i to m, the zone's difference bound can.
+				e.writef("    var i: int = n;\n")
+			} else {
+				// Unsigned remainder keeps the index inside the buffer,
+				// which the interval tier proves without bit-blasting.
+				e.writef("    var i: int = n %% %d;\n", 50+g.rng.Intn(50))
+			}
+		}
+		if dyn {
+			e.writef("    var m: int = user_input();\n")
+			if feasible {
+				// Satisfiable: the guard misses i < 0.
+				e.writef("    if (i <= m) {\n")
+			} else {
+				e.writef("    if (0 <= i && i < m) {\n")
+			}
+			if cross {
+				// Cross-function variant: the guard holds in the caller but
+				// the access happens in a helper, beyond the whole-program
+				// pruning oracle — only the context-sensitive refuter's zone
+				// can connect the caller's guard to the callee's index.
+				helper := fmt.Sprintf("oob_use_%d", g.bugID)
+				e.writef("        var q: int = %s(i, m);\n", helper)
+				e.writef("        send(q + a + b);\n")
+				e.writef("    }\n")
+				e.writef("}\n\n")
+				e.writef("fun %s(i: int, m: int): int {\n", helper)
+				g.lastSinkLine = e.line
+				e.writef("    var q: int = buf_read_n(i, m);\n")
+				e.writef("    return q;\n")
+				e.writef("}\n\n")
+				return
+			}
+			g.lastSinkLine = e.line
+			if g.rng.Intn(2) == 0 {
+				e.writef("        var q: int = buf_read_n(i, m);\n")
+				e.writef("        send(q + a + b);\n")
+			} else {
+				e.writef("        buf_write_n(i, m, a + b);\n")
+			}
+			e.writef("    }\n")
+			e.writef("}\n\n")
+			return
 		}
 		g.lastSinkLine = e.line
 		if g.rng.Intn(2) == 0 {

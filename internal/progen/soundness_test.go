@@ -47,7 +47,10 @@ func specInterpOpts(spec *sparse.Spec, seed int64) interp.Options {
 	if len(spec.SinkBounds) > 0 {
 		o.SinkBounds = map[string]interp.SinkBound{}
 		for name, is := range spec.SinkBounds {
-			o.SinkBounds[name] = interp.SinkBound{Arg: is.Arg, Size: is.Size}
+			o.SinkBounds[name] = interp.SinkBound{
+				Arg: is.Arg, Size: is.Size,
+				DynBound: is.DynBound, BoundArg: is.BoundArg,
+			}
 		}
 	}
 	return o

@@ -43,10 +43,13 @@ type Spec struct {
 }
 
 // IndexSink describes a bounds-checked extern argument: the Arg-th
-// argument indexes a buffer of Size elements.
+// argument indexes a buffer of Size elements — or, when DynBound is set,
+// a buffer whose length is the BoundArg-th argument of the same call.
 type IndexSink struct {
-	Arg  int
-	Size uint32
+	Arg      int
+	Size     uint32
+	DynBound bool
+	BoundArg int
 }
 
 // Candidate is one source-to-sink flow discovered by the propagation: the
@@ -61,11 +64,16 @@ type Candidate struct {
 	// ConstrainStep, when >= 0, is the path index the sink constrains:
 	// with ConstrainKind pdg.ConstraintEq its value must equal
 	// ConstrainValue for the bug to manifest (e.g. a zero divisor); with
-	// pdg.ConstraintOutOfBounds it must fall outside [0, ConstrainBound).
-	ConstrainStep  int
-	ConstrainKind  pdg.ConstraintKind
-	ConstrainValue uint32
-	ConstrainBound uint32
+	// pdg.ConstraintOutOfBounds it must fall outside [0, ConstrainBound);
+	// with pdg.ConstraintOutOfBoundsDyn the step is the sink call itself
+	// and its ConstrainArg argument must fall outside
+	// [0, ConstrainBoundArg argument).
+	ConstrainStep     int
+	ConstrainKind     pdg.ConstraintKind
+	ConstrainValue    uint32
+	ConstrainBound    uint32
+	ConstrainArg      int
+	ConstrainBoundArg int
 }
 
 // Constraints returns the candidate's value constraints, referencing path
@@ -77,6 +85,7 @@ func (c Candidate) Constraints(pathIdx int) []pdg.ValueConstraint {
 	return []pdg.ValueConstraint{{
 		Path: pathIdx, Step: c.ConstrainStep, Kind: c.ConstrainKind,
 		Value: c.ConstrainValue, Bound: c.ConstrainBound,
+		Arg: c.ConstrainArg, BoundArg: c.ConstrainBoundArg,
 	}}
 }
 
@@ -248,7 +257,7 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 							continue
 						}
 						np := path.Extend(u, pdg.StepIntra, 0)
-						emit(Candidate{
+						cand := Candidate{
 							Spec: spec, Source: src, Sink: u, ArgIdx: ai,
 							Path: np,
 							// The index is the second-to-last step; the bug
@@ -256,7 +265,18 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 							ConstrainStep:  len(np) - 2,
 							ConstrainKind:  pdg.ConstraintOutOfBounds,
 							ConstrainBound: is.Size,
-						})
+						}
+						if is.DynBound {
+							// Dynamic bound: constrain the sink call itself
+							// (the last step); its BoundArg argument is the
+							// buffer length.
+							cand.ConstrainStep = len(np) - 1
+							cand.ConstrainKind = pdg.ConstraintOutOfBoundsDyn
+							cand.ConstrainBound = 0
+							cand.ConstrainArg = is.Arg
+							cand.ConstrainBoundArg = is.BoundArg
+						}
+						emit(cand)
 						if found() >= lim.MaxPathsPerSource {
 							return
 						}

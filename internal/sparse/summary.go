@@ -41,10 +41,12 @@ type sinkFlow struct {
 	// equality to constrainValue (the divisor-zero constraint) or, with
 	// constrainKind pdg.ConstraintOutOfBounds, escape from
 	// [0, constrainBound) (the index-sink constraint).
-	constrainFromEnd int
-	constrainKind    pdg.ConstraintKind
-	constrainValue   uint32
-	constrainBound   uint32
+	constrainFromEnd  int
+	constrainKind     pdg.ConstraintKind
+	constrainValue    uint32
+	constrainBound    uint32
+	constrainArg      int
+	constrainBoundArg int
 }
 
 // withSeg returns the flow re-targeted onto a spliced segment, keeping the
@@ -106,6 +108,8 @@ func (e *SummaryEngine) candidate(src *ssa.Value, sf sinkFlow) Candidate {
 		c.ConstrainKind = sf.constrainKind
 		c.ConstrainValue = sf.constrainValue
 		c.ConstrainBound = sf.constrainBound
+		c.ConstrainArg = sf.constrainArg
+		c.ConstrainBoundArg = sf.constrainBoundArg
 	}
 	return c
 }
@@ -253,13 +257,24 @@ func (e *SummaryEngine) summarize(v *ssa.Value) *valueSummary {
 						continue
 					}
 					if len(s.toSinks) < cap {
-						s.toSinks = append(s.toSinks, sinkFlow{
+						sf := sinkFlow{
 							sink: u, argIdx: ai,
 							seg:              pdg.Path{{V: v, Kind: pdg.StepStart}, {V: u, Kind: pdg.StepIntra}},
 							constrainFromEnd: 2,
 							constrainKind:    pdg.ConstraintOutOfBounds,
 							constrainBound:   is.Size,
-						})
+						}
+						if is.DynBound {
+							// Dynamic bound: constrain the sink call itself
+							// (the last step); its BoundArg argument is the
+							// buffer length.
+							sf.constrainFromEnd = 1
+							sf.constrainKind = pdg.ConstraintOutOfBoundsDyn
+							sf.constrainBound = 0
+							sf.constrainArg = is.Arg
+							sf.constrainBoundArg = is.BoundArg
+						}
+						s.toSinks = append(s.toSinks, sf)
 					}
 				}
 			}

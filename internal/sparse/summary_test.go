@@ -167,3 +167,49 @@ fun f() {
 		t.Errorf("odd divisor through a call: got %s, want unsat", fus[0].Status)
 	}
 }
+
+// TestSummaryDynBoundConstraints: dynamically-bounded index sinks
+// (buf_read_n) must carry the same ConstraintOutOfBoundsDyn payload under
+// summary enumeration as under the DFS engine — the flow-level agreement
+// test cannot see constraint fields, and a missing payload turns the
+// query into "escapes [0, 0)", a guaranteed false positive.
+func TestSummaryDynBoundConstraints(t *testing.T) {
+	g := summaryGraph(t, `
+fun f() {
+    var i: int = user_input();
+    var m: int = user_input();
+    if (0 <= i && i < m) {
+        var q: int = buf_read_n(i, m);
+        send(q);
+    }
+}`)
+	spec := checker.IndexOOB()
+	cands := sparse.NewSummaryEngine(g).Run(spec)
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(cands))
+	}
+	c := cands[0]
+	if c.ConstrainKind != pdg.ConstraintOutOfBoundsDyn {
+		t.Fatalf("constraint kind = %v, want ConstraintOutOfBoundsDyn", c.ConstrainKind)
+	}
+	if c.ConstrainStep != len(c.Path)-1 {
+		t.Errorf("constraint step = %d, want the sink step %d", c.ConstrainStep, len(c.Path)-1)
+	}
+	if c.ConstrainArg != 0 || c.ConstrainBoundArg != 1 {
+		t.Errorf("constraint args = (%d, %d), want (0, 1)", c.ConstrainArg, c.ConstrainBoundArg)
+	}
+	// The guard proves 0 <= i < m, so the query must be refuted.
+	fus := engines.NewFusion().Check(g, cands)
+	if fus[0].Status.String() != "unsat" {
+		t.Errorf("fully guarded dynamic-bound access: got %s, want unsat", fus[0].Status)
+	}
+	dfs := sparse.NewEngine(g).Run(spec)
+	if len(dfs) != 1 {
+		t.Fatalf("DFS: got %d candidates, want 1", len(dfs))
+	}
+	d := dfs[0]
+	if d.ConstrainKind != c.ConstrainKind || d.ConstrainArg != c.ConstrainArg ||
+		d.ConstrainBoundArg != c.ConstrainBoundArg {
+		t.Errorf("DFS/summary constraint payloads differ: %+v vs %+v", d, c)
+	}
+}
