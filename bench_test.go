@@ -7,6 +7,7 @@ package fusion_test
 // prints the tables.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -33,7 +34,7 @@ func compile(b *testing.B, info progen.Subject, scale float64) *bench.Subject {
 	if s, ok := subjectCache[key]; ok {
 		return s
 	}
-	s, err := bench.Compile(info, scale)
+	s, err := bench.Compile(context.Background(), info, scale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func runEngine(b *testing.B, sub *bench.Subject, spec *sparse.Spec, mk func() en
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		c := bench.Run(sub, spec, mk(), benchBudget)
+		c := bench.Run(context.Background(), sub, spec, mk(), benchBudget)
 		if c.Failed {
 			b.Fatalf("engine run failed: %s", c.FailNote)
 		}
@@ -58,7 +59,7 @@ func BenchmarkTable1(b *testing.B) {
 	for _, k := range []int{2, 8} {
 		b.Run(map[int]string{2: "k=2", 8: "k=8"}[k], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				row, err := bench.Table1Measure(k, 30, 20)
+				row, err := bench.Table1Measure(context.Background(), k, 30, 20)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -73,7 +74,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	info := progen.Subjects[9] // vortex
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Compile(info, benchScale); err != nil {
+		if _, err := bench.Compile(context.Background(), info, benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,13 +114,13 @@ func BenchmarkFig11(b *testing.B) {
 	b.Run("fused", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tb := smt.NewBuilder()
-			fusioncore.Solve(tb, sub.Graph, path, fusioncore.Options{})
+			fusioncore.Solve(context.Background(), tb, sub.Graph, path, fusioncore.Options{})
 		}
 	})
 	b.Run("standalone", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tb := smt.NewBuilder()
-			fusioncore.Solve(tb, sub.Graph, path, fusioncore.Options{Unoptimized: true})
+			fusioncore.Solve(context.Background(), tb, sub.Graph, path, fusioncore.Options{Unoptimized: true})
 		}
 	})
 }
@@ -155,7 +156,7 @@ func BenchmarkFig1c(b *testing.B) {
 	sub := compile(b, progen.Subjects[9], benchScale)
 	for i := 0; i < b.N; i++ {
 		eng := engines.NewPinpoint(engines.Plain)
-		c := bench.Run(sub, checker.NullDeref(), eng, benchBudget)
+		c := bench.Run(context.Background(), sub, checker.NullDeref(), eng, benchBudget)
 		b.ReportMetric(c.CondMB, "cond-MB")
 	}
 }
@@ -196,14 +197,14 @@ func BenchmarkAblationSummaryCache(b *testing.B) {
 	b.Run("shared-cache", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng := engines.NewPinpoint(engines.Plain)
-			eng.Check(sub.Graph, cands)
+			eng.Check(context.Background(), sub.Graph, cands)
 		}
 	})
 	b.Run("cold-per-candidate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, c := range cands {
 				eng := engines.NewPinpoint(engines.Plain)
-				eng.Check(sub.Graph, []sparse.Candidate{c})
+				eng.Check(context.Background(), sub.Graph, []sparse.Candidate{c})
 			}
 		}
 	})
@@ -251,7 +252,7 @@ func BenchmarkAblationAbsint(b *testing.B) {
 				for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
 					e := engines.NewFusion()
 					e.UseAbsint = cfg.on
-					c := bench.Run(sub, spec, e, benchBudget)
+					c := bench.Run(context.Background(), sub, spec, e, benchBudget)
 					if c.Failed {
 						b.Fatalf("engine run failed: %s", c.FailNote)
 					}

@@ -3,28 +3,27 @@
 //
 // Usage:
 //
-//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME] [-absint on|off|intervals] [-no-prelude] file.fl
+//	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME]
+//	       [-absint on|off|intervals] [-workers N] [-timeout D] [-no-prelude] file.fl
 //
 // Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
 // pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"fusion/internal/absint"
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/fusioncore"
-	"fusion/internal/lang"
-	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 func main() {
@@ -36,41 +35,51 @@ func main() {
 	enum := flag.String("enum", "dfs", "path enumeration: dfs or summary")
 	dot := flag.Bool("dot", false, "print the program dependence graph in Graphviz DOT format and exit")
 	absintMode := flag.String("absint", "on", "abstract-interpretation tier: on (intervals + zone), intervals (zone disabled), or off (fusion engines and -dot annotations)")
+	workers := flag.Int("workers", 1, "worker count for enumeration and checking (output is identical for any count)")
+	timeout := flag.Duration("timeout", 0, "overall analysis budget; on expiry remaining candidates are reported as undecided (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fusion [flags] file.fl")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *absintMode != "on" && *absintMode != "off" && *absintMode != "intervals" {
-		fmt.Fprintf(os.Stderr, "fusion: -absint must be on, off, or intervals, got %q\n", *absintMode)
+	mode, err := driver.ParseAbsintMode(*absintMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusion:", err)
 		os.Exit(2)
 	}
 	cfg := config{
 		path: flag.Arg(0), checker: *checkerName, engine: *engineName,
 		prelude: !*noPrelude, showPaths: *showPaths, joint: *joint,
-		enum: *enum, dot: *dot, absint: *absintMode != "off",
-		intervalsOnly: *absintMode == "intervals",
-		out:           os.Stdout,
+		enum: *enum, dot: *dot, absint: mode,
+		workers: *workers, timeout: *timeout,
+		out: os.Stdout,
 	}
 	if err := run(cfg); err != nil {
+		var se *driver.SemaErrors
+		if errors.As(err, &se) {
+			for _, e := range se.Errs {
+				fmt.Fprintln(os.Stderr, e)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "fusion:", err)
 		os.Exit(1)
 	}
 }
 
 type config struct {
-	path          string
-	checker       string
-	engine        string
-	prelude       bool
-	showPaths     bool
-	joint         bool
-	enum          string
-	dot           bool
-	absint        bool
-	intervalsOnly bool
-	out           interface{ Write([]byte) (int, error) }
+	path      string
+	checker   string
+	engine    string
+	prelude   bool
+	showPaths bool
+	joint     bool
+	enum      string
+	dot       bool
+	absint    driver.AbsintMode
+	workers   int
+	timeout   time.Duration
+	out       interface{ Write([]byte) (int, error) }
 }
 
 func newEngine(name string) (engines.Engine, error) {
@@ -99,37 +108,24 @@ func newEngine(name string) (engines.Engine, error) {
 }
 
 func run(cfg config) error {
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
 	data, err := os.ReadFile(cfg.path)
 	if err != nil {
 		return err
 	}
-	src := string(data)
-	if cfg.prelude {
-		src = checker.Prelude + src
-	}
-	prog, err := lang.Parse(src)
+	prog, err := driver.Compile(ctx, driver.Source{Name: cfg.path, Text: string(data)},
+		driver.Options{Prelude: cfg.prelude, Absint: cfg.absint})
 	if err != nil {
 		return err
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, e)
-		}
-		return fmt.Errorf("%d semantic errors", len(errs))
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	sp, err := ssa.Build(norm)
-	if err != nil {
-		return err
-	}
-	g := pdg.Build(sp)
+	g := prog.Graph
 	if cfg.dot {
-		if cfg.absint {
-			an := absint.AnalyzeWith(g, absint.Config{DisableZone: cfg.intervalsOnly})
-			fmt.Fprint(cfg.out, pdg.ToDOTAnnotated(g, an.Annotation))
-		} else {
-			fmt.Fprint(cfg.out, pdg.ToDOT(g))
-		}
+		fmt.Fprint(cfg.out, prog.DOT())
 		return nil
 	}
 
@@ -147,14 +143,15 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	engines.SetParallel(eng, cfg.workers)
 	// The abstract tier applies to the fused engine: it refutes queries
 	// before any formula is built, and its invariants prune provably-safe
-	// candidates during DFS enumeration.
-	var an *absint.Analysis
-	if f, ok := eng.(*engines.Fusion); ok && cfg.absint {
-		f.UseAbsint = true
-		f.IntervalsOnly = cfg.intervalsOnly
-		an = f.Absint(g)
+	// candidates during DFS enumeration. The analysis is computed once on
+	// the compiled program and shared between pruning and refutation.
+	useAbsint := false
+	if f, ok := eng.(*engines.Fusion); ok && cfg.absint != driver.AbsintOff {
+		f.Opts.Absint = prog.Absint()
+		useAbsint = true
 	}
 
 	pruned := 0
@@ -162,16 +159,15 @@ func run(cfg config) error {
 		switch cfg.enum {
 		case "", "dfs":
 			e := sparse.NewEngine(g)
-			if an != nil {
-				e.Oracle = func(c sparse.Candidate) bool {
-					return an.PrunePath(c.Path, c.Constraints(0)...)
-				}
+			e.Workers = cfg.workers
+			if useAbsint {
+				e.Oracle = prog.Oracle()
 			}
-			cands := e.Run(spec)
+			cands := e.RunContext(ctx, spec)
 			pruned += e.Pruned
 			return cands, nil
 		case "summary":
-			return sparse.NewSummaryEngine(g).Run(spec), nil
+			return sparse.NewSummaryEngine(g).RunContext(ctx, spec), nil
 		default:
 			return nil, fmt.Errorf("unknown enumeration %q", cfg.enum)
 		}
@@ -183,7 +179,8 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		verdicts := eng.Check(g, cands)
+		verdicts := eng.Check(ctx, g, cands)
+		engines.SortVerdicts(verdicts)
 		for _, v := range verdicts {
 			if v.DecidedByAbsint {
 				decided++
@@ -207,7 +204,7 @@ func run(cfg config) error {
 			if !ok {
 				return fmt.Errorf("engine %s does not support joint checking", eng.Name())
 			}
-			for _, jv := range engines.CheckJoint(jc, g, cands) {
+			for _, jv := range engines.CheckJoint(ctx, jc, g, cands) {
 				verdict := "jointly infeasible"
 				if jv.Status == sat.Sat {
 					verdict = "JOINT BUG: all arguments taintable together"
@@ -218,7 +215,7 @@ func run(cfg config) error {
 			}
 		}
 	}
-	if an != nil {
+	if useAbsint {
 		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies) (%d by zone), pruned %d candidate(s)\n", decided, byZone, pruned)
 	}
 	fmt.Fprintf(cfg.out, "%d bug(s) reported by %s\n", total, eng.Name())

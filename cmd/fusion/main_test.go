@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"fusion/internal/driver"
 )
 
 func writeTemp(t *testing.T, src string) string {
@@ -136,10 +139,12 @@ func TestRunDOT(t *testing.T) {
 func TestRunSummaryEnumeration(t *testing.T) {
 	path := writeTemp(t, testSrc)
 	var dfs, sum bytes.Buffer
-	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "dfs", out: &dfs}); err != nil {
+	// The abstract tier prunes during DFS but not during summary
+	// enumeration, so compare the two with the tier off.
+	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "dfs", absint: driver.AbsintOff, out: &dfs}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "summary", out: &sum}); err != nil {
+	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "summary", absint: driver.AbsintOff, out: &sum}); err != nil {
 		t.Fatal(err)
 	}
 	if dfs.String() != sum.String() {
@@ -147,5 +152,33 @@ func TestRunSummaryEnumeration(t *testing.T) {
 	}
 	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "bogus", out: &sum}); err == nil {
 		t.Error("expected error for unknown enumeration")
+	}
+}
+
+// TestRunWorkersDeterministic checks the CLI promise that -workers N
+// output is byte-identical to the sequential run, across engines.
+func TestRunWorkersDeterministic(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	for _, engine := range []string{"fusion", "pinpoint", "infer"} {
+		var seq, par bytes.Buffer
+		if err := run(config{path: path, checker: "all", engine: engine, prelude: true, showPaths: true, workers: 1, out: &seq}); err != nil {
+			t.Fatalf("%s workers=1: %v", engine, err)
+		}
+		if err := run(config{path: path, checker: "all", engine: engine, prelude: true, showPaths: true, workers: 8, out: &par}); err != nil {
+			t.Fatalf("%s workers=8: %v", engine, err)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("%s: workers=1 and workers=8 outputs differ:\n--- 1 ---\n%s--- 8 ---\n%s", engine, seq.String(), par.String())
+		}
+	}
+}
+
+// TestRunTimeout checks that an already-expired budget still returns
+// promptly with an error rather than hanging.
+func TestRunTimeout(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, timeout: time.Nanosecond, out: &bytes.Buffer{}})
+	if err == nil {
+		t.Fatal("expected a deadline error from an expired budget")
 	}
 }

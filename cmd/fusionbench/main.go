@@ -4,9 +4,11 @@
 // Usage:
 //
 //	fusionbench [-experiment NAME|all] [-scale F] [-subjects a,b,c] [-budget D]
+//	            [-workers N] [-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,18 +25,30 @@ func main() {
 	subjects := flag.String("subjects", "", "comma-separated subject names (default: per experiment)")
 	budget := flag.Duration("budget", 5*time.Minute, "per-engine-run time budget")
 	smt2dir := flag.String("smt2dir", "", "dump every SMT instance as SMT-LIB v2 files into this directory and exit")
-	parallel := flag.Int("parallel", 0, "worker count for the fused engine (0 = sequential)")
+	workers := flag.Int("workers", 0, "worker count for compilation, enumeration, and checking (0 = sequential; output is identical for any count)")
+	parallel := flag.Int("parallel", 0, "deprecated alias for -workers")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the whole invocation (0 = none)")
 	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals + zone), intervals (zone disabled), or off")
 	flag.Parse()
 	if *absint != "on" && *absint != "off" && *absint != "intervals" {
 		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on, off, or intervals, got %q\n", *absint)
 		os.Exit(2)
 	}
+	if *workers == 0 {
+		*workers = *parallel
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := bench.Options{
 		Scale:         *scale,
 		Budget:        bench.Budget{Time: *budget, CondBytes: 2 << 30},
-		Parallel:      *parallel,
+		Workers:       *workers,
 		Absint:        *absint != "off",
 		IntervalsOnly: *absint == "intervals",
 	}
@@ -54,7 +68,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fusionbench:", err)
 			os.Exit(1)
 		}
-		n, err := bench.DumpSMT2(opts, *smt2dir)
+		n, err := bench.DumpSMT2(ctx, opts, *smt2dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fusionbench:", err)
 			os.Exit(1)
@@ -73,7 +87,7 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		out, err := bench.Experiments[name](opts)
+		out, err := bench.Experiments[name](ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fusionbench: %s: %v\n", name, err)
 			os.Exit(1)

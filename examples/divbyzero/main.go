@@ -6,20 +6,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/interp"
-	"fusion/internal/lang"
-	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
 	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 const src = `
@@ -46,15 +44,13 @@ fun handler(a: int, b: int): int {
 `
 
 func main() {
-	prog, err := lang.Parse(checker.Prelude + src)
+	ctx := context.Background()
+	p, err := driver.Compile(ctx, driver.Source{Name: "divbyzero", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		log.Fatal(errs[0])
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	g := pdg.Build(ssa.MustBuild(norm))
+	g := p.Graph
 
 	// Track every value that can reach a divisor; here the inputs a, b are
 	// the sources of interest, so use a spec tracking function parameters
@@ -69,11 +65,11 @@ func main() {
 		SinkCalls:    map[string][]int{},
 		SinkDivisors: true,
 	}
-	cands := sparse.NewEngine(g).Run(spec)
+	cands := sparse.NewEngine(g).RunContext(ctx, spec)
 	fmt.Printf("%d candidate division flows\n", len(cands))
 
 	eng := engines.NewFusion()
-	verdicts := eng.Check(g, cands)
+	verdicts := eng.Check(ctx, g, cands)
 	rng := rand.New(rand.NewSource(1))
 	for _, v := range verdicts {
 		switch v.Status {
@@ -86,7 +82,7 @@ func main() {
 			opts := interp.Options{ObserveDivZero: true, Seed: 7}
 			for trial := 0; trial < 200; trial++ {
 				args := []interp.Value{{V: rng.Uint32()}, {V: rng.Uint32()}}
-				r, err := interp.New(prog, opts).Run("handler", args)
+				r, err := interp.New(p.AST, opts).Run("handler", args)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"fusion/internal/bench"
 	"fusion/internal/checker"
@@ -15,12 +17,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The "gap" subject from Table 2, scaled down to run in seconds.
 	info, err := progen.SubjectByName("gap")
 	if err != nil {
 		log.Fatal(err)
 	}
-	sub, err := bench.Compile(info, 0.05)
+	sub, err := bench.Compile(ctx, info, 0.05)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,12 +35,15 @@ func main() {
 	t := &bench.Table{
 		Header: []string{"Engine", "Time", "Cond-Mem", "#Report", "#TP", "#FP"},
 	}
+	workers := runtime.NumCPU()
 	for _, eng := range []engines.Engine{
 		engines.NewFusion(),
 		engines.NewPinpoint(engines.Plain),
 		engines.NewInfer(),
 	} {
-		c := bench.Run(sub, spec, eng, bench.Budget{})
+		// Enumeration and checking fan out over every core; the verdicts
+		// (and so this table) are identical to a sequential run.
+		c := bench.RunWorkers(ctx, sub, spec, eng, bench.Budget{}, workers)
 		t.AddRow(c.Engine,
 			fmt.Sprintf("%.3fs", c.Time.Seconds()),
 			fmt.Sprintf("%.2fMB", c.CondMB),

@@ -3,18 +3,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
-	"fusion/internal/lang"
-	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // The paper's Figure 1(a): a null pointer escapes foo when bar(a) < bar(b),
@@ -37,35 +34,30 @@ fun foo(a: int, b: int) {
 `
 
 func main() {
-	// 1. Front end: parse, check, normalize (unroll loops and recursion,
-	//    single-exit form), build SSA, build the dependence graph.
-	prog, err := lang.Parse(checker.Prelude + src)
+	ctx := context.Background()
+
+	// 1. Front end: one driver.Compile call runs the whole pipeline —
+	//    parse, check, normalize (unroll loops and recursion, single-exit
+	//    form), build SSA, build the dependence graph.
+	prog, err := driver.Compile(ctx, driver.Source{Name: "quickstart", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		log.Fatal(errs[0])
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	sp, err := ssa.Build(norm)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g := pdg.Build(sp)
-	st := pdg.ComputeStats(g)
+	g := prog.Graph
 	fmt.Printf("program dependence graph: %d functions, %d vertices, %d edges\n",
-		st.Functions, st.Vertices, st.Edges())
+		prog.Stats.Functions, prog.Stats.Vertices, prog.Stats.Edges())
 
 	// 2. Sparse analysis: propagate the null fact along data dependence,
 	//    collecting candidate source-to-sink paths.
 	spec := checker.NullDeref()
-	cands := sparse.NewEngine(g).Run(spec)
+	cands := sparse.NewEngine(g).RunContext(ctx, spec)
 	fmt.Printf("sparse propagation found %d candidate flow(s)\n", len(cands))
 
 	// 3. Fused feasibility checking: the SMT solver works directly on the
 	//    dependence graph — no path conditions are computed or cached.
 	eng := engines.NewFusion()
-	for _, v := range eng.Check(g, cands) {
+	for _, v := range eng.Check(ctx, g, cands) {
 		switch v.Status {
 		case sat.Sat:
 			fmt.Println("BUG:", checker.Describe(v.Cand))

@@ -5,18 +5,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
-	"fusion/internal/lang"
-	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // A toy request handler. The CWE-23 flow (gets -> unlink) only happens on
@@ -56,25 +53,23 @@ fun handle(level: int, logging: int) {
 `
 
 func main() {
-	prog, err := lang.Parse(checker.Prelude + src)
+	ctx := context.Background()
+	prog, err := driver.Compile(ctx, driver.Source{Name: "taintflow", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		log.Fatal(errs[0])
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	g := pdg.Build(ssa.MustBuild(norm))
+	g := prog.Graph
 	eng := engines.NewFusion()
 
 	for _, spec := range []*sparse.Spec{checker.PathTraversal(), checker.PrivateLeak()} {
 		fmt.Printf("--- %s ---\n", spec.Name)
-		cands := sparse.NewEngine(g).Run(spec)
+		cands := sparse.NewEngine(g).RunContext(ctx, spec)
 		if len(cands) == 0 {
 			fmt.Println("no candidate flows")
 			continue
 		}
-		for _, v := range eng.Check(g, cands) {
+		for _, v := range eng.Check(ctx, g, cands) {
 			switch v.Status {
 			case sat.Sat:
 				fmt.Println("BUG:", checker.Describe(v.Cand))

@@ -1,19 +1,17 @@
 package absint_test
 
 import (
+	"context"
 	"testing"
 
 	"fusion/internal/absint"
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
-	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/progen"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // TestRefutationsAgreeWithSolver is the differential soundness check for
@@ -26,15 +24,11 @@ func TestRefutationsAgreeWithSolver(t *testing.T) {
 	for _, subIdx := range []int{1, 4, 8} {
 		info := progen.Subjects[subIdx]
 		src, _, _ := info.Build(0.05)
-		raw, err := lang.Parse(src)
+		pr, err := driver.Compile(context.Background(), driver.Source{Name: info.Name, Text: src}, driver.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if errs := sema.Check(raw); len(errs) > 0 {
-			t.Fatal(errs[0])
-		}
-		norm := unroll.Normalize(raw, unroll.Options{})
-		g := pdg.Build(ssa.MustBuild(norm))
+		g := pr.Graph
 		an := absint.Analyze(g)
 		eng := sparse.NewEngine(g)
 
@@ -44,7 +38,7 @@ func TestRefutationsAgreeWithSolver(t *testing.T) {
 				continue
 			}
 			// Ground truth from the pipeline with the tier disabled.
-			plain := engines.NewFusion().Check(g, cands)
+			plain := engines.NewFusion().Check(context.Background(), g, cands)
 			for i, c := range cands {
 				sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
 				c.ApplyConstraint(sl, 0)

@@ -1,6 +1,8 @@
 package absint_test
 
 import (
+	"context"
+	"fusion/internal/driver"
 	"math/rand"
 	"testing"
 
@@ -8,9 +10,7 @@ import (
 	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/progen"
-	"fusion/internal/sema"
 	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // ssaExec executes gated SSA concretely, drawing extern results from an rng
@@ -151,16 +151,11 @@ func TestZoneFactsHoldOnConcreteTraces(t *testing.T) {
 	for _, subIdx := range []int{2, 5, 9} {
 		info := progen.Subjects[subIdx]
 		src, _, _ := info.Build(0.05)
-		raw, err := lang.Parse(src)
+		pr, err := driver.Compile(context.Background(), driver.Source{Name: info.Name, Text: src}, driver.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if errs := sema.Check(raw); len(errs) > 0 {
-			t.Fatal(errs[0])
-		}
-		norm := unroll.Normalize(raw, unroll.Options{})
-		p := ssa.MustBuild(norm)
-		g := pdg.Build(p)
+		p, g := pr.SSA, pr.Graph
 		a := absint.Analyze(g)
 
 		signed := func(v uint32) int64 { return int64(int32(v)) }

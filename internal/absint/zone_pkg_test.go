@@ -1,6 +1,7 @@
 package absint_test
 
 import (
+	"context"
 	"testing"
 
 	"fusion/internal/absint"
@@ -94,7 +95,7 @@ fun f() {
 	a := absint.Analyze(g)
 	ivOnly := absint.AnalyzeWith(g, absint.Config{DisableZone: true})
 	cands, slices := oobSlices(t, g)
-	truth := engines.NewFusion().Check(g, cands)
+	truth := engines.NewFusion().Check(context.Background(), g, cands)
 	for i, sl := range slices {
 		refuted, byZone := a.RefuteSliceTiered(sl)
 		if !refuted || !byZone {
@@ -137,7 +138,7 @@ fun f(a: int) {
 	a := absint.Analyze(g)
 	ivOnly := absint.AnalyzeWith(g, absint.Config{DisableZone: true})
 	cands, slices := oobSlices(t, g)
-	truth := engines.NewFusion().Check(g, cands)
+	truth := engines.NewFusion().Check(context.Background(), g, cands)
 	for i, sl := range slices {
 		refuted, byZone := a.RefuteSliceTiered(sl)
 		if !refuted || !byZone {
@@ -167,7 +168,7 @@ fun f() {
 }`)
 	a := absint.Analyze(g)
 	cands, slices := oobSlices(t, g)
-	truth := engines.NewFusion().Check(g, cands)
+	truth := engines.NewFusion().Check(context.Background(), g, cands)
 	for i, sl := range slices {
 		if refuted, _ := a.RefuteSliceTiered(sl); refuted {
 			t.Error("feasible dyn access refuted: unsound")

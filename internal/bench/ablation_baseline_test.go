@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -61,7 +62,7 @@ func TestAblationBaseline(t *testing.T) {
 		t.Fatalf("bad baseline: %v", err)
 	}
 
-	costs, identical, err := ablationCosts(baselineOpts(bl, t))
+	costs, identical, err := ablationCosts(context.Background(), baselineOpts(bl, t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,20 +6,18 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"time"
 
+	"fusion/internal/driver"
 	"fusion/internal/engines"
-	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/progen"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // Subject is a compiled benchmark subject ready for analysis.
@@ -31,37 +29,38 @@ type Subject struct {
 	GenLines int
 }
 
-// Compile generates and compiles a subject at the given scale.
-func Compile(info progen.Subject, scale float64) (*Subject, error) {
+// Compile generates and compiles a subject at the given scale on the
+// shared driver pipeline (progen sources carry their own extern
+// declarations, so no prelude).
+func Compile(ctx context.Context, info progen.Subject, scale float64) (*Subject, error) {
 	src, gt, lines := info.Build(scale)
-	prog, err := lang.Parse(src)
+	p, err := driver.Compile(ctx, driver.Source{Name: info.Name, Text: src}, driver.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", info.Name, err)
+		return nil, fmt.Errorf("bench: %w", err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		return nil, fmt.Errorf("bench: %s: %w", info.Name, errs[0])
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	sp, err := ssa.Build(norm)
-	if err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", info.Name, err)
-	}
-	g := pdg.Build(sp)
 	return &Subject{
-		Info: info, Graph: g, GT: gt,
-		Stats: pdg.ComputeStats(g), GenLines: lines,
+		Info: info, Graph: p.Graph, GT: gt,
+		Stats: p.Stats, GenLines: lines,
 	}, nil
 }
 
-// CompileAll compiles a set of subjects.
-func CompileAll(subs []progen.Subject, scale float64) ([]*Subject, error) {
-	out := make([]*Subject, 0, len(subs))
-	for _, s := range subs {
-		c, err := Compile(s, scale)
-		if err != nil {
-			return nil, err
+// CompileAll compiles a set of subjects on a worker pool, preserving
+// input order.
+func CompileAll(ctx context.Context, subs []progen.Subject, scale float64, workers int) ([]*Subject, error) {
+	type result struct {
+		sub *Subject
+		err error
+	}
+	rs := driver.ParallelCheck(ctx, len(subs), workers, func(i int) result {
+		s, err := Compile(ctx, subs[i], scale)
+		return result{s, err}
+	})
+	out := make([]*Subject, len(rs))
+	for i, r := range rs {
+		if r.err != nil {
+			return nil, r.err
 		}
-		out = append(out, c)
+		out[i] = r.sub
 	}
 	return out, nil
 }
@@ -103,14 +102,33 @@ type Budget struct {
 var DefaultBudget = Budget{Time: 10 * time.Minute, CondBytes: 2 << 30}
 
 // Run executes one engine over one subject with one checker and scores the
-// result against ground truth.
-func Run(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cost {
+// result against ground truth. The budget is enforced by cooperative
+// cancellation: candidate enumeration and checking run under a context
+// that expires at Budget.Time (both inside the timed region, so Cost.Time
+// includes enumeration), and a timed-out run returns promptly with the
+// partial Unknown verdicts still scored — no goroutine keeps checking
+// after Run returns. Workers parallelizes enumeration and checking; the
+// verdicts are deterministic regardless of the worker count.
+func Run(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cost {
+	return RunWorkers(ctx, sub, spec, eng, budget, 1)
+}
+
+// RunWorkers is Run with a worker count for enumeration and checking.
+func RunWorkers(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget, workers int) Cost {
 	if budget.Time == 0 {
 		budget = DefaultBudget
 	}
 	cost := Cost{Engine: eng.Name(), Subject: sub.Info.Name, Checker: spec.Name}
+	engines.SetParallel(eng, workers)
+
+	start := time.Now()
+	rctx, cancel := context.WithTimeout(ctx, budget.Time)
+	defer cancel()
+
 	senge := sparse.NewEngine(sub.Graph)
-	// An absint-enabled fusion engine also prunes during enumeration.
+	senge.Workers = workers
+	// An absint-enabled fusion engine also prunes during enumeration; the
+	// tier build is part of the engine's timed work.
 	if f, ok := eng.(*engines.Fusion); ok {
 		if an := f.Absint(sub.Graph); an != nil {
 			senge.Oracle = func(c sparse.Candidate) bool {
@@ -118,24 +136,19 @@ func Run(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cos
 			}
 		}
 	}
-	cands := senge.Run(spec)
+	cands := senge.RunContext(rctx, spec)
 	cost.AbsintPruned = senge.Pruned
 
-	start := time.Now()
-	done := make(chan []engines.Verdict, 1)
-	go func() { done <- eng.Check(sub.Graph, cands) }()
-	var verdicts []engines.Verdict
-	select {
-	case verdicts = <-done:
-	case <-time.After(budget.Time):
-		cost.Failed = true
-		cost.FailNote = "time out"
-		cost.Time = time.Since(start)
-		cost.CondMB = mb(eng.ConditionBytes())
-		return cost
-	}
+	verdicts := eng.Check(rctx, sub.Graph, cands)
 	cost.Time = time.Since(start)
 	cost.CondMB = mb(eng.ConditionBytes())
+	if rctx.Err() != nil && ctx.Err() == nil {
+		cost.Failed = true
+		cost.FailNote = "time out"
+	}
+	// Compare retained memory, not whatever garbage the last run left
+	// behind.
+	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	cost.HeapMB = mb(int64(ms.HeapAlloc))

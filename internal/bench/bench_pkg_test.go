@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ var tinyOpts = Options{
 }
 
 func TestCompile(t *testing.T) {
-	sub, err := Compile(progen.Subjects[0], 0.05)
+	sub, err := Compile(context.Background(), progen.Subjects[0], 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,11 +31,11 @@ func TestCompile(t *testing.T) {
 }
 
 func TestRunScoresGroundTruth(t *testing.T) {
-	sub, err := Compile(progen.Subjects[1], 0.05)
+	sub, err := Compile(context.Background(), progen.Subjects[1], 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := Run(sub, checker.NullDeref(), engines.NewFusion(), Budget{Time: time.Minute, CondBytes: 1 << 30})
+	c := Run(context.Background(), sub, checker.NullDeref(), engines.NewFusion(), Budget{Time: time.Minute, CondBytes: 1 << 30})
 	if c.Failed {
 		t.Fatalf("fusion run failed: %s", c.FailNote)
 	}
@@ -65,11 +66,11 @@ func TestTableFormatter(t *testing.T) {
 }
 
 func TestTable1Monotone(t *testing.T) {
-	r2, err := Table1Measure(2, 20, 10)
+	r2, err := Table1Measure(context.Background(), 2, 20, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := Table1Measure(8, 20, 10)
+	r8, err := Table1Measure(context.Background(), 8, 20, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestExperimentDriversRun(t *testing.T) {
 		if name == "ablations" {
 			opts.Subjects = progen.Subjects[:1]
 		}
-		out, err := fn(opts)
+		out, err := fn(context.Background(), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -109,7 +110,7 @@ func TestExperimentDriversRun(t *testing.T) {
 }
 
 func TestTable3SmallSubjects(t *testing.T) {
-	out, err := Table3(Options{Scale: 0.05, Subjects: progen.Subjects[:2],
+	out, err := Table3(context.Background(), Options{Scale: 0.05, Subjects: progen.Subjects[:2],
 		Budget: Budget{Time: 2 * time.Minute, CondBytes: 1 << 30}})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +121,7 @@ func TestTable3SmallSubjects(t *testing.T) {
 }
 
 func TestFig11SmallSubjects(t *testing.T) {
-	out, err := Fig11(Options{Scale: 0.05, Subjects: progen.Subjects[:2]})
+	out, err := Fig11(context.Background(), Options{Scale: 0.05, Subjects: progen.Subjects[:2]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestLargeSubjectDriversRunSmall(t *testing.T) {
 	opts := Options{Scale: 0.02, Subjects: progen.Subjects[:2],
 		Budget: Budget{Time: 2 * time.Minute, CondBytes: 1 << 30}}
 	for _, name := range []string{"fig1c", "table5", "cwe369", "table4"} {
-		out, err := Experiments[name](opts)
+		out, err := Experiments[name](context.Background(), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -159,7 +160,7 @@ func TestLargeSubjectDriversRunSmall(t *testing.T) {
 
 func TestDumpSMT2(t *testing.T) {
 	dir := t.TempDir()
-	n, err := DumpSMT2(Options{Scale: 0.05, Subjects: progen.Subjects[:1]}, dir)
+	n, err := DumpSMT2(context.Background(), Options{Scale: 0.05, Subjects: progen.Subjects[:1]}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,15 +192,15 @@ func TestAblationAbsintSoundAndEffective(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sub, err := Compile(info, 0.001)
+		sub, err := Compile(context.Background(), info, 0.001)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
-			off := Run(sub, spec, engines.NewFusion(), budget)
+			off := Run(context.Background(), sub, spec, engines.NewFusion(), budget)
 			on := engines.NewFusion()
 			on.UseAbsint = true
-			onc := Run(sub, spec, on, budget)
+			onc := Run(context.Background(), sub, spec, on, budget)
 			if off.Failed || onc.Failed {
 				t.Fatalf("%s/%s: run failed: %s%s", name, spec.Name, off.FailNote, onc.FailNote)
 			}

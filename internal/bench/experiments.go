@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -28,9 +29,11 @@ type Options struct {
 	Subjects []progen.Subject
 	// Budget bounds each engine run.
 	Budget Budget
-	// Parallel sets the fused engine's worker count (the paper runs its
-	// analyses with fifteen threads); 0 means sequential.
-	Parallel int
+	// Workers is the worker count for subject compilation, candidate
+	// enumeration, and engine checking (the paper runs its analyses with
+	// fifteen threads); 0 or 1 means sequential. Output is deterministic
+	// regardless of the worker count.
+	Workers int
 	// Absint enables the abstract-interpretation tier in every fused
 	// engine the experiments construct.
 	Absint bool
@@ -46,9 +49,16 @@ func (o Options) scale() float64 {
 	return o.Scale
 }
 
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
 func (o Options) fusion() *engines.Fusion {
 	e := engines.NewFusion()
-	e.Parallel = o.Parallel
+	e.Parallel = o.workers()
 	e.UseAbsint = o.Absint
 	e.IntervalsOnly = o.IntervalsOnly
 	return e
@@ -61,20 +71,31 @@ func (o Options) subjects(def []progen.Subject) []progen.Subject {
 	return def
 }
 
+// compileAll compiles the experiment's subject set once, on the options'
+// worker pool.
+func (o Options) compileAll(ctx context.Context, infos []progen.Subject) ([]*Subject, error) {
+	return CompileAll(ctx, infos, o.scale(), o.workers())
+}
+
+// run executes one engine run with the options' workers.
+func (o Options) run(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine) Cost {
+	return RunWorkers(ctx, sub, spec, eng, o.Budget, o.workers())
+}
+
 // Table2 reports the subject inventory: generated size and dependence
 // graph statistics, the reproduction of the paper's Table 2.
-func Table2(opts Options) (string, error) {
+func Table2(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Table 2: subjects (scale %.4g of the paper's sizes)", opts.scale()),
 		Header: []string{"ID", "Program", "Lines", "#Functions", "#Vertices", "#Edges"},
 	}
-	for _, info := range opts.subjects(progen.Subjects) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
+	subs, err := opts.compileAll(ctx, opts.subjects(progen.Subjects))
+	if err != nil {
+		return "", err
+	}
+	for _, sub := range subs {
 		t.AddRow(
-			fmt.Sprintf("%d", info.ID), info.Name,
+			fmt.Sprintf("%d", sub.Info.ID), sub.Info.Name,
 			fmt.Sprintf("%d", sub.GenLines),
 			fmt.Sprintf("%d", sub.Stats.Functions),
 			fmt.Sprintf("%d", sub.Stats.Vertices),
@@ -87,22 +108,22 @@ func Table2(opts Options) (string, error) {
 // Table3 compares Fusion to the conventional engine on null-exception
 // checking across all subjects: time and retained condition memory, with
 // speedup columns — the paper's Table 3.
-func Table3(opts Options) (string, error) {
+func Table3(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title: "Table 3: Fusion vs Pinpoint (null exceptions)",
 		Header: []string{"ID", "Program", "Fusion-Mem", "Pinpoint-Mem", "Mem-Ratio",
 			"Fusion-Time", "Pinpoint-Time", "Speedup"},
 	}
 	spec := checker.NullDeref()
-	for _, info := range opts.subjects(progen.Subjects) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
-		fc := Run(sub, spec, opts.fusion(), opts.Budget)
-		pc := Run(sub, spec, engines.NewPinpoint(engines.Plain), opts.Budget)
+	subs, err := opts.compileAll(ctx, opts.subjects(progen.Subjects))
+	if err != nil {
+		return "", err
+	}
+	for _, sub := range subs {
+		fc := opts.run(ctx, sub, spec, opts.fusion())
+		pc := opts.run(ctx, sub, spec, engines.NewPinpoint(engines.Plain))
 		t.AddRow(
-			fmt.Sprintf("%d", info.ID), info.Name,
+			fmt.Sprintf("%d", sub.Info.ID), sub.Info.Name,
 			fmb(fc.CondMB), fmb(pc.CondMB),
 			speedup(pc.CondMB, fc.CondMB),
 			fd(fc.Time), fd(pc.Time),
@@ -116,7 +137,7 @@ func Table3(opts Options) (string, error) {
 // variants across subjects (time and memory series), and reports the QE
 // and AR variants' fates on the smallest subjects — the paper's Figure 10
 // plus the §5.1 discussion.
-func Fig10(opts Options) (string, error) {
+func Fig10(ctx context.Context, opts Options) (string, error) {
 	var b strings.Builder
 	spec := checker.NullDeref()
 	t := &Table{
@@ -127,11 +148,11 @@ func Fig10(opts Options) (string, error) {
 	if variantBudget.Time == 0 {
 		variantBudget = Budget{Time: 30 * time.Second, CondBytes: 512 << 20}
 	}
-	for _, info := range opts.subjects(progen.Subjects) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
+	subs, err := opts.compileAll(ctx, opts.subjects(progen.Subjects))
+	if err != nil {
+		return "", err
+	}
+	for _, sub := range subs {
 		runs := []engines.Engine{
 			opts.fusion(),
 			engines.NewPinpoint(engines.Plain),
@@ -139,12 +160,12 @@ func Fig10(opts Options) (string, error) {
 			engines.NewPinpoint(engines.HFS),
 		}
 		for _, eng := range runs {
-			c := Run(sub, spec, eng, variantBudget)
+			c := RunWorkers(ctx, sub, spec, eng, variantBudget, opts.workers())
 			status := "ok"
 			if c.Failed {
 				status = c.FailNote
 			}
-			t.AddRow(fmt.Sprintf("%d", info.ID), info.Name, c.Engine,
+			t.AddRow(fmt.Sprintf("%d", sub.Info.ID), sub.Info.Name, c.Engine,
 				fd(c.Time), fmb(c.CondMB), status)
 		}
 	}
@@ -153,25 +174,21 @@ func Fig10(opts Options) (string, error) {
 	// QE and AR on the smallest subjects only (they fail beyond that).
 	b.WriteString("\nQE and AR variants (small subjects; budgeted):\n")
 	t2 := &Table{Header: []string{"Program", "Engine", "Time", "Cond-Mem", "Status"}}
-	small := opts.subjects(progen.Subjects)
+	small := subs
 	if len(small) > 3 {
 		small = small[:3]
 	}
-	for _, info := range small {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
+	for _, sub := range small {
 		for _, eng := range []engines.Engine{
 			engines.NewPinpoint(engines.QE),
 			engines.NewPinpoint(engines.AR),
 		} {
-			c := Run(sub, spec, eng, variantBudget)
+			c := RunWorkers(ctx, sub, spec, eng, variantBudget, opts.workers())
 			status := "ok"
 			if c.Failed {
 				status = c.FailNote
 			}
-			t2.AddRow(info.Name, c.Engine, fd(c.Time), fmb(c.CondMB), status)
+			t2.AddRow(sub.Info.Name, c.Engine, fd(c.Time), fmb(c.CondMB), status)
 		}
 	}
 	b.WriteString(t2.String())
@@ -196,36 +213,38 @@ type Instance struct {
 // Fig11Instances collects per-instance solving times: every candidate's
 // feasibility is decided once by the fused graph-based solver and once by
 // the standalone solver on the eagerly-translated condition.
-func Fig11Instances(opts Options) ([]Instance, error) {
+func Fig11Instances(ctx context.Context, opts Options) ([]Instance, error) {
 	var out []Instance
 	spec := checker.NullDeref()
-	for _, info := range opts.subjects(progen.Subjects) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return nil, err
-		}
-		cands := sparse.NewEngine(sub.Graph).Run(spec)
-		an := absint.AnalyzeWith(sub.Graph, absint.Config{DisableZone: opts.IntervalsOnly})
+	subs, err := opts.compileAll(ctx, opts.subjects(progen.Subjects))
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range subs {
+		senge := sparse.NewEngine(sub.Graph)
+		senge.Workers = opts.workers()
+		cands := senge.RunContext(ctx, spec)
+		an := absintFor(sub, opts.IntervalsOnly)
 		for _, c := range cands {
 			paths := []pdg.Path{c.Path}
 
 			fb := smt.NewBuilder()
 			t0 := time.Now()
-			fr := fusioncore.Solve(fb, sub.Graph, paths, fusioncore.Options{Absint: an})
+			fr := fusioncore.Solve(ctx, fb, sub.Graph, paths, fusioncore.Options{Absint: an})
 			fused := time.Since(t0)
 
 			eb := smt.NewBuilder()
 			t1 := time.Now()
 			sl := pdg.ComputeSlice(sub.Graph, paths)
 			tr := cond.Translate(eb, sl)
-			sr := solver.Solve(eb, tr.Phi, solver.Options{Timeout: 10 * time.Second})
+			sr := solver.Solve(eb, tr.Phi, solver.Options{Ctx: ctx, Timeout: 10 * time.Second})
 			standalone := time.Since(t1)
 
 			if fr.Status == sat.Unknown || sr.Status == sat.Unknown {
 				continue
 			}
 			out = append(out, Instance{
-				Subject: info.Name, Fused: fused, Standalone: standalone,
+				Subject: sub.Info.Name, Fused: fused, Standalone: standalone,
 				Sat: fr.Status == sat.Sat, Preprocessed: fr.Preprocessed,
 				Absint: fr.DecidedByAbsint, Zone: fr.DecidedByZone,
 			})
@@ -234,24 +253,33 @@ func Fig11Instances(opts Options) ([]Instance, error) {
 	return out, nil
 }
 
+// absintFor builds the tier analysis for one subject through a throwaway
+// driver-independent fused engine, keeping the construction in one place.
+func absintFor(sub *Subject, intervalsOnly bool) *absint.Analysis {
+	e := engines.NewFusion()
+	e.UseAbsint = true
+	e.IntervalsOnly = intervalsOnly
+	return e.Absint(sub.Graph)
+}
+
 // DumpSMT2 writes every null-checking SMT instance of the given subjects
 // as an SMT-LIB v2 file (the eagerly translated condition), so the
 // instances can be fed to external solvers for cross-validation.
-func DumpSMT2(opts Options, dir string) (int, error) {
+func DumpSMT2(ctx context.Context, opts Options, dir string) (int, error) {
 	spec := checker.NullDeref()
 	n := 0
-	for _, info := range opts.subjects(progen.Subjects) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return n, err
-		}
-		cands := sparse.NewEngine(sub.Graph).Run(spec)
+	subs, err := opts.compileAll(ctx, opts.subjects(progen.Subjects))
+	if err != nil {
+		return n, err
+	}
+	for _, sub := range subs {
+		cands := sparse.NewEngine(sub.Graph).RunContext(ctx, spec)
 		for i, c := range cands {
 			b := smt.NewBuilder()
 			sl := pdg.ComputeSlice(sub.Graph, []pdg.Path{c.Path})
 			c.ApplyConstraint(sl, 0)
 			tr := cond.Translate(b, sl)
-			name := fmt.Sprintf("%s/%s_%03d.smt2", dir, info.Name, i)
+			name := fmt.Sprintf("%s/%s_%03d.smt2", dir, sub.Info.Name, i)
 			if err := os.WriteFile(name, []byte(smt.ToSMTLIB(tr.Phi)), 0o644); err != nil {
 				return n, err
 			}
@@ -264,8 +292,8 @@ func DumpSMT2(opts Options, dir string) (int, error) {
 // Fig11 summarizes the per-instance comparison: sat/unsat shares, the
 // fraction decided during preprocessing, and the speedup aggregates the
 // paper reports (3.0x sat, 1.8x unsat, 2.5x overall).
-func Fig11(opts Options) (string, error) {
-	insts, err := Fig11Instances(opts)
+func Fig11(ctx context.Context, opts Options) (string, error) {
+	insts, err := Fig11Instances(ctx, opts)
 	if err != nil {
 		return "", err
 	}
@@ -317,27 +345,27 @@ func Fig11(opts Options) (string, error) {
 }
 
 // Table4 runs the two taint analyses over the industrial-sized subjects,
-// comparing Fusion to the conventional engine — the paper's Table 4.
-func Table4(opts Options) (string, error) {
+// comparing Fusion to the conventional engine — the paper's Table 4. The
+// subjects are compiled once and shared across both specs.
+func Table4(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title: "Table 4: taint analyses on the industrial-sized subjects",
 		Header: []string{"Issue", "Program", "Fusion-Mem", "Fusion-Time",
 			"Pinpoint-Mem", "Pinpoint-Time", "Mem-Ratio", "Speedup"},
 	}
-	large := opts.subjects(largeSubjects())
+	subs, err := opts.compileAll(ctx, opts.subjects(largeSubjects()))
+	if err != nil {
+		return "", err
+	}
 	for _, spec := range []*sparse.Spec{checker.PathTraversal(), checker.PrivateLeak()} {
 		issue := "CWE-23"
 		if spec.Name == "cwe-402" {
 			issue = "CWE-402"
 		}
-		for _, info := range large {
-			sub, err := Compile(info, opts.scale())
-			if err != nil {
-				return "", err
-			}
-			fc := Run(sub, spec, opts.fusion(), opts.Budget)
-			pc := Run(sub, spec, engines.NewPinpoint(engines.Plain), opts.Budget)
-			t.AddRow(issue, info.Name,
+		for _, sub := range subs {
+			fc := opts.run(ctx, sub, spec, opts.fusion())
+			pc := opts.run(ctx, sub, spec, engines.NewPinpoint(engines.Plain))
+			t.AddRow(issue, sub.Info.Name,
 				fmb(fc.CondMB), fd(fc.Time),
 				fmb(pc.CondMB), fd(pc.Time),
 				speedup(pc.CondMB, fc.CondMB),
@@ -350,27 +378,27 @@ func Table4(opts Options) (string, error) {
 // Table5 compares Fusion to the Infer-like compositional analyzer on the
 // industrial-sized subjects: cost plus report quality against ground truth
 // — the paper's Table 5.
-func Table5(opts Options) (string, error) {
+func Table5(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title:  "Table 5: Fusion vs Infer (null exceptions, industrial subjects)",
 		Header: []string{"Program", "Engine", "Mem", "Time", "#Report", "#TP", "#FP"},
 	}
 	spec := checker.NullDeref()
 	var fTP, fFP, iTP, iFP int
-	for _, info := range opts.subjects(largeSubjects()) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
-		fc := Run(sub, spec, opts.fusion(), opts.Budget)
-		ic := Run(sub, spec, engines.NewInfer(), opts.Budget)
+	subs, err := opts.compileAll(ctx, opts.subjects(largeSubjects()))
+	if err != nil {
+		return "", err
+	}
+	for _, sub := range subs {
+		fc := opts.run(ctx, sub, spec, opts.fusion())
+		ic := opts.run(ctx, sub, spec, engines.NewInfer())
 		fTP += fc.TP
 		fFP += fc.FP
 		iTP += ic.TP
 		iFP += ic.FP
-		t.AddRow(info.Name, fc.Engine, fmb(fc.CondMB), fd(fc.Time),
+		t.AddRow(sub.Info.Name, fc.Engine, fmb(fc.CondMB), fd(fc.Time),
 			fmt.Sprintf("%d", fc.Reports), fmt.Sprintf("%d", fc.TP), fmt.Sprintf("%d", fc.FP))
-		t.AddRow(info.Name, ic.Engine, fmb(ic.CondMB), fd(ic.Time),
+		t.AddRow(sub.Info.Name, ic.Engine, fmb(ic.CondMB), fd(ic.Time),
 			fmt.Sprintf("%d", ic.Reports), fmt.Sprintf("%d", ic.TP), fmt.Sprintf("%d", ic.FP))
 	}
 	s := t.String()
@@ -389,25 +417,25 @@ func rate(num, den int) float64 {
 // Fig1c measures what fraction of the conventional analysis's memory is
 // spent on path conditions, on the industrial-sized subjects — the paper's
 // Figure 1(c), which motivates the whole design.
-func Fig1c(opts Options) (string, error) {
+func Fig1c(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title:  "Figure 1(c): memory share of path conditions (conventional design)",
 		Header: []string{"Program", "Cond-Mem", "Graph-Mem", "Cond-Share"},
 	}
 	spec := checker.NullDeref()
-	for _, info := range opts.subjects(largeSubjects()) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
+	subs, err := opts.compileAll(ctx, opts.subjects(largeSubjects()))
+	if err != nil {
+		return "", err
+	}
+	for _, sub := range subs {
 		eng := engines.NewPinpoint(engines.Plain)
-		c := Run(sub, spec, eng, opts.Budget)
+		c := opts.run(ctx, sub, spec, eng)
 		// Estimate of the dependence graph's own memory: the other major
 		// retained structure of the analysis.
 		graphBytes := int64(sub.Stats.Vertices)*96 + int64(sub.Stats.Edges())*16
 		condBytes := int64(c.CondMB * (1 << 20))
 		share := 100 * float64(condBytes) / float64(condBytes+graphBytes)
-		t.AddRow(info.Name, fmb(c.CondMB), fmb(mb(graphBytes)),
+		t.AddRow(sub.Info.Name, fmb(c.CondMB), fmb(mb(graphBytes)),
 			fmt.Sprintf("%.0f%%", share))
 	}
 	return t.String(), nil
@@ -417,20 +445,20 @@ func Fig1c(opts Options) (string, error) {
 // division-by-zero checker (value-constrained sinks) over the
 // industrial-sized subjects, Fusion vs the conventional engine, scored
 // against injected ground truth.
-func CWE369(opts Options) (string, error) {
+func CWE369(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title:  "Extension: CWE-369 (division by zero) on the industrial subjects",
 		Header: []string{"Program", "Engine", "Time", "Cond-Mem", "#Report", "#TP", "#FP"},
 	}
 	spec := checker.DivByZero()
-	for _, info := range opts.subjects(largeSubjects()) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return "", err
-		}
+	subs, err := opts.compileAll(ctx, opts.subjects(largeSubjects()))
+	if err != nil {
+		return "", err
+	}
+	for _, sub := range subs {
 		for _, eng := range []engines.Engine{opts.fusion(), engines.NewPinpoint(engines.Plain)} {
-			c := Run(sub, spec, eng, opts.Budget)
-			t.AddRow(info.Name, c.Engine, fd(c.Time), fmb(c.CondMB),
+			c := opts.run(ctx, sub, spec, eng)
+			t.AddRow(sub.Info.Name, c.Engine, fd(c.Time), fmb(c.CondMB),
 				fmt.Sprintf("%d", c.Reports), fmt.Sprintf("%d", c.TP), fmt.Sprintf("%d", c.FP))
 		}
 	}
@@ -444,8 +472,8 @@ func CWE369(opts Options) (string, error) {
 // set — they only refute queries the solver would also refute — while
 // strictly reducing the number of bit-precise solver calls; the #Zone
 // column counts refutations the interval domain alone could not decide.
-func AblationAbsint(opts Options) (string, error) {
-	costs, identical, err := ablationCosts(opts)
+func AblationAbsint(ctx context.Context, opts Options) (string, error) {
+	costs, identical, err := ablationCosts(ctx, opts)
 	if err != nil {
 		return "", err
 	}
@@ -480,14 +508,14 @@ type AblationCost struct {
 
 // ablationCosts runs the three-mode ablation and reports whether every
 // mode produced the identical report count per (subject, checker).
-func ablationCosts(opts Options) ([]AblationCost, bool, error) {
+func ablationCosts(ctx context.Context, opts Options) ([]AblationCost, bool, error) {
 	var out []AblationCost
 	identical := true
-	for _, info := range opts.subjects(largeSubjects()) {
-		sub, err := Compile(info, opts.scale())
-		if err != nil {
-			return nil, false, err
-		}
+	subs, err := opts.compileAll(ctx, opts.subjects(largeSubjects()))
+	if err != nil {
+		return nil, false, err
+	}
+	for _, sub := range subs {
 		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
 			// Explicit engines per mode: the ablation ignores Options.Absint.
 			var reports []int
@@ -495,7 +523,7 @@ func ablationCosts(opts Options) ([]AblationCost, bool, error) {
 				eng := opts.fusion()
 				eng.UseAbsint = mode != "off"
 				eng.IntervalsOnly = mode == "intervals"
-				c := Run(sub, spec, eng, opts.Budget)
+				c := opts.run(ctx, sub, spec, eng)
 				reports = append(reports, c.Reports)
 				out = append(out, AblationCost{Mode: mode, Cost: c})
 			}

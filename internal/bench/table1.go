@@ -1,23 +1,21 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"fusion/internal/checker"
 	"fusion/internal/cond"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/fusioncore"
-	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/progen"
-	"fusion/internal/sema"
 	"fusion/internal/smt"
 	"fusion/internal/solver"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // Table1Program generates the paper's §2 cost-model scenario: a caller foo
@@ -73,23 +71,16 @@ type Table1Row struct {
 }
 
 // Table1Measure runs both designs on the k/n/m scenario.
-func Table1Measure(k, n, m int) (Table1Row, error) {
+func Table1Measure(ctx context.Context, k, n, m int) (Table1Row, error) {
 	row := Table1Row{K: k, N: n, M: m}
-	src := checker.Prelude + Table1Program(k, n, m)
-	prog, err := lang.Parse(src)
+	p, err := driver.Compile(ctx, driver.Source{
+		Name: fmt.Sprintf("table1-k%d", k), Text: Table1Program(k, n, m),
+	}, driver.Options{Prelude: true})
 	if err != nil {
 		return row, err
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		return row, errs[0]
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	sp, err := ssa.Build(norm)
-	if err != nil {
-		return row, err
-	}
-	g := pdg.Build(sp)
-	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	g := p.Graph
+	cands := sparse.NewEngine(g).RunContext(ctx, checker.NullDeref())
 	if len(cands) != 1 {
 		return row, fmt.Errorf("bench: table1: got %d candidates, want 1", len(cands))
 	}
@@ -103,14 +94,14 @@ func Table1Measure(k, n, m int) (Table1Row, error) {
 	row.ConvTranslate = time.Since(t0)
 	row.ConvCondTreeSize = smt.TreeSize(tr.Phi, 1<<24)
 	t1 := time.Now()
-	solver.Solve(eb, tr.Phi, solver.Options{Timeout: 10 * time.Second})
+	solver.Solve(eb, tr.Phi, solver.Options{Ctx: ctx, Timeout: 10 * time.Second})
 	row.ConvSolve = time.Since(t1)
 	row.ConvCachedBytes = eb.EstimatedBytes()
 
 	// Fusion.
 	fb := smt.NewBuilder()
 	t2 := time.Now()
-	fr := fusioncore.Solve(fb, g, paths, fusioncore.Options{})
+	fr := fusioncore.Solve(ctx, fb, g, paths, fusioncore.Options{})
 	row.FusionSolve = time.Since(t2)
 	row.FusionSliceSize = fr.SliceSize
 	row.FusionClones = fr.Clones
@@ -120,7 +111,7 @@ func Table1Measure(k, n, m int) (Table1Row, error) {
 // Table1 sweeps k (the number of call sites per callee) with fixed callee
 // and caller sizes, empirically validating the cost model of the paper's
 // Table 1: conventional costs grow with k, fused costs do not.
-func Table1(opts Options) (string, error) {
+func Table1(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title: "Table 1: cost of computing/solving/caching (n=callee, m=caller size)",
 		Header: []string{"k", "n", "m", "Conv-CondSize", "Conv-Cache",
@@ -128,7 +119,7 @@ func Table1(opts Options) (string, error) {
 	}
 	n, m := 30, 20
 	for _, k := range []int{1, 2, 4, 8, 16} {
-		row, err := Table1Measure(k, n, m)
+		row, err := Table1Measure(ctx, k, n, m)
 		if err != nil {
 			return "", err
 		}
@@ -148,12 +139,12 @@ func Table1(opts Options) (string, error) {
 // Ablations measures the contribution of each fused-design ingredient on a
 // mid-sized subject: quick paths, local preprocessing, and delayed cloning
 // (Algorithm 6 vs Algorithm 4) — the design choices DESIGN.md calls out.
-func Ablations(opts Options) (string, error) {
+func Ablations(ctx context.Context, opts Options) (string, error) {
 	info := progen.Subjects[15] // wine
 	if len(opts.Subjects) > 0 {
 		info = opts.Subjects[0]
 	}
-	sub, err := Compile(info, opts.scale())
+	sub, err := Compile(ctx, info, opts.scale())
 	if err != nil {
 		return "", err
 	}
@@ -174,17 +165,17 @@ func Ablations(opts Options) (string, error) {
 	for _, cfg := range configs {
 		eng := engines.NewFusion()
 		eng.Opts = cfg.opts
-		c := Run(sub, spec, eng, opts.Budget)
+		c := opts.run(ctx, sub, spec, eng)
 		t.AddRow(cfg.name, fd(c.Time), fmb(c.CondMB), fmt.Sprintf("%d", c.Reports))
 	}
-	pc := Run(sub, spec, engines.NewPinpoint(engines.Plain), opts.Budget)
+	pc := opts.run(ctx, sub, spec, engines.NewPinpoint(engines.Plain))
 	t.AddRow("pinpoint (conventional)", fd(pc.Time), fmb(pc.CondMB), fmt.Sprintf("%d", pc.Reports))
 	return t.String(), nil
 }
 
 // Experiments maps experiment names to their drivers for the command-line
 // harness.
-var Experiments = map[string]func(Options) (string, error){
+var Experiments = map[string]func(context.Context, Options) (string, error){
 	"table1":          Table1,
 	"table2":          Table2,
 	"cwe369":          CWE369,

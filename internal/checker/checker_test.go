@@ -1,31 +1,26 @@
 package checker_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
-	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 func buildGraph(t *testing.T, src string) *pdg.Graph {
 	t.Helper()
-	prog, err := lang.Parse(checker.Prelude + src)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
-		t.Fatalf("parse: %v", err)
+		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatalf("sema: %v", errs)
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	return pdg.Build(ssa.MustBuild(norm))
+	return p.Graph
 }
 
 func TestByName(t *testing.T) {
@@ -51,8 +46,8 @@ func checkDivZero(t *testing.T, src string) ([]engines.Verdict, []engines.Verdic
 	if len(cands) == 0 {
 		t.Fatal("no division-by-zero candidates")
 	}
-	return engines.NewFusion().Check(g, cands),
-		engines.NewPinpoint(engines.Plain).Check(g, cands)
+	return engines.NewFusion().Check(context.Background(), g, cands),
+		engines.NewPinpoint(engines.Plain).Check(context.Background(), g, cands)
 }
 
 func TestDivByZeroPossible(t *testing.T) {

@@ -1,32 +1,27 @@
 package cond_test
 
 import (
+	"context"
 	"testing"
 
 	"fusion/internal/checker"
 	"fusion/internal/cond"
-	"fusion/internal/lang"
+	"fusion/internal/driver"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/smt"
 	"fusion/internal/solver"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 func buildGraph(t *testing.T, src string) *pdg.Graph {
 	t.Helper()
-	prog, err := lang.Parse(checker.Prelude + src)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
-		t.Fatalf("parse: %v", err)
+		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatalf("sema: %v", errs)
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	return pdg.Build(ssa.MustBuild(norm))
+	return p.Graph
 }
 
 // decide runs the null checker, translates each candidate eagerly, and

@@ -1,0 +1,170 @@
+package driver_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"fusion/internal/driver"
+)
+
+const goodSrc = `
+fun f(a: int) {
+    var p: ptr = null;
+    if (a > 3) {
+        deref(p);
+    }
+}
+`
+
+func compile(t *testing.T, src string, opts driver.Options) *driver.Program {
+	t.Helper()
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: src}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileArtifacts(t *testing.T) {
+	p := compile(t, goodSrc, driver.Options{Prelude: true})
+	if p.AST == nil || p.SSA == nil || p.Graph == nil {
+		t.Fatal("missing compiled artifacts")
+	}
+	if p.Stats.Vertices == 0 || p.Stats.Functions == 0 {
+		t.Errorf("empty stats: %+v", p.Stats)
+	}
+	if !p.Prelude() {
+		t.Error("Prelude() must report the compile option")
+	}
+	if d := p.Describe(); !strings.Contains(d, "test:") || !strings.Contains(d, "vertices") {
+		t.Errorf("bad describe: %q", d)
+	}
+}
+
+func TestCompileParseError(t *testing.T) {
+	_, err := driver.Compile(context.Background(), driver.Source{Name: "bad", Text: "fun f( {"}, driver.Options{})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("expected a named parse error, got %v", err)
+	}
+}
+
+func TestCompileSemaErrors(t *testing.T) {
+	_, err := driver.Compile(context.Background(),
+		driver.Source{Name: "sema", Text: "fun f() { x = 1; y = 2; }"}, driver.Options{})
+	if err == nil {
+		t.Fatal("expected semantic errors")
+	}
+	var se *driver.SemaErrors
+	if !errors.As(err, &se) {
+		t.Fatalf("error does not unwrap to SemaErrors: %v", err)
+	}
+	if se.Name != "sema" || len(se.Errs) < 2 {
+		t.Errorf("got %d errors for %q, want >= 2", len(se.Errs), se.Name)
+	}
+	if !strings.Contains(err.Error(), "more semantic error") {
+		t.Errorf("multi-error message must carry the count: %q", err.Error())
+	}
+}
+
+func TestCompileCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := driver.Compile(ctx, driver.Source{Name: "c", Text: goodSrc}, driver.Options{Prelude: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestCompileAllPreservesOrderAndFirstError(t *testing.T) {
+	srcs := []driver.Source{
+		{Name: "a", Text: goodSrc},
+		{Name: "b", Text: goodSrc},
+		{Name: "c", Text: goodSrc},
+	}
+	progs, err := driver.CompileAll(context.Background(), srcs, driver.Options{Prelude: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		if p.Name != srcs[i].Name {
+			t.Errorf("order broken at %d: got %s, want %s", i, p.Name, srcs[i].Name)
+		}
+	}
+
+	srcs[1].Text = "fun f( {"
+	if _, err := driver.CompileAll(context.Background(), srcs, driver.Options{Prelude: true}, 4); err == nil || !strings.Contains(err.Error(), "b") {
+		t.Fatalf("expected the error of source b, got %v", err)
+	}
+}
+
+func TestParallelCheckMatchesSequential(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	want := driver.ParallelCheck(context.Background(), 100, 1, fn)
+	for _, workers := range []int{2, 8, 200} {
+		got := driver.ParallelCheck(context.Background(), 100, workers, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d: got %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if out := driver.ParallelCheck(context.Background(), 0, 8, fn); len(out) != 0 {
+		t.Errorf("n=0 must return an empty slice")
+	}
+}
+
+func TestParseAbsintMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want driver.AbsintMode
+	}{{"on", driver.AbsintOn}, {"intervals", driver.AbsintIntervals}, {"off", driver.AbsintOff}} {
+		m, err := driver.ParseAbsintMode(tc.in)
+		if err != nil || m != tc.want {
+			t.Errorf("%q: got (%v, %v)", tc.in, m, err)
+		}
+		if m.String() != tc.in {
+			t.Errorf("round trip: %q -> %q", tc.in, m.String())
+		}
+	}
+	if _, err := driver.ParseAbsintMode("bogus"); err == nil {
+		t.Error("expected error for bogus mode")
+	}
+}
+
+func TestAbsintModes(t *testing.T) {
+	off := compile(t, goodSrc, driver.Options{Prelude: true, Absint: driver.AbsintOff})
+	if off.Absint() != nil || off.Oracle() != nil {
+		t.Error("AbsintOff must disable the tier and the oracle")
+	}
+	if !strings.HasPrefix(off.DOT(), "digraph pdg {") {
+		t.Error("DOT must render without the tier")
+	}
+
+	on := compile(t, goodSrc, driver.Options{Prelude: true})
+	if on.AbsintMode() != driver.AbsintOn {
+		t.Errorf("default mode: %v", on.AbsintMode())
+	}
+	if on.Absint() == nil || on.Oracle() == nil {
+		t.Fatal("AbsintOn must provide the tier and the oracle")
+	}
+
+	// The analysis is built once and shared, even under concurrent use.
+	var wg sync.WaitGroup
+	results := make([]any, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = any(on.Absint())
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if results[i] != results[0] {
+			t.Fatal("Absint must return the same cached analysis")
+		}
+	}
+}

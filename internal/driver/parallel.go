@@ -1,0 +1,47 @@
+package driver
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelCheck runs fn(i) for every i in [0, n) on up to workers
+// goroutines and returns the results indexed by i, so the output is
+// identical whatever the worker count. With workers <= 1 (or n < 2) it
+// runs inline.
+//
+// Every index is evaluated even after ctx is cancelled: fn is expected to
+// observe ctx itself and return a cheap partial result (engines return
+// sat.Unknown verdicts), which keeps slots aligned with inputs instead of
+// dropping work silently. ParallelCheck returns only after every worker
+// has finished, so callers never leak a checking goroutine.
+func ParallelCheck[T any](ctx context.Context, n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

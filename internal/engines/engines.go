@@ -17,12 +17,15 @@
 package engines
 
 import (
+	"context"
+	"sort"
 	"sync"
 	"time"
 	"unsafe"
 
 	"fusion/internal/absint"
 	"fusion/internal/cond"
+	"fusion/internal/driver"
 	"fusion/internal/fusioncore"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
@@ -55,8 +58,11 @@ type Verdict struct {
 type Engine interface {
 	Name() string
 	// Check decides every candidate. Implementations may keep state
-	// (caches) across calls, as the conventional design does.
-	Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict
+	// (caches) across calls, as the conventional design does. Check
+	// honors ctx cooperatively: once it is cancelled, the remaining
+	// candidates are returned promptly as Unknown partial verdicts —
+	// the result always has one verdict per candidate, in input order.
+	Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict
 	// ConditionBytes estimates the memory retained for conditions and
 	// summaries after Check.
 	ConditionBytes() int64
@@ -67,6 +73,36 @@ type Engine interface {
 type SolverConfig struct {
 	Timeout      time.Duration
 	MaxConflicts int64
+	// Deadline bounds each candidate's whole check (translation included,
+	// unlike Timeout which only bounds the SAT search) via a derived
+	// context, so one adversarial instance cannot eat the run's budget.
+	// Zero means none.
+	Deadline time.Duration
+}
+
+// SortVerdicts orders verdicts by source position — sink line/column
+// first, then source line/column, then argument index — so reports are
+// stable however the candidates were enumerated and checked.
+func SortVerdicts(vs []Verdict) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i].Cand, vs[j].Cand
+		if a.Sink.Pos != b.Sink.Pos {
+			if a.Sink.Pos.Line != b.Sink.Pos.Line {
+				return a.Sink.Pos.Line < b.Sink.Pos.Line
+			}
+			return a.Sink.Pos.Col < b.Sink.Pos.Col
+		}
+		if a.Source.Pos != b.Source.Pos {
+			if a.Source.Pos.Line != b.Source.Pos.Line {
+				return a.Source.Pos.Line < b.Source.Pos.Line
+			}
+			return a.Source.Pos.Col < b.Source.Pos.Col
+		}
+		if a.ArgIdx != b.ArgIdx {
+			return a.ArgIdx < b.ArgIdx
+		}
+		return len(a.Path) < len(b.Path)
+	})
 }
 
 func (c SolverConfig) options() solver.Options {
@@ -128,48 +164,26 @@ func NewFusion() *Fusion { return &Fusion{} }
 func (e *Fusion) Name() string { return "fusion" }
 
 // Check implements Engine.
-func (e *Fusion) Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict {
-	out := make([]Verdict, len(cands))
-	workers := e.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if workers <= 1 {
-		for i, c := range cands {
-			out[i] = e.checkOne(g, c)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = e.checkOne(g, cands[i])
-			}
-		}()
-	}
-	for i := range cands {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+func (e *Fusion) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
+	e.Absint(g) // build the shared analysis once, outside the pool
+	return driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
+		return e.checkOne(ctx, g, cands[i])
+	})
 }
 
-func (e *Fusion) checkOne(g *pdg.Graph, c sparse.Candidate) Verdict {
+func (e *Fusion) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidate) Verdict {
+	if ctx.Err() != nil {
+		return Verdict{Cand: c, Status: sat.Unknown}
+	}
+	ctx, cancel := e.Cfg.candidateCtx(ctx)
+	defer cancel()
 	b := smt.NewBuilder()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
 	opts.Constraints = c.Constraints(0)
 	opts.Absint = e.Absint(g)
 	t0 := time.Now()
-	r := fusioncore.Solve(b, g, []pdg.Path{c.Path}, opts)
+	r := fusioncore.Solve(ctx, b, g, []pdg.Path{c.Path}, opts)
 	v := Verdict{
 		Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
 		DecidedByAbsint: r.DecidedByAbsint,
@@ -182,6 +196,14 @@ func (e *Fusion) checkOne(g *pdg.Graph, c sparse.Candidate) Verdict {
 	}
 	e.mu.Unlock()
 	return v
+}
+
+// candidateCtx derives the per-candidate deadline context from ctx.
+func (c SolverConfig) candidateCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Deadline > 0 {
+		return context.WithTimeout(ctx, c.Deadline)
+	}
+	return ctx, func() {}
 }
 
 // ConditionBytes implements Engine: the fused design caches nothing, so
@@ -224,8 +246,16 @@ func (v Variant) String() string {
 type Pinpoint struct {
 	Cfg     SolverConfig
 	Variant Variant
+	// Parallel is the worker count for Check; 0 or 1 means sequential.
+	// The shared summary cache is single-writer, so candidates serialize
+	// on mu around translation and solving — parallelism only overlaps
+	// the per-candidate slicing with a running solve, faithfully to the
+	// design's memory behaviour.
+	Parallel int
 	// cache is the shared term store standing in for the summary cache.
 	cache *smt.Builder
+	// mu guards cache across concurrent candidates.
+	mu sync.Mutex
 	// QEBudget bounds projection in the QE variant.
 	QEBudget int
 }
@@ -242,24 +272,34 @@ func (e *Pinpoint) Name() string { return e.Variant.String() }
 func (e *Pinpoint) ConditionBytes() int64 { return e.cache.EstimatedBytes() }
 
 // Check implements Engine.
-func (e *Pinpoint) Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict {
-	out := make([]Verdict, 0, len(cands))
-	for _, c := range cands {
+func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
+	return driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
+		c := cands[i]
+		if ctx.Err() != nil {
+			return Verdict{Cand: c, Status: sat.Unknown}
+		}
 		t0 := time.Now()
-		st, pre, size := e.checkOne(g, c)
-		out = append(out, Verdict{
+		st, pre, size := e.checkOne(ctx, g, c)
+		return Verdict{
 			Cand: c, Status: st, Preprocessed: pre,
 			SolveTime: time.Since(t0), ConditionSize: size,
-		})
-	}
-	return out
+		}
+	})
 }
 
-func (e *Pinpoint) checkOne(g *pdg.Graph, c sparse.Candidate) (sat.Status, bool, int) {
-	b := e.cache
+func (e *Pinpoint) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidate) (sat.Status, bool, int) {
+	ctx, cancel := e.Cfg.candidateCtx(ctx)
+	defer cancel()
 	sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
 	c.ApplyConstraint(sl, 0)
 	opts := e.Cfg.options()
+	opts.Ctx = ctx
+
+	// The shared summary cache is a single-writer term store: everything
+	// from translation on runs under the cache lock.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.cache
 
 	if e.Variant == AR {
 		return e.checkRefined(b, sl, opts)
@@ -269,7 +309,7 @@ func (e *Pinpoint) checkOne(g *pdg.Graph, c sparse.Candidate) (sat.Status, bool,
 	phi := tr.Phi
 	switch e.Variant {
 	case QE:
-		phi = e.eliminate(b, phi, sl)
+		phi = e.eliminate(ctx, b, phi, sl)
 	case LFS:
 		phi = smt.SimplifyLocal(b, phi)
 	case HFS:
@@ -290,7 +330,7 @@ func (e *Pinpoint) checkOne(g *pdg.Graph, c sparse.Candidate) (sat.Status, bool,
 // bit-vectors blows up; on budget exhaustion the original condition is
 // solved instead (the time and memory have already been spent, which is
 // the point the evaluation makes).
-func (e *Pinpoint) eliminate(b *smt.Builder, phi *smt.Term, sl *pdg.Slice) *smt.Term {
+func (e *Pinpoint) eliminate(ctx context.Context, b *smt.Builder, phi *smt.Term, sl *pdg.Slice) *smt.Term {
 	roots := map[string]bool{}
 	for _, f := range sl.Roots() {
 		roots[f.Name+"."] = true
@@ -314,6 +354,7 @@ func (e *Pinpoint) eliminate(b *smt.Builder, phi *smt.Term, sl *pdg.Slice) *smt.
 		budget = 64
 	}
 	opts := e.Cfg.options()
+	opts.Ctx = ctx
 	opts.Passes = solver.NoPasses
 	opts.WantModel = true
 	res, err := smt.Eliminate(b, phi, drop, smt.QEOptions{
@@ -367,6 +408,9 @@ type Infer struct {
 	// deeper flows are missed (the recall loss of limited cross-file
 	// reasoning).
 	MaxSummaryDepth int
+	// Parallel is the worker count for scoring candidates; 0 or 1 means
+	// sequential. The spec join stays single-writer either way.
+	Parallel int
 	// SpecBudget caps the total materialized spec entries; exceeding it
 	// models running out of memory (the paper's wine result). Zero means
 	// 32 million entries.
@@ -394,17 +438,23 @@ func (e *Infer) Name() string { return "infer" }
 func (e *Infer) ConditionBytes() int64 { return e.bytes }
 
 // Check implements Engine.
-func (e *Infer) Check(g *pdg.Graph, cands []sparse.Candidate) []Verdict {
-	e.buildSpecs(g)
-	out := make([]Verdict, 0, len(cands))
-	for _, c := range cands {
+func (e *Infer) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
+	// The spec join is single-writer: build it once before fanning out;
+	// scoring below only reads it.
+	if ctx.Err() == nil {
+		e.buildSpecs(g)
+	}
+	return driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
+		c := cands[i]
+		if ctx.Err() != nil {
+			return Verdict{Cand: c, Status: sat.Unknown}
+		}
 		st := sat.Sat // no feasibility check: every flow is reported
 		if crossings(c.Path) > e.MaxSummaryDepth {
 			st = sat.Unsat // flow too deep for the compositional summary
 		}
-		out = append(out, Verdict{Cand: c, Status: st})
-	}
-	return out
+		return Verdict{Cand: c, Status: st}
+	})
 }
 
 func crossings(p pdg.Path) int {
@@ -466,6 +516,19 @@ func (e *Infer) buildSpecs(g *pdg.Graph) {
 		build(f, 0)
 	}
 	e.bytes = total * int64(unsafe.Sizeof(specEntry{}))
+}
+
+// SetParallel configures the Check worker count on engines that support
+// one; other engines are left unchanged.
+func SetParallel(e Engine, workers int) {
+	switch x := e.(type) {
+	case *Fusion:
+		x.Parallel = workers
+	case *Pinpoint:
+		x.Parallel = workers
+	case *Infer:
+		x.Parallel = workers
+	}
 }
 
 // All returns every engine the evaluation compares, freshly constructed.

@@ -1,31 +1,27 @@
 package engines_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/fusioncore"
-	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 func buildGraph(t *testing.T, src string) *pdg.Graph {
 	t.Helper()
-	prog, err := lang.Parse(checker.Prelude + src)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
-		t.Fatalf("parse: %v", err)
+		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatalf("sema: %v", errs)
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	return pdg.Build(ssa.MustBuild(norm))
+	return p.Graph
 }
 
 const mixedSrc = `
@@ -94,7 +90,7 @@ func TestPathSensitiveEnginesAgree(t *testing.T) {
 		engines.NewPinpoint(engines.LFS),
 		engines.NewPinpoint(engines.AR),
 	} {
-		vs := eng.Check(g, cands)
+		vs := eng.Check(context.Background(), g, cands)
 		if got := countStatus(vs, sat.Sat); got != 1 {
 			t.Errorf("%s: reported %d bugs, want 1", eng.Name(), got)
 		}
@@ -107,12 +103,12 @@ func TestPathSensitiveEnginesAgree(t *testing.T) {
 func TestInferIsPathInsensitive(t *testing.T) {
 	g := buildGraph(t, mixedSrc)
 	cands := candidates(t, g)
-	vs := engines.NewInfer().Check(g, cands)
+	vs := engines.NewInfer().Check(context.Background(), g, cands)
 	if got := countStatus(vs, sat.Sat); got != 2 {
 		t.Errorf("infer reported %d, want 2 (no feasibility filtering)", got)
 	}
 	inf := engines.NewInfer()
-	inf.Check(g, cands)
+	inf.Check(context.Background(), g, cands)
 	if inf.ConditionBytes() <= 0 {
 		t.Error("infer must account for its spec tables")
 	}
@@ -133,12 +129,12 @@ fun f() {
 	if len(cands) != 1 {
 		t.Fatalf("got %d candidates, want 1", len(cands))
 	}
-	vs := engines.NewInfer().Check(g, cands)
+	vs := engines.NewInfer().Check(context.Background(), g, cands)
 	if vs[0].Status != sat.Unsat {
 		t.Error("deep flow should be missed by the compositional engine")
 	}
 	// The path-sensitive engines do find it.
-	fs := engines.NewFusion().Check(g, cands)
+	fs := engines.NewFusion().Check(context.Background(), g, cands)
 	if fs[0].Status != sat.Sat {
 		t.Errorf("fusion: got %s, want sat", fs[0].Status)
 	}
@@ -151,14 +147,14 @@ func TestPinpointCacheGrows(t *testing.T) {
 	if eng.ConditionBytes() != 0 {
 		t.Error("fresh engine must have an empty cache")
 	}
-	eng.Check(g, cands)
+	eng.Check(context.Background(), g, cands)
 	after1 := eng.ConditionBytes()
 	if after1 <= 0 {
 		t.Fatal("cache did not grow")
 	}
 	// Re-checking the same candidates reuses the cache (hash-consing):
 	// little growth.
-	eng.Check(g, cands)
+	eng.Check(context.Background(), g, cands)
 	after2 := eng.ConditionBytes()
 	if after2 < after1 {
 		t.Error("cache shrank")
@@ -172,9 +168,9 @@ func TestFusionPeakMemorySmallerThanPinpoint(t *testing.T) {
 	g := buildGraph(t, mixedSrc)
 	cands := candidates(t, g)
 	fus := engines.NewFusion()
-	fus.Check(g, cands)
+	fus.Check(context.Background(), g, cands)
 	pin := engines.NewPinpoint(engines.Plain)
-	pin.Check(g, cands)
+	pin.Check(context.Background(), g, cands)
 	if fus.ConditionBytes() > pin.ConditionBytes() {
 		t.Errorf("fusion retained %d bytes, pinpoint %d: fused design should be smaller",
 			fus.ConditionBytes(), pin.ConditionBytes())
@@ -192,7 +188,7 @@ fun f(a: int) {
     }
 }`)
 	cands := sparse.NewEngine(g).Run(checker.NullDeref())
-	vs := engines.NewPinpoint(engines.QE).Check(g, cands)
+	vs := engines.NewPinpoint(engines.QE).Check(context.Background(), g, cands)
 	if vs[0].Status == sat.Sat {
 		t.Error("QE variant reported an infeasible flow")
 	}
@@ -201,7 +197,7 @@ fun f(a: int) {
 func TestHFSVariantCorrect(t *testing.T) {
 	g := buildGraph(t, mixedSrc)
 	cands := candidates(t, g)
-	vs := engines.NewPinpoint(engines.HFS).Check(g, cands)
+	vs := engines.NewPinpoint(engines.HFS).Check(context.Background(), g, cands)
 	if got := countStatus(vs, sat.Sat); got != 1 {
 		t.Errorf("HFS: reported %d bugs, want 1", got)
 	}
@@ -218,7 +214,7 @@ func TestFusionAblationOptionsStillSound(t *testing.T) {
 	} {
 		eng := engines.NewFusion()
 		eng.Opts = opts
-		vs := eng.Check(g, cands)
+		vs := eng.Check(context.Background(), g, cands)
 		if got := countStatus(vs, sat.Sat); got != 1 {
 			t.Errorf("opts %+v: reported %d bugs, want 1", opts, got)
 		}
@@ -251,12 +247,62 @@ fun f(a: int) {
 		t.Fatalf("got %d candidates, want 1", len(cands))
 	}
 	ar := engines.NewPinpoint(engines.AR)
-	vs := ar.Check(g, cands)
+	vs := ar.Check(context.Background(), g, cands)
 	if vs[0].Status != sat.Unsat {
 		t.Errorf("AR: got %s, want unsat (2x is even, never 7)", vs[0].Status)
 	}
 	// The full engines agree.
-	if engines.NewFusion().Check(g, cands)[0].Status != sat.Unsat {
+	if engines.NewFusion().Check(context.Background(), g, cands)[0].Status != sat.Unsat {
 		t.Error("fusion disagrees")
+	}
+}
+
+// TestCheckCancelledReturnsUnknownPartials: every engine honors a
+// cancelled context by returning one Unknown verdict per candidate, in
+// input order, promptly.
+func TestCheckCancelledReturnsUnknownPartials(t *testing.T) {
+	g := buildGraph(t, mixedSrc)
+	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range engines.All() {
+		start := time.Now()
+		vs := eng.Check(ctx, g, cands)
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("%s: cancelled Check ran %v", eng.Name(), elapsed)
+		}
+		if len(vs) != len(cands) {
+			t.Fatalf("%s: got %d verdicts for %d candidates", eng.Name(), len(vs), len(cands))
+		}
+		for i, v := range vs {
+			if v.Status != sat.Unknown {
+				t.Errorf("%s: verdict %d is %s, want unknown", eng.Name(), i, v.Status)
+			}
+			if v.Cand.Sink != cands[i].Sink {
+				t.Errorf("%s: verdict %d lost its candidate", eng.Name(), i)
+			}
+		}
+	}
+}
+
+// TestSortVerdictsStable: verdicts order by sink then source position
+// regardless of input order.
+func TestSortVerdictsStable(t *testing.T) {
+	g := buildGraph(t, mixedSrc)
+	cands := sparse.NewEngine(g).Run(checker.NullDeref())
+	vs := engines.NewFusion().Check(context.Background(), g, cands)
+	rev := make([]engines.Verdict, len(vs))
+	for i, v := range vs {
+		rev[len(vs)-1-i] = v
+	}
+	engines.SortVerdicts(vs)
+	engines.SortVerdicts(rev)
+	for i := range vs {
+		if vs[i].Cand.Sink != rev[i].Cand.Sink || vs[i].Cand.Source != rev[i].Cand.Source {
+			t.Fatalf("sort not canonical at %d", i)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package engines
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -23,26 +24,32 @@ import (
 // JointChecker is implemented by engines that can decide the joint
 // feasibility of several flows.
 type JointChecker interface {
-	CheckJointPaths(g *pdg.Graph, paths []pdg.Path) sat.Status
+	CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pdg.Path) sat.Status
 }
 
 // CheckJointPaths implements JointChecker for the fused engine.
-func (e *Fusion) CheckJointPaths(g *pdg.Graph, paths []pdg.Path) sat.Status {
+func (e *Fusion) CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pdg.Path) sat.Status {
 	b := smt.NewBuilder()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
-	r := fusioncore.Solve(b, g, paths, opts)
+	r := fusioncore.Solve(ctx, b, g, paths, opts)
+	e.mu.Lock()
 	if b.EstimatedBytes() > e.peak {
 		e.peak = b.EstimatedBytes()
 	}
+	e.mu.Unlock()
 	return r.Status
 }
 
 // CheckJointPaths implements JointChecker for the conventional engine.
-func (e *Pinpoint) CheckJointPaths(g *pdg.Graph, paths []pdg.Path) sat.Status {
+func (e *Pinpoint) CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pdg.Path) sat.Status {
+	opts := e.Cfg.options()
+	opts.Ctx = ctx
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	sl := pdg.ComputeSlice(g, paths)
 	tr := cond.Translate(e.cache, sl)
-	return solver.Solve(e.cache, tr.Phi, e.Cfg.options()).Status
+	return solver.Solve(e.cache, tr.Phi, opts).Status
 }
 
 // JointGroup is a set of candidate flows into distinct arguments of the
@@ -105,17 +112,21 @@ type JointVerdict struct {
 }
 
 // CheckJoint decides every multi-argument sink group with the given
-// engine.
-func CheckJoint(eng JointChecker, g *pdg.Graph, cands []sparse.Candidate) []JointVerdict {
+// engine. A cancelled ctx yields Unknown for the remaining groups.
+func CheckJoint(ctx context.Context, eng JointChecker, g *pdg.Graph, cands []sparse.Candidate) []JointVerdict {
 	groups := GroupBySink(cands)
 	out := make([]JointVerdict, 0, len(groups))
 	for _, grp := range groups {
+		if ctx.Err() != nil {
+			out = append(out, JointVerdict{Group: grp, Status: sat.Unknown})
+			continue
+		}
 		paths := make([]pdg.Path, len(grp.Flows))
 		for i, f := range grp.Flows {
 			paths[i] = f.Path
 		}
 		t0 := time.Now()
-		st := eng.CheckJointPaths(g, paths)
+		st := eng.CheckJointPaths(ctx, g, paths)
 		out = append(out, JointVerdict{Group: grp, Status: st, Time: time.Since(t0)})
 	}
 	return out

@@ -1,6 +1,7 @@
 package engines_test
 
 import (
+	"context"
 	"testing"
 
 	"fusion/internal/checker"
@@ -47,7 +48,7 @@ func jointVerdicts(t *testing.T, src string, eng engines.JointChecker) []engines
 	if len(cands) != 2 {
 		t.Fatalf("got %d candidates, want 2", len(cands))
 	}
-	return engines.CheckJoint(eng, g, cands)
+	return engines.CheckJoint(context.Background(), eng, g, cands)
 }
 
 func TestJointInfeasible(t *testing.T) {

@@ -1,18 +1,14 @@
 package engines_test
 
 import (
+	"context"
 	"testing"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/progen"
 	"fusion/internal/sparse"
-
-	"fusion/internal/lang"
-	"fusion/internal/pdg"
-	"fusion/internal/sema"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // TestParallelFusionMatchesSequential checks that the parallel worker pool
@@ -20,26 +16,22 @@ import (
 // also exercises the engine's synchronization.
 func TestParallelFusionMatchesSequential(t *testing.T) {
 	src, _, _ := progen.Subjects[9].Build(0.05)
-	prog, err := lang.Parse(src)
+	pr, err := driver.Compile(context.Background(), driver.Source{Name: "subject", Text: src}, driver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatal(errs[0])
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	g := pdg.Build(ssa.MustBuild(norm))
+	g := pr.Graph
 	cands := sparse.NewEngine(g).Run(checker.NullDeref())
 	if len(cands) < 2 {
 		t.Fatal("need several candidates")
 	}
 
 	seq := engines.NewFusion()
-	want := seq.Check(g, cands)
+	want := seq.Check(context.Background(), g, cands)
 
 	par := engines.NewFusion()
 	par.Parallel = 4
-	got := par.Check(g, cands)
+	got := par.Check(context.Background(), g, cands)
 
 	if len(got) != len(want) {
 		t.Fatalf("verdict count: %d vs %d", len(got), len(want))

@@ -15,6 +15,7 @@
 package fusioncore
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -137,12 +138,17 @@ type state struct {
 }
 
 // Solve decides the feasibility of a set of data-dependence paths directly
-// on the program dependence graph.
-func Solve(b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result {
+// on the program dependence graph. It honors ctx cooperatively: the
+// residual's SAT search polls it, and a cancelled ctx yields Unknown.
+func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, opts Options) Result {
+	opts.Solver.Ctx = ctx
 	sl := pdg.ComputeSlice(g, paths)
 	sl.Constraints = append(sl.Constraints, opts.Constraints...)
 	var res Result
 	res.SliceSize = sl.Size()
+	if ctx.Err() != nil {
+		return res // Status zero value is Unknown
+	}
 
 	// Interval tier: the abstract interpretation models the very equation
 	// system emitted below, so an abstract contradiction proves the query

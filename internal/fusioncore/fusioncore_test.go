@@ -1,33 +1,28 @@
 package fusioncore_test
 
 import (
+	"context"
 	"testing"
 
 	"fusion/internal/checker"
 	"fusion/internal/cond"
+	"fusion/internal/driver"
 	"fusion/internal/fusioncore"
-	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/smt"
 	"fusion/internal/solver"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 func buildGraph(t *testing.T, src string) *pdg.Graph {
 	t.Helper()
-	prog, err := lang.Parse(checker.Prelude + src)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
-		t.Fatalf("parse: %v", err)
+		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatalf("sema: %v", errs)
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	return pdg.Build(ssa.MustBuild(norm))
+	return p.Graph
 }
 
 // compareEngines checks the fused solver against the eager translation on
@@ -46,7 +41,7 @@ func compareEngines(t *testing.T, src string, spec *sparse.Spec) []fusioncore.Re
 		eager := solver.Solve(eb, cond.Translate(eb, sl).Phi, solver.Options{})
 
 		fb := smt.NewBuilder()
-		fused := fusioncore.Solve(fb, g, []pdg.Path{c.Path}, fusioncore.Options{})
+		fused := fusioncore.Solve(context.Background(), fb, g, []pdg.Path{c.Path}, fusioncore.Options{})
 		if fused.Status != eager.Status {
 			t.Errorf("engine disagreement on %s: fused=%s eager=%s",
 				c.Path, fused.Status, eager.Status)
@@ -82,7 +77,7 @@ func TestFigure1QuickPath(t *testing.T) {
 	// which would otherwise decide this satisfiable instance first.
 	g0 := buildGraph(t, fig1Src)
 	cands0 := sparse.NewEngine(g0).Run(checker.NullDeref())
-	r := fusioncore.Solve(smt.NewBuilder(), g0, []pdg.Path{cands0[0].Path},
+	r := fusioncore.Solve(context.Background(), smt.NewBuilder(), g0, []pdg.Path{cands0[0].Path},
 		fusioncore.Options{DisableGraphProbe: true})
 	if r.Status != sat.Sat {
 		t.Fatalf("got %s, want sat", r.Status)
@@ -101,7 +96,7 @@ func TestFigure1QuickPath(t *testing.T) {
 	g := buildGraph(t, fig1Src)
 	cands := sparse.NewEngine(g).Run(checker.NullDeref())
 	b := smt.NewBuilder()
-	r2 := fusioncore.Solve(b, g, []pdg.Path{cands[0].Path}, fusioncore.Options{
+	r2 := fusioncore.Solve(context.Background(), b, g, []pdg.Path{cands[0].Path}, fusioncore.Options{
 		Solver:            solver.Options{NoProbe: true},
 		DisableGraphProbe: true,
 	})
@@ -114,7 +109,7 @@ func TestFigure1Unoptimized(t *testing.T) {
 	g := buildGraph(t, fig1Src)
 	cands := sparse.NewEngine(g).Run(checker.NullDeref())
 	b := smt.NewBuilder()
-	r := fusioncore.Solve(b, g, []pdg.Path{cands[0].Path}, fusioncore.Options{Unoptimized: true})
+	r := fusioncore.Solve(context.Background(), b, g, []pdg.Path{cands[0].Path}, fusioncore.Options{Unoptimized: true})
 	if r.Status != sat.Sat {
 		t.Fatalf("algorithm 4: got %s, want sat", r.Status)
 	}
@@ -232,7 +227,7 @@ fun f0(a: int) {
 	}
 
 	fb := smt.NewBuilder()
-	fused := fusioncore.Solve(fb, g, []pdg.Path{cands[0].Path},
+	fused := fusioncore.Solve(context.Background(), fb, g, []pdg.Path{cands[0].Path},
 		fusioncore.Options{DisableGraphProbe: true})
 	if fused.Status != sat.Sat {
 		t.Fatalf("fused: got %s, want sat", fused.Status)
@@ -251,7 +246,7 @@ func TestAblationFlags(t *testing.T) {
 	cands := sparse.NewEngine(g).Run(checker.NullDeref())
 	path := []pdg.Path{cands[0].Path}
 
-	noQuick := fusioncore.Solve(smt.NewBuilder(), g, path, fusioncore.Options{DisableQuickPaths: true})
+	noQuick := fusioncore.Solve(context.Background(), smt.NewBuilder(), g, path, fusioncore.Options{DisableQuickPaths: true})
 	if noQuick.Status != sat.Sat {
 		t.Errorf("no-quick-paths: got %s, want sat", noQuick.Status)
 	}
@@ -262,7 +257,7 @@ func TestAblationFlags(t *testing.T) {
 		t.Errorf("without quick paths bar must be cloned: %d clones", noQuick.Clones)
 	}
 
-	noLocal := fusioncore.Solve(smt.NewBuilder(), g, path, fusioncore.Options{DisableLocalPreprocess: true})
+	noLocal := fusioncore.Solve(context.Background(), smt.NewBuilder(), g, path, fusioncore.Options{DisableLocalPreprocess: true})
 	if noLocal.Status != sat.Sat {
 		t.Errorf("no-local-preprocess: got %s, want sat", noLocal.Status)
 	}
@@ -288,7 +283,7 @@ fun f(a: int) {
 	if len(cands) != 2 {
 		t.Fatalf("got %d candidates, want 2", len(cands))
 	}
-	joint := fusioncore.Solve(smt.NewBuilder(), g,
+	joint := fusioncore.Solve(context.Background(), smt.NewBuilder(), g,
 		[]pdg.Path{cands[0].Path, cands[1].Path}, fusioncore.Options{})
 	if joint.Status != sat.Unsat {
 		t.Errorf("joint flows: got %s, want unsat", joint.Status)
@@ -320,7 +315,7 @@ fun f() {
 		if c.ConstrainStep >= 0 {
 			opts.Constraints = []pdg.ValueConstraint{{Path: 0, Step: c.ConstrainStep, Value: c.ConstrainValue}}
 		}
-		r := fusioncore.Solve(b, g, []pdg.Path{c.Path}, opts)
+		r := fusioncore.Solve(context.Background(), b, g, []pdg.Path{c.Path}, opts)
 		// The flow into the second call's divisor is odd: must be unsat.
 		// The flow into the first call's divisor is free: must be sat.
 		crossings := 0

@@ -1,10 +1,12 @@
 package progen_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/lang"
 	"fusion/internal/pdg"
@@ -66,15 +68,11 @@ func TestSubjectLookup(t *testing.T) {
 func buildSubject(t *testing.T, sub progen.Subject, scale float64) (*pdg.Graph, progen.GroundTruth) {
 	t.Helper()
 	src, gt, _ := sub.Build(scale)
-	prog, err := lang.Parse(src)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: sub.Name, Text: src}, driver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatal(errs[0])
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	return pdg.Build(ssa.MustBuild(norm)), gt
+	return p.Graph, gt
 }
 
 // TestGroundTruthAgainstFusion is the system-level correctness test: on a
@@ -87,7 +85,7 @@ func TestGroundTruthAgainstFusion(t *testing.T) {
 
 	for _, spec := range checker.All() {
 		cands := eng.Run(spec)
-		verdicts := fus.Check(g, cands)
+		verdicts := fus.Check(context.Background(), g, cands)
 		reported := map[int]bool{} // sink line -> reported feasible
 		for _, v := range verdicts {
 			if v.Status == sat.Sat {
@@ -116,8 +114,8 @@ func TestEnginesAgreeOnGeneratedSubjects(t *testing.T) {
 		eng := sparse.NewEngine(g)
 		for _, spec := range checker.All() {
 			cands := eng.Run(spec)
-			fus := engines.NewFusion().Check(g, cands)
-			pin := engines.NewPinpoint(engines.Plain).Check(g, cands)
+			fus := engines.NewFusion().Check(context.Background(), g, cands)
+			pin := engines.NewPinpoint(engines.Plain).Check(context.Background(), g, cands)
 			if len(fus) != len(pin) {
 				t.Fatalf("%s/%s: verdict count mismatch", sub.Name, spec.Name)
 			}
@@ -137,9 +135,9 @@ func TestVariantSoundness(t *testing.T) {
 	g, _ := buildSubject(t, progen.Subjects[0], 0.2) // mcf, small
 	eng := sparse.NewEngine(g)
 	cands := eng.Run(checker.NullDeref())
-	base := engines.NewPinpoint(engines.Plain).Check(g, cands)
+	base := engines.NewPinpoint(engines.Plain).Check(context.Background(), g, cands)
 	for _, variant := range []engines.Variant{engines.LFS, engines.HFS, engines.AR} {
-		got := engines.NewPinpoint(variant).Check(g, cands)
+		got := engines.NewPinpoint(variant).Check(context.Background(), g, cands)
 		for i := range base {
 			if got[i].Status != base[i].Status && got[i].Status != sat.Unknown {
 				t.Errorf("%s: disagreement on candidate %d: %s vs %s",
@@ -156,7 +154,7 @@ func TestInferOverReports(t *testing.T) {
 	eng := sparse.NewEngine(g)
 	cands := eng.Run(checker.NullDeref())
 	inf := engines.NewInfer()
-	verdicts := inf.Check(g, cands)
+	verdicts := inf.Check(context.Background(), g, cands)
 	reportedLines := map[int]bool{}
 	for _, v := range verdicts {
 		if v.Status == sat.Sat {

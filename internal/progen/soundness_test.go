@@ -1,21 +1,19 @@
 package progen_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"fusion/internal/absint"
 	"fusion/internal/checker"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/interp"
 	"fusion/internal/lang"
-	"fusion/internal/pdg"
 	"fusion/internal/progen"
 	"fusion/internal/sat"
-	"fusion/internal/sema"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 // flowKey identifies a source-to-sink flow by source positions, which are
@@ -65,15 +63,11 @@ func TestAnalysisSoundAgainstConcreteExecutions(t *testing.T) {
 	for _, subIdx := range []int{2, 5, 9} {
 		info := progen.Subjects[subIdx]
 		src, _, _ := info.Build(0.05)
-		raw, err := lang.Parse(src)
+		pr, err := driver.Compile(context.Background(), driver.Source{Name: info.Name, Text: src}, driver.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if errs := sema.Check(raw); len(errs) > 0 {
-			t.Fatal(errs[0])
-		}
-		norm := unroll.Normalize(raw, unroll.Options{})
-		g := pdg.Build(ssa.MustBuild(norm))
+		raw, g := pr.AST, pr.Graph
 		eng := sparse.NewEngine(g)
 		an := absint.Analyze(g)
 		rng := rand.New(rand.NewSource(int64(subIdx) * 77))
@@ -82,11 +76,11 @@ func TestAnalysisSoundAgainstConcreteExecutions(t *testing.T) {
 			// Static side: verdicts per flow key, with and without the
 			// interval tier, plus which flows the oracle would prune.
 			cands := eng.Run(spec)
-			fus := engines.NewFusion().Check(g, cands)
+			fus := engines.NewFusion().Check(context.Background(), g, cands)
 			fa := engines.NewFusion()
 			fa.UseAbsint = true
-			fusAbs := fa.Check(g, cands)
-			pin := engines.NewPinpoint(engines.Plain).Check(g, cands)
+			fusAbs := fa.Check(context.Background(), g, cands)
+			pin := engines.NewPinpoint(engines.Plain).Check(context.Background(), g, cands)
 			verdictF := map[flowKey]sat.Status{}
 			verdictA := map[flowKey]sat.Status{}
 			verdictP := map[flowKey]sat.Status{}

@@ -6,6 +6,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"time"
 )
@@ -108,6 +109,10 @@ type Solver struct {
 	MaxConflicts int64
 	// Deadline aborts the search when passed; zero means none.
 	Deadline time.Time
+	// Ctx, when non-nil, cancels the search cooperatively: it is polled
+	// every few conflicts (and on the deadline cadence), returning Unknown
+	// with ErrBudget once cancelled.
+	Ctx context.Context
 
 	seen    []bool
 	toClear []int
@@ -463,6 +468,9 @@ func (s *Solver) Solve() (Status, error) {
 	if !s.ok {
 		return Unsat, nil
 	}
+	if s.Ctx != nil && s.Ctx.Err() != nil {
+		return Unknown, ErrBudget
+	}
 	restartIdx := int64(1)
 	conflictsAtStart := s.Conflicts
 	for {
@@ -503,6 +511,9 @@ func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, er
 			if s.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.MaxConflicts {
 				return Unknown, ErrBudget
 			}
+			if s.Ctx != nil && s.Conflicts&63 == 0 && s.Ctx.Err() != nil {
+				return Unknown, ErrBudget
+			}
 			if conflictsThisRestart >= restartBudget {
 				s.cancelUntil(0)
 				s.reduceDB()
@@ -510,10 +521,15 @@ func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, er
 			}
 			continue
 		}
-		if !s.Deadline.IsZero() {
+		if !s.Deadline.IsZero() || s.Ctx != nil {
 			checkCounter++
-			if checkCounter%256 == 0 && time.Now().After(s.Deadline) {
-				return Unknown, ErrBudget
+			if checkCounter%256 == 0 {
+				if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+					return Unknown, ErrBudget
+				}
+				if s.Ctx != nil && s.Ctx.Err() != nil {
+					return Unknown, ErrBudget
+				}
 			}
 		}
 		next := s.pickBranch()

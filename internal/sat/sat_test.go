@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -286,5 +287,46 @@ func TestLuby(t *testing.T) {
 		if got := luby(int64(i + 1)); got != w {
 			t.Errorf("luby(%d): got %d, want %d", i+1, got, w)
 		}
+	}
+}
+
+// TestContextPreCancelled: a solver handed an already-cancelled context
+// returns Unknown with ErrBudget before any search happens.
+func TestContextPreCancelled(t *testing.T) {
+	nv, cls := pigeonhole(6)
+	s := newSolverWithVars(nv)
+	for _, c := range cls {
+		s.AddClause(lits(s, c...)...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Ctx = ctx
+	st, err := s.Solve()
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("got (%s, %v), want (unknown, ErrBudget)", st, err)
+	}
+}
+
+// TestContextCancelledMidSearch: cancellation during a hard search aborts
+// the CDCL loop promptly with Unknown.
+func TestContextCancelledMidSearch(t *testing.T) {
+	nv, cls := pigeonhole(9)
+	s := newSolverWithVars(nv)
+	for _, c := range cls {
+		s.AddClause(lits(s, c...)...)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	s.Ctx = ctx
+	start := time.Now()
+	st, err := s.Solve()
+	if err == nil {
+		return // solved before the deadline; nothing to assert
+	}
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("got (%s, %v), want (unknown, ErrBudget)", st, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation not honored: ran %v", elapsed)
 	}
 }

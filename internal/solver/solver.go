@@ -5,6 +5,7 @@
 package solver
 
 import (
+	"context"
 	"time"
 
 	"fusion/internal/bitblast"
@@ -14,6 +15,9 @@ import (
 
 // Options configure a standalone solve (Algorithm 3).
 type Options struct {
+	// Ctx, when non-nil, cancels the solve cooperatively: preprocessing is
+	// skipped and the SAT search aborts with Unknown once it is done.
+	Ctx context.Context
 	// Passes is the preprocessing pipeline; nil means smt.DefaultPasses. Use
 	// NoPasses to disable preprocessing entirely.
 	Passes []smt.Pass
@@ -84,6 +88,9 @@ func modelCovers(m smt.Assignment, phi *smt.Term) bool {
 func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 	var res Result
 	res.SizeBefore = smt.Size(phi)
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return res // Status zero value is Unknown
+	}
 	// Cheap model probing first, on the original formula: path conditions
 	// are mostly systems of definitions, and concrete execution over
 	// sampled inputs decides many satisfiable instances without paying
@@ -126,6 +133,7 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 	if opts.Timeout > 0 {
 		s.Deadline = time.Now().Add(opts.Timeout)
 	}
+	s.Ctx = opts.Ctx
 	bl := bitblast.New(s)
 	bl.AssertTrue(phi)
 	st, err := s.Solve()

@@ -12,7 +12,10 @@
 package sparse
 
 import (
+	"context"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fusion/internal/lang"
 	"fusion/internal/pdg"
@@ -126,10 +129,16 @@ type Engine struct {
 	// Oracle, when set, vetoes candidates that are already proven
 	// infeasible (e.g. by the absint invariants); pruned candidates still
 	// count against MaxPathsPerSource so enumeration order and the
-	// surviving report set are unchanged.
+	// surviving report set are unchanged. Must be safe for concurrent use
+	// when Workers > 1 (the absint oracle is: the analysis is read-only
+	// after construction).
 	Oracle func(Candidate) bool
 	// Pruned counts candidates the oracle discarded.
 	Pruned int
+	// Workers fans per-source enumeration out on a worker pool; results
+	// are merged in source order, so the candidate list is byte-identical
+	// to a sequential run. 0 or 1 means sequential.
+	Workers int
 }
 
 // NewEngine returns an engine with default limits.
@@ -150,9 +159,61 @@ func (e *Engine) Sources(spec *Spec) []*ssa.Value {
 
 // Run enumerates candidates for a spec across the whole program.
 func (e *Engine) Run(spec *Spec) []Candidate {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext enumerates candidates under ctx: cancellation stops the
+// traversal cooperatively and returns the candidates found so far. With
+// Workers > 1 the per-source enumerations run concurrently.
+func (e *Engine) RunContext(ctx context.Context, spec *Spec) []Candidate {
+	srcs := e.Sources(spec)
+	workers := e.Workers
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers <= 1 {
+		var out []Candidate
+		for _, src := range srcs {
+			if ctx.Err() != nil {
+				break
+			}
+			cands, pruned := e.fromSource(ctx, spec, src)
+			e.Pruned += pruned
+			out = append(out, cands...)
+		}
+		return out
+	}
+	type result struct {
+		cands  []Candidate
+		pruned int
+	}
+	results := make([]result, len(srcs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(srcs) {
+					return
+				}
+				if ctx.Err() != nil {
+					continue // drain remaining indexes without searching
+				}
+				cands, pruned := e.fromSource(ctx, spec, srcs[i])
+				results[i] = result{cands, pruned}
+			}
+		}()
+	}
+	wg.Wait()
+	// Stable merge in source order; the pruned counts fold in afterwards
+	// so the counter needs no synchronization.
 	var out []Candidate
-	for _, src := range e.Sources(spec) {
-		out = append(out, e.FromSource(spec, src)...)
+	for _, r := range results {
+		e.Pruned += r.pruned
+		out = append(out, r.cands...)
 	}
 	return out
 }
@@ -176,6 +237,16 @@ type visitKey struct {
 // depth-first traversal of the data-dependence edges, matching call and
 // return labels with an explicit stack (CFL-reachability).
 func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
+	out, pruned := e.fromSource(context.Background(), spec, src)
+	e.Pruned += pruned
+	return out
+}
+
+// fromSource is FromSource without shared engine state: it returns the
+// pruned count instead of bumping e.Pruned, so concurrent per-source
+// searches need no synchronization. Cancelling ctx stops the traversal
+// at the next polling point.
+func (e *Engine) fromSource(ctx context.Context, spec *Spec, src *ssa.Value) ([]Candidate, int) {
 	lim := e.Limits.withDefaults()
 	var out []Candidate
 	steps := 0
@@ -188,7 +259,6 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 	emit := func(c Candidate) {
 		if e.Oracle != nil && e.Oracle(c) {
 			pruned++
-			e.Pruned++
 			return
 		}
 		out = append(out, c)
@@ -201,6 +271,12 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 		}
 		steps++
 		if steps > lim.MaxStepsPerSource {
+			return
+		}
+		if steps&1023 == 0 && ctx.Err() != nil {
+			// Cancelled: burn the step budget so every pending frame of
+			// this source bails out immediately.
+			steps = lim.MaxStepsPerSource + 1
 			return
 		}
 		key := visitKey{v: v, stack: stackKey(stack)}
@@ -332,7 +408,7 @@ func (e *Engine) FromSource(spec *Spec, src *ssa.Value) []Candidate {
 	}
 
 	dfs(src, pdg.Path{{V: src, Kind: pdg.StepStart}}, nil)
-	return out
+	return out, pruned
 }
 
 func containsInt(xs []int, x int) bool {

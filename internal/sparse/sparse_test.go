@@ -1,30 +1,27 @@
 package sparse_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"fusion/internal/checker"
-	"fusion/internal/lang"
+	"fusion/internal/driver"
 	"fusion/internal/pdg"
-	"fusion/internal/sema"
+	"fusion/internal/progen"
 	"fusion/internal/sparse"
-	"fusion/internal/ssa"
-	"fusion/internal/unroll"
 )
 
 func buildGraph(t *testing.T, src string) *pdg.Graph {
 	t.Helper()
-	prog, err := lang.Parse(checker.Prelude + src)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: src},
+		driver.Options{Prelude: true})
 	if err != nil {
-		t.Fatalf("parse: %v", err)
+		t.Fatal(err)
 	}
-	if errs := sema.Check(prog); len(errs) > 0 {
-		t.Fatalf("sema: %v", errs)
-	}
-	norm := unroll.Normalize(prog, unroll.Options{})
-	return pdg.Build(ssa.MustBuild(norm))
+	return p.Graph
 }
 
 func run(t *testing.T, src string, spec *sparse.Spec) []sparse.Candidate {
@@ -333,5 +330,64 @@ func TestDeepChainDedupStableCounts(t *testing.T) {
 	e3.Limits = sparse.Limits{MaxCallDepth: 3}
 	if got := len(e3.Run(spec)); got != 0 {
 		t.Errorf("MaxCallDepth=3: got %d candidates, want 0", got)
+	}
+}
+
+// TestWorkersMatchSequential: parallel per-source enumeration merges to
+// exactly the sequential candidate list (and pruned count), so workers
+// never change the analysis result.
+func TestWorkersMatchSequential(t *testing.T) {
+	src, _, _ := progen.Subjects[2].Build(0.05)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "subject", Text: src}, driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := p.Oracle()
+	for _, spec := range checker.All() {
+		seq := sparse.NewEngine(p.Graph)
+		seq.Oracle = oracle
+		want := seq.Run(spec)
+
+		par := sparse.NewEngine(p.Graph)
+		par.Oracle = oracle
+		par.Workers = 8
+		got := par.RunContext(context.Background(), spec)
+
+		if len(got) != len(want) {
+			t.Fatalf("%s: candidate count: %d vs %d", spec.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Source != want[i].Source || got[i].Sink != want[i].Sink ||
+				got[i].ArgIdx != want[i].ArgIdx || len(got[i].Path) != len(want[i].Path) {
+				t.Errorf("%s: candidate %d differs", spec.Name, i)
+			}
+		}
+		if par.Pruned != seq.Pruned {
+			t.Errorf("%s: pruned count: %d vs %d", spec.Name, par.Pruned, seq.Pruned)
+		}
+	}
+}
+
+// TestRunContextCancelled: an already-cancelled context yields no
+// candidates, promptly, with and without workers.
+func TestRunContextCancelled(t *testing.T) {
+	src, _, _ := progen.Subjects[2].Build(0.05)
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "subject", Text: src}, driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		e := sparse.NewEngine(p.Graph)
+		e.Workers = workers
+		start := time.Now()
+		cands := e.RunContext(ctx, checker.NullDeref())
+		if len(cands) != 0 {
+			t.Errorf("workers=%d: got %d candidates from a cancelled context", workers, len(cands))
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("workers=%d: cancelled enumeration ran %v", workers, elapsed)
+		}
 	}
 }

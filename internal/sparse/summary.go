@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"sort"
 
 	"fusion/internal/lang"
@@ -26,6 +27,7 @@ type SummaryEngine struct {
 
 	spec *Spec
 	lim  Limits
+	ctx  context.Context
 	memo map[*ssa.Value]*valueSummary
 }
 
@@ -75,8 +77,15 @@ func (e *SummaryEngine) maxSegs() int {
 
 // Run enumerates candidates for a spec across the whole program.
 func (e *SummaryEngine) Run(spec *Spec) []Candidate {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext enumerates candidates under ctx; cancellation stops the
+// summarization cooperatively and returns the candidates found so far.
+func (e *SummaryEngine) RunContext(ctx context.Context, spec *Spec) []Candidate {
 	e.spec = spec
 	e.lim = e.Limits.withDefaults()
+	e.ctx = ctx
 	e.memo = map[*ssa.Value]*valueSummary{}
 
 	var out []Candidate
@@ -84,6 +93,9 @@ func (e *SummaryEngine) Run(spec *Spec) []Candidate {
 		for _, v := range f.Values {
 			if !spec.IsSource(v) {
 				continue
+			}
+			if ctx.Err() != nil {
+				return out
 			}
 			sum := e.summarize(v)
 			// Local and descending flows.
@@ -173,6 +185,9 @@ func (e *SummaryEngine) summarize(v *ssa.Value) *valueSummary {
 		return s
 	}
 	s := &valueSummary{}
+	if e.ctx != nil && e.ctx.Err() != nil {
+		return s // cancelled: empty, unmemoized partial summary
+	}
 	e.memo[v] = s // placed before recursion as a (harmless) cycle guard
 	cap := e.maxSegs()
 

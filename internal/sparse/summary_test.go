@@ -1,6 +1,7 @@
 package sparse_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -129,7 +130,7 @@ fun f(a: int) {
 			}
 		}
 		// The feasibility engine must accept summary-produced paths.
-		fus := engines.NewFusion().Check(g, []sparse.Candidate{c})
+		fus := engines.NewFusion().Check(context.Background(), g, []sparse.Candidate{c})
 		if fus[0].Status.String() == "unknown" {
 			t.Errorf("engine could not decide summary path %s", c.Path)
 		}
@@ -162,7 +163,7 @@ fun f() {
 		t.Errorf("constrained vertex is %s, want the divisor", c.Path[c.ConstrainStep].V.Op)
 	}
 	// The odd divisor makes the flow infeasible.
-	fus := engines.NewFusion().Check(g, cands)
+	fus := engines.NewFusion().Check(context.Background(), g, cands)
 	if fus[0].Status.String() != "unsat" {
 		t.Errorf("odd divisor through a call: got %s, want unsat", fus[0].Status)
 	}
@@ -199,7 +200,7 @@ fun f() {
 		t.Errorf("constraint args = (%d, %d), want (0, 1)", c.ConstrainArg, c.ConstrainBoundArg)
 	}
 	// The guard proves 0 <= i < m, so the query must be refuted.
-	fus := engines.NewFusion().Check(g, cands)
+	fus := engines.NewFusion().Check(context.Background(), g, cands)
 	if fus[0].Status.String() != "unsat" {
 		t.Errorf("fully guarded dynamic-bound access: got %s, want unsat", fus[0].Status)
 	}
