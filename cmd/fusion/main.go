@@ -4,10 +4,17 @@
 // Usage:
 //
 //	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME]
-//	       [-absint on|off|intervals] [-workers N] [-timeout D] [-no-prelude] file.fl
+//	       [-absint on|off|intervals] [-workers N] [-timeout D] [-no-prelude]
+//	       [-fail-fast] [-budget-steps N] [-budget-conflicts N]
+//	       [-budget-deadline D] [-budget-heap N] file.fl
 //
 // Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
 // pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
+//
+// Exit status: 0 = analysis completed with no findings; 1 = analysis
+// completed and reported findings; 2 = the run was impaired — a unit
+// failed (contained crash), a verdict degraded to a cheaper tier, or the
+// input could not be analyzed at all.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"fusion/internal/checker"
 	"fusion/internal/driver"
 	"fusion/internal/engines"
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 	"fusion/internal/fusioncore"
 	"fusion/internal/sat"
 	"fusion/internal/sparse"
@@ -37,7 +46,16 @@ func main() {
 	absintMode := flag.String("absint", "on", "abstract-interpretation tier: on (intervals + zone), intervals (zone disabled), or off (fusion engines and -dot annotations)")
 	workers := flag.Int("workers", 1, "worker count for enumeration and checking (output is identical for any count)")
 	timeout := flag.Duration("timeout", 0, "overall analysis budget; on expiry remaining candidates are reported as undecided (0 = none)")
+	failFast := flag.Bool("fail-fast", false, "stop at the first contained unit failure instead of completing the batch")
+	budgetSteps := flag.Int64("budget-steps", 0, "per-candidate SAT decision budget; on exhaustion the verdict degrades to the zone/interval tiers (0 = unbounded)")
+	budgetConflicts := flag.Int64("budget-conflicts", 0, "per-candidate SAT conflict budget (0 = unbounded)")
+	budgetDeadline := flag.Duration("budget-deadline", 0, "per-candidate wall-clock budget (0 = none)")
+	budgetHeap := flag.Int64("budget-heap", 0, "per-candidate formula-construction byte budget (0 = unbounded)")
 	flag.Parse()
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "fusion:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fusion [flags] file.fl")
 		flag.Usage()
@@ -53,9 +71,15 @@ func main() {
 		prelude: !*noPrelude, showPaths: *showPaths, joint: *joint,
 		enum: *enum, dot: *dot, absint: mode,
 		workers: *workers, timeout: *timeout,
+		failFast: *failFast,
+		budget: engines.Budget{
+			Steps: *budgetSteps, Conflicts: *budgetConflicts,
+			Deadline: *budgetDeadline, MaxHeapDelta: *budgetHeap,
+		},
 		out: os.Stdout,
 	}
-	if err := run(cfg); err != nil {
+	res, err := run(cfg)
+	if err != nil {
 		var se *driver.SemaErrors
 		if errors.As(err, &se) {
 			for _, e := range se.Errs {
@@ -63,8 +87,9 @@ func main() {
 			}
 		}
 		fmt.Fprintln(os.Stderr, "fusion:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
+	os.Exit(res.exitCode())
 }
 
 type config struct {
@@ -79,7 +104,29 @@ type config struct {
 	absint    driver.AbsintMode
 	workers   int
 	timeout   time.Duration
+	failFast  bool
+	budget    engines.Budget
 	out       interface{ Write([]byte) (int, error) }
+}
+
+// outcome is what a completed (even impaired) run reports.
+type outcome struct {
+	findings int
+	degraded int
+	failures []*failure.UnitFailure
+}
+
+// exitCode maps the run outcome to the documented exit status: impaired
+// runs trump findings, findings trump a clean pass.
+func (o outcome) exitCode() int {
+	switch {
+	case len(o.failures) > 0 || o.degraded > 0:
+		return 2
+	case o.findings > 0:
+		return 1
+	default:
+		return 0
+	}
 }
 
 func newEngine(name string) (engines.Engine, error) {
@@ -107,7 +154,8 @@ func newEngine(name string) (engines.Engine, error) {
 	}
 }
 
-func run(cfg config) error {
+func run(cfg config) (outcome, error) {
+	var res outcome
 	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
@@ -116,17 +164,17 @@ func run(cfg config) error {
 	}
 	data, err := os.ReadFile(cfg.path)
 	if err != nil {
-		return err
+		return res, err
 	}
 	prog, err := driver.Compile(ctx, driver.Source{Name: cfg.path, Text: string(data)},
 		driver.Options{Prelude: cfg.prelude, Absint: cfg.absint})
 	if err != nil {
-		return err
+		return res, err
 	}
 	g := prog.Graph
 	if cfg.dot {
 		fmt.Fprint(cfg.out, prog.DOT())
-		return nil
+		return res, nil
 	}
 
 	var specs []*sparse.Spec
@@ -135,15 +183,16 @@ func run(cfg config) error {
 	} else {
 		spec, err := checker.ByName(cfg.checker)
 		if err != nil {
-			return err
+			return res, err
 		}
 		specs = []*sparse.Spec{spec}
 	}
 	eng, err := newEngine(cfg.engine)
 	if err != nil {
-		return err
+		return res, err
 	}
 	engines.SetParallel(eng, cfg.workers)
+	engines.SetBudget(eng, cfg.budget)
 	// The abstract tier applies to the fused engine: it refutes queries
 	// before any formula is built, and its invariants prune provably-safe
 	// candidates during DFS enumeration. The analysis is computed once on
@@ -165,6 +214,7 @@ func run(cfg config) error {
 			}
 			cands := e.RunContext(ctx, spec)
 			pruned += e.Pruned
+			res.failures = append(res.failures, e.Failures...)
 			return cands, nil
 		case "summary":
 			return sparse.NewSummaryEngine(g).RunContext(ctx, spec), nil
@@ -173,11 +223,12 @@ func run(cfg config) error {
 		}
 	}
 
-	total, decided, byZone := 0, 0, 0
+	decided, byZone := 0, 0
+specs:
 	for _, spec := range specs {
 		cands, err := enumerate(spec)
 		if err != nil {
-			return err
+			return res, err
 		}
 		verdicts := eng.Check(ctx, g, cands)
 		engines.SortVerdicts(verdicts)
@@ -188,21 +239,41 @@ func run(cfg config) error {
 			if v.DecidedByZone {
 				byZone++
 			}
+			if v.Failure != nil {
+				res.failures = append(res.failures, v.Failure)
+				continue
+			}
+			if v.Degraded {
+				res.degraded++
+			}
 			switch v.Status {
 			case sat.Sat:
-				total++
+				res.findings++
 				fmt.Fprintln(cfg.out, checker.Describe(v.Cand))
 				if cfg.showPaths {
 					fmt.Fprintf(cfg.out, "    path: %s\n", v.Cand.Path)
 				}
+			case sat.Unsat:
+				if v.Degraded {
+					fmt.Fprintf(cfg.out, "[%s] refuted at degraded %s tier after budget exhaustion: %s\n",
+						spec.Name, v.Tier, v.Cand.Path)
+				}
 			case sat.Unknown:
-				fmt.Fprintf(cfg.out, "[%s] undecided within budget: %s\n", spec.Name, v.Cand.Path)
+				note := ""
+				if v.Degraded {
+					note = " (budget exhausted; degraded tiers could not refute)"
+				}
+				fmt.Fprintf(cfg.out, "[%s] undecided within budget%s: %s\n", spec.Name, note, v.Cand.Path)
 			}
+		}
+		if cfg.failFast && len(res.failures) > 0 {
+			fmt.Fprintf(cfg.out, "fail-fast: stopping after %d unit failure(s)\n", len(res.failures))
+			break specs
 		}
 		if cfg.joint {
 			jc, ok := eng.(engines.JointChecker)
 			if !ok {
-				return fmt.Errorf("engine %s does not support joint checking", eng.Name())
+				return res, fmt.Errorf("engine %s does not support joint checking", eng.Name())
 			}
 			for _, jv := range engines.CheckJoint(ctx, jc, g, cands) {
 				verdict := "jointly infeasible"
@@ -215,9 +286,39 @@ func run(cfg config) error {
 			}
 		}
 	}
+	if f := prog.AbsintFailure(); f != nil {
+		res.failures = append(res.failures, f)
+	}
 	if useAbsint {
 		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies) (%d by zone), pruned %d candidate(s)\n", decided, byZone, pruned)
 	}
-	fmt.Fprintf(cfg.out, "%d bug(s) reported by %s\n", total, eng.Name())
-	return nil
+	printFailures(cfg.out, res.failures)
+	if res.degraded > 0 {
+		fmt.Fprintf(cfg.out, "%d verdict(s) degraded after budget exhaustion\n", res.degraded)
+	}
+	fmt.Fprintf(cfg.out, "%d bug(s) reported by %s\n", res.findings, eng.Name())
+	return res, nil
+}
+
+// printFailures renders the per-unit failure summary table: which unit
+// crashed, at which pipeline stage, and a stable digest of the sanitized
+// stack for cross-run correlation.
+func printFailures(out interface{ Write([]byte) (int, error) }, fails []*failure.UnitFailure) {
+	if len(fails) == 0 {
+		return
+	}
+	uw, sw := len("unit"), len("stage")
+	for _, f := range fails {
+		if len(f.Unit) > uw {
+			uw = len(f.Unit)
+		}
+		if len(f.Stage) > sw {
+			sw = len(f.Stage)
+		}
+	}
+	fmt.Fprintf(out, "%d unit failure(s):\n", len(fails))
+	fmt.Fprintf(out, "  %-*s  %-*s  %-8s  %s\n", uw, "unit", sw, "stage", "digest", "error")
+	for _, f := range fails {
+		fmt.Fprintf(out, "  %-*s  %-*s  %-8s  %v\n", uw, f.Unit, sw, f.Stage, f.Digest(), f.Value)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,9 @@ import (
 	"time"
 
 	"fusion/internal/driver"
+	"fusion/internal/engines"
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 )
 
 func writeTemp(t *testing.T, src string) string {
@@ -40,7 +44,7 @@ func TestRunReportsFeasibleOnly(t *testing.T) {
 	path := writeTemp(t, testSrc)
 	for _, engine := range []string{"fusion", "pinpoint", "fusion-unopt", "pinpoint+lfs"} {
 		var out bytes.Buffer
-		err := run(config{path: path, checker: "null-deref", engine: engine, prelude: true, out: &out})
+		_, err := run(config{path: path, checker: "null-deref", engine: engine, prelude: true, out: &out})
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
@@ -60,7 +64,7 @@ fun f(a: int) {
     }
 }`)
 	var out bytes.Buffer
-	if err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, showPaths: true, out: &out}); err != nil {
+	if _, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, showPaths: true, out: &out}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "cwe-402") || !strings.Contains(out.String(), "path:") {
@@ -84,7 +88,7 @@ fun f(a: int) {
     sendmsg(c, d);
 }`)
 	var out bytes.Buffer
-	if err := run(config{path: path, checker: "cwe-402", engine: "fusion", prelude: true, joint: true, out: &out}); err != nil {
+	if _, err := run(config{path: path, checker: "cwe-402", engine: "fusion", prelude: true, joint: true, out: &out}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "jointly infeasible") {
@@ -94,21 +98,21 @@ fun f(a: int) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeTemp(t, testSrc)
-	if err := run(config{path: path, checker: "bogus", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+	if _, err := run(config{path: path, checker: "bogus", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
 		t.Error("expected unknown-checker error")
 	}
-	if err := run(config{path: path, checker: "null-deref", engine: "bogus", prelude: true, out: &bytes.Buffer{}}); err == nil {
+	if _, err := run(config{path: path, checker: "null-deref", engine: "bogus", prelude: true, out: &bytes.Buffer{}}); err == nil {
 		t.Error("expected unknown-engine error")
 	}
-	if err := run(config{path: "/does/not/exist", checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+	if _, err := run(config{path: "/does/not/exist", checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
 		t.Error("expected file error")
 	}
 	bad := writeTemp(t, "fun f( {")
-	if err := run(config{path: bad, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+	if _, err := run(config{path: bad, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
 		t.Error("expected parse error")
 	}
 	semabad := writeTemp(t, "fun f() { x = 1; }")
-	if err := run(config{path: semabad, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
+	if _, err := run(config{path: semabad, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}}); err == nil {
 		t.Error("expected sema error")
 	}
 }
@@ -127,7 +131,7 @@ func TestEngineFactory(t *testing.T) {
 func TestRunDOT(t *testing.T) {
 	path := writeTemp(t, testSrc)
 	var out bytes.Buffer
-	if err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, dot: true, out: &out}); err != nil {
+	if _, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, dot: true, out: &out}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -141,16 +145,16 @@ func TestRunSummaryEnumeration(t *testing.T) {
 	var dfs, sum bytes.Buffer
 	// The abstract tier prunes during DFS but not during summary
 	// enumeration, so compare the two with the tier off.
-	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "dfs", absint: driver.AbsintOff, out: &dfs}); err != nil {
+	if _, err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "dfs", absint: driver.AbsintOff, out: &dfs}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "summary", absint: driver.AbsintOff, out: &sum}); err != nil {
+	if _, err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "summary", absint: driver.AbsintOff, out: &sum}); err != nil {
 		t.Fatal(err)
 	}
 	if dfs.String() != sum.String() {
 		t.Errorf("enumerations disagree:\n--- dfs ---\n%s--- summary ---\n%s", dfs.String(), sum.String())
 	}
-	if err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "bogus", out: &sum}); err == nil {
+	if _, err := run(config{path: path, checker: "null-deref", engine: "fusion", prelude: true, enum: "bogus", out: &sum}); err == nil {
 		t.Error("expected error for unknown enumeration")
 	}
 }
@@ -161,10 +165,10 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	path := writeTemp(t, testSrc)
 	for _, engine := range []string{"fusion", "pinpoint", "infer"} {
 		var seq, par bytes.Buffer
-		if err := run(config{path: path, checker: "all", engine: engine, prelude: true, showPaths: true, workers: 1, out: &seq}); err != nil {
+		if _, err := run(config{path: path, checker: "all", engine: engine, prelude: true, showPaths: true, workers: 1, out: &seq}); err != nil {
 			t.Fatalf("%s workers=1: %v", engine, err)
 		}
-		if err := run(config{path: path, checker: "all", engine: engine, prelude: true, showPaths: true, workers: 8, out: &par}); err != nil {
+		if _, err := run(config{path: path, checker: "all", engine: engine, prelude: true, showPaths: true, workers: 8, out: &par}); err != nil {
 			t.Fatalf("%s workers=8: %v", engine, err)
 		}
 		if seq.String() != par.String() {
@@ -177,8 +181,137 @@ func TestRunWorkersDeterministic(t *testing.T) {
 // promptly with an error rather than hanging.
 func TestRunTimeout(t *testing.T) {
 	path := writeTemp(t, testSrc)
-	err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, timeout: time.Nanosecond, out: &bytes.Buffer{}})
+	_, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, timeout: time.Nanosecond, out: &bytes.Buffer{}})
 	if err == nil {
 		t.Fatal("expected a deadline error from an expired budget")
+	}
+}
+
+func TestOutcomeExitCodes(t *testing.T) {
+	cases := []struct {
+		o    outcome
+		want int
+	}{
+		{outcome{}, 0},
+		{outcome{findings: 3}, 1},
+		{outcome{degraded: 1}, 2},
+		{outcome{failures: []*failure.UnitFailure{{Unit: "u"}}}, 2},
+		{outcome{findings: 5, degraded: 1}, 2}, // impairment trumps findings
+		{outcome{findings: 5, failures: []*failure.UnitFailure{{Unit: "u"}}}, 2},
+	}
+	for _, c := range cases {
+		if got := c.o.exitCode(); got != c.want {
+			t.Errorf("%+v: exit %d, want %d", c.o, got, c.want)
+		}
+	}
+}
+
+// TestRunInjectedFailureSummary arms a forced check-stage panic and checks
+// the CLI completes the batch, renders the failure summary table, and maps
+// the outcome to exit 2 — identically at workers 1 and 8.
+func TestRunInjectedFailureSummary(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	if err := faultinject.ArmSpec("panic.check:null-deref"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var seq, par bytes.Buffer
+	res, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, workers: 1, out: &seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.failures) == 0 || res.exitCode() != 2 {
+		t.Fatalf("armed panic not surfaced: %+v", res)
+	}
+	s := seq.String()
+	for _, want := range []string{"unit failure(s):", "unit", "stage", "digest", "error", "injected fault panic.check"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("failure summary missing %q:\n%s", want, s)
+		}
+	}
+	// Other checkers' verdicts survive the crashed units.
+	if !strings.Contains(s, "bug(s) reported") {
+		t.Errorf("batch did not complete:\n%s", s)
+	}
+	if _, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, workers: 8, out: &par}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("workers=1 and workers=8 outputs differ under injection:\n--- 1 ---\n%s--- 8 ---\n%s", seq.String(), par.String())
+	}
+}
+
+// TestRunFailFast stops after the first spec with a contained failure
+// instead of checking the remaining specs.
+func TestRunFailFast(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	if err := faultinject.ArmSpec("panic.check:null-deref"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var out bytes.Buffer
+	res, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, failFast: true, out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.exitCode() != 2 {
+		t.Fatalf("fail-fast run must be impaired: %+v", res)
+	}
+	if !strings.Contains(out.String(), "fail-fast: stopping after") {
+		t.Errorf("missing fail-fast notice:\n%s", out.String())
+	}
+}
+
+// TestRunBudgetDegradation drives the CLI budget flags: a one-step SAT
+// budget exhausts the bit-precise tier and the output reports the
+// degraded-tier refutation and exit code 2.
+func TestRunBudgetDegradation(t *testing.T) {
+	path := writeTemp(t, `
+fun f(a: int) {
+    var p: ptr = null;
+    if (a * a == 1442401) {
+        deref(p);
+    }
+}
+`)
+	var out bytes.Buffer
+	res, err := run(config{
+		path: path, checker: "null-deref", engine: "fusion", prelude: true,
+		absint: driver.AbsintOff, budget: engines.Budget{Steps: 1}, out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.degraded == 0 || res.exitCode() != 2 {
+		t.Fatalf("one-step budget did not degrade: %+v\n%s", res, out.String())
+	}
+	if len(res.failures) != 0 {
+		t.Fatalf("degradation must not be a unit failure: %+v", res.failures)
+	}
+	s := out.String()
+	if !strings.Contains(s, "budget exhausted") && !strings.Contains(s, "budget exhaustion") {
+		t.Errorf("output does not mention the exhausted budget:\n%s", s)
+	}
+	if !strings.Contains(s, "verdict(s) degraded after budget exhaustion") {
+		t.Errorf("missing degradation summary:\n%s", s)
+	}
+}
+
+// TestRunCompileStageInjection arms a front-end stage panic: the compile
+// fails as a contained error naming the stage rather than crashing the
+// process.
+func TestRunCompileStageInjection(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	if err := faultinject.ArmSpec("panic.sema"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	_, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, out: &bytes.Buffer{}})
+	if err == nil {
+		t.Fatal("injected front-end panic must fail the run")
+	}
+	var f *failure.UnitFailure
+	if !errors.As(err, &f) || f.Stage != "sema" {
+		t.Errorf("want a sema-stage unit failure, got %v", err)
 	}
 }

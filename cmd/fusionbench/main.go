@@ -4,7 +4,13 @@
 // Usage:
 //
 //	fusionbench [-experiment NAME|all] [-scale F] [-subjects a,b,c] [-budget D]
-//	            [-workers N] [-timeout D]
+//	            [-workers N] [-timeout D] [-fail-fast]
+//
+// Exit status: 0 when every experiment ran to completion, 1 on a harness
+// error, 2 on bad usage or when any engine run contained a unit crash.
+// Expected budget exhaustion (the "time out" / "memory out" rows of the
+// tables — the QE/AR variants are supposed to hit them) is part of a
+// normal run and does not affect the exit status.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"time"
 
 	"fusion/internal/bench"
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 	"fusion/internal/progen"
 )
 
@@ -29,7 +37,12 @@ func main() {
 	parallel := flag.Int("parallel", 0, "deprecated alias for -workers")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the whole invocation (0 = none)")
 	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals + zone), intervals (zone disabled), or off")
+	failFast := flag.Bool("fail-fast", false, "stop after the first experiment whose runs contained a unit crash (default: run all experiments, summarize at the end)")
 	flag.Parse()
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "fusionbench:", err)
+		os.Exit(2)
+	}
 	if *absint != "on" && *absint != "off" && *absint != "intervals" {
 		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on, off, or intervals, got %q\n", *absint)
 		os.Exit(2)
@@ -45,12 +58,16 @@ func main() {
 		defer cancel()
 	}
 
+	var unitFailures []*failure.UnitFailure
 	opts := bench.Options{
 		Scale:         *scale,
 		Budget:        bench.Budget{Time: *budget, CondBytes: 2 << 30},
 		Workers:       *workers,
 		Absint:        *absint != "off",
 		IntervalsOnly: *absint == "intervals",
+		OnCost: func(c bench.Cost) {
+			unitFailures = append(unitFailures, c.Failures...)
+		},
 	}
 	if *subjects != "" {
 		for _, name := range strings.Split(*subjects, ",") {
@@ -93,5 +110,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (ran in %.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+		if *failFast && len(unitFailures) > 0 {
+			fmt.Fprintf(os.Stderr, "fusionbench: fail-fast: stopping after %s\n", name)
+			break
+		}
+	}
+	if len(unitFailures) > 0 {
+		fmt.Fprintf(os.Stderr, "fusionbench: %d contained unit crash(es):\n", len(unitFailures))
+		for _, f := range unitFailures {
+			fmt.Fprintf(os.Stderr, "  %s [%s %s] %v\n", f.Unit, f.Stage, f.Digest(), f.Value)
+		}
+		os.Exit(2)
 	}
 }

@@ -1,6 +1,7 @@
 package absint
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,6 +36,12 @@ type Analysis struct {
 	rootZone  map[*ssa.Function]*dbm[*ssa.Value]
 	guardZone map[*ssa.Value]*dbm[*ssa.Value]
 
+	// stop, when non-nil, is the cancellation hook built from Config.Ctx:
+	// once it reports true the fixpoint assigns top to every remaining
+	// vertex (sound: top is always an over-approximation) and the zone
+	// closure stops absorbing facts.
+	stop func() bool
+
 	Stats Stats
 }
 
@@ -43,6 +50,11 @@ type Config struct {
 	// DisableZone turns off the relational (difference-bound) domain,
 	// leaving the interval tier alone — the `-absint=intervals` ablation.
 	DisableZone bool
+	// Ctx, when non-nil, cancels the analysis cooperatively: the
+	// interval fixpoint and the zone incremental closure poll it, and on
+	// expiry every vertex not yet evaluated gets the (sound) top
+	// interval instead of running to completion.
+	Ctx context.Context
 }
 
 // Stats accounts for the analysis work and precision.
@@ -90,6 +102,7 @@ func AnalyzeWith(g *pdg.Graph, cfg Config) *Analysis {
 		zone:      !cfg.DisableZone,
 		rootZone:  map[*ssa.Function]*dbm[*ssa.Value]{},
 		guardZone: map[*ssa.Value]*dbm[*ssa.Value]{},
+		stop:      pollStop(cfg.Ctx),
 	}
 	// Bottom-up call-graph order.
 	done := map[*ssa.Function]bool{}
@@ -130,6 +143,28 @@ func AnalyzeWith(g *pdg.Graph, cfg Config) *Analysis {
 // RemainingBudget exposes the instantiation budget left after analysis,
 // for tests asserting that no-information calls do not consume it.
 func (a *Analysis) RemainingBudget() int { return a.budget }
+
+// pollStop builds a cheap latching stop predicate over ctx: the context
+// is consulted every 64th call, and once cancellation is observed the
+// predicate stays true without touching the context again. Nil ctx
+// yields a nil predicate (never stop).
+func pollStop(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	n, hit := 0, false
+	return func() bool {
+		if hit {
+			return true
+		}
+		n++
+		if n&63 != 0 {
+			return false
+		}
+		hit = ctx.Err() != nil
+		return hit
+	}
+}
 
 // zoneOf returns the zone valid whenever v's guard chain holds: the
 // environment of v's innermost guard, or the function root zone for
@@ -215,9 +250,24 @@ func (a *Analysis) Annotation(v *ssa.Value) string {
 // reaches the fixpoint.
 func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, depth int) Interval {
 	local := make(map[*ssa.Value]Interval, len(f.Values))
-	ref := newRefiner(local, a.zone)
+	ref := newRefiner(local, a.zone, a.stop)
 
+	stopped := false
 	for _, v := range f.Values {
+		if !stopped && a.stop != nil && a.stop() {
+			stopped = true
+		}
+		if stopped {
+			// Cancelled: the remaining vertices get the explicit top
+			// interval — never the zero value, whose [0, 0] would be an
+			// unsound constant claim — and no further facts are derived.
+			iv := Top(width(v))
+			local[v] = iv
+			if record {
+				a.vals[v] = iv
+			}
+			continue
+		}
 		look := func(x *ssa.Value) Interval {
 			return ref.lookup(x, v.Guard)
 		}

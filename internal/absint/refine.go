@@ -33,7 +33,7 @@ type refEnv struct {
 
 const maxDeriveDepth = 64
 
-func newRefiner(local map[*ssa.Value]Interval, zone bool) *refiner {
+func newRefiner(local map[*ssa.Value]Interval, zone bool, stop func() bool) *refiner {
 	r := &refiner{
 		local: local,
 		envs:  map[*ssa.Value]*refEnv{},
@@ -42,6 +42,7 @@ func newRefiner(local map[*ssa.Value]Interval, zone bool) *refiner {
 	}
 	if zone {
 		r.empty.z = newDBM[*ssa.Value]()
+		r.empty.z.stop = stop
 	}
 	return r
 }

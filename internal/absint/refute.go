@@ -1,6 +1,8 @@
 package absint
 
 import (
+	"context"
+
 	"fusion/internal/cond"
 	"fusion/internal/lang"
 	"fusion/internal/pdg"
@@ -41,6 +43,9 @@ type refuter struct {
 	zone    *dbm[ctxVal]
 	refuted bool
 	changed bool
+	// stop, when non-nil, cuts the refutation rounds short on
+	// cancellation; an interrupted refutation simply decides nothing.
+	stop func() bool
 }
 
 const (
@@ -62,23 +67,36 @@ func (a *Analysis) RefuteSlice(sl *pdg.Slice) bool {
 // enabled — the interval+zone product. byZone reports the relational tier
 // was needed, which is the ablation's zone decision count.
 func (a *Analysis) RefuteSliceTiered(sl *pdg.Slice) (refuted, byZone bool) {
-	if a.refuteOnce(sl, false) {
-		return true, false
-	}
-	if !a.zone {
-		return false, false
-	}
-	return a.refuteOnce(sl, true), true
+	return a.refuteTiered(sl, nil)
 }
 
-func (a *Analysis) refuteOnce(sl *pdg.Slice, useZone bool) bool {
+// RefuteSliceTieredCtx is RefuteSliceTiered with cooperative
+// cancellation: once ctx expires the refuter stops deriving and decides
+// nothing further (an incomplete refutation is simply a failed one).
+func (a *Analysis) RefuteSliceTieredCtx(ctx context.Context, sl *pdg.Slice) (refuted, byZone bool) {
+	return a.refuteTiered(sl, pollStop(ctx))
+}
+
+func (a *Analysis) refuteTiered(sl *pdg.Slice, stop func() bool) (refuted, byZone bool) {
+	if a.refuteOnce(sl, false, stop) {
+		return true, false
+	}
+	if !a.zone || (stop != nil && stop()) {
+		return false, false
+	}
+	return a.refuteOnce(sl, true, stop), true
+}
+
+func (a *Analysis) refuteOnce(sl *pdg.Slice, useZone bool, stop func() bool) bool {
 	r := &refuter{
 		a: a, sl: sl, tree: cond.NewCtxTree(),
 		refined:  map[ctxVal]Interval{},
 		asserted: map[ctxVal]bool{},
+		stop:     stop,
 	}
 	if useZone {
 		r.zone = newDBM[ctxVal]()
+		r.zone.stop = stop
 	}
 	return r.run()
 }
@@ -115,6 +133,9 @@ func (r *refuter) run() bool {
 		r.memo = map[ctxVal]Interval{}
 		r.changed = false
 		for _, g := range guards {
+			if r.stop != nil && r.stop() {
+				return r.refuted
+			}
 			r.derive(g.gd, true, g.ctx, 0)
 			if r.refuted {
 				return true

@@ -34,6 +34,10 @@ const maxZoneWeight = int64(1) << 40
 type dbm[N comparable] struct {
 	edges map[diffKey[N]]int64
 	dead  bool
+	// stop, when non-nil, is polled on insertion; once it reports true
+	// new facts are dropped, which is sound (a weaker zone) and lets a
+	// cancelled analysis cut the incremental-closure work short.
+	stop func() bool
 }
 
 func newDBM[N comparable]() *dbm[N] {
@@ -41,7 +45,7 @@ func newDBM[N comparable]() *dbm[N] {
 }
 
 func (d *dbm[N]) clone() *dbm[N] {
-	nd := &dbm[N]{edges: make(map[diffKey[N]]int64, len(d.edges)), dead: d.dead}
+	nd := &dbm[N]{edges: make(map[diffKey[N]]int64, len(d.edges)), dead: d.dead, stop: d.stop}
 	for k, c := range d.edges {
 		nd.edges[k] = c
 	}
@@ -77,6 +81,9 @@ func (d *dbm[N]) add(x, y N, c int64) bool {
 	}
 	if len(d.edges) >= maxZoneEdges {
 		return false // capacity: drop the fact, keep the zone sound
+	}
+	if d.stop != nil && d.stop() {
+		return false // cancelled: drop the fact, keep the zone sound
 	}
 	// Incremental closure: relax every path routed through the new edge.
 	// ins holds the i with i − x ≤ w (including the trivial i = x), outs
@@ -160,7 +167,7 @@ func (d *dbm[N]) join(o *dbm[N]) *dbm[N] {
 	if o.dead {
 		return d.clone()
 	}
-	nd := &dbm[N]{edges: map[diffKey[N]]int64{}}
+	nd := &dbm[N]{edges: map[diffKey[N]]int64{}, stop: d.stop}
 	for k, c := range d.edges {
 		if oc, ok := o.edges[k]; ok {
 			if oc > c {

@@ -14,6 +14,7 @@ import (
 
 	"fusion/internal/driver"
 	"fusion/internal/engines"
+	"fusion/internal/failure"
 	"fusion/internal/pdg"
 	"fusion/internal/progen"
 	"fusion/internal/sat"
@@ -51,12 +52,18 @@ func CompileAll(ctx context.Context, subs []progen.Subject, scale float64, worke
 		sub *Subject
 		err error
 	}
-	rs := driver.ParallelCheck(ctx, len(subs), workers, func(i int) result {
+	rs, fails := driver.ParallelCheck(ctx, len(subs), workers, func(i int) result {
 		s, err := Compile(ctx, subs[i], scale)
 		return result{s, err}
 	})
 	out := make([]*Subject, len(rs))
 	for i, r := range rs {
+		if f := fails[i]; f != nil {
+			// Compile contains its own panics; this only fires for a crash
+			// outside it. Name the subject instead of the slot.
+			f.Unit = subs[i].Name
+			return nil, f
+		}
 		if r.err != nil {
 			return nil, r.err
 		}
@@ -87,6 +94,17 @@ type Cost struct {
 	AbsintZone    int
 	AbsintPruned  int
 	SolverCalls   int
+	// Degraded counts verdicts whose bit-precise tier exhausted its
+	// budget; DegradedUnsat is the subset the fallback ladder still
+	// refuted (at the relational or interval tier). Degraded tiers are
+	// scored separately so precision comparisons stay honest about where
+	// each answer came from.
+	Degraded      int
+	DegradedUnsat int
+	// UnitFailures counts contained crashes (enumeration and checking);
+	// Failures carries their details in report order.
+	UnitFailures int
+	Failures     []*failure.UnitFailure
 }
 
 // Budget bounds one engine run, mirroring the paper's 12-hour/100GB limit
@@ -138,6 +156,7 @@ func RunWorkers(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engine
 	}
 	cands := senge.RunContext(rctx, spec)
 	cost.AbsintPruned = senge.Pruned
+	cost.Failures = append(cost.Failures, senge.Failures...)
 
 	verdicts := eng.Check(rctx, sub.Graph, cands)
 	cost.Time = time.Since(start)
@@ -166,6 +185,15 @@ func RunWorkers(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engine
 		case sat.Unknown:
 			cost.Unknown++
 		}
+		if v.Degraded {
+			cost.Degraded++
+			if v.Status == sat.Unsat {
+				cost.DegradedUnsat++
+			}
+		}
+		if v.Failure != nil {
+			cost.Failures = append(cost.Failures, v.Failure)
+		}
 		if v.DecidedByAbsint {
 			cost.AbsintDecided++
 			if v.DecidedByZone {
@@ -175,6 +203,7 @@ func RunWorkers(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engine
 			cost.SolverCalls++
 		}
 	}
+	cost.UnitFailures = len(cost.Failures)
 	for _, b := range sub.GT.ByChecker(spec.Name) {
 		if reportedLines[b.SinkLine] {
 			if b.Feasible {

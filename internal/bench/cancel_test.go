@@ -8,6 +8,7 @@ import (
 
 	"fusion/internal/checker"
 	"fusion/internal/engines"
+	"fusion/internal/faultinject"
 	"fusion/internal/progen"
 )
 
@@ -119,5 +120,83 @@ func TestRunWorkersDeterministic(t *testing.T) {
 			seq.SolverCalls != par.SolverCalls {
 			t.Errorf("%s: workers=1 and workers=8 disagree:\nseq %+v\npar %+v", name, seq, par)
 		}
+	}
+}
+
+// TestRunUnderInjectedPanic: a candidate that panics mid-run is contained
+// — Run completes, scores the crash as a unit failure, keeps every other
+// verdict, and leaks no goroutine. The scored counters are identical at 1
+// and 8 workers.
+func TestRunUnderInjectedPanic(t *testing.T) {
+	ctx := context.Background()
+	sub, err := Compile(ctx, progen.Subjects[9], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.ArmSpec("panic.check:null-deref"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	before := runtime.NumGoroutine()
+	budget := Budget{Time: time.Minute, CondBytes: 1 << 30}
+
+	seq := RunWorkers(ctx, sub, checker.NullDeref(), engines.NewFusion(), budget, 1)
+	par := RunWorkers(ctx, sub, checker.NullDeref(), engines.NewFusion(), budget, 8)
+	if seq.UnitFailures == 0 {
+		t.Fatal("armed panic produced no unit failures")
+	}
+	if seq.UnitFailures != par.UnitFailures || seq.Reports != par.Reports ||
+		seq.Unknown != par.Unknown {
+		t.Errorf("workers=1 and workers=8 disagree under injection:\nseq %+v\npar %+v", seq, par)
+	}
+	for i, f := range seq.Failures {
+		if f.Stage != "check" || f.Digest() != par.Failures[i].Digest() {
+			t.Errorf("failure %d: stage %q digest %s vs %s", i, f.Stage, f.Digest(), par.Failures[i].Digest())
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > before {
+		t.Errorf("goroutines leaked past Run: %d before, %d after", before, n)
+	}
+}
+
+// TestRunMixedTiersUnderInjectedExhaustion: with solver-step exhaustion
+// armed, verdicts that needed the bit-precise tier degrade and are scored
+// separately, while absint-decided and preprocessed verdicts keep their
+// original tiers — the mixed-precision batch still completes and stays
+// deterministic across worker counts.
+func TestRunMixedTiersUnderInjectedExhaustion(t *testing.T) {
+	ctx := context.Background()
+	sub, err := Compile(ctx, progen.Subjects[9], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := Budget{Time: time.Minute, CondBytes: 1 << 30}
+	clean := RunWorkers(ctx, sub, checker.NullDeref(), engines.NewFusion(), budget, 1)
+	if clean.Degraded != 0 || clean.UnitFailures != 0 {
+		t.Fatalf("clean run already impaired: %+v", clean)
+	}
+
+	if err := faultinject.ArmSpec("solver.exhaust"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	seq := RunWorkers(ctx, sub, checker.NullDeref(), engines.NewFusion(), budget, 1)
+	par := RunWorkers(ctx, sub, checker.NullDeref(), engines.NewFusion(), budget, 8)
+	if seq.UnitFailures != 0 {
+		t.Errorf("exhaustion must degrade, not fail: %+v", seq.Failures)
+	}
+	if seq.Degraded != par.Degraded || seq.DegradedUnsat != par.DegradedUnsat ||
+		seq.Reports != par.Reports || seq.Unknown != par.Unknown {
+		t.Errorf("degradation not deterministic across workers:\nseq %+v\npar %+v", seq, par)
+	}
+	if seq.Reports > clean.Reports {
+		t.Errorf("exhausted run reported more than the clean run: %d > %d", seq.Reports, clean.Reports)
 	}
 }

@@ -40,6 +40,10 @@ type Options struct {
 	// IntervalsOnly restricts the tier to the interval domain, disabling
 	// the zone relational domain — the `-absint=intervals` ablation.
 	IntervalsOnly bool
+	// OnCost observes every scored engine run, in completion order. The
+	// command-line harness uses it to tally contained unit failures and
+	// degraded verdicts for its exit status.
+	OnCost func(Cost)
 }
 
 func (o Options) scale() float64 {
@@ -79,7 +83,17 @@ func (o Options) compileAll(ctx context.Context, infos []progen.Subject) ([]*Sub
 
 // run executes one engine run with the options' workers.
 func (o Options) run(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine) Cost {
-	return RunWorkers(ctx, sub, spec, eng, o.Budget, o.workers())
+	return o.runBudget(ctx, sub, spec, eng, o.Budget)
+}
+
+// runBudget is run with an explicit budget override (some experiments
+// tighten the per-variant budget below o.Budget).
+func (o Options) runBudget(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cost {
+	c := RunWorkers(ctx, sub, spec, eng, budget, o.workers())
+	if o.OnCost != nil {
+		o.OnCost(c)
+	}
+	return c
 }
 
 // Table2 reports the subject inventory: generated size and dependence
@@ -160,7 +174,7 @@ func Fig10(ctx context.Context, opts Options) (string, error) {
 			engines.NewPinpoint(engines.HFS),
 		}
 		for _, eng := range runs {
-			c := RunWorkers(ctx, sub, spec, eng, variantBudget, opts.workers())
+			c := opts.runBudget(ctx, sub, spec, eng, variantBudget)
 			status := "ok"
 			if c.Failed {
 				status = c.FailNote
@@ -183,7 +197,7 @@ func Fig10(ctx context.Context, opts Options) (string, error) {
 			engines.NewPinpoint(engines.QE),
 			engines.NewPinpoint(engines.AR),
 		} {
-			c := RunWorkers(ctx, sub, spec, eng, variantBudget, opts.workers())
+			c := opts.runBudget(ctx, sub, spec, eng, variantBudget)
 			status := "ok"
 			if c.Failed {
 				status = c.FailNote

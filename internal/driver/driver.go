@@ -20,6 +20,8 @@ import (
 
 	"fusion/internal/absint"
 	"fusion/internal/checker"
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/sema"
@@ -122,12 +124,24 @@ type Program struct {
 	opts    Options
 	absOnce sync.Once
 	abs     *absint.Analysis
+	absFail *failure.UnitFailure
 }
 
 // Compile runs the front-end pipeline once and returns the shared
 // Program artifact. It checks ctx between stages, so a cancelled compile
 // returns promptly with the context's error.
-func Compile(ctx context.Context, src Source, opts Options) (*Program, error) {
+//
+// Every stage runs under recover: a panic anywhere in the front end is
+// contained and returned as a *failure.UnitFailure error naming the
+// stage that crashed, so one malformed source degrades one unit and
+// never the batch.
+func Compile(ctx context.Context, src Source, opts Options) (p *Program, err error) {
+	stage := "parse"
+	defer func() {
+		if v := recover(); v != nil {
+			p, err = nil, failure.FromPanicAt(src.Name, stage, v, "driver.Compile")
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
@@ -135,16 +149,21 @@ func Compile(ctx context.Context, src Source, opts Options) (*Program, error) {
 	if opts.Prelude {
 		text = checker.Prelude + text
 	}
+	faultinject.Fire("panic.parse", src.Name)
 	prog, err := lang.Parse(text)
 	if err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
+	stage = "sema"
+	faultinject.Fire("panic.sema", src.Name)
 	if errs := sema.Check(prog); len(errs) > 0 {
 		return nil, &SemaErrors{Name: src.Name, Errs: errs}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
+	stage = "ssa"
+	faultinject.Fire("panic.ssa", src.Name)
 	norm := unroll.Normalize(prog, opts.Unroll)
 	sp, err := ssa.Build(norm)
 	if err != nil {
@@ -153,6 +172,8 @@ func Compile(ctx context.Context, src Source, opts Options) (*Program, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
+	stage = "pdg"
+	faultinject.Fire("panic.pdg", src.Name)
 	g := pdg.Build(sp)
 	return &Program{
 		Name: src.Name, AST: prog, SSA: sp, Graph: g,
@@ -168,12 +189,18 @@ func CompileAll(ctx context.Context, srcs []Source, opts Options, workers int) (
 		prog *Program
 		err  error
 	}
-	rs := ParallelCheck(ctx, len(srcs), workers, func(i int) result {
+	rs, fails := ParallelCheck(ctx, len(srcs), workers, func(i int) result {
 		p, err := Compile(ctx, srcs[i], opts)
 		return result{p, err}
 	})
 	out := make([]*Program, len(rs))
 	for i, r := range rs {
+		if f := fails[i]; f != nil {
+			// Compile contains its own panics, so this only fires for a
+			// crash outside it; name the source instead of the slot.
+			f.Unit, f.Stage = srcs[i].Name, "compile"
+			return nil, f
+		}
 		if r.err != nil {
 			return nil, r.err
 		}
@@ -186,17 +213,35 @@ func CompileAll(ctx context.Context, srcs []Source, opts Options, workers int) (
 // building and caching it on first use. Nil when the program was
 // compiled with AbsintOff. The returned analysis is read-only after
 // construction and safe for concurrent use.
+//
+// A crash inside the analysis is contained: Absint then returns nil —
+// callers already treat that as "tier off", which is sound — and
+// AbsintFailure reports what happened. The failure is recorded inside
+// the sync.Once (a panicking Do still counts as done), so the analysis
+// is never retried.
 func (p *Program) Absint() *absint.Analysis {
 	if p.opts.Absint == AbsintOff {
 		return nil
 	}
 	p.absOnce.Do(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				p.abs = nil
+				p.absFail = failure.FromPanicAt(p.Name, "absint", v, "driver.(*Program).Absint")
+			}
+		}()
+		faultinject.Fire("panic.absint", p.Name)
 		p.abs = absint.AnalyzeWith(p.Graph, absint.Config{
 			DisableZone: p.opts.Absint == AbsintIntervals,
 		})
 	})
 	return p.abs
 }
+
+// AbsintFailure reports the contained crash of the lazy abstract
+// interpretation, if any. It only returns non-nil after an Absint call
+// has observed the crash.
+func (p *Program) AbsintFailure() *failure.UnitFailure { return p.absFail }
 
 // AbsintMode reports the tier mode the program was compiled with.
 func (p *Program) AbsintMode() AbsintMode { return p.opts.Absint }

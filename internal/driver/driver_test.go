@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"fusion/internal/driver"
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 )
 
 const goodSrc = `
@@ -102,17 +104,89 @@ func TestCompileAllPreservesOrderAndFirstError(t *testing.T) {
 
 func TestParallelCheckMatchesSequential(t *testing.T) {
 	fn := func(i int) int { return i * i }
-	want := driver.ParallelCheck(context.Background(), 100, 1, fn)
+	want, _ := driver.ParallelCheck(context.Background(), 100, 1, fn)
 	for _, workers := range []int{2, 8, 200} {
-		got := driver.ParallelCheck(context.Background(), 100, workers, fn)
+		got, fails := driver.ParallelCheck(context.Background(), 100, workers, fn)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: index %d: got %d, want %d", workers, i, got[i], want[i])
 			}
+			if fails[i] != nil {
+				t.Fatalf("workers=%d: index %d: unexpected failure %v", workers, i, fails[i])
+			}
 		}
 	}
-	if out := driver.ParallelCheck(context.Background(), 0, 8, fn); len(out) != 0 {
-		t.Errorf("n=0 must return an empty slice")
+	if out, fails := driver.ParallelCheck(context.Background(), 0, 8, fn); len(out) != 0 || len(fails) != 0 {
+		t.Errorf("n=0 must return empty slices")
+	}
+}
+
+func TestParallelCheckContainsPanics(t *testing.T) {
+	fn := func(i int) int {
+		if i%3 == 0 {
+			panic("boom")
+		}
+		return i * i
+	}
+	for _, workers := range []int{1, 8} {
+		out, fails := driver.ParallelCheck(context.Background(), 10, workers, fn)
+		for i := 0; i < 10; i++ {
+			if i%3 == 0 {
+				if fails[i] == nil || out[i] != 0 {
+					t.Fatalf("workers=%d: index %d: panic not contained (fail=%v out=%d)", workers, i, fails[i], out[i])
+				}
+				if !strings.Contains(fails[i].Error(), "boom") {
+					t.Errorf("failure must carry the panic value: %v", fails[i])
+				}
+			} else if fails[i] != nil || out[i] != i*i {
+				t.Fatalf("workers=%d: index %d: healthy slot disturbed (fail=%v out=%d)", workers, i, fails[i], out[i])
+			}
+		}
+	}
+}
+
+func TestCompileContainsStagePanics(t *testing.T) {
+	for _, stage := range []string{"parse", "sema", "ssa", "pdg"} {
+		if err := faultinject.ArmSpec("panic." + stage); err != nil {
+			t.Fatal(err)
+		}
+		_, err := driver.Compile(context.Background(), driver.Source{Name: "inj", Text: goodSrc}, driver.Options{Prelude: true})
+		faultinject.Reset()
+		var f *failure.UnitFailure
+		if !errors.As(err, &f) {
+			t.Fatalf("stage %s: expected a contained UnitFailure, got %v", stage, err)
+		}
+		if f.Unit != "inj" || f.Stage != stage {
+			t.Errorf("stage %s: failure names unit %q stage %q", stage, f.Unit, f.Stage)
+		}
+		if f.Digest() == "" || f.Stack == "" {
+			t.Errorf("stage %s: failure must carry a stack and digest", stage)
+		}
+	}
+}
+
+func TestAbsintCrashContained(t *testing.T) {
+	p := compile(t, goodSrc, driver.Options{Prelude: true})
+	if err := faultinject.ArmSpec("panic.absint"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	if an := p.Absint(); an != nil {
+		t.Fatal("crashed tier must read as disabled")
+	}
+	faultinject.Reset()
+	if an := p.Absint(); an != nil {
+		t.Fatal("the failed build must not be retried")
+	}
+	f := p.AbsintFailure()
+	if f == nil || f.Stage != "absint" || f.Unit != "test" {
+		t.Fatalf("AbsintFailure: %+v", f)
+	}
+	if p.Oracle() != nil {
+		t.Error("oracle must be nil after a contained tier crash")
+	}
+	if !strings.HasPrefix(p.DOT(), "digraph pdg {") {
+		t.Error("DOT must still render after a contained tier crash")
 	}
 }
 

@@ -2,8 +2,11 @@ package driver
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"fusion/internal/failure"
 )
 
 // ParallelCheck runs fn(i) for every i in [0, n) on up to workers
@@ -11,21 +14,38 @@ import (
 // identical whatever the worker count. With workers <= 1 (or n < 2) it
 // runs inline.
 //
-// Every index is evaluated even after ctx is cancelled: fn is expected to
-// observe ctx itself and return a cheap partial result (engines return
-// sat.Unknown verdicts), which keeps slots aligned with inputs instead of
-// dropping work silently. ParallelCheck returns only after every worker
-// has finished, so callers never leak a checking goroutine.
-func ParallelCheck[T any](ctx context.Context, n, workers int, fn func(i int) T) []T {
+// Every work item runs under recover: a panicking fn(i) leaves its
+// result slot at the zero value and records a *failure.UnitFailure in
+// the parallel failures slice instead of taking down the batch. The
+// failure's Unit and Stage are generic ("item i" / "check"); callers
+// that know better names rewrite them. Both slices are index-stable,
+// so which items fail is independent of the worker count.
+//
+// Every index is evaluated even after ctx is cancelled: fn is expected
+// to observe ctx itself and return a cheap partial result (engines
+// return sat.Unknown verdicts), which keeps slots aligned with inputs
+// instead of dropping work silently. ParallelCheck returns only after
+// every worker has finished, so callers never leak a checking
+// goroutine.
+func ParallelCheck[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, []*failure.UnitFailure) {
 	out := make([]T, n)
+	fails := make([]*failure.UnitFailure, n)
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				fails[i] = failure.FromPanicAt(fmt.Sprintf("item %d", i), "check", v, "driver.ParallelCheck")
+			}
+		}()
+		out[i] = fn(i)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			run(i)
 		}
-		return out
+		return out, fails
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -38,10 +58,10 @@ func ParallelCheck[T any](ctx context.Context, n, workers int, fn func(i int) T)
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				run(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, fails
 }

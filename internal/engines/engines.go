@@ -26,6 +26,8 @@ import (
 	"fusion/internal/absint"
 	"fusion/internal/cond"
 	"fusion/internal/driver"
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 	"fusion/internal/fusioncore"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
@@ -52,6 +54,15 @@ type Verdict struct {
 	// ConditionSize is the DAG size of the condition solved (0 when the
 	// engine never materializes one).
 	ConditionSize int
+	// Tier is the precision tier that produced Status (see Tier).
+	Tier Tier
+	// Degraded reports the bit-precise tier exhausted its budget and
+	// Status came from the fallback ladder (or stayed Unknown when even
+	// the cheap tiers could not decide).
+	Degraded bool
+	// Failure records a contained crash while checking this candidate;
+	// Status is then Unknown and every other field is zero.
+	Failure *failure.UnitFailure
 }
 
 // Engine decides candidate feasibility.
@@ -78,6 +89,12 @@ type SolverConfig struct {
 	// context, so one adversarial instance cannot eat the run's budget.
 	// Zero means none.
 	Deadline time.Duration
+	// Budget is the deterministic per-candidate resource budget; on
+	// exhaustion inside the bit-precise tier the engine degrades to the
+	// zone-then-interval refuters instead of reporting bare Unknown.
+	// Budget.Conflicts and Budget.Deadline override MaxConflicts and
+	// Deadline when set.
+	Budget Budget
 }
 
 // SortVerdicts orders verdicts by source position — sink line/column
@@ -107,6 +124,12 @@ func SortVerdicts(vs []Verdict) {
 
 func (c SolverConfig) options() solver.Options {
 	o := solver.Options{Timeout: c.Timeout, MaxConflicts: c.MaxConflicts}
+	if c.Budget.Conflicts > 0 {
+		o.MaxConflicts = c.Budget.Conflicts
+	}
+	if c.Budget.Steps > 0 {
+		o.MaxDecisions = c.Budget.Steps
+	}
 	if o.Timeout == 0 {
 		o.Timeout = 10 * time.Second
 	}
@@ -136,6 +159,9 @@ type Fusion struct {
 	peak     int64
 	absG     *pdg.Graph
 	abs      *absint.Analysis
+	// fb is the lazily-built fallback analysis the degradation ladder
+	// consults when the engine runs without its own absint tier.
+	fb fallbackTier
 }
 
 // Absint returns the engine's interval analysis for the graph, building
@@ -166,22 +192,37 @@ func (e *Fusion) Name() string { return "fusion" }
 // Check implements Engine.
 func (e *Fusion) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
 	e.Absint(g) // build the shared analysis once, outside the pool
-	return driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
+	vs, fails := driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
 		return e.checkOne(ctx, g, cands[i])
 	})
+	attachFailures(vs, fails, cands)
+	return vs
 }
 
-func (e *Fusion) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidate) Verdict {
-	if ctx.Err() != nil {
+func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate) Verdict {
+	if parent.Err() != nil {
 		return Verdict{Cand: c, Status: sat.Unknown}
 	}
-	ctx, cancel := e.Cfg.candidateCtx(ctx)
+	if faultinject.Enabled() {
+		unit := UnitLabel(c)
+		faultinject.Fire("panic.check", unit)
+		faultinject.Delay(unit, 50*time.Millisecond)
+	}
+	ctx, cancel := e.Cfg.candidateCtx(parent)
 	defer cancel()
 	b := smt.NewBuilder()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
 	opts.Constraints = c.Constraints(0)
 	opts.Absint = e.Absint(g)
+	if e.Cfg.Budget.MaxHeapDelta > 0 && opts.MaxHeapDelta == 0 {
+		opts.MaxHeapDelta = e.Cfg.Budget.MaxHeapDelta
+	}
+	if faultinject.Exhaust(UnitLabel(c)) {
+		// Artificial solver-step exhaustion: the real budget machinery
+		// runs and exhausts on the first branching decision.
+		opts.Solver.MaxDecisions = 1
+	}
 	t0 := time.Now()
 	r := fusioncore.Solve(ctx, b, g, []pdg.Path{c.Path}, opts)
 	v := Verdict{
@@ -189,6 +230,22 @@ func (e *Fusion) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidate)
 		DecidedByAbsint: r.DecidedByAbsint,
 		DecidedByZone:   r.DecidedByZone,
 		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
+		Tier: tierOf(r.Status, r.DecidedByAbsint, r.DecidedByZone),
+	}
+	// The per-candidate deadline firing (parent still alive) is budget
+	// exhaustion too, even though the solver saw it as ctx cancellation.
+	exhausted := r.Exhausted ||
+		(r.Status == sat.Unknown && ctx.Err() != nil && parent.Err() == nil)
+	if exhausted {
+		// Degradation ladder: when the engine's own absint tier already
+		// failed to refute before the solve, re-running it cannot help —
+		// the verdict stays Unknown but is tagged degraded. Without the
+		// tier, the cheap refuters get their first look now.
+		if opts.Absint != nil {
+			v.Degraded, v.Tier = true, TierUnknown
+		} else {
+			degradeVerdict(parent, e.fb.analysis(g), g, c, &v)
+		}
 	}
 	e.mu.Lock()
 	if b.EstimatedBytes() > e.peak {
@@ -198,10 +255,15 @@ func (e *Fusion) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidate)
 	return v
 }
 
-// candidateCtx derives the per-candidate deadline context from ctx.
+// candidateCtx derives the per-candidate deadline context from ctx,
+// honoring the tighter of Deadline and Budget.Deadline.
 func (c SolverConfig) candidateCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if c.Deadline > 0 {
-		return context.WithTimeout(ctx, c.Deadline)
+	d := c.Deadline
+	if c.Budget.Deadline > 0 && (d == 0 || c.Budget.Deadline < d) {
+		d = c.Budget.Deadline
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
 	}
 	return ctx, func() {}
 }
@@ -258,6 +320,9 @@ type Pinpoint struct {
 	mu sync.Mutex
 	// QEBudget bounds projection in the QE variant.
 	QEBudget int
+	// fb is the lazily-built fallback analysis for the degradation
+	// ladder (the conventional design has no absint tier of its own).
+	fb fallbackTier
 }
 
 // NewPinpoint returns a conventional engine of the given variant.
@@ -273,27 +338,42 @@ func (e *Pinpoint) ConditionBytes() int64 { return e.cache.EstimatedBytes() }
 
 // Check implements Engine.
 func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
-	return driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
+	vs, fails := driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
 		c := cands[i]
 		if ctx.Err() != nil {
 			return Verdict{Cand: c, Status: sat.Unknown}
 		}
-		t0 := time.Now()
-		st, pre, size := e.checkOne(ctx, g, c)
-		return Verdict{
-			Cand: c, Status: st, Preprocessed: pre,
-			SolveTime: time.Since(t0), ConditionSize: size,
+		if faultinject.Enabled() {
+			unit := UnitLabel(c)
+			faultinject.Fire("panic.check", unit)
+			faultinject.Delay(unit, 50*time.Millisecond)
 		}
+		t0 := time.Now()
+		r, size := e.checkOne(ctx, g, c)
+		v := Verdict{
+			Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
+			SolveTime: time.Since(t0), ConditionSize: size,
+			Tier: tierOf(r.Status, false, false),
+		}
+		if r.Status == sat.Unknown && r.Exhausted {
+			degradeVerdict(ctx, e.fb.analysis(g), g, c, &v)
+		}
+		return v
 	})
+	attachFailures(vs, fails, cands)
+	return vs
 }
 
-func (e *Pinpoint) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidate) (sat.Status, bool, int) {
-	ctx, cancel := e.Cfg.candidateCtx(ctx)
+func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate) (solver.Result, int) {
+	ctx, cancel := e.Cfg.candidateCtx(parent)
 	defer cancel()
 	sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
 	c.ApplyConstraint(sl, 0)
 	opts := e.Cfg.options()
 	opts.Ctx = ctx
+	if faultinject.Exhaust(UnitLabel(c)) {
+		opts.MaxDecisions = 1
+	}
 
 	// The shared summary cache is a single-writer term store: everything
 	// from translation on runs under the cache lock.
@@ -301,28 +381,37 @@ func (e *Pinpoint) checkOne(ctx context.Context, g *pdg.Graph, c sparse.Candidat
 	defer e.mu.Unlock()
 	b := e.cache
 
+	var r solver.Result
+	var size int
 	if e.Variant == AR {
-		return e.checkRefined(b, sl, opts)
-	}
-
-	tr := cond.Translate(b, sl)
-	phi := tr.Phi
-	switch e.Variant {
-	case QE:
-		phi = e.eliminate(ctx, b, phi, sl)
-	case LFS:
-		phi = smt.SimplifyLocal(b, phi)
-	case HFS:
-		cs := &smt.ContextSimplifier{
-			Solve: func(bb *smt.Builder, q *smt.Term) (bool, bool) {
-				return solver.Decide(bb, q, opts)
-			},
-			MaxQueries: 32,
+		r, size = e.checkRefined(b, sl, opts)
+	} else {
+		tr := cond.Translate(b, sl)
+		phi := tr.Phi
+		switch e.Variant {
+		case QE:
+			phi = e.eliminate(ctx, b, phi, sl)
+		case LFS:
+			phi = smt.SimplifyLocal(b, phi)
+		case HFS:
+			cs := &smt.ContextSimplifier{
+				Solve: func(bb *smt.Builder, q *smt.Term) (bool, bool) {
+					return solver.Decide(bb, q, opts)
+				},
+				MaxQueries: 32,
+			}
+			phi = cs.Simplify(b, phi)
 		}
-		phi = cs.Simplify(b, phi)
+		r = solver.Solve(b, phi, opts)
+		size = r.SizeBefore
 	}
-	r := solver.Solve(b, phi, opts)
-	return r.Status, r.Preprocessed, r.SizeBefore
+	// The per-candidate deadline firing (parent still alive) counts as
+	// budget exhaustion, not outside cancellation.
+	if r.Status == sat.Unknown && !r.Exhausted &&
+		ctx.Err() != nil && parent.Err() == nil {
+		r.Exhausted = true
+	}
+	return r, size
 }
 
 // eliminate projects the condition onto the root functions' variables —
@@ -374,23 +463,20 @@ func (e *Pinpoint) eliminate(ctx context.Context, b *smt.Builder, phi *smt.Term,
 // truncated at increasing context depths, stopping early on unsat (the
 // truncation over-approximates) and refining on sat until nothing was
 // truncated.
-func (e *Pinpoint) checkRefined(b *smt.Builder, sl *pdg.Slice, opts solver.Options) (sat.Status, bool, int) {
+func (e *Pinpoint) checkRefined(b *smt.Builder, sl *pdg.Slice, opts solver.Options) (solver.Result, int) {
 	size := 0
 	for depth := 1; ; depth++ {
 		tr := cond.TranslateDepth(b, sl, depth)
 		r := solver.Solve(b, tr.Phi, opts)
 		size = r.SizeBefore
-		if r.Status == sat.Unsat {
-			return sat.Unsat, r.Preprocessed, size
-		}
-		if r.Status == sat.Unknown {
-			return sat.Unknown, false, size
-		}
-		if !tr.Truncated {
-			return r.Status, r.Preprocessed, size
+		if r.Status == sat.Unsat || r.Status == sat.Unknown || !tr.Truncated {
+			return r, size
 		}
 		if depth > 64 {
-			return sat.Unknown, false, size
+			// Refinement ran out of depth: the truncated Sat answers are
+			// inconclusive, which is a budget-shaped outcome.
+			r.Status, r.Preprocessed, r.Exhausted = sat.Unknown, false, true
+			return r, size
 		}
 	}
 }
@@ -444,10 +530,13 @@ func (e *Infer) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidat
 	if ctx.Err() == nil {
 		e.buildSpecs(g)
 	}
-	return driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
+	vs, fails := driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
 		c := cands[i]
 		if ctx.Err() != nil {
 			return Verdict{Cand: c, Status: sat.Unknown}
+		}
+		if faultinject.Enabled() {
+			faultinject.Fire("panic.check", UnitLabel(c))
 		}
 		st := sat.Sat // no feasibility check: every flow is reported
 		if crossings(c.Path) > e.MaxSummaryDepth {
@@ -455,6 +544,8 @@ func (e *Infer) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidat
 		}
 		return Verdict{Cand: c, Status: st}
 	})
+	attachFailures(vs, fails, cands)
+	return vs
 }
 
 func crossings(p pdg.Path) int {

@@ -1,0 +1,162 @@
+package engines
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fusion/internal/absint"
+	"fusion/internal/failure"
+	"fusion/internal/pdg"
+	"fusion/internal/sat"
+	"fusion/internal/sparse"
+)
+
+// Tier labels the precision of the procedure that produced a verdict,
+// in ascending precision order. The zero value is TierUnknown so that
+// synthesized verdicts (cancelled or failed slots) carry an honest tag.
+type Tier int
+
+// Precision tiers.
+const (
+	// TierUnknown: nothing decided feasibility — the candidate is
+	// undecided, or the engine never consults the tiered stack (Infer).
+	TierUnknown Tier = iota
+	// TierInterval: the interval abstract domain refuted the query.
+	TierInterval
+	// TierRelational: the zone (difference-bound) domain refuted it.
+	TierRelational
+	// TierExact: the bit-precise solve (preprocessing, probe, or CDCL
+	// search) decided it.
+	TierExact
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierInterval:
+		return "interval"
+	case TierRelational:
+		return "relational"
+	case TierExact:
+		return "exact"
+	default:
+		return "unknown"
+	}
+}
+
+// Budget bounds the per-candidate work of the bit-precise tier. Unlike
+// a wall-clock timeout, Steps, Conflicts, and MaxHeapDelta are exact
+// counts, so exhaustion — and therefore the degradation ladder — is
+// deterministic across machines and worker counts. Zero fields are
+// unbounded.
+type Budget struct {
+	// Steps bounds SAT branching decisions per candidate.
+	Steps int64
+	// Conflicts bounds SAT conflicts per candidate.
+	Conflicts int64
+	// Deadline bounds each candidate's whole check by wall clock.
+	Deadline time.Duration
+	// MaxHeapDelta bounds the bytes of new formula a candidate's
+	// residual construction may allocate in the shared builder.
+	MaxHeapDelta int64
+}
+
+// IsZero reports an entirely unbounded budget.
+func (b Budget) IsZero() bool { return b == Budget{} }
+
+// SetBudget configures the per-candidate budget on engines that have a
+// bit-precise tier; other engines are left unchanged.
+func SetBudget(e Engine, b Budget) {
+	switch x := e.(type) {
+	case *Fusion:
+		x.Cfg.Budget = b
+	case *Pinpoint:
+		x.Cfg.Budget = b
+	}
+}
+
+// UnitLabel names one candidate for failure reports and fault-injection
+// matching: checker name, sink position, source position, and argument
+// index, all stable under enumeration order and worker count.
+func UnitLabel(c sparse.Candidate) string {
+	name := ""
+	if c.Spec != nil {
+		name = c.Spec.Name
+	}
+	return fmt.Sprintf("%s %d:%d<-%d:%d#%d", name,
+		c.Sink.Pos.Line, c.Sink.Pos.Col,
+		c.Source.Pos.Line, c.Source.Pos.Col, c.ArgIdx)
+}
+
+// tierOf tags a bit-precise tier outcome: a decided status is Exact
+// unless the abstract tier short-circuited the solve.
+func tierOf(st sat.Status, byAbsint, byZone bool) Tier {
+	switch {
+	case st == sat.Unknown:
+		return TierUnknown
+	case byZone:
+		return TierRelational
+	case byAbsint:
+		return TierInterval
+	default:
+		return TierExact
+	}
+}
+
+// attachFailures converts contained per-candidate crashes into verdict
+// slots: the failed candidate keeps its input slot with an Unknown
+// status and the failure attached, so one crash degrades one unit and
+// the batch stays index-stable.
+func attachFailures(vs []Verdict, fails []*failure.UnitFailure, cands []sparse.Candidate) {
+	for i, f := range fails {
+		if f == nil {
+			continue
+		}
+		f.Unit, f.Stage = UnitLabel(cands[i]), "check"
+		vs[i] = Verdict{Cand: cands[i], Status: sat.Unknown, Failure: f}
+	}
+}
+
+// fallbackTier lazily builds one abstract interpretation per graph for
+// the degradation ladder of engines that do not already run the tier.
+type fallbackTier struct {
+	mu sync.Mutex
+	g  *pdg.Graph
+	an *absint.Analysis
+}
+
+func (f *fallbackTier) analysis(g *pdg.Graph) *absint.Analysis {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.g != g {
+		f.an = absint.Analyze(g)
+		f.g = g
+	}
+	return f.an
+}
+
+// degradeVerdict is the graceful-degradation ladder: after the
+// bit-precise tier exhausted its budget, re-check the candidate with
+// the zone-then-interval refuters for a best-effort verdict. A
+// refutation is sound at any tier (the domains over-approximate), so a
+// degraded Unsat is still a real Unsat — it is tagged with the tier
+// that earned it instead of collapsing to a bare Unknown. The ladder
+// never reports Sat: feasibility claims stay with the exact tier.
+func degradeVerdict(ctx context.Context, an *absint.Analysis, g *pdg.Graph, c sparse.Candidate, v *Verdict) {
+	v.Degraded = true
+	v.Tier = TierUnknown
+	if an == nil || ctx.Err() != nil {
+		return
+	}
+	sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
+	c.ApplyConstraint(sl, 0)
+	if refuted, byZone := an.RefuteSliceTieredCtx(ctx, sl); refuted {
+		v.Status = sat.Unsat
+		if byZone {
+			v.Tier = TierRelational
+		} else {
+			v.Tier = TierInterval
+		}
+	}
+}

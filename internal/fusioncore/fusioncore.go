@@ -59,6 +59,12 @@ type Options struct {
 	// no formula built at all, and its invariant bounds on path-step
 	// vertices are exported as extra conjuncts of the residual.
 	Absint *absint.Analysis
+	// MaxHeapDelta, when positive, bounds how many bytes of new formula
+	// the residual construction may allocate in the shared builder. A
+	// query whose residual grows past the bound is not solved: the
+	// result reports Unknown with Exhausted set, so the caller can fall
+	// back to a cheaper tier instead of risking the batch's memory.
+	MaxHeapDelta int64
 }
 
 func (o Options) inlineThreshold() int {
@@ -155,7 +161,7 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 	// unsat without building a formula (and soundness tests hold it to
 	// that).
 	if opts.Absint != nil {
-		if refuted, byZone := opts.Absint.RefuteSliceTiered(sl); refuted {
+		if refuted, byZone := opts.Absint.RefuteSliceTieredCtx(ctx, sl); refuted {
 			res.Status = sat.Unsat
 			res.DecidedByAbsint = true
 			res.DecidedByZone = byZone
@@ -192,11 +198,19 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 		}
 	}
 
+	heapBefore := b.EstimatedBytes()
 	r := buildResidual(b, g, sl, opts)
 	res.LocalPreprocessTime = r.st.localPrep
 	res.AbsintBounds = r.st.absintBounds
 	res.AbsintDiffs = r.st.absintDiffs
 	res.Phi = r.phi
+	if opts.MaxHeapDelta > 0 && b.EstimatedBytes()-heapBefore > opts.MaxHeapDelta {
+		res.Status = sat.Unknown
+		res.Exhausted = true
+		res.Clones = len(r.st.emitted)
+		res.QuickPaths = r.st.quickUses
+		return res
+	}
 	res.Result = solver.Solve(b, r.phi, opts.Solver)
 	res.Clones = len(r.st.emitted)
 	res.QuickPaths = r.st.quickUses

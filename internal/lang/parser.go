@@ -7,9 +7,26 @@ import (
 
 // Parser builds an AST from a token stream.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// maxNestingDepth bounds statement and expression nesting. The parser is
+// recursive-descent, so an adversarial input like ((((…)))) or a tower of
+// nested blocks would otherwise exhaust the goroutine stack and crash the
+// process; past the limit it fails with an ordinary diagnostic instead.
+const maxNestingDepth = 512
+
+func (p *Parser) enter(pos Pos) error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return fmt.Errorf("%s: nesting deeper than %d levels", pos, maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a full program from source text.
 func Parse(src string) (*Program, error) {
@@ -170,6 +187,10 @@ func (p *Parser) parseBlock() (*BlockStmt, error) {
 
 func (p *Parser) parseStmt() (Stmt, error) {
 	t := p.cur()
+	if err := p.enter(t.Pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch t.Kind {
 	case KwVar:
 		p.next()
@@ -314,6 +335,10 @@ var binOpOfKind = map[Kind]BinOp{
 func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(1) }
 
 func (p *Parser) parseBin(minPrec int) (Expr, error) {
+	if err := p.enter(p.cur().Pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	lhs, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -334,6 +359,10 @@ func (p *Parser) parseBin(minPrec int) (Expr, error) {
 
 func (p *Parser) parseUnary() (Expr, error) {
 	t := p.cur()
+	if err := p.enter(t.Pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch t.Kind {
 	case Minus:
 		p.next()

@@ -171,3 +171,27 @@ func TestProgramFuncLookup(t *testing.T) {
 		t.Error("lookup of bar failed")
 	}
 }
+
+func TestParseNestingDepthLimit(t *testing.T) {
+	// Each case would previously recurse once per nesting level; past the
+	// limit the parser must return a diagnostic, not blow the stack.
+	deepExpr := "fun f(): int { return " + strings.Repeat("(", 100_000) + "1" +
+		strings.Repeat(")", 100_000) + "; }"
+	deepUnary := "fun f(): int { return " + strings.Repeat("-", 100_000) + "1; }"
+	deepBlock := "fun f() { " + strings.Repeat("{ ", 100_000) +
+		strings.Repeat("} ", 100_000) + "}"
+	for name, src := range map[string]string{
+		"expr": deepExpr, "unary": deepUnary, "block": deepBlock,
+	} {
+		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "nesting deeper than") {
+			t.Errorf("%s: want a nesting-depth diagnostic, got %v", name, err)
+		}
+	}
+
+	// Reasonable nesting still parses.
+	ok := "fun f(): int { return " + strings.Repeat("(", 100) + "1" +
+		strings.Repeat(")", 100) + "; }"
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("moderate nesting must parse: %v", err)
+	}
+}

@@ -107,6 +107,10 @@ type Solver struct {
 
 	// MaxConflicts bounds the search; <= 0 means unbounded.
 	MaxConflicts int64
+	// MaxDecisions bounds the number of branching decisions; <= 0
+	// means unbounded. Unlike the wall-clock deadline it is exact and
+	// machine-independent, so exhaustion is deterministic.
+	MaxDecisions int64
 	// Deadline aborts the search when passed; zero means none.
 	Deadline time.Time
 	// Ctx, when non-nil, cancels the search cooperatively: it is polled
@@ -116,6 +120,8 @@ type Solver struct {
 
 	seen    []bool
 	toClear []int
+
+	decisionsAtStart int64
 }
 
 // New returns an empty solver.
@@ -473,6 +479,7 @@ func (s *Solver) Solve() (Status, error) {
 	}
 	restartIdx := int64(1)
 	conflictsAtStart := s.Conflicts
+	s.decisionsAtStart = s.Decisions
 	for {
 		budget := luby(restartIdx) * 100
 		restartIdx++
@@ -535,6 +542,9 @@ func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, er
 		next := s.pickBranch()
 		if next == -1 {
 			return Sat, nil
+		}
+		if s.MaxDecisions > 0 && s.Decisions-s.decisionsAtStart >= s.MaxDecisions {
+			return Unknown, ErrBudget
 		}
 		s.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))

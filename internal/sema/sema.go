@@ -187,7 +187,10 @@ func (c *checker) checkStmt(s lang.Stmt) {
 	case *lang.ExprStmt:
 		c.checkExpr(s.X)
 	default:
-		panic(fmt.Sprintf("unknown statement %T", s))
+		// A statement kind this checker does not know is a malformed input
+		// (e.g. a hand-built AST), not a checker invariant: diagnose it
+		// instead of crashing the pipeline.
+		c.errorf(s.StmtPos(), "unknown statement %T", s)
 	}
 }
 
@@ -280,6 +283,8 @@ func (c *checker) checkExpr(e lang.Expr) lang.Type {
 		}
 		return f.Ret
 	default:
-		panic(fmt.Sprintf("unknown expression %T", e))
+		// Same policy as unknown statements: report, don't crash.
+		c.errorf(e.ExprPos(), "unknown expression %T", e)
+		return lang.TypeInvalid
 	}
 }

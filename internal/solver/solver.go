@@ -23,6 +23,10 @@ type Options struct {
 	Passes []smt.Pass
 	// MaxConflicts bounds the SAT search; <= 0 means the default budget.
 	MaxConflicts int64
+	// MaxDecisions bounds the SAT search's branching decisions; <= 0
+	// means unbounded. Decisions are counted exactly, so unlike Timeout
+	// this budget exhausts deterministically on every machine.
+	MaxDecisions int64
 	// Timeout bounds wall time of the SAT search; 0 means none. The paper
 	// runs each solver call with a 10-second limit.
 	Timeout time.Duration
@@ -58,6 +62,11 @@ type Result struct {
 	PreprocessTime        time.Duration
 	SearchTime            time.Duration
 	Conflicts             int64
+	// Exhausted reports that the search hit its own resource budget
+	// (conflicts, decisions, or deadline) rather than being cancelled
+	// from outside. Callers use it to fall back to cheaper tiers: a
+	// cancelled run should stop, an exhausted one may still degrade.
+	Exhausted bool
 }
 
 // Solve implements the conventional SMT solution of Algorithm 3: apply the
@@ -130,6 +139,9 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 	} else {
 		s.MaxConflicts = 4_000_000
 	}
+	if opts.MaxDecisions > 0 {
+		s.MaxDecisions = opts.MaxDecisions
+	}
 	if opts.Timeout > 0 {
 		s.Deadline = time.Now().Add(opts.Timeout)
 	}
@@ -141,6 +153,10 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 	res.Conflicts = s.Conflicts
 	if err != nil {
 		res.Status = sat.Unknown
+		// Budget exhaustion inside the search is distinct from outside
+		// cancellation: only the former invites a degraded re-check.
+		res.Exhausted = err == sat.ErrBudget &&
+			(opts.Ctx == nil || opts.Ctx.Err() == nil)
 		return res
 	}
 	res.Status = st

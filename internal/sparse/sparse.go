@@ -13,10 +13,13 @@ package sparse
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"fusion/internal/failure"
+	"fusion/internal/faultinject"
 	"fusion/internal/lang"
 	"fusion/internal/pdg"
 	"fusion/internal/ssa"
@@ -139,6 +142,10 @@ type Engine struct {
 	// are merged in source order, so the candidate list is byte-identical
 	// to a sequential run. 0 or 1 means sequential.
 	Workers int
+	// Failures records contained per-source enumeration crashes, in
+	// source order: a panicking search loses that source's candidates but
+	// never the run. Appended to by RunContext.
+	Failures []*failure.UnitFailure
 }
 
 // NewEngine returns an engine with default limits.
@@ -177,8 +184,11 @@ func (e *Engine) RunContext(ctx context.Context, spec *Spec) []Candidate {
 			if ctx.Err() != nil {
 				break
 			}
-			cands, pruned := e.fromSource(ctx, spec, src)
+			cands, pruned, fail := e.containedFromSource(ctx, spec, src)
 			e.Pruned += pruned
+			if fail != nil {
+				e.Failures = append(e.Failures, fail)
+			}
 			out = append(out, cands...)
 		}
 		return out
@@ -186,6 +196,7 @@ func (e *Engine) RunContext(ctx context.Context, spec *Spec) []Candidate {
 	type result struct {
 		cands  []Candidate
 		pruned int
+		fail   *failure.UnitFailure
 	}
 	results := make([]result, len(srcs))
 	var next atomic.Int64
@@ -202,20 +213,45 @@ func (e *Engine) RunContext(ctx context.Context, spec *Spec) []Candidate {
 				if ctx.Err() != nil {
 					continue // drain remaining indexes without searching
 				}
-				cands, pruned := e.fromSource(ctx, spec, srcs[i])
-				results[i] = result{cands, pruned}
+				cands, pruned, fail := e.containedFromSource(ctx, spec, srcs[i])
+				results[i] = result{cands, pruned, fail}
 			}
 		}()
 	}
 	wg.Wait()
-	// Stable merge in source order; the pruned counts fold in afterwards
-	// so the counter needs no synchronization.
+	// Stable merge in source order; the pruned counts and failures fold
+	// in afterwards so neither needs synchronization.
 	var out []Candidate
 	for _, r := range results {
 		e.Pruned += r.pruned
+		if r.fail != nil {
+			e.Failures = append(e.Failures, r.fail)
+		}
 		out = append(out, r.cands...)
 	}
 	return out
+}
+
+// SourceLabel names one enumeration unit (a spec/source pair) for failure
+// reports and fault-injection matching.
+func SourceLabel(spec *Spec, src *ssa.Value) string {
+	return fmt.Sprintf("%s source %d:%d", spec.Name, src.Pos.Line, src.Pos.Col)
+}
+
+// containedFromSource runs one per-source search under recover: a panic
+// anywhere in the traversal is returned as a *failure.UnitFailure and
+// only that source's candidates are lost.
+func (e *Engine) containedFromSource(ctx context.Context, spec *Spec, src *ssa.Value) (cands []Candidate, pruned int, fail *failure.UnitFailure) {
+	unit := SourceLabel(spec, src)
+	defer func() {
+		if v := recover(); v != nil {
+			cands, pruned = nil, 0
+			fail = failure.FromPanicAt(unit, "enum", v, "containedFromSource")
+		}
+	}()
+	faultinject.Fire("panic.enum", unit)
+	cands, pruned = e.fromSource(ctx, spec, src)
+	return cands, pruned, nil
 }
 
 // stackKey renders a call-string for the visited set.

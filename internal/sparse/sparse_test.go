@@ -9,6 +9,7 @@ import (
 
 	"fusion/internal/checker"
 	"fusion/internal/driver"
+	"fusion/internal/faultinject"
 	"fusion/internal/pdg"
 	"fusion/internal/progen"
 	"fusion/internal/sparse"
@@ -388,6 +389,55 @@ func TestRunContextCancelled(t *testing.T) {
 		}
 		if elapsed := time.Since(start); elapsed > 5*time.Second {
 			t.Errorf("workers=%d: cancelled enumeration ran %v", workers, elapsed)
+		}
+	}
+}
+
+// TestEnumPanicContained: a forced panic in one source's DFS loses that
+// source's candidates but never the run, and the surviving candidate
+// list is byte-identical for any worker count.
+func TestEnumPanicContained(t *testing.T) {
+	src := `
+fun f(a: int) {
+    var p: ptr = null;
+    if (a > 1) {
+        deref(p);
+    }
+    var q: ptr = null;
+    if (a > 2) {
+        deref(q);
+    }
+}`
+	g := buildGraph(t, src)
+	all := sparse.NewEngine(g).Run(checker.NullDeref())
+	if len(all) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(all))
+	}
+	target := sparse.SourceLabel(checker.NullDeref(), all[0].Source)
+
+	if err := faultinject.ArmSpec("panic.enum:" + target); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var base []sparse.Candidate
+	for _, workers := range []int{1, 8} {
+		e := sparse.NewEngine(g)
+		e.Workers = workers
+		cands := e.RunContext(context.Background(), checker.NullDeref())
+		if len(e.Failures) != 1 {
+			t.Fatalf("workers=%d: %d failures, want 1", workers, len(e.Failures))
+		}
+		f := e.Failures[0]
+		if f.Unit != target || f.Stage != "enum" {
+			t.Errorf("workers=%d: failure names %q/%q, want %q/enum", workers, f.Unit, f.Stage, target)
+		}
+		if len(cands) != 1 {
+			t.Fatalf("workers=%d: %d surviving candidates, want 1", workers, len(cands))
+		}
+		if base == nil {
+			base = cands
+		} else if cands[0].Sink != base[0].Sink || cands[0].Source != base[0].Source {
+			t.Errorf("workers=%d: surviving candidate differs from sequential run", workers)
 		}
 	}
 }
