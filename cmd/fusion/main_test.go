@@ -177,6 +177,58 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
+// strideSrc has a parity-infeasible division that only the congruence
+// tier can refute: the divisor e is defined before the guard, so the
+// whole-program oracle records no stride for it, and the interval tier
+// cannot evaluate the guard to a contradiction (two unknowns). Only the
+// refuter's backward %-refinement derives e ≡ 1 (mod 2) and kills zero.
+const strideSrc = `
+fun f(a: int) {
+    var d: int = user_input();
+    var n: int = user_input();
+    var e: int = d + n * 2;
+    if (d % 2 == 1) {
+        var q: int = 100 / e;
+        send(q + a);
+    }
+}
+`
+
+// TestRunStrideDeterministic checks that stride-tier refutations are
+// attributed in the CLI summary and that the output is byte-identical
+// across worker counts; with -absint=nostride the attribution vanishes
+// but the report set stays the same.
+func TestRunStrideDeterministic(t *testing.T) {
+	path := writeTemp(t, strideSrc)
+	var seq, par, nostride bytes.Buffer
+	if _, err := run(config{path: path, checker: "cwe-369", engine: "fusion", prelude: true, workers: 1, out: &seq}); err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	if _, err := run(config{path: path, checker: "cwe-369", engine: "fusion", prelude: true, workers: 8, out: &par}); err != nil {
+		t.Fatalf("workers=8: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("workers=1 and workers=8 outputs differ:\n--- 1 ---\n%s--- 8 ---\n%s", seq.String(), par.String())
+	}
+	s := seq.String()
+	if !strings.Contains(s, "by stride") || strings.Contains(s, "(0 by stride") {
+		t.Errorf("no stride-tier attribution in summary:\n%s", s)
+	}
+	if !strings.Contains(s, "0 bug(s) reported") {
+		t.Errorf("parity-infeasible division must not be reported:\n%s", s)
+	}
+	if _, err := run(config{path: path, checker: "cwe-369", engine: "fusion", prelude: true, absint: driver.AbsintNoStride, out: &nostride}); err != nil {
+		t.Fatalf("nostride: %v", err)
+	}
+	ns := nostride.String()
+	if strings.Contains(ns, "by stride") && !strings.Contains(ns, "(0 by stride") {
+		t.Errorf("nostride mode attributed a stride refutation:\n%s", ns)
+	}
+	if !strings.Contains(ns, "0 bug(s) reported") {
+		t.Errorf("report set changed under nostride (solver must still refute):\n%s", ns)
+	}
+}
+
 // TestRunTimeout checks that an already-expired budget still returns
 // promptly with an error rather than hanging.
 func TestRunTimeout(t *testing.T) {

@@ -3,6 +3,7 @@ package absint
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"fusion/internal/lang"
@@ -36,6 +37,14 @@ type Analysis struct {
 	rootZone  map[*ssa.Function]*dbm[*ssa.Value]
 	guardZone map[*ssa.Value]*dbm[*ssa.Value]
 
+	// stride enables the congruence domain; strides holds the per-vertex
+	// invariant stride (reduced against the interval, valid whenever the
+	// vertex's guard chain holds) and stSummaries the per-function return
+	// stride with top parameters, both recorded in the record pass only.
+	stride      bool
+	strides     map[*ssa.Value]Stride
+	stSummaries map[*ssa.Function]Stride
+
 	// stop, when non-nil, is the cancellation hook built from Config.Ctx:
 	// once it reports true the fixpoint assigns top to every remaining
 	// vertex (sound: top is always an over-approximation) and the zone
@@ -50,6 +59,9 @@ type Config struct {
 	// DisableZone turns off the relational (difference-bound) domain,
 	// leaving the interval tier alone — the `-absint=intervals` ablation.
 	DisableZone bool
+	// DisableStride turns off the congruence (stride) domain — the
+	// `-absint=nostride` ablation; `-absint=intervals` disables it too.
+	DisableStride bool
 	// Ctx, when non-nil, cancels the analysis cooperatively: the
 	// interval fixpoint and the zone incremental closure poll it, and on
 	// expiry every vertex not yet evaluated gets the (sound) top
@@ -67,6 +79,9 @@ type Stats struct {
 	// ZoneEdges is the total difference-bound fact count recorded across
 	// all guard environments.
 	ZoneEdges int
+	// StrideFacts counts vertices whose invariant stride is strictly
+	// below top (a proper congruence or a singleton).
+	StrideFacts int
 }
 
 type instCacheKey struct {
@@ -93,16 +108,19 @@ func Analyze(g *pdg.Graph) *Analysis { return AnalyzeWith(g, Config{}) }
 // AnalyzeWith is Analyze with explicit domain configuration.
 func AnalyzeWith(g *pdg.Graph, cfg Config) *Analysis {
 	a := &Analysis{
-		G:         g,
-		vals:      map[*ssa.Value]Interval{},
-		summaries: map[*ssa.Function]Interval{},
-		instMemo:  map[instCacheKey]Interval{},
-		visiting:  map[*ssa.Function]bool{},
-		budget:    evalBudget,
-		zone:      !cfg.DisableZone,
-		rootZone:  map[*ssa.Function]*dbm[*ssa.Value]{},
-		guardZone: map[*ssa.Value]*dbm[*ssa.Value]{},
-		stop:      pollStop(cfg.Ctx),
+		G:           g,
+		vals:        map[*ssa.Value]Interval{},
+		summaries:   map[*ssa.Function]Interval{},
+		instMemo:    map[instCacheKey]Interval{},
+		visiting:    map[*ssa.Function]bool{},
+		budget:      evalBudget,
+		zone:        !cfg.DisableZone,
+		rootZone:    map[*ssa.Function]*dbm[*ssa.Value]{},
+		guardZone:   map[*ssa.Value]*dbm[*ssa.Value]{},
+		stride:      !cfg.DisableStride,
+		strides:     map[*ssa.Value]Stride{},
+		stSummaries: map[*ssa.Function]Stride{},
+		stop:        pollStop(cfg.Ctx),
 	}
 	// Bottom-up call-graph order.
 	done := map[*ssa.Function]bool{}
@@ -136,6 +154,11 @@ func AnalyzeWith(g *pdg.Graph, cfg Config) *Analysis {
 	}
 	for _, z := range a.guardZone {
 		a.Stats.ZoneEdges += len(z.edges)
+	}
+	for _, st := range a.strides {
+		if !st.IsTop() {
+			a.Stats.StrideFacts++
+		}
 	}
 	return a
 }
@@ -216,6 +239,43 @@ func (a *Analysis) IntervalOf(v *ssa.Value) (Interval, bool) {
 	return iv, ok
 }
 
+// StrideOf returns the invariant stride of a vertex, valid whenever its
+// guard chain holds. ok is false when the congruence domain is disabled
+// or the vertex was never analyzed.
+func (a *Analysis) StrideOf(v *ssa.Value) (Stride, bool) {
+	st, ok := a.strides[v]
+	return st, ok
+}
+
+// strideInvariantOf returns v's whole-program stride, defaulting to top.
+func (a *Analysis) strideInvariantOf(v *ssa.Value) Stride {
+	if v.Op == ssa.OpConst {
+		return SingleStride(int64(int32(v.Const)))
+	}
+	if st, ok := a.strides[v]; ok {
+		return st
+	}
+	return TopStride()
+}
+
+// StrideFact returns the exportable congruence of a 32-bit vertex:
+// v ≡ r (mod m) with m >= 2 and 0 <= r < m, over the MATHEMATICAL value
+// of v. ok is false for constants, top, bottom, and singleton strides
+// (singletons already export as bounds). Encoding the fact over machine
+// arithmetic as URem(v, m) == r is exact only when m divides 2^32 or
+// v is proven non-negative — the caller must add that side condition
+// (see fusioncore's residual export).
+func (a *Analysis) StrideFact(v *ssa.Value) (m, r int64, ok bool) {
+	if width(v) != 32 || v.Op == ssa.OpConst {
+		return 0, 0, false
+	}
+	st, found := a.strides[v]
+	if !found || st.IsBottom() || st.S < 2 {
+		return 0, 0, false
+	}
+	return st.S, st.B, true
+}
+
 // Bounds returns the exportable signed bounds of a 32-bit vertex: ok is
 // false for booleans, constants, unanalyzed or top vertices, and for
 // bottom (unreachable) vertices, which the refutation tier handles.
@@ -230,17 +290,48 @@ func (a *Analysis) Bounds(v *ssa.Value) (lo, hi int64, ok bool) {
 	return iv.Lo, iv.Hi, true
 }
 
-// Annotation renders a vertex's interval for graph dumps; empty for
-// vertices without a nontrivial fact.
+// Annotation renders a vertex's abstract facts for graph dumps: the
+// interval when nontrivial, the stride when a proper congruence, and up
+// to three difference bounds from the vertex's guard environment —
+// sorted, so DOT output stays byte-identical across runs. Empty for
+// vertices without any fact.
 func (a *Analysis) Annotation(v *ssa.Value) string {
+	var parts []string
 	iv, ok := a.vals[v]
-	if !ok || iv.IsTop() {
-		return ""
+	if ok && !iv.IsTop() && !(width(v) == 1 && iv.Lo == 0 && iv.Hi == 1) {
+		parts = append(parts, iv.String())
 	}
-	if width(v) == 1 && iv.Lo == 0 && iv.Hi == 1 {
-		return ""
+	if st, ok := a.strides[v]; ok && !st.IsBottom() && st.S >= 2 {
+		parts = append(parts, st.String())
 	}
-	return iv.String()
+	if width(v) == 32 && v.Op != ssa.OpConst {
+		var rel []string
+		for _, d := range a.ZoneFacts(v) {
+			// Only proper relational facts with v on the left: bounds
+			// against the zero node restate the interval.
+			if d.X != v || d.Y == nil {
+				continue
+			}
+			rel = append(rel, fmt.Sprintf("%s−%s≤%d", zoneName(d.X), zoneName(d.Y), d.C))
+		}
+		sort.Strings(rel)
+		if len(rel) > 3 {
+			rel = rel[:3]
+		}
+		parts = append(parts, rel...)
+	}
+	return strings.Join(parts, " ")
+}
+
+// zoneName labels a DBM endpoint for annotations; nil is the zero node.
+func zoneName(x *ssa.Value) string {
+	if x == nil {
+		return "0"
+	}
+	if x.Name != "" {
+		return x.Name
+	}
+	return fmt.Sprintf("v%d", x.ID)
 }
 
 // evalFunction evaluates f's body with the given argument intervals (nil
@@ -250,7 +341,15 @@ func (a *Analysis) Annotation(v *ssa.Value) string {
 // reaches the fixpoint.
 func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, depth int) Interval {
 	local := make(map[*ssa.Value]Interval, len(f.Values))
-	ref := newRefiner(local, a.zone, a.stop)
+	// The stride domain is only tracked in the record pass: instantiation
+	// passes re-evaluate intervals per call site, where skipping the
+	// product merely costs precision, never soundness.
+	stride := a.stride && record
+	var localSt map[*ssa.Value]Stride
+	if stride {
+		localSt = make(map[*ssa.Value]Stride, len(f.Values))
+	}
+	ref := newRefiner(local, localSt, a.zone, stride, a.stop)
 
 	stopped := false
 	for _, v := range f.Values {
@@ -266,18 +365,34 @@ func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, d
 			if record {
 				a.vals[v] = iv
 			}
+			if stride {
+				localSt[v] = TopStride()
+				a.strides[v] = TopStride()
+			}
 			continue
 		}
 		look := func(x *ssa.Value) Interval {
 			return ref.lookup(x, v.Guard)
 		}
 		var iv Interval
+		var st Stride
 		if v.Guard != nil && ref.contradicted(v.Guard) {
 			iv = Bottom() // the guard chain can never hold: dead code
+			st = BotStride()
 		} else {
 			iv = a.transfer(v, f, args, look, depth)
+			if stride {
+				lookSt := func(x *ssa.Value) Stride {
+					return ref.lookupSt(x, v.Guard)
+				}
+				iv, st = reduce(iv, a.strideTransfer(v, lookSt, look))
+			}
 		}
 		local[v] = iv
+		if stride {
+			localSt[v] = st
+			a.strides[v] = st
+		}
 		ref.noteDef(v)
 		if record {
 			a.vals[v] = iv
@@ -292,10 +407,81 @@ func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, d
 			a.guardZone[g] = env.z
 		}
 	}
+	if stride && f.Ret != nil {
+		a.stSummaries[f] = localSt[f.Ret]
+	}
 	if f.Ret == nil {
 		return Top(32)
 	}
 	return local[f.Ret]
+}
+
+// strideTransfer evaluates one vertex in the congruence domain; the
+// interval lookup supplies the no-overflow proofs the stride transfers
+// need. Operators outside the arithmetic fragment stay top.
+func (a *Analysis) strideTransfer(v *ssa.Value, lookSt func(*ssa.Value) Stride, look func(*ssa.Value) Interval) Stride {
+	switch v.Op {
+	case ssa.OpConst:
+		return SingleStride(int64(int32(v.Const)))
+	case ssa.OpCopy, ssa.OpReturn, ssa.OpBranch:
+		return lookSt(v.Args[0])
+	case ssa.OpNeg:
+		return StNeg(lookSt(v.Args[0]), look(v.Args[0]))
+	case ssa.OpIte:
+		c := look(v.Args[0])
+		switch {
+		case c.IsBottom():
+			return BotStride()
+		case c.Lo == 1:
+			return lookSt(v.Args[1])
+		case c.Hi == 0:
+			return lookSt(v.Args[2])
+		default:
+			return lookSt(v.Args[1]).Join(lookSt(v.Args[2]))
+		}
+	case ssa.OpCall:
+		return a.strideSummaryOrTop(a.G.Callee(v))
+	case ssa.OpBin:
+		return a.strideBinTransfer(v, lookSt, look)
+	default:
+		return TopStride()
+	}
+}
+
+func (a *Analysis) strideBinTransfer(v *ssa.Value, lookSt func(*ssa.Value) Stride, look func(*ssa.Value) Interval) Stride {
+	x, y := v.Args[0], v.Args[1]
+	if x == y && v.BinOp == lang.OpSub {
+		// Same-operand identity; see binTransfer.
+		if lookSt(x).IsBottom() {
+			return BotStride()
+		}
+		return SingleStride(0)
+	}
+	sx, sy := lookSt(x), lookSt(y)
+	ix, iy := look(x), look(y)
+	switch v.BinOp {
+	case lang.OpAdd:
+		return StAdd(sx, sy, ix, iy)
+	case lang.OpSub:
+		return StSub(sx, sy, ix, iy)
+	case lang.OpMul:
+		return StMul(sx, sy, ix, iy)
+	case lang.OpShl:
+		return StShl(sx, sy, ix, iy)
+	case lang.OpDiv:
+		return StUDiv(sx, sy, ix, iy)
+	case lang.OpRem:
+		return StURem(sx, sy, ix, iy)
+	default:
+		return TopStride()
+	}
+}
+
+func (a *Analysis) strideSummaryOrTop(f *ssa.Function) Stride {
+	if st, ok := a.stSummaries[f]; ok {
+		return st
+	}
+	return TopStride()
 }
 
 // transfer evaluates one vertex given an operand-lookup function that

@@ -457,9 +457,12 @@ fun f() {
 	}
 }
 
-func TestNoRefuteParity(t *testing.T) {
-	// 2n + 1 is never zero, but intervals cannot see parity: absint must
-	// stay silent and leave this to the bit-precise pipeline.
+func TestRefuteParity(t *testing.T) {
+	// 2n + 1 is never zero: intervals cannot see parity, but the
+	// congruence tier proves d ≡ 1 (mod 2) — a fact that survives 32-bit
+	// wrap — and refutes the query without the zone tier. With the stride
+	// domain disabled, absint must stay silent and leave this to the
+	// bit-precise pipeline.
 	g := buildGraph(t, `
 fun f() {
     var n: int = user_input();
@@ -468,9 +471,15 @@ fun f() {
     send(x);
 }`)
 	a := absint.Analyze(g)
+	noStride := absint.AnalyzeWith(g, absint.Config{DisableStride: true})
 	for _, sl := range divCandidates(t, g) {
-		if a.RefuteSlice(sl) {
-			t.Error("parity divisor refuted: intervals cannot prove this")
+		refuted, byStride, byZone := a.RefuteSliceTiered(sl)
+		if !refuted || !byStride || byZone {
+			t.Errorf("parity divisor: got (refuted=%v, byStride=%v, byZone=%v), want (true, true, false)",
+				refuted, byStride, byZone)
+		}
+		if noStride.RefuteSlice(sl) {
+			t.Error("parity divisor refuted without the stride domain: intervals+zone cannot prove this")
 		}
 	}
 }

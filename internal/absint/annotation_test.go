@@ -1,0 +1,88 @@
+package absint_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fusion/internal/absint"
+	"fusion/internal/driver"
+)
+
+const paritySrc = `
+fun f() {
+    var n: int = user_input();
+    if (n % 2 == 1) {
+        var y: int = n + 2;
+        send(y);
+    }
+    var m: int = user_input();
+    if (0 <= m && m < 8) {
+        var z: int = m;
+        send(z);
+    }
+}
+`
+
+// TestAnnotationRendersFacts checks the graph-dump annotation strings:
+// a guard-refined congruence renders as "≡b mod s", an interval as its
+// range, and relational guards contribute difference-bound facts.
+func TestAnnotationRendersFacts(t *testing.T) {
+	g := buildGraph(t, paritySrc)
+	a := absint.Analyze(g)
+	y := findValue(t, g, "f", "y")
+	ann := a.Annotation(y)
+	if !strings.Contains(ann, "≡1 mod 2") {
+		t.Errorf("y annotation %q lacks the parity congruence ≡1 mod 2", ann)
+	}
+	z := findValue(t, g, "f", "z")
+	if zann := a.Annotation(z); !strings.Contains(zann, "[0,7]") {
+		t.Errorf("z annotation %q lacks the guard interval [0,7]", zann)
+	}
+}
+
+// TestAnnotationZoneFactFormat checks the x−y≤c rendering of relational
+// facts on a dynamically-bounded guard.
+func TestAnnotationZoneFactFormat(t *testing.T) {
+	g := buildGraph(t, `
+fun f() {
+    var i: int = user_input();
+    var m: int = user_input();
+    if (i < m) {
+        var y: int = i;
+        send(y);
+    }
+}`)
+	a := absint.Analyze(g)
+	y := findValue(t, g, "f", "y")
+	ann := a.Annotation(y)
+	if !strings.Contains(ann, "−") || !strings.Contains(ann, "≤") {
+		t.Errorf("y annotation %q lacks a difference bound", ann)
+	}
+}
+
+// TestDOTCarriesStrideFacts compiles through the driver and checks the
+// annotated DOT dump carries the congruence invariant into node labels,
+// and drops it under -absint=nostride.
+func TestDOTCarriesStrideFacts(t *testing.T) {
+	p, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: paritySrc},
+		driver.Options{Prelude: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := p.DOT()
+	if !strings.HasPrefix(dot, "digraph pdg {") {
+		t.Fatalf("not a DOT dump:\n%.120s", dot)
+	}
+	if !strings.Contains(dot, "≡1 mod 2") {
+		t.Error("annotated DOT lacks the stride fact ≡1 mod 2")
+	}
+	ns, err := driver.Compile(context.Background(), driver.Source{Name: "test", Text: paritySrc},
+		driver.Options{Prelude: true, Absint: driver.AbsintNoStride})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ns.DOT(), "mod") {
+		t.Error("nostride DOT still renders congruence facts")
+	}
+}

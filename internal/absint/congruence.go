@@ -1,0 +1,432 @@
+package absint
+
+import (
+	"fmt"
+)
+
+// Stride is the congruence (modular arithmetic) domain of Granger's
+// reduced product with intervals: an element describes a set of
+// MATHEMATICAL integers of the form
+//
+//	S >= 1:  {B + k*S : k ∈ Z}   with 0 <= B < S  (S == 1 is top)
+//	S == 0:  the singleton {B}
+//	S  < 0:  bottom (no value)
+//
+// The domain tracks the signed 32-bit values the analysis language
+// computes. Machine arithmetic wraps modulo 2^32, which breaks
+// congruences over the mathematical integers; every transfer function
+// therefore consults the operand INTERVALS (the other half of the
+// product) and, when the operation may wrap, weakens its result with
+// wrap() — gcd with 2^32 — because a mod-2^k congruence (k <= 32)
+// survives wraparound: the machine result m and the mathematical result
+// x satisfy m ≡ x (mod 2^32), hence m ≡ x (mod d) for every divisor d
+// of 2^32. The same identity makes congruences indifferent to the
+// signed/unsigned reinterpretation the language's division and
+// remainder perform.
+//
+// Like Interval, the zero value Stride{} is the singleton {0}, NOT top;
+// always build elements with TopStride/BotStride/SingleStride/mkStride.
+type Stride struct {
+	S, B int64
+}
+
+// maxStride caps the modulus the domain will track. 2^32 is exactly the
+// wrap modulus, so nothing larger is ever informative for 32-bit
+// values; the cap also keeps Meet's CRT arithmetic inside uint64.
+const maxStride = int64(1) << 32
+
+// TopStride is the full set Z (every integer is ≡ 0 mod 1).
+func TopStride() Stride { return Stride{1, 0} }
+
+// BotStride is the empty set.
+func BotStride() Stride { return Stride{-1, 0} }
+
+// SingleStride is the singleton {v}.
+func SingleStride(v int64) Stride { return Stride{0, v} }
+
+// mkStride normalizes (s, b) into canonical form: modulus non-negative
+// and capped, base reduced into [0, s).
+func mkStride(s, b int64) Stride {
+	if s < 0 {
+		s = -s
+	}
+	if s > maxStride {
+		s = gcd64(s, maxStride)
+	}
+	if s == 0 {
+		return Stride{0, b}
+	}
+	b %= s
+	if b < 0 {
+		b += s
+	}
+	return Stride{s, b}
+}
+
+// IsBottom reports the empty set.
+func (st Stride) IsBottom() bool { return st.S < 0 }
+
+// IsTop reports the full set Z.
+func (st Stride) IsTop() bool { return st.S == 1 }
+
+// Contains reports whether the signed value v lies in the set.
+func (st Stride) Contains(v int64) bool {
+	switch {
+	case st.IsBottom():
+		return false
+	case st.S == 0:
+		return v == st.B
+	default:
+		r := (v - st.B) % st.S
+		return r == 0
+	}
+}
+
+// ExcludesZero reports that no value in the set is zero — the provably
+// non-zero-divisor fact ("n*2+1 is never zero").
+func (st Stride) ExcludesZero() bool { return !st.IsBottom() && !st.Contains(0) }
+
+// Join is the lattice join: the coarsest congruence containing both.
+func (st Stride) Join(o Stride) Stride {
+	if st.IsBottom() {
+		return o
+	}
+	if o.IsBottom() {
+		return st
+	}
+	g := gcd64(gcd64(st.S, o.S), st.B-o.B)
+	if g == 0 {
+		return st // identical singletons
+	}
+	return mkStride(g, st.B)
+}
+
+// Meet is the lattice meet (set intersection, by CRT). When the exact
+// intersection's modulus would exceed maxStride the meet soundly
+// over-approximates by keeping one operand (each operand is a superset
+// of the intersection).
+func (st Stride) Meet(o Stride) Stride {
+	if st.IsBottom() || o.IsBottom() {
+		return BotStride()
+	}
+	if st.IsTop() {
+		return o
+	}
+	if o.IsTop() {
+		return st
+	}
+	if st.S == 0 && o.S == 0 {
+		if st.B == o.B {
+			return st
+		}
+		return BotStride()
+	}
+	if st.S == 0 {
+		st, o = o, st
+	}
+	if o.S == 0 {
+		if st.Contains(o.B) {
+			return o
+		}
+		return BotStride()
+	}
+	g := gcd64(st.S, o.S)
+	if (st.B-o.B)%g != 0 {
+		return BotStride() // x ≡ B1 (mod S1) ∧ x ≡ B2 (mod S2) has no solution
+	}
+	l := st.S / g * o.S
+	if l > maxStride {
+		return st // over-approximate: the cap keeps arithmetic exact
+	}
+	// CRT: x = B1 + S1*t with t ≡ (B2-B1)/g · (S1/g)^-1 (mod S2/g).
+	m := o.S / g
+	_, inv, _ := extGCD(st.S/g%m, m)
+	inv %= m
+	if inv < 0 {
+		inv += m
+	}
+	d := (o.B - st.B) / g % m
+	if d < 0 {
+		d += m
+	}
+	// d, inv ∈ [0, m), m <= 2^32: the product fits in uint64 exactly.
+	t := int64(uint64(d) * uint64(inv) % uint64(m))
+	return mkStride(l, st.B+st.S*t)
+}
+
+func (st Stride) String() string {
+	switch {
+	case st.IsBottom():
+		return "⊥"
+	case st.IsTop():
+		return "⊤"
+	case st.S == 0:
+		return fmt.Sprintf("{%d}", st.B)
+	default:
+		return fmt.Sprintf("≡%d mod %d", st.B, st.S)
+	}
+}
+
+// wrap weakens a mathematical-integer congruence to one that survives
+// 2^32 machine wraparound: gcd of the modulus with 2^32. A singleton
+// whose concrete value may have wrapped degrades to a mod-2^32 class.
+func (st Stride) wrap() Stride {
+	if st.IsBottom() || st.IsTop() {
+		return st
+	}
+	if st.S == 0 {
+		return mkStride(maxStride, st.B)
+	}
+	return mkStride(gcd64(st.S, maxStride), st.B)
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// extGCD returns g = gcd(a, b) and Bézout coefficients x, y with
+// a*x + b*y = g.
+func extGCD(a, b int64) (g, x, y int64) {
+	if b == 0 {
+		return a, 1, 0
+	}
+	g, x1, y1 := extGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// safeMul multiplies with an overflow guard; ok is false when the
+// product escapes int64 (callers then give up to top).
+func safeMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// --- Wrap detection (mirrors the interval transfers' clamp conditions
+// and refine.go's noteDef no-overflow proofs) ---
+
+func addMayWrap(ia, ib Interval) bool {
+	return ia.Lo+ib.Lo < minI32 || ia.Hi+ib.Hi > maxI32
+}
+
+func subMayWrap(ia, ib Interval) bool {
+	return ia.Lo-ib.Hi < minI32 || ia.Hi-ib.Lo > maxI32
+}
+
+func mulMayWrap(ia, ib Interval) bool {
+	p1, p2, p3, p4 := ia.Lo*ib.Lo, ia.Lo*ib.Hi, ia.Hi*ib.Lo, ia.Hi*ib.Hi
+	lo := min64(min64(p1, p2), min64(p3, p4))
+	hi := max64(max64(p1, p2), max64(p3, p4))
+	return lo < minI32 || hi > maxI32
+}
+
+// --- Transfer functions ---
+//
+// Each takes the operand strides AND intervals: the intervals carry the
+// no-overflow proofs. All must over-approximate the machine semantics
+// of smt.foldBinary / interp.binOp (wrapping add/sub/mul, unsigned
+// div/rem).
+
+// StAdd is the stride transfer for 32-bit addition.
+func StAdd(a, b Stride, ia, ib Interval) Stride {
+	if a.IsBottom() || b.IsBottom() || ia.IsBottom() || ib.IsBottom() {
+		return BotStride()
+	}
+	r := mkStride(gcd64(a.S, b.S), a.B+b.B)
+	if a.S == 0 && b.S == 0 {
+		r = SingleStride(a.B + b.B)
+	}
+	if addMayWrap(ia, ib) {
+		r = r.wrap()
+	}
+	return r
+}
+
+// StSub is the stride transfer for 32-bit subtraction.
+func StSub(a, b Stride, ia, ib Interval) Stride {
+	if a.IsBottom() || b.IsBottom() || ia.IsBottom() || ib.IsBottom() {
+		return BotStride()
+	}
+	r := mkStride(gcd64(a.S, b.S), a.B-b.B)
+	if a.S == 0 && b.S == 0 {
+		r = SingleStride(a.B - b.B)
+	}
+	if subMayWrap(ia, ib) {
+		r = r.wrap()
+	}
+	return r
+}
+
+// StNeg is the stride transfer for two's-complement negation. Machine
+// negation is exact modulo 2^32, so a possible wrap (-minI32) only
+// costs the wrap weakening.
+func StNeg(a Stride, ia Interval) Stride {
+	if a.IsBottom() || ia.IsBottom() {
+		return BotStride()
+	}
+	var r Stride
+	if a.S == 0 {
+		r = SingleStride(-a.B)
+	} else {
+		r = mkStride(a.S, -a.B)
+	}
+	if -ia.Lo > maxI32 {
+		r = r.wrap()
+	}
+	return r
+}
+
+// StMul is the stride transfer for 32-bit multiplication (Granger):
+// (S1·Z + B1)(S2·Z + B2) ⊆ gcd(S1S2, S1B2, S2B1)·Z + B1B2.
+func StMul(a, b Stride, ia, ib Interval) Stride {
+	if a.IsBottom() || b.IsBottom() || ia.IsBottom() || ib.IsBottom() {
+		return BotStride()
+	}
+	p1, ok1 := safeMul(a.S, b.S)
+	p2, ok2 := safeMul(a.S, b.B)
+	p3, ok3 := safeMul(b.S, a.B)
+	bb, ok4 := safeMul(a.B, b.B)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return TopStride()
+	}
+	var r Stride
+	if a.S == 0 && b.S == 0 {
+		r = SingleStride(bb)
+	} else {
+		r = mkStride(gcd64(gcd64(p1, p2), p3), bb)
+	}
+	if mulMayWrap(ia, ib) {
+		r = r.wrap()
+	}
+	return r
+}
+
+// StShl is the stride transfer for left shift: a constant shift
+// k ∈ [0, 31] is multiplication by 2^k.
+func StShl(a, b Stride, ia, ib Interval) Stride {
+	if a.IsBottom() || b.IsBottom() || ia.IsBottom() || ib.IsBottom() {
+		return BotStride()
+	}
+	if b.S != 0 || b.B < 0 || b.B > 31 {
+		return TopStride()
+	}
+	k := uint(b.B)
+	s, okS := safeMul(a.S, 1<<k)
+	bb, okB := safeMul(a.B, 1<<k)
+	if !okS || !okB {
+		return TopStride()
+	}
+	var r Stride
+	if a.S == 0 {
+		r = SingleStride(bb)
+	} else {
+		r = mkStride(s, bb)
+	}
+	// No wrap only when every lattice point stays in range (mirrors Shl).
+	if !(ia.Lo >= 0 && ia.Hi <= maxI32>>k) {
+		r = r.wrap()
+	}
+	return r
+}
+
+// StUDiv is the stride transfer for unsigned division. Precise only
+// when the divisor is a known constant c >= 1 and the dividend is
+// provably non-negative (so its unsigned and signed views coincide):
+// a known singleton divides exactly, and a progression divides exactly
+// when c divides both modulus and base. Division never wraps.
+func StUDiv(a, b Stride, ia, ib Interval) Stride {
+	if a.IsBottom() || b.IsBottom() || ia.IsBottom() || ib.IsBottom() {
+		return BotStride()
+	}
+	if b.S != 0 || b.B < 1 || ia.Lo < 0 {
+		return TopStride()
+	}
+	c := b.B
+	if a.S == 0 {
+		if a.B < 0 {
+			return TopStride()
+		}
+		return SingleStride(a.B / c)
+	}
+	if a.S%c == 0 && a.B%c == 0 {
+		return mkStride(a.S/c, a.B/c)
+	}
+	return TopStride()
+}
+
+// StURem is the stride transfer for unsigned remainder with a known
+// constant divisor c >= 1: x ≡ B (mod S) gives x mod c ≡ B (mod
+// gcd(S, c)); a dividend that may be negative is first reinterpreted
+// through wrap() (x and its unsigned view agree modulo 2^32).
+func StURem(a, b Stride, ia, ib Interval) Stride {
+	if a.IsBottom() || b.IsBottom() || ia.IsBottom() || ib.IsBottom() {
+		return BotStride()
+	}
+	if b.S != 0 || b.B < 1 {
+		return TopStride()
+	}
+	c := b.B
+	if ia.Lo < 0 {
+		a = a.wrap()
+	}
+	if a.S == 0 {
+		return SingleStride(a.B % c)
+	}
+	return mkStride(gcd64(a.S, c), a.B)
+}
+
+// reduce is the Granger reduction of the interval × stride product:
+// the stride snaps the interval endpoints inward to its nearest lattice
+// points, a singleton interval sharpens the stride to a constant, and
+// an empty combination bottoms out both halves. Either half at bottom
+// means the value set is empty.
+func reduce(iv Interval, st Stride) (Interval, Stride) {
+	if iv.IsBottom() || st.IsBottom() {
+		return Bottom(), BotStride()
+	}
+	switch {
+	case st.S == 0:
+		if !iv.Contains(st.B) {
+			return Bottom(), BotStride()
+		}
+		return Interval{st.B, st.B}, st
+	case st.S > 1:
+		// Snap Lo up and Hi down to the nearest points ≡ B (mod S).
+		dlo := (st.B - iv.Lo) % st.S
+		if dlo < 0 {
+			dlo += st.S
+		}
+		lo := iv.Lo + dlo
+		dhi := (iv.Hi - st.B) % st.S
+		if dhi < 0 {
+			dhi += st.S
+		}
+		hi := iv.Hi - dhi
+		if lo > hi {
+			return Bottom(), BotStride()
+		}
+		if lo == hi {
+			return Interval{lo, hi}, SingleStride(lo)
+		}
+		return Interval{lo, hi}, st
+	default: // top stride
+		if iv.Lo == iv.Hi {
+			return iv, SingleStride(iv.Lo)
+		}
+		return iv, st
+	}
+}

@@ -1,0 +1,236 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStrideLattice(t *testing.T) {
+	if (Stride{}) != SingleStride(0) {
+		t.Error("zero value must be the singleton {0}")
+	}
+	if !TopStride().Contains(-7) || !TopStride().Contains(1<<40) {
+		t.Error("top must contain everything")
+	}
+	if BotStride().Contains(0) || !BotStride().IsBottom() {
+		t.Error("bottom must contain nothing")
+	}
+	st := mkStride(4, -1) // ≡ 3 mod 4
+	if st.S != 4 || st.B != 3 {
+		t.Errorf("mkStride(4,-1) = %v, want ≡3 mod 4", st)
+	}
+	for _, v := range []int64{3, 7, -1, -5} {
+		if !st.Contains(v) {
+			t.Errorf("≡3 mod 4 must contain %d", v)
+		}
+	}
+	if st.Contains(4) || st.Contains(0) {
+		t.Error("≡3 mod 4 contains a non-member")
+	}
+	if !st.ExcludesZero() || SingleStride(0).ExcludesZero() || TopStride().ExcludesZero() {
+		t.Error("ExcludesZero misjudged")
+	}
+	// Oversized moduli collapse to their gcd with 2^32.
+	big := mkStride(3*maxStride, 5)
+	if big.S != maxStride {
+		t.Errorf("mkStride(3·2^32, 5).S = %d, want 2^32", big.S)
+	}
+}
+
+func TestStrideJoin(t *testing.T) {
+	cases := []struct {
+		a, b, want Stride
+	}{
+		{SingleStride(3), SingleStride(7), mkStride(4, 3)},
+		{SingleStride(3), SingleStride(3), SingleStride(3)},
+		{mkStride(2, 1), mkStride(2, 0), TopStride()},
+		{mkStride(6, 1), mkStride(6, 4), mkStride(3, 1)},
+		{BotStride(), mkStride(2, 1), mkStride(2, 1)},
+		{mkStride(2, 1), BotStride(), mkStride(2, 1)},
+	}
+	for _, c := range cases {
+		if got := c.a.Join(c.b); got != c.want {
+			t.Errorf("%v ⊔ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrideMeet(t *testing.T) {
+	cases := []struct {
+		a, b, want Stride
+	}{
+		{mkStride(2, 1), mkStride(3, 2), mkStride(6, 5)}, // CRT
+		{mkStride(2, 0), mkStride(2, 1), BotStride()},
+		{mkStride(4, 1), mkStride(6, 2), BotStride()}, // gcd 2 ∤ (1−2)
+		{SingleStride(5), mkStride(2, 1), SingleStride(5)},
+		{SingleStride(4), mkStride(2, 1), BotStride()},
+		{TopStride(), mkStride(7, 3), mkStride(7, 3)},
+		{mkStride(2, 1), SingleStride(0), BotStride()}, // the divisor kill
+	}
+	for _, c := range cases {
+		if got := c.a.Meet(c.b); got != c.want {
+			t.Errorf("%v ⊓ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Meet(c.a); got != c.want {
+			t.Errorf("meet not commutative on %v, %v: %v", c.a, c.b, got)
+		}
+	}
+	// Cap: an exact lcm beyond 2^32 over-approximates with an operand.
+	a, b := mkStride(1<<20, 1), mkStride((1<<13)+1, 0)
+	if got := a.Meet(b); got != a {
+		t.Errorf("capped meet = %v, want first operand %v", got, a)
+	}
+}
+
+func TestStrideWrap(t *testing.T) {
+	if got := mkStride(6, 1).wrap(); got != mkStride(2, 1) {
+		t.Errorf("(≡1 mod 6).wrap() = %v, want ≡1 mod 2", got)
+	}
+	if got := mkStride(7, 3).wrap(); !got.IsTop() {
+		t.Errorf("(≡3 mod 7).wrap() = %v, want ⊤", got)
+	}
+	if got := SingleStride(-3).wrap(); got != mkStride(maxStride, -3) {
+		t.Errorf("{-3}.wrap() = %v, want ≡2^32−3 mod 2^32", got)
+	}
+	if got := mkStride(2, 1).wrap(); got != mkStride(2, 1) {
+		t.Errorf("mod-2 congruence must survive wrap, got %v", got)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	// Endpoints snap inward to lattice points: [0,255] ∧ ≡0 mod 4 → [0,252].
+	iv, st := reduce(Interval{0, 255}, mkStride(4, 0))
+	if iv != (Interval{0, 252}) || st != mkStride(4, 0) {
+		t.Errorf("reduce([0,255], ≡0 mod 4) = %v, %v", iv, st)
+	}
+	// Snapping to a single point sharpens the stride.
+	iv, st = reduce(Interval{3, 6}, mkStride(5, 4))
+	if iv != (Interval{4, 4}) || st != SingleStride(4) {
+		t.Errorf("reduce([3,6], ≡4 mod 5) = %v, %v", iv, st)
+	}
+	// A singleton interval sharpens a top stride.
+	if _, st = reduce(Interval{9, 9}, TopStride()); st != SingleStride(9) {
+		t.Errorf("reduce singleton: stride %v, want {9}", st)
+	}
+	// Empty combinations bottom out both halves.
+	if iv, st = reduce(Interval{1, 3}, SingleStride(7)); !iv.IsBottom() || !st.IsBottom() {
+		t.Errorf("reduce([1,3], {7}) = %v, %v, want ⊥, ⊥", iv, st)
+	}
+	if iv, st = reduce(Interval{5, 6}, mkStride(4, 3)); !iv.IsBottom() || !st.IsBottom() {
+		t.Errorf("reduce([5,6], ≡3 mod 4) = %v, %v, want ⊥, ⊥", iv, st)
+	}
+	if iv, st = reduce(Bottom(), TopStride()); !iv.IsBottom() || !st.IsBottom() {
+		t.Errorf("reduce(⊥, ⊤) = %v, %v, want ⊥, ⊥", iv, st)
+	}
+}
+
+// TestReduceProperty: reduce never loses a value both halves contain.
+func TestReduceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5000; trial++ {
+		lo := int64(rng.Intn(200) - 100)
+		hi := lo + int64(rng.Intn(50))
+		s := int64(rng.Intn(8))
+		st := mkStride(s, int64(rng.Intn(17)-8))
+		iv := Interval{lo, hi}
+		riv, rst := reduce(iv, st)
+		for x := lo; x <= hi; x++ {
+			if st.Contains(x) && (!riv.Contains(x) || !rst.Contains(x)) {
+				t.Fatalf("reduce(%v, %v) dropped %d: got %v, %v", iv, st, x, riv, rst)
+			}
+		}
+		if riv.IsBottom() != rst.IsBottom() {
+			t.Fatalf("reduce(%v, %v): halves disagree on bottom: %v, %v", iv, st, riv, rst)
+		}
+	}
+}
+
+// TestStrideTransfersSound fuzzes every transfer against concrete uint32
+// machine arithmetic: for values x, y drawn from the operand abstractions,
+// the transfer result must contain the signed view of the machine result.
+func TestStrideTransfersSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// absOf builds a random (stride, interval) pair containing x.
+	absOf := func(x int32) (Stride, Interval) {
+		var st Stride
+		switch s := int64(rng.Intn(9)); s {
+		case 0:
+			st = SingleStride(int64(x))
+		case 1:
+			st = TopStride()
+		default:
+			st = mkStride(s, int64(x))
+		}
+		var iv Interval
+		switch rng.Intn(3) {
+		case 0:
+			iv = Interval{minI32, maxI32}
+		case 1:
+			d := int64(rng.Intn(1000))
+			iv = Interval{max64(minI32, int64(x)-d), min64(maxI32, int64(x)+int64(rng.Intn(1000)))}
+		default:
+			iv = Interval{int64(x), int64(x)}
+		}
+		if !st.Contains(int64(x)) || !iv.Contains(int64(x)) {
+			t.Fatalf("abstraction %v, %v misses its witness %d", st, iv, x)
+		}
+		return st, iv
+	}
+	val := func() int32 {
+		switch rng.Intn(4) {
+		case 0:
+			return int32(rng.Intn(64) - 8)
+		case 1:
+			return int32(rng.Uint32() % 4096)
+		default:
+			return int32(rng.Uint32())
+		}
+	}
+	check := func(op string, got Stride, m uint32) {
+		sr := int64(int32(m))
+		if got.IsBottom() || !got.Contains(sr) {
+			t.Fatalf("%s: result %v excludes machine value %d", op, got, sr)
+		}
+	}
+	for trial := 0; trial < 20000; trial++ {
+		x, y := val(), val()
+		sa, ia := absOf(x)
+		sb, ib := absOf(y)
+		ux, uy := uint32(x), uint32(y)
+		check("add", StAdd(sa, sb, ia, ib), ux+uy)
+		check("sub", StSub(sa, sb, ia, ib), ux-uy)
+		check("mul", StMul(sa, sb, ia, ib), ux*uy)
+		check("neg", StNeg(sa, ia), -ux)
+		// Shift by a known constant k ∈ [0, 31].
+		k := uint32(rng.Intn(32))
+		check("shl", StShl(sa, SingleStride(int64(k)), ia, Interval{int64(k), int64(k)}), ux<<k)
+		// Unsigned div/rem by a known constant divisor c >= 1.
+		c := uint32(1 + rng.Intn(12))
+		cs, ci := SingleStride(int64(c)), Interval{int64(c), int64(c)}
+		check("udiv", StUDiv(sa, cs, ia, ci), ux/c)
+		check("urem", StURem(sa, cs, ia, ci), ux%c)
+	}
+}
+
+// TestStrideJoinMeetProperty checks join/meet against brute-force set
+// semantics on a window of integers.
+func TestStrideJoinMeetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 3000; trial++ {
+		a := mkStride(int64(rng.Intn(7)), int64(rng.Intn(21)-10))
+		b := mkStride(int64(rng.Intn(7)), int64(rng.Intn(21)-10))
+		j, m := a.Join(b), a.Meet(b)
+		for x := int64(-40); x <= 40; x++ {
+			inA, inB := a.Contains(x), b.Contains(x)
+			if (inA || inB) && !j.Contains(x) {
+				t.Fatalf("%v ⊔ %v = %v misses %d", a, b, j, x)
+			}
+			if inA && inB && !m.Contains(x) {
+				t.Fatalf("%v ⊓ %v = %v misses %d", a, b, m, x)
+			}
+			if m.Contains(x) && !(inA && inB) {
+				t.Fatalf("%v ⊓ %v = %v includes non-member %d", a, b, m, x)
+			}
+		}
+	}
+}

@@ -18,14 +18,20 @@ import (
 // empty interval meet does.
 type refiner struct {
 	local map[*ssa.Value]Interval
-	envs  map[*ssa.Value]*refEnv
-	empty *refEnv
+	// localSt mirrors local in the congruence domain; nil when off.
+	localSt map[*ssa.Value]Stride
+	envs    map[*ssa.Value]*refEnv
+	empty   *refEnv
 	// zone enables the relational (difference-bound) domain.
 	zone bool
+	// stride enables the congruence domain.
+	stride bool
 }
 
 type refEnv struct {
 	refined map[*ssa.Value]Interval
+	// st holds the guard chain's stride refinements; nil when off.
+	st map[*ssa.Value]Stride
 	// z is the environment's zone; nil when the domain is disabled.
 	z    *dbm[*ssa.Value]
 	dead bool // the guard chain is contradictory: code under it is unreachable
@@ -33,16 +39,21 @@ type refEnv struct {
 
 const maxDeriveDepth = 64
 
-func newRefiner(local map[*ssa.Value]Interval, zone bool, stop func() bool) *refiner {
+func newRefiner(local map[*ssa.Value]Interval, localSt map[*ssa.Value]Stride, zone, stride bool, stop func() bool) *refiner {
 	r := &refiner{
-		local: local,
-		envs:  map[*ssa.Value]*refEnv{},
-		empty: &refEnv{refined: map[*ssa.Value]Interval{}},
-		zone:  zone,
+		local:   local,
+		localSt: localSt,
+		envs:    map[*ssa.Value]*refEnv{},
+		empty:   &refEnv{refined: map[*ssa.Value]Interval{}},
+		zone:    zone,
+		stride:  stride,
 	}
 	if zone {
 		r.empty.z = newDBM[*ssa.Value]()
 		r.empty.z.stop = stop
+	}
+	if stride {
+		r.empty.st = map[*ssa.Value]Stride{}
 	}
 	return r
 }
@@ -66,6 +77,28 @@ func (r *refiner) base(x *ssa.Value) Interval {
 		return iv
 	}
 	return Top(width(x))
+}
+
+// lookupSt returns x's stride as seen under the given guard chain.
+func (r *refiner) lookupSt(x *ssa.Value, guard *ssa.Value) Stride {
+	return r.curSt(x, r.envFor(guard))
+}
+
+func (r *refiner) baseSt(x *ssa.Value) Stride {
+	if x.Op == ssa.OpConst {
+		return SingleStride(int64(int32(x.Const)))
+	}
+	if st, ok := r.localSt[x]; ok {
+		return st
+	}
+	return TopStride()
+}
+
+func (r *refiner) curSt(x *ssa.Value, env *refEnv) Stride {
+	if st, ok := env.st[x]; ok {
+		return st
+	}
+	return r.baseSt(x)
 }
 
 func (r *refiner) envFor(g *ssa.Value) *refEnv {
@@ -93,6 +126,12 @@ func (r *refiner) childEnv(parent *refEnv) *refEnv {
 	for v, iv := range parent.refined {
 		env.refined[v] = iv
 	}
+	if parent.st != nil {
+		env.st = make(map[*ssa.Value]Stride, len(parent.st)+2)
+		for v, st := range parent.st {
+			env.st[v] = st
+		}
+	}
 	if parent.z != nil {
 		env.z = parent.z.clone()
 	}
@@ -106,16 +145,48 @@ func (r *refiner) cur(x *ssa.Value, env *refEnv) Interval {
 	return r.base(x)
 }
 
-// constrain meets x's interval with the given fact; an empty meet marks
-// the environment dead.
+// constrain meets x's interval with the given fact, reducing it against
+// x's stride; an empty combination marks the environment dead.
 func (r *refiner) constrain(x *ssa.Value, with Interval, env *refEnv) {
 	m := r.cur(x, env).Meet(with)
+	if r.stride {
+		var st Stride
+		m, st = reduce(m, r.curSt(x, env))
+		if m.IsBottom() {
+			env.dead = true
+			return
+		}
+		if x.Op != ssa.OpConst {
+			env.refined[x] = m
+			env.st[x] = st
+		}
+		return
+	}
 	if m.IsBottom() {
 		env.dead = true
 		return
 	}
 	if x.Op != ssa.OpConst {
 		env.refined[x] = m
+	}
+}
+
+// constrainSt meets x's stride with the given fact, reducing the
+// interval against the sharpened stride; an empty combination marks the
+// environment dead.
+func (r *refiner) constrainSt(x *ssa.Value, with Stride, env *refEnv) {
+	if !r.stride || env.dead {
+		return
+	}
+	m := r.curSt(x, env).Meet(with)
+	iv, m2 := reduce(r.cur(x, env), m)
+	if iv.IsBottom() {
+		env.dead = true
+		return
+	}
+	if x.Op != ssa.OpConst {
+		env.refined[x] = iv
+		env.st[x] = m2
 	}
 }
 
@@ -270,10 +341,10 @@ func (r *refiner) deriveJoin(a, b *ssa.Value, want bool, env *refEnv, depth int)
 		env.dead = true
 		return
 	case ea.dead:
-		env.refined, env.z = eb.refined, eb.z
+		env.refined, env.st, env.z = eb.refined, eb.st, eb.z
 		return
 	case eb.dead:
-		env.refined, env.z = ea.refined, ea.z
+		env.refined, env.st, env.z = ea.refined, ea.st, ea.z
 		return
 	}
 	// Interval join over every key either branch refined. Both scratch
@@ -290,6 +361,21 @@ func (r *refiner) deriveJoin(a, b *ssa.Value, want bool, env *refEnv, depth int)
 		r.constrain(x, r.cur(x, ea).Join(r.cur(x, eb)), env)
 		if env.dead {
 			return
+		}
+	}
+	if r.stride {
+		stKeys := make(map[*ssa.Value]bool, len(ea.st)+len(eb.st))
+		for x := range ea.st {
+			stKeys[x] = true
+		}
+		for x := range eb.st {
+			stKeys[x] = true
+		}
+		for x := range stKeys {
+			r.constrainSt(x, r.curSt(x, ea).Join(r.curSt(x, eb)), env)
+			if env.dead {
+				return
+			}
 		}
 	}
 	if env.z != nil {
@@ -312,7 +398,28 @@ func (r *refiner) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, env *refE
 	nx, ny := relConstraints(rl, cx, cy)
 	r.constrain(x, nx, env)
 	r.constrain(y, ny, env)
-	if env.dead || env.z == nil {
+	if env.dead {
+		return
+	}
+	if r.stride {
+		switch rl {
+		case relEq:
+			// Equal values share a stride, and a `%`-equality guard
+			// fixes the dividend's congruence class.
+			sx, sy := r.curSt(x, env), r.curSt(y, env)
+			r.constrainSt(x, sy, env)
+			r.constrainSt(y, sx, env)
+			r.deriveRem(x, y, true, env)
+			r.deriveRem(y, x, true, env)
+		case relNe:
+			r.deriveRem(x, y, false, env)
+			r.deriveRem(y, x, false, env)
+		}
+		if env.dead {
+			return
+		}
+	}
+	if env.z == nil {
 		return
 	}
 	// The relation itself becomes a zone edge — the fact the interval
@@ -330,6 +437,43 @@ func (r *refiner) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, env *refE
 	case relEq:
 		r.zoneAdd(env, xn, xo, yn, yo, 0)
 		r.zoneAdd(env, yn, yo, xn, xo, 0)
+	}
+}
+
+// deriveRem propagates a `%`-equality guard backward to the dividend:
+// (d % K) == R with constant K >= 2 and known R ∈ [0, K) gives
+// d ≡ R (mod K) when d is provably non-negative, and the always-sound
+// d ≡ R (mod gcd(K, 2^32)) otherwise (the machine remainder sees d's
+// unsigned view, which agrees with d modulo 2^32). With eq false, only
+// parity flips: (d % 2) != R gives d ≡ 1−R (mod 2).
+func (r *refiner) deriveRem(e, val *ssa.Value, eq bool, env *refEnv) {
+	if env.dead || e.Op != ssa.OpBin || e.BinOp != lang.OpRem {
+		return
+	}
+	kv := e.Args[1]
+	if kv.Op != ssa.OpConst {
+		return
+	}
+	k := int64(int32(kv.Const))
+	if k < 2 {
+		return
+	}
+	cv := r.cur(val, env)
+	if cv.Lo != cv.Hi || cv.Lo < 0 || cv.Lo >= k {
+		return
+	}
+	rem := cv.Lo
+	d := e.Args[0]
+	if eq {
+		mod := gcd64(k, maxStride)
+		if r.cur(d, env).Lo >= 0 {
+			mod = k
+		}
+		r.constrainSt(d, mkStride(mod, rem), env)
+		return
+	}
+	if k == 2 {
+		r.constrainSt(d, mkStride(2, 1-rem), env)
 	}
 }
 

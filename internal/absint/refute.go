@@ -36,6 +36,11 @@ type refuter struct {
 	// formula asserts; the whole-program invariants (which assume exactly
 	// those guards) apply to them.
 	asserted map[ctxVal]bool
+	// stride enables the congruence tier: stRefined holds derived stride
+	// facts (only ever tightening), stMemo the per-round equation cache.
+	stride    bool
+	stRefined map[ctxVal]Stride
+	stMemo    map[ctxVal]Stride
 	// zone, when non-nil, tracks difference bounds over value
 	// instantiations; the zero node ctxVal{} stands for the constant 0.
 	// Every edge is implied by the emitted formula (asserted guards and
@@ -55,44 +60,52 @@ const (
 
 // RefuteSlice reports whether the query represented by the slice — its
 // paths' guard assertions plus its value constraints — is provably
-// unsatisfiable in the abstract (intervals, then the zone relational tier
-// when enabled). False decides nothing.
+// unsatisfiable in the abstract (intervals, then the congruence tier,
+// then the zone relational tier when enabled). False decides nothing.
 func (a *Analysis) RefuteSlice(sl *pdg.Slice) bool {
-	refuted, _ := a.RefuteSliceTiered(sl)
+	refuted, _, _ := a.RefuteSliceTiered(sl)
 	return refuted
 }
 
-// RefuteSliceTiered runs the refutation tiers in order: the interval
-// domain alone, then — only when intervals fail and the zone domain is
-// enabled — the interval+zone product. byZone reports the relational tier
-// was needed, which is the ablation's zone decision count.
-func (a *Analysis) RefuteSliceTiered(sl *pdg.Slice) (refuted, byZone bool) {
+// RefuteSliceTiered runs the refutation tiers in ascending cost order:
+// the interval domain alone; then — when intervals fail and the
+// congruence domain is enabled — the interval×stride reduced product;
+// then the full product with the zone. byStride and byZone report which
+// tier was needed (at most one is set, and only on refutation), which
+// are the ablation's per-tier decision counts.
+func (a *Analysis) RefuteSliceTiered(sl *pdg.Slice) (refuted, byStride, byZone bool) {
 	return a.refuteTiered(sl, nil)
 }
 
 // RefuteSliceTieredCtx is RefuteSliceTiered with cooperative
 // cancellation: once ctx expires the refuter stops deriving and decides
 // nothing further (an incomplete refutation is simply a failed one).
-func (a *Analysis) RefuteSliceTieredCtx(ctx context.Context, sl *pdg.Slice) (refuted, byZone bool) {
+func (a *Analysis) RefuteSliceTieredCtx(ctx context.Context, sl *pdg.Slice) (refuted, byStride, byZone bool) {
 	return a.refuteTiered(sl, pollStop(ctx))
 }
 
-func (a *Analysis) refuteTiered(sl *pdg.Slice, stop func() bool) (refuted, byZone bool) {
-	if a.refuteOnce(sl, false, stop) {
-		return true, false
+func (a *Analysis) refuteTiered(sl *pdg.Slice, stop func() bool) (refuted, byStride, byZone bool) {
+	if a.refuteOnce(sl, false, false, stop) {
+		return true, false, false
+	}
+	if a.stride && !(stop != nil && stop()) && a.refuteOnce(sl, true, false, stop) {
+		return true, true, false
 	}
 	if !a.zone || (stop != nil && stop()) {
-		return false, false
+		return false, false, false
 	}
-	return a.refuteOnce(sl, true, stop), true
+	refuted = a.refuteOnce(sl, a.stride, true, stop)
+	return refuted, false, refuted
 }
 
-func (a *Analysis) refuteOnce(sl *pdg.Slice, useZone bool, stop func() bool) bool {
+func (a *Analysis) refuteOnce(sl *pdg.Slice, useStride, useZone bool, stop func() bool) bool {
 	r := &refuter{
 		a: a, sl: sl, tree: cond.NewCtxTree(),
-		refined:  map[ctxVal]Interval{},
-		asserted: map[ctxVal]bool{},
-		stop:     stop,
+		refined:   map[ctxVal]Interval{},
+		asserted:  map[ctxVal]bool{},
+		stride:    useStride,
+		stRefined: map[ctxVal]Stride{},
+		stop:      stop,
 	}
 	if useZone {
 		r.zone = newDBM[ctxVal]()
@@ -131,6 +144,7 @@ func (r *refuter) run() bool {
 
 	for round := 0; round < maxRefuteRounds && !r.refuted; round++ {
 		r.memo = map[ctxVal]Interval{}
+		r.stMemo = map[ctxVal]Stride{}
 		r.changed = false
 		for _, g := range guards {
 			if r.stop != nil && r.stop() {
@@ -173,6 +187,17 @@ func (r *refuter) applyConstraint(vc pdg.ValueConstraint, pathCtxs [][]*cond.Ctx
 				iv = iv.Meet(r.zone.unary(n, off))
 			}
 		}
+		if r.stride {
+			// The reduction snaps the endpoints to the index's lattice
+			// points — an aligned index can be in bounds even when its
+			// raw interval hull is not.
+			var st Stride
+			iv, st = reduce(iv, r.evalSt(v, ctx, 0))
+			if st.IsBottom() {
+				r.refuted = true
+				return
+			}
+		}
 		if iv.Within(0, int64(int32(vc.Bound))-1) {
 			r.refuted = true // the index provably stays in bounds
 		}
@@ -180,6 +205,12 @@ func (r *refuter) applyConstraint(vc pdg.ValueConstraint, pathCtxs [][]*cond.Ctx
 		r.applyDynBound(v, ctx, vc)
 	default:
 		r.constrain(v, ctx, Single(vc.Value))
+		if !r.refuted {
+			// Adopt the equality into the stride view too: a congruence
+			// excluding the constrained value (an odd divisor forced to
+			// zero, say) bottoms out here.
+			r.constrainSt(v, ctx, SingleStride(int64(int32(vc.Value))))
+		}
 	}
 }
 
@@ -206,6 +237,9 @@ func (r *refuter) applyDynBound(v *ssa.Value, ctx *cond.Ctx, vc pdg.ValueConstra
 		if okB {
 			ib = ib.Meet(r.zone.unary(bn, bo))
 		}
+	}
+	if r.stride {
+		ii, _ = reduce(ii, r.evalSt(idx, ctx, 0))
 	}
 	if ii.IsBottom() || ib.IsBottom() {
 		r.refuted = true
@@ -253,6 +287,153 @@ func (r *refuter) eval(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
 		r.zoneDef(v, ctx, depth)
 	}
 	return iv
+}
+
+// evalSt computes the stride of v instantiated in ctx under the emitted
+// equation system, meeting in derived stride refinements, the
+// whole-program stride invariants of asserted instantiations, and the
+// Granger reduction against the interval view. Top when the congruence
+// tier is off.
+func (r *refuter) evalSt(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
+	if !r.stride {
+		return TopStride()
+	}
+	vc := ctxVal{v, ctx}
+	if st, ok := r.stMemo[vc]; ok {
+		return st
+	}
+	st := TopStride()
+	if depth < maxEvalDepth {
+		st = r.stEquationOf(v, ctx, depth)
+	}
+	if rv, ok := r.stRefined[vc]; ok {
+		st = st.Meet(rv)
+	}
+	if r.asserted[vc] {
+		if inv, ok := r.a.strides[v]; ok {
+			st = st.Meet(inv)
+		}
+	}
+	if _, st2 := reduce(r.eval(v, ctx, depth), st); st2.IsBottom() {
+		r.refuted = true
+		st = BotStride()
+	} else {
+		st = st2
+	}
+	r.stMemo[vc] = st
+	return st
+}
+
+// stEquationOf mirrors equationOf in the congruence domain: vertices
+// outside the slice have no defining equation and stay free.
+func (r *refuter) stEquationOf(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
+	if v.Op == ssa.OpConst {
+		return SingleStride(int64(int32(v.Const)))
+	}
+	if !r.sl.Values[v] {
+		return TopStride()
+	}
+	g := r.sl.G
+	switch v.Op {
+	case ssa.OpParam:
+		if ctx.Parent == nil {
+			return TopStride()
+		}
+		c := g.SiteCall[ctx.Site]
+		idx := pdg.ParamIndex(v)
+		if c == nil || idx < 0 || idx >= len(c.Args) {
+			return TopStride()
+		}
+		return r.evalSt(c.Args[idx], ctx.Parent, depth+1)
+	case ssa.OpCopy, ssa.OpReturn, ssa.OpBranch:
+		return r.evalSt(v.Args[0], ctx, depth+1)
+	case ssa.OpNeg:
+		return StNeg(r.evalSt(v.Args[0], ctx, depth+1), r.eval(v.Args[0], ctx, depth+1))
+	case ssa.OpIte:
+		thenIn, elseIn := r.sl.IteTaken(v)
+		switch {
+		case thenIn && elseIn:
+			c := r.eval(v.Args[0], ctx, depth+1)
+			switch {
+			case c.IsBottom():
+				return BotStride()
+			case c.Lo == 1:
+				return r.evalSt(v.Args[1], ctx, depth+1)
+			case c.Hi == 0:
+				return r.evalSt(v.Args[2], ctx, depth+1)
+			default:
+				return r.evalSt(v.Args[1], ctx, depth+1).Join(r.evalSt(v.Args[2], ctx, depth+1))
+			}
+		case thenIn:
+			return r.evalSt(v.Args[1], ctx, depth+1)
+		case elseIn:
+			return r.evalSt(v.Args[2], ctx, depth+1)
+		default:
+			return BotStride() // eval already refuted this shape
+		}
+	case ssa.OpCall:
+		callee := g.Callee(v)
+		if callee == nil || callee.Ret == nil {
+			return TopStride()
+		}
+		return r.evalSt(callee.Ret, r.tree.Child(ctx, v.Site), depth+1)
+	case ssa.OpBin:
+		return r.stBinEval(v, ctx, depth)
+	default:
+		return TopStride()
+	}
+}
+
+func (r *refuter) stBinEval(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
+	x, y := v.Args[0], v.Args[1]
+	if x == y && v.BinOp == lang.OpSub {
+		// Same-operand identity; see binEval.
+		return SingleStride(0)
+	}
+	sx := r.evalSt(x, ctx, depth+1)
+	sy := r.evalSt(y, ctx, depth+1)
+	ix := r.eval(x, ctx, depth+1)
+	iy := r.eval(y, ctx, depth+1)
+	switch v.BinOp {
+	case lang.OpAdd:
+		return StAdd(sx, sy, ix, iy)
+	case lang.OpSub:
+		return StSub(sx, sy, ix, iy)
+	case lang.OpMul:
+		return StMul(sx, sy, ix, iy)
+	case lang.OpShl:
+		return StShl(sx, sy, ix, iy)
+	case lang.OpDiv:
+		return StUDiv(sx, sy, ix, iy)
+	case lang.OpRem:
+		return StURem(sx, sy, ix, iy)
+	default:
+		return TopStride()
+	}
+}
+
+// constrainSt meets a derived stride fact into (v, ctx), reducing the
+// interval view against it; an empty combination refutes the query.
+func (r *refuter) constrainSt(v *ssa.Value, ctx *cond.Ctx, with Stride) {
+	if !r.stride || r.refuted {
+		return
+	}
+	m := r.evalSt(v, ctx, 0).Meet(with)
+	iv, m2 := reduce(r.eval(v, ctx, 0), m)
+	if iv.IsBottom() {
+		r.refuted = true
+		return
+	}
+	if v.Op == ssa.OpConst {
+		return
+	}
+	vc := ctxVal{v, ctx}
+	if old, ok := r.stRefined[vc]; !ok || old != m2 {
+		r.stRefined[vc] = m2
+		r.changed = true
+		delete(r.stMemo, vc)
+	}
+	r.constrain(v, ctx, iv) // the reduced interval is a fact too
 }
 
 // ctxNode normalizes a 32-bit instantiation to a DBM node plus constant
@@ -571,7 +752,31 @@ func (r *refuter) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, ctx *cond
 		return
 	}
 	r.constrain(y, ctx, ny)
-	if r.refuted || r.zone == nil {
+	if r.refuted {
+		return
+	}
+	if r.stride {
+		switch rl {
+		case relEq:
+			// Equal values share a stride; a `%`-equality guard fixes
+			// the dividend's congruence class. See refiner.deriveCmp.
+			sx, sy := r.evalSt(x, ctx, 0), r.evalSt(y, ctx, 0)
+			if r.refuted {
+				return
+			}
+			r.constrainSt(x, ctx, sy)
+			r.constrainSt(y, ctx, sx)
+			r.deriveRemCtx(x, y, true, ctx)
+			r.deriveRemCtx(y, x, true, ctx)
+		case relNe:
+			r.deriveRemCtx(x, y, false, ctx)
+			r.deriveRemCtx(y, x, false, ctx)
+		}
+		if r.refuted {
+			return
+		}
+	}
+	if r.zone == nil {
 		return
 	}
 	// Record the relation itself as a zone edge; see refiner.deriveCmp.
@@ -588,6 +793,40 @@ func (r *refuter) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, ctx *cond
 	case relEq:
 		r.zoneAdd(xn, xo, yn, yo, 0)
 		r.zoneAdd(yn, yo, xn, xo, 0)
+	}
+}
+
+// deriveRemCtx mirrors refiner.deriveRem context-sensitively: the rem
+// expression's defining equation is only in the formula when the vertex
+// is sliced.
+func (r *refuter) deriveRemCtx(e, val *ssa.Value, eq bool, ctx *cond.Ctx) {
+	if r.refuted || e.Op != ssa.OpBin || e.BinOp != lang.OpRem || !r.sl.Values[e] {
+		return
+	}
+	kv := e.Args[1]
+	if kv.Op != ssa.OpConst {
+		return
+	}
+	k := int64(int32(kv.Const))
+	if k < 2 {
+		return
+	}
+	cv := r.eval(val, ctx, 0)
+	if r.refuted || cv.Lo != cv.Hi || cv.Lo < 0 || cv.Lo >= k {
+		return
+	}
+	rem := cv.Lo
+	d := e.Args[0]
+	if eq {
+		mod := gcd64(k, maxStride)
+		if r.eval(d, ctx, 0).Lo >= 0 {
+			mod = k
+		}
+		r.constrainSt(d, ctx, mkStride(mod, rem))
+		return
+	}
+	if k == 2 {
+		r.constrainSt(d, ctx, mkStride(2, 1-rem))
 	}
 }
 
@@ -619,6 +858,9 @@ func (a *Analysis) PrunePath(p pdg.Path, vcs ...pdg.ValueConstraint) bool {
 					iv = iv.Meet(z.unary(n, off))
 				}
 			}
+			if a.stride {
+				iv, _ = reduce(iv, a.strideInvariantOf(v))
+			}
 			if iv.Within(0, int64(int32(vc.Bound))-1) {
 				return true
 			}
@@ -630,6 +872,11 @@ func (a *Analysis) PrunePath(p pdg.Path, vcs ...pdg.ValueConstraint) bool {
 			iv, ok := a.vals[v]
 			if ok && !iv.Contains(int64(int32(vc.Value))) {
 				return true
+			}
+			if a.stride {
+				if st, found := a.strides[v]; found && !st.IsBottom() && !st.Contains(int64(int32(vc.Value))) {
+					return true
+				}
 			}
 		}
 	}
@@ -664,6 +911,9 @@ func (a *Analysis) pruneDynBound(v *ssa.Value, vc pdg.ValueConstraint) bool {
 	if z != nil {
 		ii = ii.Meet(z.unary(in, io))
 		ib = ib.Meet(z.unary(bn, bo))
+	}
+	if a.stride {
+		ii, _ = reduce(ii, a.strideInvariantOf(idx))
 	}
 	if ii.IsBottom() || ib.IsBottom() {
 		return false // invariants say the sink is unreachable-ish; leave to RefuteSlice

@@ -26,6 +26,7 @@ type ablationBaseline struct {
 
 type baselineMode struct {
 	Decided int `json:"decided"`
+	Stride  int `json:"stride"`
 	Zone    int `json:"zone"`
 	Pruned  int `json:"pruned"`
 }
@@ -48,10 +49,11 @@ func baselineOpts(bl ablationBaseline, t *testing.T) Options {
 }
 
 // TestAblationBaseline is the absint ablation smoke: it runs the fused
-// engine in all three tier modes (off, intervals, on) on a pinned subject
-// set, requires the report sets to be identical, and compares the tier's
-// decision rates against the committed baseline. Regenerate the baseline
-// with: go test ./internal/bench -run TestAblationBaseline -update
+// engine in all four tier modes (off, intervals, nostride, on) on a
+// pinned subject set, requires the report sets to be identical, and
+// compares the tier's decision rates against the committed baseline.
+// Regenerate the baseline with:
+// go test ./internal/bench -run TestAblationBaseline -update
 func TestAblationBaseline(t *testing.T) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -76,6 +78,7 @@ func TestAblationBaseline(t *testing.T) {
 		}
 		m := got[c.Mode]
 		m.Decided += c.AbsintDecided
+		m.Stride += c.AbsintStride
 		m.Zone += c.AbsintZone
 		m.Pruned += c.AbsintPruned
 		got[c.Mode] = m
@@ -98,11 +101,17 @@ func TestAblationBaseline(t *testing.T) {
 	}
 
 	// Structural sanity: modes behave as configured.
-	if m := got["off"]; m.Decided != 0 || m.Zone != 0 || m.Pruned != 0 {
+	if m := got["off"]; m.Decided != 0 || m.Stride != 0 || m.Zone != 0 || m.Pruned != 0 {
 		t.Errorf("off mode fired: %+v", m)
 	}
-	if got["intervals"].Zone != 0 {
-		t.Errorf("intervals mode made zone decisions: %+v", got["intervals"])
+	if m := got["intervals"]; m.Stride != 0 || m.Zone != 0 {
+		t.Errorf("intervals mode made stride or zone decisions: %+v", m)
+	}
+	if got["nostride"].Stride != 0 {
+		t.Errorf("nostride mode made stride decisions: %+v", got["nostride"])
+	}
+	if got["on"].Stride == 0 {
+		t.Error("stride tier never decided a query on the baseline subjects")
 	}
 	if got["on"].Zone == 0 {
 		t.Error("zone tier never decided a query on the baseline subjects")
@@ -111,7 +120,8 @@ func TestAblationBaseline(t *testing.T) {
 	// queries as the committed baseline.
 	for mode, want := range bl.Modes {
 		g := got[mode]
-		if g.Decided < want.Decided || g.Zone < want.Zone || g.Pruned < want.Pruned {
+		if g.Decided < want.Decided || g.Stride < want.Stride ||
+			g.Zone < want.Zone || g.Pruned < want.Pruned {
 			t.Errorf("%s: decision rate regressed: got %+v, baseline %+v", mode, g, want)
 		}
 	}

@@ -86,11 +86,13 @@ type Cost struct {
 	Failed   bool   // exceeded Budget
 	FailNote string // why
 	// AbsintDecided counts queries refuted by the abstract tiers before
-	// any formula was built; AbsintZone counts the subset that needed the
-	// zone relational tier; AbsintPruned counts candidates the enumeration
-	// oracle discarded; SolverCalls counts candidates that reached the
-	// bit-precise solver.
+	// any formula was built; AbsintStride counts the subset the congruence
+	// (stride) product decided without the zone tier; AbsintZone counts
+	// the subset that needed the zone relational tier; AbsintPruned counts
+	// candidates the enumeration oracle discarded; SolverCalls counts
+	// candidates that reached the bit-precise solver.
 	AbsintDecided int
+	AbsintStride  int
 	AbsintZone    int
 	AbsintPruned  int
 	SolverCalls   int
@@ -196,6 +198,9 @@ func RunWorkers(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engine
 		}
 		if v.DecidedByAbsint {
 			cost.AbsintDecided++
+			if v.DecidedByStride {
+				cost.AbsintStride++
+			}
 			if v.DecidedByZone {
 				cost.AbsintZone++
 			}

@@ -40,6 +40,9 @@ type Options struct {
 	// IntervalsOnly restricts the tier to the interval domain, disabling
 	// the zone relational domain — the `-absint=intervals` ablation.
 	IntervalsOnly bool
+	// NoStride disables the congruence (stride) domain while keeping the
+	// zone tier — the `-absint=nostride` ablation.
+	NoStride bool
 	// OnCost observes every scored engine run, in completion order. The
 	// command-line harness uses it to tally contained unit failures and
 	// degraded verdicts for its exit status.
@@ -65,6 +68,7 @@ func (o Options) fusion() *engines.Fusion {
 	e.Parallel = o.workers()
 	e.UseAbsint = o.Absint
 	e.IntervalsOnly = o.IntervalsOnly
+	e.NoStride = o.NoStride
 	return e
 }
 
@@ -220,6 +224,9 @@ type Instance struct {
 	Preprocessed bool
 	// Absint reports the fused solve was refuted by the abstract tiers.
 	Absint bool
+	// Stride reports the refutation needed the congruence (stride)
+	// product but not the zone tier.
+	Stride bool
 	// Zone reports the refutation needed the zone relational tier.
 	Zone bool
 }
@@ -238,7 +245,7 @@ func Fig11Instances(ctx context.Context, opts Options) ([]Instance, error) {
 		senge := sparse.NewEngine(sub.Graph)
 		senge.Workers = opts.workers()
 		cands := senge.RunContext(ctx, spec)
-		an := absintFor(sub, opts.IntervalsOnly)
+		an := absintFor(sub, opts.IntervalsOnly, opts.NoStride)
 		for _, c := range cands {
 			paths := []pdg.Path{c.Path}
 
@@ -260,7 +267,8 @@ func Fig11Instances(ctx context.Context, opts Options) ([]Instance, error) {
 			out = append(out, Instance{
 				Subject: sub.Info.Name, Fused: fused, Standalone: standalone,
 				Sat: fr.Status == sat.Sat, Preprocessed: fr.Preprocessed,
-				Absint: fr.DecidedByAbsint, Zone: fr.DecidedByZone,
+				Absint: fr.DecidedByAbsint, Stride: fr.DecidedByStride,
+				Zone: fr.DecidedByZone,
 			})
 		}
 	}
@@ -269,10 +277,11 @@ func Fig11Instances(ctx context.Context, opts Options) ([]Instance, error) {
 
 // absintFor builds the tier analysis for one subject through a throwaway
 // driver-independent fused engine, keeping the construction in one place.
-func absintFor(sub *Subject, intervalsOnly bool) *absint.Analysis {
+func absintFor(sub *Subject, intervalsOnly, noStride bool) *absint.Analysis {
 	e := engines.NewFusion()
 	e.UseAbsint = true
 	e.IntervalsOnly = intervalsOnly
+	e.NoStride = noStride
 	return e.Absint(sub.Graph)
 }
 
@@ -314,7 +323,7 @@ func Fig11(ctx context.Context, opts Options) (string, error) {
 	if len(insts) == 0 {
 		return "no instances", nil
 	}
-	var nSat, nPre, nAbs, nZone int
+	var nSat, nPre, nAbs, nStride, nZone int
 	var satF, satS, unsatF, unsatS float64
 	for _, in := range insts {
 		if in.Sat {
@@ -331,6 +340,9 @@ func Fig11(ctx context.Context, opts Options) (string, error) {
 		if in.Absint {
 			nAbs++
 		}
+		if in.Stride {
+			nStride++
+		}
 		if in.Zone {
 			nZone++
 		}
@@ -344,6 +356,8 @@ func Fig11(ctx context.Context, opts Options) (string, error) {
 		nPre, 100*float64(nPre)/float64(n))
 	fmt.Fprintf(&b, "  absint decision rate: %d (%.0f%%)\n",
 		nAbs, 100*float64(nAbs)/float64(n))
+	fmt.Fprintf(&b, "  stride decision rate: %d (%.0f%%)\n",
+		nStride, 100*float64(nStride)/float64(n))
 	fmt.Fprintf(&b, "  zone decision rate: %d (%.0f%%)\n",
 		nZone, 100*float64(nZone)/float64(n))
 	if satF > 0 {
@@ -481,11 +495,13 @@ func CWE369(ctx context.Context, opts Options) (string, error) {
 
 // AblationAbsint measures the abstract-interpretation tiers' contribution
 // on the industrial-sized subjects: the value-constrained checkers
-// (CWE-369, CWE-125) run with the tier off, with intervals alone, and with
-// the full interval+zone product. The tiers must never change the report
+// (CWE-369, CWE-125) run with the tier off, with intervals alone, with
+// the congruence (stride) domain disabled, and with the full
+// interval×stride+zone product. The tiers must never change the report
 // set — they only refute queries the solver would also refute — while
-// strictly reducing the number of bit-precise solver calls; the #Zone
-// column counts refutations the interval domain alone could not decide.
+// strictly reducing the number of bit-precise solver calls; the #Stride
+// column counts refutations the congruence product decided without the
+// zone tier, and #Zone those the zone relational tier had to decide.
 func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 	costs, identical, err := ablationCosts(ctx, opts)
 	if err != nil {
@@ -494,19 +510,20 @@ func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title: "Ablation: abstract-interpretation tiers (absint)",
 		Header: []string{"Program", "Checker", "Absint", "Time", "#Report",
-			"#Decided", "#Zone", "#Pruned", "#SolverCalls"},
+			"#Decided", "#Stride", "#Zone", "#Pruned", "#SolverCalls"},
 	}
 	for _, c := range costs {
 		t.AddRow(c.Subject, c.Checker, c.Mode, fd(c.Time),
 			fmt.Sprintf("%d", c.Reports),
 			fmt.Sprintf("%d", c.AbsintDecided),
+			fmt.Sprintf("%d", c.AbsintStride),
 			fmt.Sprintf("%d", c.AbsintZone),
 			fmt.Sprintf("%d", c.AbsintPruned),
 			fmt.Sprintf("%d", c.SolverCalls))
 	}
 	s := t.String()
 	if identical {
-		s += "\nreport sets identical across off/intervals/on\n"
+		s += "\nreport sets identical across off/intervals/nostride/on\n"
 	} else {
 		s += "\nWARNING: report sets differ across absint modes\n"
 	}
@@ -514,13 +531,13 @@ func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 }
 
 // AblationCost is one engine run of the absint ablation, tagged with its
-// tier mode ("off", "intervals", "on").
+// tier mode ("off", "intervals", "nostride", "on").
 type AblationCost struct {
 	Mode string
 	Cost
 }
 
-// ablationCosts runs the three-mode ablation and reports whether every
+// ablationCosts runs the four-mode ablation and reports whether every
 // mode produced the identical report count per (subject, checker).
 func ablationCosts(ctx context.Context, opts Options) ([]AblationCost, bool, error) {
 	var out []AblationCost
@@ -533,10 +550,11 @@ func ablationCosts(ctx context.Context, opts Options) ([]AblationCost, bool, err
 		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
 			// Explicit engines per mode: the ablation ignores Options.Absint.
 			var reports []int
-			for _, mode := range []string{"off", "intervals", "on"} {
+			for _, mode := range []string{"off", "intervals", "nostride", "on"} {
 				eng := opts.fusion()
 				eng.UseAbsint = mode != "off"
 				eng.IntervalsOnly = mode == "intervals"
+				eng.NoStride = mode == "nostride"
 				c := opts.run(ctx, sub, spec, eng)
 				reports = append(reports, c.Reports)
 				out = append(out, AblationCost{Mode: mode, Cost: c})

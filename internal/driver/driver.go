@@ -31,22 +31,26 @@ import (
 )
 
 // AbsintMode selects the abstract-interpretation tier configuration of a
-// compiled program: the full interval+zone product, intervals alone (the
-// `-absint=intervals` ablation), or no tier at all.
+// compiled program: the full interval×stride+zone product, the same
+// without the congruence (stride) domain (the `-absint=nostride`
+// ablation), intervals alone (`-absint=intervals`), or no tier at all.
 type AbsintMode int
 
 // Absint tier modes. The zero value is the full tier, matching the
 // default of the command-line `-absint=on`.
 const (
-	AbsintOn        AbsintMode = iota // intervals + zone relational domain
-	AbsintIntervals                   // zone disabled
+	AbsintOn        AbsintMode = iota // intervals × stride + zone relational domain
+	AbsintIntervals                   // zone and stride disabled
 	AbsintOff                         // no abstract tier
+	AbsintNoStride                    // stride disabled, zone kept
 )
 
 func (m AbsintMode) String() string {
 	switch m {
 	case AbsintIntervals:
 		return "intervals"
+	case AbsintNoStride:
+		return "nostride"
 	case AbsintOff:
 		return "off"
 	default:
@@ -55,17 +59,19 @@ func (m AbsintMode) String() string {
 }
 
 // ParseAbsintMode parses the command-line form used by the `-absint`
-// flags: on, intervals, or off.
+// flags: on, nostride, intervals, or off.
 func ParseAbsintMode(s string) (AbsintMode, error) {
 	switch s {
 	case "on":
 		return AbsintOn, nil
+	case "nostride":
+		return AbsintNoStride, nil
 	case "intervals":
 		return AbsintIntervals, nil
 	case "off":
 		return AbsintOff, nil
 	}
-	return AbsintOn, fmt.Errorf("driver: -absint must be on, intervals, or off, got %q", s)
+	return AbsintOn, fmt.Errorf("driver: -absint must be on, nostride, intervals, or off, got %q", s)
 }
 
 // Source is one program to compile.
@@ -233,6 +239,8 @@ func (p *Program) Absint() *absint.Analysis {
 		faultinject.Fire("panic.absint", p.Name)
 		p.abs = absint.AnalyzeWith(p.Graph, absint.Config{
 			DisableZone: p.opts.Absint == AbsintIntervals,
+			DisableStride: p.opts.Absint == AbsintIntervals ||
+				p.opts.Absint == AbsintNoStride,
 		})
 	})
 	return p.abs

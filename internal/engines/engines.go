@@ -46,6 +46,9 @@ type Verdict struct {
 	// DecidedByAbsint reports the query was refuted by the
 	// abstract-interpretation tier before any formula was built.
 	DecidedByAbsint bool
+	// DecidedByStride reports the refutation needed the congruence
+	// (stride) product but not the zone tier (implies DecidedByAbsint).
+	DecidedByStride bool
 	// DecidedByZone reports the refutation needed the zone relational
 	// tier (implies DecidedByAbsint).
 	DecidedByZone bool
@@ -153,6 +156,10 @@ type Fusion struct {
 	// IntervalsOnly disables the zone relational domain, leaving the
 	// interval tier alone — the `-absint=intervals` ablation.
 	IntervalsOnly bool
+	// NoStride disables the congruence (stride) domain while keeping the
+	// zone tier — the `-absint=nostride` ablation. IntervalsOnly implies
+	// NoStride.
+	NoStride bool
 	// Parallel is the worker count for Check; 0 or 1 means sequential.
 	Parallel int
 	mu       sync.Mutex
@@ -177,7 +184,10 @@ func (e *Fusion) Absint(g *pdg.Graph) *absint.Analysis {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.absG != g {
-		e.abs = absint.AnalyzeWith(g, absint.Config{DisableZone: e.IntervalsOnly})
+		e.abs = absint.AnalyzeWith(g, absint.Config{
+			DisableZone:   e.IntervalsOnly,
+			DisableStride: e.IntervalsOnly || e.NoStride,
+		})
 		e.absG = g
 	}
 	return e.abs
@@ -228,9 +238,10 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 	v := Verdict{
 		Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
 		DecidedByAbsint: r.DecidedByAbsint,
+		DecidedByStride: r.DecidedByStride,
 		DecidedByZone:   r.DecidedByZone,
 		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
-		Tier: tierOf(r.Status, r.DecidedByAbsint, r.DecidedByZone),
+		Tier: tierOf(r.Status, r.DecidedByAbsint, r.DecidedByStride, r.DecidedByZone),
 	}
 	// The per-candidate deadline firing (parent still alive) is budget
 	// exhaustion too, even though the solver saw it as ctx cancellation.
@@ -353,7 +364,7 @@ func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candi
 		v := Verdict{
 			Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
 			SolveTime: time.Since(t0), ConditionSize: size,
-			Tier: tierOf(r.Status, false, false),
+			Tier: tierOf(r.Status, false, false, false),
 		}
 		if r.Status == sat.Unknown && r.Exhausted {
 			degradeVerdict(ctx, e.fb.analysis(g), g, c, &v)

@@ -25,6 +25,10 @@ const (
 	TierUnknown Tier = iota
 	// TierInterval: the interval abstract domain refuted the query.
 	TierInterval
+	// TierStride: the congruence (stride) domain, in reduced product
+	// with intervals, refuted it — cheaper than the zone tier, more
+	// precise than intervals alone.
+	TierStride
 	// TierRelational: the zone (difference-bound) domain refuted it.
 	TierRelational
 	// TierExact: the bit-precise solve (preprocessing, probe, or CDCL
@@ -36,6 +40,8 @@ func (t Tier) String() string {
 	switch t {
 	case TierInterval:
 		return "interval"
+	case TierStride:
+		return "stride"
 	case TierRelational:
 		return "relational"
 	case TierExact:
@@ -91,12 +97,14 @@ func UnitLabel(c sparse.Candidate) string {
 
 // tierOf tags a bit-precise tier outcome: a decided status is Exact
 // unless the abstract tier short-circuited the solve.
-func tierOf(st sat.Status, byAbsint, byZone bool) Tier {
+func tierOf(st sat.Status, byAbsint, byStride, byZone bool) Tier {
 	switch {
 	case st == sat.Unknown:
 		return TierUnknown
 	case byZone:
 		return TierRelational
+	case byStride:
+		return TierStride
 	case byAbsint:
 		return TierInterval
 	default:
@@ -151,11 +159,14 @@ func degradeVerdict(ctx context.Context, an *absint.Analysis, g *pdg.Graph, c sp
 	}
 	sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
 	c.ApplyConstraint(sl, 0)
-	if refuted, byZone := an.RefuteSliceTieredCtx(ctx, sl); refuted {
+	if refuted, byStride, byZone := an.RefuteSliceTieredCtx(ctx, sl); refuted {
 		v.Status = sat.Unsat
-		if byZone {
+		switch {
+		case byZone:
 			v.Tier = TierRelational
-		} else {
+		case byStride:
+			v.Tier = TierStride
+		default:
 			v.Tier = TierInterval
 		}
 	}

@@ -82,20 +82,24 @@ func TestUnitLabelFormat(t *testing.T) {
 }
 
 func TestTierOf(t *testing.T) {
-	if got := tierOf(sat.Unknown, true, true); got != TierUnknown {
+	if got := tierOf(sat.Unknown, true, true, true); got != TierUnknown {
 		t.Errorf("undecided: %v", got)
 	}
-	if got := tierOf(sat.Unsat, true, true); got != TierRelational {
+	if got := tierOf(sat.Unsat, true, false, true); got != TierRelational {
 		t.Errorf("zone: %v", got)
 	}
-	if got := tierOf(sat.Unsat, true, false); got != TierInterval {
+	if got := tierOf(sat.Unsat, true, true, false); got != TierStride {
+		t.Errorf("stride: %v", got)
+	}
+	if got := tierOf(sat.Unsat, true, false, false); got != TierInterval {
 		t.Errorf("interval: %v", got)
 	}
-	if got := tierOf(sat.Sat, false, false); got != TierExact {
+	if got := tierOf(sat.Sat, false, false, false); got != TierExact {
 		t.Errorf("exact: %v", got)
 	}
 	for tier, want := range map[Tier]string{
 		TierUnknown: "unknown", TierInterval: "interval",
+		TierStride:     "stride",
 		TierRelational: "relational", TierExact: "exact",
 	} {
 		if tier.String() != want {

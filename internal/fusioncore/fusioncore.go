@@ -91,8 +91,11 @@ type Result struct {
 	// DecidedByAbsint reports the query was refuted by the abstract
 	// interpretation before any formula was built.
 	DecidedByAbsint bool
+	// DecidedByStride reports the refutation needed the congruence
+	// (stride) tier — the interval domain alone could not decide it.
+	DecidedByStride bool
 	// DecidedByZone reports the refutation needed the zone relational
-	// tier — the interval domain alone could not decide it.
+	// tier — neither intervals nor the congruence tier could decide it.
 	DecidedByZone bool
 	// AbsintBounds counts the invariant bound conjuncts exported into the
 	// residual formula.
@@ -100,6 +103,9 @@ type Result struct {
 	// AbsintDiffs counts the difference-bound conjuncts exported into the
 	// residual formula by the zone domain.
 	AbsintDiffs int
+	// AbsintStrides counts the congruence conjuncts exported into the
+	// residual formula by the stride domain.
+	AbsintStrides int
 	// Phi is the residual formula handed to the final solve (after
 	// emission, before its global preprocessing), for inspection.
 	Phi *smt.Term
@@ -137,10 +143,11 @@ type state struct {
 	sliceVals map[*ssa.Function][]*ssa.Value
 	// forcedSites are call sites the paths pass through; their callee
 	// instances are materialized regardless of quick paths.
-	forcedSites  map[int]bool
-	localPrep    time.Duration
-	absintBounds int
-	absintDiffs  int
+	forcedSites   map[int]bool
+	localPrep     time.Duration
+	absintBounds  int
+	absintDiffs   int
+	absintStrides int
 }
 
 // Solve decides the feasibility of a set of data-dependence paths directly
@@ -161,9 +168,10 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 	// unsat without building a formula (and soundness tests hold it to
 	// that).
 	if opts.Absint != nil {
-		if refuted, byZone := opts.Absint.RefuteSliceTieredCtx(ctx, sl); refuted {
+		if refuted, byStride, byZone := opts.Absint.RefuteSliceTieredCtx(ctx, sl); refuted {
 			res.Status = sat.Unsat
 			res.DecidedByAbsint = true
+			res.DecidedByStride = byStride
 			res.DecidedByZone = byZone
 			return res
 		}
@@ -203,6 +211,7 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 	res.LocalPreprocessTime = r.st.localPrep
 	res.AbsintBounds = r.st.absintBounds
 	res.AbsintDiffs = r.st.absintDiffs
+	res.AbsintStrides = r.st.absintStrides
 	res.Phi = r.phi
 	if opts.MaxHeapDelta > 0 && b.EstimatedBytes()-heapBefore > opts.MaxHeapDelta {
 		res.Status = sat.Unknown
@@ -305,6 +314,36 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 	// to the integer fact when y + c cannot wrap — guaranteed by also
 	// asserting y's interval bounds and checking [lo+c, hi+c] stays in
 	// 32-bit range.
+	// Congruence facts from the stride domain join the unary bounds:
+	// v ≡ r (mod m) becomes URem(v, m) == r. The invariant is over the
+	// MATHEMATICAL value while URem sees the unsigned machine view; the
+	// two agree exactly when m divides 2^32 (a power of two), and
+	// otherwise only for non-negative v — so for non-power-of-two moduli
+	// the export requires a proven non-negative lower bound and asserts
+	// the interval bounds as the side condition.
+	strideDone := map[boundKey]bool{}
+	exportStride := func(v *ssa.Value, ctx *cond.Ctx) {
+		if opts.Absint == nil || strideDone[boundKey{v, ctx}] {
+			return
+		}
+		strideDone[boundKey{v, ctx}] = true
+		m, r, ok := opts.Absint.StrideFact(v)
+		if !ok || m >= int64(1)<<32 {
+			return
+		}
+		if m&(m-1) != 0 {
+			lo, _, okB := opts.Absint.Bounds(v)
+			if !okB || lo < 0 {
+				return
+			}
+			exportBounds(v, ctx)
+		}
+		bits := pdg.TypeBits(v.Type)
+		asserts = append(asserts, b.Eq(
+			b.URem(st.tr.Var(v, ctx), b.Const(uint32(m), bits)),
+			b.Const(uint32(r), bits)))
+		st.absintStrides++
+	}
 	diffDone := map[[2]boundKey]bool{}
 	exportDiff := func(x, y *ssa.Value, ctx *cond.Ctx) {
 		if opts.Absint == nil || x == y {
@@ -335,6 +374,7 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 		for i, step := range p {
 			st.emit(step.V.Fn, ctxs[i])
 			exportBounds(step.V, ctxs[i])
+			exportStride(step.V, ctxs[i])
 			if i > 0 && ctxs[i] == ctxs[i-1] {
 				exportDiff(p[i-1].V, step.V, ctxs[i])
 				exportDiff(step.V, p[i-1].V, ctxs[i])
@@ -368,6 +408,7 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 		idx, bnd := v.Args[vc.Arg], v.Args[vc.BoundArg]
 		exportBounds(idx, ctxs[vc.Step])
 		exportBounds(bnd, ctxs[vc.Step])
+		exportStride(idx, ctxs[vc.Step])
 		exportDiff(idx, bnd, ctxs[vc.Step])
 		exportDiff(bnd, idx, ctxs[vc.Step])
 	}

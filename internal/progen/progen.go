@@ -125,12 +125,15 @@ type gen struct {
 	// lastSinkLine records where emitBugFunc placed the most recent sink
 	// call, for the ground-truth record.
 	lastSinkLine int
-	// nInfDiv counts infeasible CWE-369 bugs, alternating their divisor
-	// pattern between the interval-refutable and the bit-precise variant.
+	// nInfDiv counts infeasible CWE-369 bugs, rotating their divisor
+	// pattern through the refutation tiers: interval-refutable, odd
+	// stride (congruence tier), and parity guard (congruence tier via
+	// backward %-refinement).
 	nInfDiv int
 	// nOOB / nInfOOB count CWE-125 bugs, alternating between the
-	// fixed-size sink (buf_read) and the dynamic-bound sink (buf_read_n),
-	// whose infeasible variant needs the zone relational tier.
+	// fixed-size sink (buf_read) and the dynamic-bound sink (buf_read_n);
+	// the infeasible variants rotate through the zone relational tier,
+	// the congruence (aligned index) tier, and the interval tier.
 	nOOB    int
 	nInfOOB int
 }
@@ -359,12 +362,33 @@ func (g *gen) emitBugFunc(fname, checker string, feasible bool) {
 		e.writef("    var n: int = user_input();\n")
 		if feasible {
 			e.writef("    var d: int = n - %d;\n", g.rng.Intn(50))
-		} else if g.nInfDiv++; g.nInfDiv%2 == 1 {
-			// Never zero, and interval reasoning alone sees it ([1,13]).
-			e.writef("    var d: int = n %% 13 + 1;\n")
 		} else {
-			// Never zero, but only bit-precise reasoning sees it.
-			e.writef("    var d: int = n * 2 + 1;\n")
+			g.nInfDiv++
+			switch g.nInfDiv % 3 {
+			case 1:
+				// Odd by guard: the divisor d + 2n is defined before the
+				// parity guard, so the whole-program oracle records no
+				// stride for it — only the refuter's backward %-refinement
+				// (d ≡ 1 mod 2 under the guard, preserved by +2n) excludes
+				// zero, and neither intervals nor the zone can.
+				e.writef("    var d: int = user_input();\n")
+				e.writef("    var e: int = d + n * 2;\n")
+				e.writef("    if (d %% 2 == 1) {\n")
+				g.lastSinkLine = e.line
+				e.writef("        var q: int = %d / e;\n", 10+g.rng.Intn(90))
+				e.writef("        send(q + a + b);\n")
+				e.writef("    }\n")
+				e.writef("}\n\n")
+				return
+			case 2:
+				// Never zero, and interval reasoning alone sees it ([1,13]).
+				e.writef("    var d: int = n %% 13 + 1;\n")
+			default:
+				// Never zero: d ≡ 1 (mod 2), a fact the congruence tier
+				// proves even under 32-bit wrap — the stride oracle prunes
+				// this candidate during enumeration.
+				e.writef("    var d: int = n * 2 + 1;\n")
+			}
 		}
 		g.lastSinkLine = e.line
 		e.writef("    var q: int = %d / d;\n", 10+g.rng.Intn(90))
@@ -383,17 +407,33 @@ func (g *gen) emitBugFunc(fname, checker string, feasible bool) {
 			dyn = g.nOOB%2 == 0
 			e.writef("    var i: int = n + %d;\n", g.rng.Intn(8))
 		} else {
-			// Infeasible bugs rotate through three refutation tiers: the
+			// Infeasible bugs rotate through four refutation tiers: the
 			// dynamic bound intra-function (zone oracle), cross-function
-			// (zone refuter), and the static remainder bound (intervals).
+			// (zone refuter), the aligned index (congruence tier), and the
+			// static remainder bound (intervals).
 			g.nInfOOB++
-			dyn = g.nInfOOB%3 != 0
-			cross = g.nInfOOB%3 == 2
-			if dyn {
+			switch g.nInfOOB % 4 {
+			case 1, 2:
+				dyn = true
+				cross = g.nInfOOB%4 == 2
 				// The guard proves 0 <= i < m with m unknown: intervals
 				// cannot relate i to m, the zone's difference bound can.
 				e.writef("    var i: int = n;\n")
-			} else {
+			case 3:
+				// Aligned index: the guard proves i ≡ 0 (mod 4) and
+				// i < BufSize, so the congruence×interval reduced product
+				// snaps i to at most BufSize-4 and i+3 stays in bounds —
+				// beyond either domain alone.
+				e.writef("    var i: int = n;\n")
+				e.writef("    if (i %% 4 == 0) {\n")
+				e.writef("    if (0 <= i && i < %d) {\n", 256)
+				g.lastSinkLine = e.line
+				e.writef("        var q: int = buf_read(i + 3);\n")
+				e.writef("        send(q + a + b);\n")
+				e.writef("    }\n    }\n")
+				e.writef("}\n\n")
+				return
+			default:
 				// Unsigned remainder keeps the index inside the buffer,
 				// which the interval tier proves without bit-blasting.
 				e.writef("    var i: int = n %% %d;\n", 50+g.rng.Intn(50))
