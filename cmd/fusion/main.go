@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME]
-//	       [-absint on|nostride|intervals|off] [-workers N] [-timeout D] [-no-prelude]
+//	       [-absint on|nostride|nosimplify|intervals|off] [-workers N] [-timeout D] [-no-prelude]
 //	       [-fail-fast] [-budget-steps N] [-budget-conflicts N]
 //	       [-budget-deadline D] [-budget-heap N] file.fl
 //
@@ -43,7 +43,7 @@ func main() {
 	joint := flag.Bool("joint", false, "additionally check the joint feasibility of multi-argument sinks")
 	enum := flag.String("enum", "dfs", "path enumeration: dfs or summary")
 	dot := flag.Bool("dot", false, "print the program dependence graph in Graphviz DOT format and exit")
-	absintMode := flag.String("absint", "on", "abstract-interpretation tier: on (intervals × stride + zone), nostride (congruence disabled), intervals (zone and stride disabled), or off (fusion engines and -dot annotations)")
+	absintMode := flag.String("absint", "on", "abstract-interpretation tier: on (intervals × stride + zone), nostride (congruence disabled), nosimplify (formula pre-simplification disabled), intervals (zone and stride disabled), or off (fusion engines and -dot annotations)")
 	workers := flag.Int("workers", 1, "worker count for enumeration and checking (output is identical for any count)")
 	timeout := flag.Duration("timeout", 0, "overall analysis budget; on expiry remaining candidates are reported as undecided (0 = none)")
 	failFast := flag.Bool("fail-fast", false, "stop at the first contained unit failure instead of completing the batch")
@@ -200,6 +200,7 @@ func run(cfg config) (outcome, error) {
 	useAbsint := false
 	if f, ok := eng.(*engines.Fusion); ok && cfg.absint != driver.AbsintOff {
 		f.Opts.Absint = prog.Absint()
+		f.NoSimplify = cfg.absint == driver.AbsintNoSimplify
 		useAbsint = true
 	}
 
@@ -223,7 +224,7 @@ func run(cfg config) (outcome, error) {
 		}
 	}
 
-	decided, byStride, byZone := 0, 0, 0
+	decided, byStride, byZone, simplified := 0, 0, 0, 0
 specs:
 	for _, spec := range specs {
 		cands, err := enumerate(spec)
@@ -242,6 +243,7 @@ specs:
 			if v.DecidedByZone {
 				byZone++
 			}
+			simplified += v.Simplified
 			if v.Failure != nil {
 				res.failures = append(res.failures, v.Failure)
 				continue
@@ -293,7 +295,7 @@ specs:
 		res.failures = append(res.failures, f)
 	}
 	if useAbsint {
-		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies) (%d by stride, %d by zone), pruned %d candidate(s)\n", decided, byStride, byZone, pruned)
+		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies) (%d by stride, %d by zone), pruned %d candidate(s), simplified %d vertex(es)\n", decided, byStride, byZone, pruned, simplified)
 	}
 	printFailures(cfg.out, res.failures)
 	if res.degraded > 0 {

@@ -36,15 +36,15 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for compilation, enumeration, and checking (0 = sequential; output is identical for any count)")
 	parallel := flag.Int("parallel", 0, "deprecated alias for -workers")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the whole invocation (0 = none)")
-	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals × stride + zone), nostride (congruence disabled), intervals (zone and stride disabled), or off")
+	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals × stride + zone), nostride (congruence disabled), nosimplify (formula pre-simplification disabled), intervals (zone and stride disabled), or off")
 	failFast := flag.Bool("fail-fast", false, "stop after the first experiment whose runs contained a unit crash (default: run all experiments, summarize at the end)")
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "fusionbench:", err)
 		os.Exit(2)
 	}
-	if *absint != "on" && *absint != "nostride" && *absint != "off" && *absint != "intervals" {
-		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on, nostride, intervals, or off, got %q\n", *absint)
+	if *absint != "on" && *absint != "nostride" && *absint != "nosimplify" && *absint != "off" && *absint != "intervals" {
+		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on, nostride, nosimplify, intervals, or off, got %q\n", *absint)
 		os.Exit(2)
 	}
 	if *workers == 0 {
@@ -66,6 +66,7 @@ func main() {
 		Absint:        *absint != "off",
 		IntervalsOnly: *absint == "intervals",
 		NoStride:      *absint == "nostride",
+		NoSimplify:    *absint == "nosimplify",
 		OnCost: func(c bench.Cost) {
 			unitFailures = append(unitFailures, c.Failures...)
 		},

@@ -143,9 +143,9 @@ func AnalyzeWith(g *pdg.Graph, cfg Config) *Analysis {
 	for _, f := range g.Prog.Order {
 		visit(f)
 	}
-	for _, iv := range a.vals {
+	for v, iv := range a.vals {
 		a.Stats.Vertices++
-		if !iv.IsTop() {
+		if !iv.IsTopFor(width(v)) {
 			a.Stats.NonTrivial++
 		}
 	}
@@ -250,7 +250,7 @@ func (a *Analysis) StrideOf(v *ssa.Value) (Stride, bool) {
 // strideInvariantOf returns v's whole-program stride, defaulting to top.
 func (a *Analysis) strideInvariantOf(v *ssa.Value) Stride {
 	if v.Op == ssa.OpConst {
-		return SingleStride(int64(int32(v.Const)))
+		return SingleStride(SignExt(v.Const, width(v)))
 	}
 	if st, ok := a.strides[v]; ok {
 		return st
@@ -258,15 +258,16 @@ func (a *Analysis) strideInvariantOf(v *ssa.Value) Stride {
 	return TopStride()
 }
 
-// StrideFact returns the exportable congruence of a 32-bit vertex:
+// StrideFact returns the exportable congruence of an integer vertex:
 // v ≡ r (mod m) with m >= 2 and 0 <= r < m, over the MATHEMATICAL value
 // of v. ok is false for constants, top, bottom, and singleton strides
 // (singletons already export as bounds). Encoding the fact over machine
-// arithmetic as URem(v, m) == r is exact only when m divides 2^32 or
-// v is proven non-negative — the caller must add that side condition
-// (see fusioncore's residual export).
+// arithmetic as URem(v, m) == r is exact only when m divides 2^bits —
+// with m below 2^bits, or v would reduce modulo zero — or v is proven
+// non-negative with m in range; the caller must add those side
+// conditions at v's own width (see fusioncore's residual export).
 func (a *Analysis) StrideFact(v *ssa.Value) (m, r int64, ok bool) {
-	if width(v) != 32 || v.Op == ssa.OpConst {
+	if width(v) == 1 || v.Op == ssa.OpConst {
 		return 0, 0, false
 	}
 	st, found := a.strides[v]
@@ -276,15 +277,16 @@ func (a *Analysis) StrideFact(v *ssa.Value) (m, r int64, ok bool) {
 	return st.S, st.B, true
 }
 
-// Bounds returns the exportable signed bounds of a 32-bit vertex: ok is
-// false for booleans, constants, unanalyzed or top vertices, and for
-// bottom (unreachable) vertices, which the refutation tier handles.
+// Bounds returns the exportable signed bounds of an integer vertex at its
+// own width: ok is false for booleans, constants, unanalyzed or top
+// vertices (top judged per width), and for bottom (unreachable) vertices,
+// which the refutation tier handles.
 func (a *Analysis) Bounds(v *ssa.Value) (lo, hi int64, ok bool) {
-	if width(v) != 32 || v.Op == ssa.OpConst {
+	if width(v) == 1 || v.Op == ssa.OpConst {
 		return 0, 0, false
 	}
 	iv, found := a.vals[v]
-	if !found || iv.IsTop() || iv.IsBottom() {
+	if !found || iv.IsTopFor(width(v)) || iv.IsBottom() {
 		return 0, 0, false
 	}
 	return iv.Lo, iv.Hi, true
@@ -298,7 +300,7 @@ func (a *Analysis) Bounds(v *ssa.Value) (lo, hi int64, ok bool) {
 func (a *Analysis) Annotation(v *ssa.Value) string {
 	var parts []string
 	iv, ok := a.vals[v]
-	if ok && !iv.IsTop() && !(width(v) == 1 && iv.Lo == 0 && iv.Hi == 1) {
+	if ok && !iv.IsTopFor(width(v)) {
 		parts = append(parts, iv.String())
 	}
 	if st, ok := a.strides[v]; ok && !st.IsBottom() && st.S >= 2 {
@@ -385,7 +387,7 @@ func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, d
 				lookSt := func(x *ssa.Value) Stride {
 					return ref.lookupSt(x, v.Guard)
 				}
-				iv, st = reduce(iv, a.strideTransfer(v, lookSt, look))
+				iv, st = reduce(iv, stFitWidth(a.strideTransfer(v, lookSt, look), width(v)))
 			}
 		}
 		local[v] = iv
@@ -422,7 +424,7 @@ func (a *Analysis) evalFunction(f *ssa.Function, args []Interval, record bool, d
 func (a *Analysis) strideTransfer(v *ssa.Value, lookSt func(*ssa.Value) Stride, look func(*ssa.Value) Interval) Stride {
 	switch v.Op {
 	case ssa.OpConst:
-		return SingleStride(int64(int32(v.Const)))
+		return SingleStride(SignExt(v.Const, width(v)))
 	case ssa.OpCopy, ssa.OpReturn, ssa.OpBranch:
 		return lookSt(v.Args[0])
 	case ssa.OpNeg:
@@ -459,7 +461,19 @@ func (a *Analysis) strideBinTransfer(v *ssa.Value, lookSt func(*ssa.Value) Strid
 	}
 	sx, sy := lookSt(x), lookSt(y)
 	ix, iy := look(x), look(y)
-	switch v.BinOp {
+	return stBinOp(v.BinOp, sx, sy, ix, iy, width(v))
+}
+
+// stBinOp is the width-parametric stride transfer dispatch. The wrapping
+// operators (add, sub, mul, shl) are modular, so the caller's stFitWidth
+// reduction keeps them sound at narrow widths; unsigned remainder with a
+// possibly-negative narrow dividend is the one case whose 32-bit fallback
+// (reinterpretation modulo 2^32) does not transfer, so it gives up.
+func stBinOp(op lang.BinOp, sx, sy Stride, ix, iy Interval, w int) Stride {
+	if w > 1 && w < 32 && op == lang.OpRem && !ix.IsBottom() && ix.Lo < 0 {
+		return TopStride()
+	}
+	switch op {
 	case lang.OpAdd:
 		return StAdd(sx, sy, ix, iy)
 	case lang.OpSub:
@@ -489,7 +503,7 @@ func (a *Analysis) strideSummaryOrTop(f *ssa.Function) Stride {
 func (a *Analysis) transfer(v *ssa.Value, f *ssa.Function, args []Interval, look func(*ssa.Value) Interval, depth int) Interval {
 	switch v.Op {
 	case ssa.OpConst:
-		return Single(v.Const)
+		return SingleW(v.Const, width(v))
 	case ssa.OpParam:
 		idx := pdg.ParamIndex(v)
 		if args != nil && idx >= 0 && idx < len(args) {
@@ -501,7 +515,7 @@ func (a *Analysis) transfer(v *ssa.Value, f *ssa.Function, args []Interval, look
 	case ssa.OpNot:
 		return NotBool(look(v.Args[0]))
 	case ssa.OpNeg:
-		return Neg(look(v.Args[0]))
+		return fitWidth(Neg(look(v.Args[0])), width(v))
 	case ssa.OpIte:
 		c := look(v.Args[0])
 		switch {
@@ -559,48 +573,84 @@ func (a *Analysis) binTransfer(v *ssa.Value, look func(*ssa.Value) Interval) Int
 	}
 	l, r := look(x), look(y)
 	isBool := v.Type == lang.TypeBool && x.Type == lang.TypeBool
-	switch v.BinOp {
+	return binInterval(v.BinOp, l, r, isBool, width(v))
+}
+
+// unsignedFlavored reports the operators whose interval transfers reason
+// about 32-bit unsigned views or bit patterns.
+func unsignedFlavored(op lang.BinOp) bool {
+	switch op {
+	case lang.OpDiv, lang.OpRem, lang.OpShl, lang.OpShr,
+		lang.OpBitAnd, lang.OpBitOr, lang.OpBitXor:
+		return true
+	}
+	return false
+}
+
+// binInterval is the width-parametric interval transfer for one binary
+// operator: w is the RESULT width (1 for comparisons and boolean
+// operators). The comparison transfers are width-independent given
+// width-correct operand intervals (all comparisons are signed at the
+// operands' width); the arithmetic transfers compute over mathematical
+// integers and are fitted to the result width afterwards; the
+// unsigned/bit-pattern transfers are only exact at a narrow width when
+// both operand patterns coincide with their values, i.e. both operands
+// are provably non-negative in the narrow range.
+func binInterval(op lang.BinOp, l, r Interval, isBool bool, w int) Interval {
+	if w > 1 && w < 32 && unsignedFlavored(op) {
+		if l.IsBottom() || r.IsBottom() {
+			return Bottom()
+		}
+		if !l.Within(0, maxFor(w)) || !r.Within(0, maxFor(w)) {
+			return Top(w)
+		}
+	}
+	var out Interval
+	switch op {
 	case lang.OpAdd:
-		return Add(l, r)
+		out = Add(l, r)
 	case lang.OpSub:
-		return Sub(l, r)
+		out = Sub(l, r)
 	case lang.OpMul:
-		return Mul(l, r)
+		out = Mul(l, r)
 	case lang.OpDiv:
-		return UDiv(l, r)
+		out = UDiv(l, r)
 	case lang.OpRem:
-		return URem(l, r)
+		out = URem(l, r)
 	case lang.OpEq:
-		return Eq(l, r)
+		out = Eq(l, r)
 	case lang.OpNe:
-		return NotBool(Eq(l, r))
+		out = NotBool(Eq(l, r))
 	case lang.OpLt:
-		return Slt(l, r)
+		out = Slt(l, r)
 	case lang.OpLe:
-		return Sle(l, r)
+		out = Sle(l, r)
 	case lang.OpGt:
-		return Slt(r, l)
+		out = Slt(r, l)
 	case lang.OpGe:
-		return Sle(r, l)
+		out = Sle(r, l)
 	case lang.OpAnd, lang.OpBitAnd:
 		if isBool {
-			return AndBool(l, r)
+			out = AndBool(l, r)
+		} else {
+			out = BitAnd(l, r)
 		}
-		return BitAnd(l, r)
 	case lang.OpOr, lang.OpBitOr:
 		if isBool {
-			return OrBool(l, r)
+			out = OrBool(l, r)
+		} else {
+			out = BitOr(l, r)
 		}
-		return BitOr(l, r)
 	case lang.OpBitXor:
-		return BitXor(l, r)
+		out = BitXor(l, r)
 	case lang.OpShl:
-		return Shl(l, r)
+		out = Shl(l, r)
 	case lang.OpShr:
-		return Lshr(l, r)
+		out = Lshr(l, r)
 	default:
-		return Top(width(v))
+		out = Top(w)
 	}
+	return fitWidth(out, w)
 }
 
 // evalCall resolves a call vertex: the callee body is re-evaluated with

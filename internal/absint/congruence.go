@@ -167,6 +167,31 @@ func (st Stride) String() string {
 	}
 }
 
+// wrapModulus is 2^width, the machine wrap modulus of a bit width
+// (2^32 for the full-width types).
+func wrapModulus(width int) int64 {
+	if width >= 32 {
+		return maxStride
+	}
+	return int64(1) << uint(width)
+}
+
+// stFitWidth converts a stride over mathematical results into one valid
+// for the width-w machine value. A width-w machine result m and the
+// mathematical result x satisfy m ≡ x (mod 2^w), so a singleton maps to
+// its exact narrow value and a progression survives as gcd(S, 2^w).
+// No-op at full width: the transfers already weaken through wrap().
+func stFitWidth(st Stride, width int) Stride {
+	if width >= 32 || st.IsBottom() || st.IsTop() {
+		return st
+	}
+	m := wrapModulus(width)
+	if st.S == 0 {
+		return SingleStride(SignExt(uint32(st.B)&uint32(m-1), width))
+	}
+	return mkStride(gcd64(st.S, m), st.B)
+}
+
 // wrap weakens a mathematical-integer congruence to one that survives
 // 2^32 machine wraparound: gcd of the modulus with 2^32. A singleton
 // whose concrete value may have wrapped degrades to a mod-2^32 class.

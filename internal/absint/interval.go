@@ -34,22 +34,71 @@ const (
 	maxI32 = math.MaxInt32
 )
 
-// Top returns the full interval for a value of the given bit width
-// (1 = bool, 32 = int/ptr).
-func Top(width int) Interval {
+// minFor and maxFor give the signed range of a bit width. Booleans
+// (width 1) are kept unsigned over {0, 1}.
+func minFor(width int) int64 {
 	if width == 1 {
-		return Interval{0, 1}
+		return 0
 	}
-	return Interval{minI32, maxI32}
+	return -(int64(1) << uint(width-1))
+}
+
+func maxFor(width int) int64 {
+	if width == 1 {
+		return 1
+	}
+	return int64(1)<<uint(width-1) - 1
+}
+
+// Top returns the full interval for a value of the given bit width
+// (1 = bool, 8/16 = narrow integers, 32 = int/ptr).
+func Top(width int) Interval {
+	return Interval{minFor(width), maxFor(width)}
 }
 
 // Bottom is the empty interval.
 func Bottom() Interval { return Interval{1, 0} }
 
-// Single is the singleton interval {v} under signed interpretation.
+// SignExt reads the masked bit pattern v as a signed value of the given
+// width. Booleans (width 1) stay unsigned.
+func SignExt(v uint32, width int) int64 {
+	if width == 1 {
+		return int64(v & 1)
+	}
+	if width >= 32 {
+		return int64(int32(v))
+	}
+	sh := uint(32 - width)
+	return int64(int32(v<<sh) >> sh)
+}
+
+// Single is the singleton interval {v} under signed 32-bit interpretation.
 func Single(v uint32) Interval {
 	s := int64(int32(v))
 	return Interval{s, s}
+}
+
+// SingleW is the singleton {v} with v's bit pattern read at the given
+// width — the interval of an SSA constant, whose Const field is stored
+// masked to its type's width.
+func SingleW(v uint32, width int) Interval {
+	s := SignExt(v, width)
+	return Interval{s, s}
+}
+
+// fitWidth keeps a transfer result that provably fits the signed range of
+// the given width and widens everything else to that width's top: the
+// transfers compute over mathematical integers clamped at 32 bits, so a
+// result escaping a narrower range means the width-w machine arithmetic
+// may have wrapped even though no 32-bit overflow was seen.
+func fitWidth(iv Interval, width int) Interval {
+	if width >= 32 || iv.IsBottom() {
+		return iv
+	}
+	if iv.Lo >= minFor(width) && iv.Hi <= maxFor(width) {
+		return iv
+	}
+	return Top(width)
 }
 
 // IsBottom reports the empty interval.

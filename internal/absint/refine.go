@@ -86,7 +86,7 @@ func (r *refiner) lookupSt(x *ssa.Value, guard *ssa.Value) Stride {
 
 func (r *refiner) baseSt(x *ssa.Value) Stride {
 	if x.Op == ssa.OpConst {
-		return SingleStride(int64(int32(x.Const)))
+		return SingleStride(SignExt(x.Const, width(x)))
 	}
 	if st, ok := r.localSt[x]; ok {
 		return st
@@ -443,9 +443,10 @@ func (r *refiner) deriveCmp(op lang.BinOp, x, y *ssa.Value, want bool, env *refE
 // deriveRem propagates a `%`-equality guard backward to the dividend:
 // (d % K) == R with constant K >= 2 and known R ∈ [0, K) gives
 // d ≡ R (mod K) when d is provably non-negative, and the always-sound
-// d ≡ R (mod gcd(K, 2^32)) otherwise (the machine remainder sees d's
-// unsigned view, which agrees with d modulo 2^32). With eq false, only
-// parity flips: (d % 2) != R gives d ≡ 1−R (mod 2).
+// d ≡ R (mod gcd(K, 2^w)) otherwise, where w is the dividend's width
+// (the machine remainder sees d's unsigned view, which agrees with d
+// modulo 2^w). With eq false, only parity flips: (d % 2) != R gives
+// d ≡ 1−R (mod 2).
 func (r *refiner) deriveRem(e, val *ssa.Value, eq bool, env *refEnv) {
 	if env.dead || e.Op != ssa.OpBin || e.BinOp != lang.OpRem {
 		return
@@ -454,7 +455,7 @@ func (r *refiner) deriveRem(e, val *ssa.Value, eq bool, env *refEnv) {
 	if kv.Op != ssa.OpConst {
 		return
 	}
-	k := int64(int32(kv.Const))
+	k := SignExt(kv.Const, width(kv))
 	if k < 2 {
 		return
 	}
@@ -465,7 +466,7 @@ func (r *refiner) deriveRem(e, val *ssa.Value, eq bool, env *refEnv) {
 	rem := cv.Lo
 	d := e.Args[0]
 	if eq {
-		mod := gcd64(k, maxStride)
+		mod := gcd64(k, wrapModulus(width(d)))
 		if r.cur(d, env).Lo >= 0 {
 			mod = k
 		}

@@ -204,12 +204,12 @@ func (r *refuter) applyConstraint(vc pdg.ValueConstraint, pathCtxs [][]*cond.Ctx
 	case pdg.ConstraintOutOfBoundsDyn:
 		r.applyDynBound(v, ctx, vc)
 	default:
-		r.constrain(v, ctx, Single(vc.Value))
+		r.constrain(v, ctx, SingleW(vc.Value, width(v)))
 		if !r.refuted {
 			// Adopt the equality into the stride view too: a congruence
 			// excluding the constrained value (an odd divisor forced to
 			// zero, say) bottoms out here.
-			r.constrainSt(v, ctx, SingleStride(int64(int32(vc.Value))))
+			r.constrainSt(v, ctx, SingleStride(SignExt(vc.Value, width(v))))
 		}
 	}
 }
@@ -304,7 +304,7 @@ func (r *refuter) evalSt(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
 	}
 	st := TopStride()
 	if depth < maxEvalDepth {
-		st = r.stEquationOf(v, ctx, depth)
+		st = stFitWidth(r.stEquationOf(v, ctx, depth), width(v))
 	}
 	if rv, ok := r.stRefined[vc]; ok {
 		st = st.Meet(rv)
@@ -328,7 +328,7 @@ func (r *refuter) evalSt(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
 // outside the slice have no defining equation and stay free.
 func (r *refuter) stEquationOf(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
 	if v.Op == ssa.OpConst {
-		return SingleStride(int64(int32(v.Const)))
+		return SingleStride(SignExt(v.Const, width(v)))
 	}
 	if !r.sl.Values[v] {
 		return TopStride()
@@ -394,22 +394,7 @@ func (r *refuter) stBinEval(v *ssa.Value, ctx *cond.Ctx, depth int) Stride {
 	sy := r.evalSt(y, ctx, depth+1)
 	ix := r.eval(x, ctx, depth+1)
 	iy := r.eval(y, ctx, depth+1)
-	switch v.BinOp {
-	case lang.OpAdd:
-		return StAdd(sx, sy, ix, iy)
-	case lang.OpSub:
-		return StSub(sx, sy, ix, iy)
-	case lang.OpMul:
-		return StMul(sx, sy, ix, iy)
-	case lang.OpShl:
-		return StShl(sx, sy, ix, iy)
-	case lang.OpDiv:
-		return StUDiv(sx, sy, ix, iy)
-	case lang.OpRem:
-		return StURem(sx, sy, ix, iy)
-	default:
-		return TopStride()
-	}
+	return stBinOp(v.BinOp, sx, sy, ix, iy, width(v))
 }
 
 // constrainSt meets a derived stride fact into (v, ctx), reducing the
@@ -538,7 +523,7 @@ func (r *refuter) zoneDef(v *ssa.Value, ctx *cond.Ctx, depth int) {
 // have no defining equation and stay free.
 func (r *refuter) equationOf(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
 	if v.Op == ssa.OpConst {
-		return Single(v.Const)
+		return SingleW(v.Const, width(v))
 	}
 	if !r.sl.Values[v] {
 		return Top(width(v))
@@ -560,7 +545,7 @@ func (r *refuter) equationOf(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
 	case ssa.OpNot:
 		return NotBool(r.eval(v.Args[0], ctx, depth+1))
 	case ssa.OpNeg:
-		return Neg(r.eval(v.Args[0], ctx, depth+1))
+		return fitWidth(Neg(r.eval(v.Args[0], ctx, depth+1)), width(v))
 	case ssa.OpIte:
 		thenIn, elseIn := r.sl.IteTaken(v)
 		switch {
@@ -631,48 +616,7 @@ func (r *refuter) binEval(v *ssa.Value, ctx *cond.Ctx, depth int) Interval {
 	}
 	l, rr := r.eval(x, ctx, depth+1), r.eval(y, ctx, depth+1)
 	isBool := v.Type == lang.TypeBool && x.Type == lang.TypeBool
-	switch v.BinOp {
-	case lang.OpAdd:
-		return Add(l, rr)
-	case lang.OpSub:
-		return Sub(l, rr)
-	case lang.OpMul:
-		return Mul(l, rr)
-	case lang.OpDiv:
-		return UDiv(l, rr)
-	case lang.OpRem:
-		return URem(l, rr)
-	case lang.OpEq:
-		return Eq(l, rr)
-	case lang.OpNe:
-		return NotBool(Eq(l, rr))
-	case lang.OpLt:
-		return Slt(l, rr)
-	case lang.OpLe:
-		return Sle(l, rr)
-	case lang.OpGt:
-		return Slt(rr, l)
-	case lang.OpGe:
-		return Sle(rr, l)
-	case lang.OpAnd, lang.OpBitAnd:
-		if isBool {
-			return AndBool(l, rr)
-		}
-		return BitAnd(l, rr)
-	case lang.OpOr, lang.OpBitOr:
-		if isBool {
-			return OrBool(l, rr)
-		}
-		return BitOr(l, rr)
-	case lang.OpBitXor:
-		return BitXor(l, rr)
-	case lang.OpShl:
-		return Shl(l, rr)
-	case lang.OpShr:
-		return Lshr(l, rr)
-	default:
-		return Top(width(v))
-	}
+	return binInterval(v.BinOp, l, rr, isBool, width(v))
 }
 
 // constrain meets a derived fact into (v, ctx); an empty meet refutes the
@@ -807,7 +751,7 @@ func (r *refuter) deriveRemCtx(e, val *ssa.Value, eq bool, ctx *cond.Ctx) {
 	if kv.Op != ssa.OpConst {
 		return
 	}
-	k := int64(int32(kv.Const))
+	k := SignExt(kv.Const, width(kv))
 	if k < 2 {
 		return
 	}
@@ -818,7 +762,7 @@ func (r *refuter) deriveRemCtx(e, val *ssa.Value, eq bool, ctx *cond.Ctx) {
 	rem := cv.Lo
 	d := e.Args[0]
 	if eq {
-		mod := gcd64(k, maxStride)
+		mod := gcd64(k, wrapModulus(width(d)))
 		if r.eval(d, ctx, 0).Lo >= 0 {
 			mod = k
 		}
@@ -870,11 +814,11 @@ func (a *Analysis) PrunePath(p pdg.Path, vcs ...pdg.ValueConstraint) bool {
 			}
 		default:
 			iv, ok := a.vals[v]
-			if ok && !iv.Contains(int64(int32(vc.Value))) {
+			if ok && !iv.Contains(SignExt(vc.Value, width(v))) {
 				return true
 			}
 			if a.stride {
-				if st, found := a.strides[v]; found && !st.IsBottom() && !st.Contains(int64(int32(vc.Value))) {
+				if st, found := a.strides[v]; found && !st.IsBottom() && !st.Contains(SignExt(vc.Value, width(v))) {
 					return true
 				}
 			}
@@ -886,7 +830,7 @@ func (a *Analysis) PrunePath(p pdg.Path, vcs ...pdg.ValueConstraint) bool {
 // invariantOf returns v's whole-program invariant, defaulting to top.
 func (a *Analysis) invariantOf(v *ssa.Value) Interval {
 	if v.Op == ssa.OpConst {
-		return Single(v.Const)
+		return SingleW(v.Const, width(v))
 	}
 	if iv, ok := a.vals[v]; ok {
 		return iv

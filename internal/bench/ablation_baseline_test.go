@@ -25,10 +25,11 @@ type ablationBaseline struct {
 }
 
 type baselineMode struct {
-	Decided int `json:"decided"`
-	Stride  int `json:"stride"`
-	Zone    int `json:"zone"`
-	Pruned  int `json:"pruned"`
+	Decided    int `json:"decided"`
+	Stride     int `json:"stride"`
+	Zone       int `json:"zone"`
+	Pruned     int `json:"pruned"`
+	Simplified int `json:"simplified"`
 }
 
 const baselinePath = "testdata/absint_baseline.json"
@@ -49,9 +50,9 @@ func baselineOpts(bl ablationBaseline, t *testing.T) Options {
 }
 
 // TestAblationBaseline is the absint ablation smoke: it runs the fused
-// engine in all four tier modes (off, intervals, nostride, on) on a
-// pinned subject set, requires the report sets to be identical, and
-// compares the tier's decision rates against the committed baseline.
+// engine in all five tier modes (off, intervals, nostride, nosimplify,
+// on) on a pinned subject set, requires the report sets to be identical,
+// and compares the tier's decision rates against the committed baseline.
 // Regenerate the baseline with:
 // go test ./internal/bench -run TestAblationBaseline -update
 func TestAblationBaseline(t *testing.T) {
@@ -81,6 +82,7 @@ func TestAblationBaseline(t *testing.T) {
 		m.Stride += c.AbsintStride
 		m.Zone += c.AbsintZone
 		m.Pruned += c.AbsintPruned
+		m.Simplified += c.Simplified
 		got[c.Mode] = m
 	}
 
@@ -101,7 +103,7 @@ func TestAblationBaseline(t *testing.T) {
 	}
 
 	// Structural sanity: modes behave as configured.
-	if m := got["off"]; m.Decided != 0 || m.Stride != 0 || m.Zone != 0 || m.Pruned != 0 {
+	if m := got["off"]; m.Decided != 0 || m.Stride != 0 || m.Zone != 0 || m.Pruned != 0 || m.Simplified != 0 {
 		t.Errorf("off mode fired: %+v", m)
 	}
 	if m := got["intervals"]; m.Stride != 0 || m.Zone != 0 {
@@ -109,6 +111,12 @@ func TestAblationBaseline(t *testing.T) {
 	}
 	if got["nostride"].Stride != 0 {
 		t.Errorf("nostride mode made stride decisions: %+v", got["nostride"])
+	}
+	if got["nosimplify"].Simplified != 0 {
+		t.Errorf("nosimplify mode pre-simplified formulas: %+v", got["nosimplify"])
+	}
+	if got["on"].Simplified == 0 {
+		t.Error("pre-simplification never folded a vertex on the baseline subjects")
 	}
 	if got["on"].Stride == 0 {
 		t.Error("stride tier never decided a query on the baseline subjects")
@@ -121,7 +129,8 @@ func TestAblationBaseline(t *testing.T) {
 	for mode, want := range bl.Modes {
 		g := got[mode]
 		if g.Decided < want.Decided || g.Stride < want.Stride ||
-			g.Zone < want.Zone || g.Pruned < want.Pruned {
+			g.Zone < want.Zone || g.Pruned < want.Pruned ||
+			g.Simplified < want.Simplified {
 			t.Errorf("%s: decision rate regressed: got %+v, baseline %+v", mode, g, want)
 		}
 	}

@@ -96,6 +96,11 @@ type Cost struct {
 	AbsintZone    int
 	AbsintPruned  int
 	SolverCalls   int
+	// Simplified totals the vertices the absint-guided pre-simplification
+	// folded into local conditions across all checked candidates;
+	// PrunedGuards is the subset that were branch conditions.
+	Simplified   int
+	PrunedGuards int
 	// Degraded counts verdicts whose bit-precise tier exhausted its
 	// budget; DegradedUnsat is the subset the fallback ladder still
 	// refuted (at the relational or interval tier). Degraded tiers are
@@ -196,6 +201,8 @@ func RunWorkers(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engine
 		if v.Failure != nil {
 			cost.Failures = append(cost.Failures, v.Failure)
 		}
+		cost.Simplified += v.Simplified
+		cost.PrunedGuards += v.PrunedGuards
 		if v.DecidedByAbsint {
 			cost.AbsintDecided++
 			if v.DecidedByStride {

@@ -221,3 +221,60 @@ func TestAblationAbsintSoundAndEffective(t *testing.T) {
 		}
 	}
 }
+
+// TestSimplifiedCountersDeterministic checks that the pre-simplification
+// statistics (and the verdict counts they ride with) are identical across
+// worker counts: summaries are built in deterministic topological order
+// per query, so parallel runs must be byte-for-byte reproducible.
+func TestSimplifiedCountersDeterministic(t *testing.T) {
+	sub, err := Compile(context.Background(), progen.Subjects[1], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Cost {
+		eng := engines.NewFusion()
+		eng.UseAbsint = true
+		return RunWorkers(context.Background(), sub, checker.DivByZero(), eng,
+			Budget{Time: time.Minute, CondBytes: 1 << 30}, workers)
+	}
+	c1, c8 := run(1), run(8)
+	if c1.Simplified == 0 {
+		t.Fatal("subject produced no folded vertices; the determinism check is vacuous")
+	}
+	if c1.Simplified != c8.Simplified || c1.PrunedGuards != c8.PrunedGuards {
+		t.Errorf("simplification counters differ across workers: 1 -> (%d, %d), 8 -> (%d, %d)",
+			c1.Simplified, c1.PrunedGuards, c8.Simplified, c8.PrunedGuards)
+	}
+	if c1.Reports != c8.Reports || c1.AbsintDecided != c8.AbsintDecided {
+		t.Errorf("verdicts differ across workers: 1 -> (%d, %d), 8 -> (%d, %d)",
+			c1.Reports, c1.AbsintDecided, c8.Reports, c8.AbsintDecided)
+	}
+}
+
+// TestNoSimplifyAblationAgrees checks the nosimplify ablation changes only
+// the cost counters, never a verdict: same reports, same refutations, zero
+// folds.
+func TestNoSimplifyAblationAgrees(t *testing.T) {
+	sub, err := Compile(context.Background(), progen.Subjects[1], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noSimplify bool) Cost {
+		eng := engines.NewFusion()
+		eng.UseAbsint = true
+		eng.NoSimplify = noSimplify
+		return Run(context.Background(), sub, checker.DivByZero(), eng,
+			Budget{Time: time.Minute, CondBytes: 1 << 30})
+	}
+	on, off := run(false), run(true)
+	if off.Simplified != 0 || off.PrunedGuards != 0 {
+		t.Errorf("nosimplify still folded: (%d, %d)", off.Simplified, off.PrunedGuards)
+	}
+	if on.Simplified == 0 {
+		t.Error("default mode folded nothing on a subject with a bit-level query")
+	}
+	if on.Reports != off.Reports || on.TP != off.TP || on.FP != off.FP ||
+		on.Unknown != off.Unknown || on.AbsintDecided != off.AbsintDecided {
+		t.Errorf("ablation changed verdicts: on=%+v off=%+v", on, off)
+	}
+}

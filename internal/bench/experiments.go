@@ -43,6 +43,10 @@ type Options struct {
 	// NoStride disables the congruence (stride) domain while keeping the
 	// zone tier — the `-absint=nostride` ablation.
 	NoStride bool
+	// NoSimplify keeps every domain but disables the absint-guided
+	// pre-simplification of local conditions — the `-absint=nosimplify`
+	// ablation.
+	NoSimplify bool
 	// OnCost observes every scored engine run, in completion order. The
 	// command-line harness uses it to tally contained unit failures and
 	// degraded verdicts for its exit status.
@@ -69,6 +73,7 @@ func (o Options) fusion() *engines.Fusion {
 	e.UseAbsint = o.Absint
 	e.IntervalsOnly = o.IntervalsOnly
 	e.NoStride = o.NoStride
+	e.NoSimplify = o.NoSimplify
 	return e
 }
 
@@ -251,7 +256,9 @@ func Fig11Instances(ctx context.Context, opts Options) ([]Instance, error) {
 
 			fb := smt.NewBuilder()
 			t0 := time.Now()
-			fr := fusioncore.Solve(ctx, fb, sub.Graph, paths, fusioncore.Options{Absint: an})
+			fr := fusioncore.Solve(ctx, fb, sub.Graph, paths, fusioncore.Options{
+				Absint: an, DisableAbsintSimplify: opts.NoSimplify,
+			})
 			fused := time.Since(t0)
 
 			eb := smt.NewBuilder()
@@ -496,12 +503,16 @@ func CWE369(ctx context.Context, opts Options) (string, error) {
 // AblationAbsint measures the abstract-interpretation tiers' contribution
 // on the industrial-sized subjects: the value-constrained checkers
 // (CWE-369, CWE-125) run with the tier off, with intervals alone, with
-// the congruence (stride) domain disabled, and with the full
-// interval×stride+zone product. The tiers must never change the report
-// set — they only refute queries the solver would also refute — while
-// strictly reducing the number of bit-precise solver calls; the #Stride
-// column counts refutations the congruence product decided without the
-// zone tier, and #Zone those the zone relational tier had to decide.
+// the congruence (stride) domain disabled, with pre-simplification
+// disabled, and with the full interval×stride+zone product. The tiers
+// must never change the report set — they only refute queries the solver
+// would also refute, and the pre-simplification only folds values the
+// equation system already forces — while strictly reducing the number of
+// bit-precise solver calls; the #Stride column counts refutations the
+// congruence product decided without the zone tier, #Zone those the zone
+// relational tier had to decide, and #Simplified the vertices the
+// pre-simplification folded into local conditions before the quick-path
+// search (zero in nosimplify mode, by construction).
 func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 	costs, identical, err := ablationCosts(ctx, opts)
 	if err != nil {
@@ -510,7 +521,7 @@ func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 	t := &Table{
 		Title: "Ablation: abstract-interpretation tiers (absint)",
 		Header: []string{"Program", "Checker", "Absint", "Time", "#Report",
-			"#Decided", "#Stride", "#Zone", "#Pruned", "#SolverCalls"},
+			"#Decided", "#Stride", "#Zone", "#Pruned", "#Simplified", "#SolverCalls"},
 	}
 	for _, c := range costs {
 		t.AddRow(c.Subject, c.Checker, c.Mode, fd(c.Time),
@@ -519,11 +530,12 @@ func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 			fmt.Sprintf("%d", c.AbsintStride),
 			fmt.Sprintf("%d", c.AbsintZone),
 			fmt.Sprintf("%d", c.AbsintPruned),
+			fmt.Sprintf("%d", c.Simplified),
 			fmt.Sprintf("%d", c.SolverCalls))
 	}
 	s := t.String()
 	if identical {
-		s += "\nreport sets identical across off/intervals/nostride/on\n"
+		s += "\nreport sets identical across off/intervals/nostride/nosimplify/on\n"
 	} else {
 		s += "\nWARNING: report sets differ across absint modes\n"
 	}
@@ -531,7 +543,7 @@ func AblationAbsint(ctx context.Context, opts Options) (string, error) {
 }
 
 // AblationCost is one engine run of the absint ablation, tagged with its
-// tier mode ("off", "intervals", "nostride", "on").
+// tier mode ("off", "intervals", "nostride", "nosimplify", "on").
 type AblationCost struct {
 	Mode string
 	Cost
@@ -550,11 +562,12 @@ func ablationCosts(ctx context.Context, opts Options) ([]AblationCost, bool, err
 		for _, spec := range []*sparse.Spec{checker.DivByZero(), checker.IndexOOB()} {
 			// Explicit engines per mode: the ablation ignores Options.Absint.
 			var reports []int
-			for _, mode := range []string{"off", "intervals", "nostride", "on"} {
+			for _, mode := range []string{"off", "intervals", "nostride", "nosimplify", "on"} {
 				eng := opts.fusion()
 				eng.UseAbsint = mode != "off"
 				eng.IntervalsOnly = mode == "intervals"
 				eng.NoStride = mode == "nostride"
+				eng.NoSimplify = mode == "nosimplify"
 				c := opts.run(ctx, sub, spec, eng)
 				reports = append(reports, c.Reports)
 				out = append(out, AblationCost{Mode: mode, Cost: c})

@@ -33,16 +33,20 @@ import (
 // AbsintMode selects the abstract-interpretation tier configuration of a
 // compiled program: the full interval×stride+zone product, the same
 // without the congruence (stride) domain (the `-absint=nostride`
-// ablation), intervals alone (`-absint=intervals`), or no tier at all.
+// ablation), intervals alone (`-absint=intervals`), no tier at all, or
+// the full product with the absint-guided pre-simplification of local
+// conditions disabled (`-absint=nosimplify` — an engine ablation; the
+// analysis itself is the full product).
 type AbsintMode int
 
 // Absint tier modes. The zero value is the full tier, matching the
 // default of the command-line `-absint=on`.
 const (
-	AbsintOn        AbsintMode = iota // intervals × stride + zone relational domain
-	AbsintIntervals                   // zone and stride disabled
-	AbsintOff                         // no abstract tier
-	AbsintNoStride                    // stride disabled, zone kept
+	AbsintOn         AbsintMode = iota // intervals × stride + zone relational domain
+	AbsintIntervals                    // zone and stride disabled
+	AbsintOff                          // no abstract tier
+	AbsintNoStride                     // stride disabled, zone kept
+	AbsintNoSimplify                   // full product, pre-simplification disabled
 )
 
 func (m AbsintMode) String() string {
@@ -51,6 +55,8 @@ func (m AbsintMode) String() string {
 		return "intervals"
 	case AbsintNoStride:
 		return "nostride"
+	case AbsintNoSimplify:
+		return "nosimplify"
 	case AbsintOff:
 		return "off"
 	default:
@@ -59,19 +65,21 @@ func (m AbsintMode) String() string {
 }
 
 // ParseAbsintMode parses the command-line form used by the `-absint`
-// flags: on, nostride, intervals, or off.
+// flags: on, nostride, nosimplify, intervals, or off.
 func ParseAbsintMode(s string) (AbsintMode, error) {
 	switch s {
 	case "on":
 		return AbsintOn, nil
 	case "nostride":
 		return AbsintNoStride, nil
+	case "nosimplify":
+		return AbsintNoSimplify, nil
 	case "intervals":
 		return AbsintIntervals, nil
 	case "off":
 		return AbsintOff, nil
 	}
-	return AbsintOn, fmt.Errorf("driver: -absint must be on, nostride, intervals, or off, got %q", s)
+	return AbsintOn, fmt.Errorf("driver: -absint must be on, nostride, nosimplify, intervals, or off, got %q", s)
 }
 
 // Source is one program to compile.

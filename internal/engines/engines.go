@@ -52,6 +52,11 @@ type Verdict struct {
 	// DecidedByZone reports the refutation needed the zone relational
 	// tier (implies DecidedByAbsint).
 	DecidedByZone bool
+	// Simplified counts vertices whose decided singleton invariants the
+	// absint-guided pre-simplification folded into local conditions;
+	// PrunedGuards is the subset that were branch conditions.
+	Simplified   int
+	PrunedGuards int
 	// SolveTime is the feasibility-decision time for this candidate.
 	SolveTime time.Duration
 	// ConditionSize is the DAG size of the condition solved (0 when the
@@ -160,6 +165,10 @@ type Fusion struct {
 	// zone tier — the `-absint=nostride` ablation. IntervalsOnly implies
 	// NoStride.
 	NoStride bool
+	// NoSimplify keeps every domain but disables the absint-guided
+	// pre-simplification of local conditions — the `-absint=nosimplify`
+	// ablation. Refutation and fact export are unaffected.
+	NoSimplify bool
 	// Parallel is the worker count for Check; 0 or 1 means sequential.
 	Parallel int
 	mu       sync.Mutex
@@ -225,6 +234,9 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 	opts.Solver = e.Cfg.options()
 	opts.Constraints = c.Constraints(0)
 	opts.Absint = e.Absint(g)
+	if e.NoSimplify {
+		opts.DisableAbsintSimplify = true
+	}
 	if e.Cfg.Budget.MaxHeapDelta > 0 && opts.MaxHeapDelta == 0 {
 		opts.MaxHeapDelta = e.Cfg.Budget.MaxHeapDelta
 	}
@@ -240,6 +252,8 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 		DecidedByAbsint: r.DecidedByAbsint,
 		DecidedByStride: r.DecidedByStride,
 		DecidedByZone:   r.DecidedByZone,
+		Simplified:      r.Simplified,
+		PrunedGuards:    r.PrunedGuards,
 		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
 		Tier: tierOf(r.Status, r.DecidedByAbsint, r.DecidedByStride, r.DecidedByZone),
 	}

@@ -1,0 +1,86 @@
+package fusioncore
+
+// Width-parametric validation of the absint fact exports. The abstract
+// domains speak about MATHEMATICAL signed values while the residual
+// formula computes over fixed-width machine words, so every exported
+// conjunct carries side conditions tying the two views together. The
+// checks live here as pure functions of (fact, width) so they can be
+// unit-tested against adversarial narrow-width facts without building a
+// residual: the historical bugs were exactly these checks hard-coding
+// 32-bit limits (2^32 moduli, MinInt32/MaxInt32 endpoint clamps,
+// int32 truncation) while the emitted constants were masked to the
+// value's own width — a modulus of 300 at 8 bits silently became
+// URem(v, 44), and 256 became URem(v, 0).
+
+// minSigned and maxSigned bound the signed range of a width-bits machine
+// word (bits in 1..32; width 1 is the boolean range {0, 1}).
+func minSigned(bits int) int64 {
+	if bits == 1 {
+		return 0
+	}
+	return -(int64(1) << uint(bits-1))
+}
+
+func maxSigned(bits int) int64 {
+	if bits == 1 {
+		return 1
+	}
+	return int64(1)<<uint(bits-1) - 1
+}
+
+// maskWidth is the bit pattern mask for width bits.
+func maskWidth(bits int) uint32 {
+	return uint32(uint64(1)<<uint(bits) - 1)
+}
+
+// exportableBounds validates signed invariant endpoints for emission as
+// width-bits constants and returns their bit patterns. Endpoints outside
+// the width's signed range cannot be represented: masking would make the
+// emitted constant denote a different value than the invariant, so the
+// fact must be skipped rather than truncated.
+func exportableBounds(lo, hi int64, bits int) (loC, hiC uint32, ok bool) {
+	if bits < 1 || bits > 32 || lo > hi {
+		return 0, 0, false
+	}
+	if lo < minSigned(bits) || hi > maxSigned(bits) {
+		return 0, 0, false
+	}
+	return uint32(lo) & maskWidth(bits), uint32(hi) & maskWidth(bits), true
+}
+
+// exportableStride validates a congruence fact v ≡ r (mod m) for
+// emission as URem(v, m) == r at width bits. The modulus constant must
+// denote m itself, which requires m < 2^bits — at or above, masking
+// yields a different (possibly zero) modulus, and URem(v, 0) is not the
+// congruence. The machine remainder then agrees with the mathematical
+// congruence exactly when m divides 2^bits (any power of two below the
+// width bound does); otherwise only for non-negative v, which the
+// caller must separately prove and assert (needNonneg).
+func exportableStride(m, r int64, bits int) (mC, rC uint32, needNonneg, ok bool) {
+	if bits < 1 || bits > 32 || m < 2 || r < 0 || r >= m {
+		return 0, 0, false, false
+	}
+	if m >= int64(1)<<uint(bits) {
+		return 0, 0, false, false
+	}
+	return uint32(m), uint32(r), m&(m-1) != 0, true
+}
+
+// exportableDiff validates a zone fact x − y ≤ c with y ∈ [lo, hi] for
+// emission as x ≤s y + c at width bits. The encoding is faithful only
+// when the constant c denotes itself at the width and the machine sum
+// y + c cannot leave the width's signed range (a wrap would flip the
+// signed comparison), both judged against the width's own bounds rather
+// than the 32-bit ones.
+func exportableDiff(c, lo, hi int64, bits int) (cC uint32, ok bool) {
+	if bits < 1 || bits > 32 || lo > hi {
+		return 0, false
+	}
+	if c < minSigned(bits) || c > maxSigned(bits) {
+		return 0, false
+	}
+	if lo+c < minSigned(bits) || hi+c > maxSigned(bits) {
+		return 0, false
+	}
+	return uint32(c) & maskWidth(bits), true
+}

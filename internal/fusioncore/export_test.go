@@ -1,0 +1,138 @@
+package fusioncore
+
+import "testing"
+
+// The export side conditions used to be hard-coded for 32-bit terms:
+// bounds were clamped against math.MinInt32/MaxInt32 and stride moduli
+// were guarded against 1<<32 but emitted at the term's own width, so an
+// 8-bit variable with stride fact (m=300, r=44) was exported as
+// URem(v, Const(300 mod 256)) — a different, unsound constraint — and a
+// modulus of exactly 1<<8 became URem(v, 0). These tests pin the
+// width-parametric rules; the rejected cases below all pass validation
+// under the old 32-bit-only logic.
+
+func TestExportableBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi int64
+		bits   int
+		ok     bool
+		wantLo uint32
+		wantHi uint32
+	}{
+		{"full-i32", -5, 1 << 20, 32, true, uint32(0xFFFFFFFB), 1 << 20},
+		{"i32-max", -(1 << 31), 1<<31 - 1, 32, true, 1 << 31, 1<<31 - 1},
+		{"i8-in-range", -100, 100, 8, true, 0x9C, 100},
+		{"i8-neg-out", -200, 10, 8, false, 0, 0}, // old logic accepted: within int32
+		{"i8-pos-out", 0, 200, 8, false, 0, 0},   // 200 > MaxInt8 but < MaxInt32
+		{"i16-in-range", -30000, 30000, 16, true, 0x8AD0, 30000},
+		{"i16-out", -40000, 0, 16, false, 0, 0},
+		{"i1", 0, 1, 1, true, 0, 1},
+		{"i1-out", -1, 1, 1, false, 0, 0},
+		{"inverted", 5, 4, 32, false, 0, 0},
+		{"bad-width", 0, 1, 0, false, 0, 0},
+	}
+	for _, c := range cases {
+		lo, hi, ok := exportableBounds(c.lo, c.hi, c.bits)
+		if ok != c.ok {
+			t.Errorf("%s: exportableBounds(%d, %d, %d) ok = %v, want %v",
+				c.name, c.lo, c.hi, c.bits, ok, c.ok)
+			continue
+		}
+		if ok && (lo != c.wantLo || hi != c.wantHi) {
+			t.Errorf("%s: exportableBounds(%d, %d, %d) = (%#x, %#x), want (%#x, %#x)",
+				c.name, c.lo, c.hi, c.bits, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+}
+
+func TestExportableStride(t *testing.T) {
+	cases := []struct {
+		name       string
+		m, r       int64
+		bits       int
+		ok         bool
+		needNonneg bool
+	}{
+		{"pow2-i32", 8, 3, 32, true, false},
+		{"non-pow2-i32", 6, 1, 32, true, true},
+		{"huge-i32", 1 << 31, 7, 32, true, false},
+		// Regressions: legal at 32 bits, unrepresentable at 8.
+		{"i8-m300", 300, 44, 8, false, false}, // old: emitted URem(v, 300 mod 256 = 44)
+		{"i8-m256", 256, 0, 8, false, false},  // old: emitted URem(v, 0)
+		{"i8-m65536", 1 << 16, 0, 8, false, false},
+		{"i8-pow2-ok", 8, 5, 8, true, false},
+		{"i8-non-pow2-ok", 6, 2, 8, true, true},
+		{"i8-m255", 255, 10, 8, true, true},
+		{"i16-m65536", 1 << 16, 0, 16, false, false},
+		{"i16-m4096", 4096, 17, 16, true, false},
+		{"trivial-m1", 1, 0, 32, false, false},
+		{"neg-rem", 4, -1, 32, false, false},
+		{"rem-ge-m", 4, 4, 32, false, false},
+	}
+	for _, c := range cases {
+		m, r, nn, ok := exportableStride(c.m, c.r, c.bits)
+		if ok != c.ok {
+			t.Errorf("%s: exportableStride(%d, %d, %d) ok = %v, want %v",
+				c.name, c.m, c.r, c.bits, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if nn != c.needNonneg {
+			t.Errorf("%s: needNonneg = %v, want %v", c.name, nn, c.needNonneg)
+		}
+		if int64(m) != c.m || int64(r) != c.r {
+			t.Errorf("%s: exported (m, r) = (%d, %d), want (%d, %d)", c.name, m, r, c.m, c.r)
+		}
+	}
+}
+
+func TestExportableDiff(t *testing.T) {
+	cases := []struct {
+		name      string
+		c, lo, hi int64
+		bits      int
+		ok        bool
+	}{
+		{"plain-i32", 5, 0, 100, 32, true},
+		{"neg-c-i32", -7, 0, 100, 32, true},
+		{"i32-sum-overflow", 5, 0, 1<<31 - 1, 32, false},
+		// Regressions: constants and shifted ranges that fit int32 but
+		// not the term's own width.
+		{"i8-c-out", 200, 0, 10, 8, false},
+		{"i8-sum-out", 100, 0, 100, 8, false}, // hi+c = 200 > MaxInt8
+		{"i8-ok", 20, -10, 50, 8, true},
+		{"i8-neg-sum-out", -100, -50, 0, 8, false}, // lo+c = -150 < MinInt8
+		{"i16-ok", 1000, -2000, 2000, 16, true},
+		{"i16-out", 40000, 0, 0, 16, false},
+	}
+	for _, tc := range cases {
+		cc, ok := exportableDiff(tc.c, tc.lo, tc.hi, tc.bits)
+		if ok != tc.ok {
+			t.Errorf("%s: exportableDiff(%d, [%d,%d], %d) ok = %v, want %v",
+				tc.name, tc.c, tc.lo, tc.hi, tc.bits, ok, tc.ok)
+			continue
+		}
+		if ok && int64(int32(cc<<(32-tc.bits))>>(32-tc.bits)) != tc.c {
+			t.Errorf("%s: exported constant %#x does not sign-extend back to %d at %d bits",
+				tc.name, cc, tc.c, tc.bits)
+		}
+	}
+}
+
+func TestSignedRangeHelpers(t *testing.T) {
+	if minSigned(8) != -128 || maxSigned(8) != 127 {
+		t.Errorf("i8 range = [%d, %d], want [-128, 127]", minSigned(8), maxSigned(8))
+	}
+	if minSigned(32) != -(1<<31) || maxSigned(32) != 1<<31-1 {
+		t.Errorf("i32 range = [%d, %d]", minSigned(32), maxSigned(32))
+	}
+	if minSigned(1) != 0 || maxSigned(1) != 1 {
+		t.Errorf("i1 range = [%d, %d], want [0, 1]", minSigned(1), maxSigned(1))
+	}
+	if maskWidth(8) != 0xFF || maskWidth(32) != 0xFFFFFFFF {
+		t.Errorf("maskWidth: %#x, %#x", maskWidth(8), maskWidth(32))
+	}
+}

@@ -16,7 +16,6 @@ package fusioncore
 
 import (
 	"context"
-	"math"
 	"sort"
 	"time"
 
@@ -56,9 +55,14 @@ type Options struct {
 	Constraints []pdg.ValueConstraint
 	// Absint, when set, adds the interval abstract interpretation as the
 	// first preprocessing tier: queries it refutes are decided unsat with
-	// no formula built at all, and its invariant bounds on path-step
-	// vertices are exported as extra conjuncts of the residual.
+	// no formula built at all, its decided singletons pre-simplify the
+	// per-function local conditions, and its invariant bounds on
+	// path-step vertices are exported as extra conjuncts of the residual.
 	Absint *absint.Analysis
+	// DisableAbsintSimplify turns off the absint-guided pre-simplification
+	// of local conditions (the `-absint=nosimplify` ablation); refutation
+	// and fact export stay on.
+	DisableAbsintSimplify bool
 	// MaxHeapDelta, when positive, bounds how many bytes of new formula
 	// the residual construction may allocate in the shared builder. A
 	// query whose residual grows past the bound is not solved: the
@@ -106,6 +110,12 @@ type Result struct {
 	// AbsintStrides counts the congruence conjuncts exported into the
 	// residual formula by the stride domain.
 	AbsintStrides int
+	// Simplified counts vertices whose decided singleton invariants were
+	// folded into the local conditions by the pre-simplification pass.
+	Simplified int
+	// PrunedGuards counts decided branch conditions among them — guards
+	// the pass rewrote to literals before the quick-path search.
+	PrunedGuards int
 	// Phi is the residual formula handed to the final solve (after
 	// emission, before its global preprocessing), for inspection.
 	Phi *smt.Term
@@ -148,6 +158,8 @@ type state struct {
 	absintBounds  int
 	absintDiffs   int
 	absintStrides int
+	simplified    int
+	prunedGuards  int
 }
 
 // Solve decides the feasibility of a set of data-dependence paths directly
@@ -212,6 +224,8 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 	res.AbsintBounds = r.st.absintBounds
 	res.AbsintDiffs = r.st.absintDiffs
 	res.AbsintStrides = r.st.absintStrides
+	res.Simplified = r.st.simplified
+	res.PrunedGuards = r.st.prunedGuards
 	res.Phi = r.phi
 	if opts.MaxHeapDelta > 0 && b.EstimatedBytes()-heapBefore > opts.MaxHeapDelta {
 		res.Status = sat.Unknown
@@ -292,35 +306,50 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 	// asserted here, so they are implied facts that sharpen the residual
 	// for the probe-free solve without changing satisfiability.
 	var asserts []*smt.Term
+	// exportBounds reports whether v's interval endpoints were (or already
+	// had been) asserted at this instantiation: stride and diff exports
+	// use the bounds as their no-wrap / non-negativity side condition and
+	// must not fire when the endpoints were inexpressible at v's width.
 	boundDone := map[boundKey]bool{}
-	exportBounds := func(v *ssa.Value, ctx *cond.Ctx) {
-		if opts.Absint == nil || boundDone[boundKey{v, ctx}] {
-			return
+	exportBounds := func(v *ssa.Value, ctx *cond.Ctx) bool {
+		if opts.Absint == nil {
+			return false
 		}
-		boundDone[boundKey{v, ctx}] = true
+		if done, seen := boundDone[boundKey{v, ctx}]; seen {
+			return done
+		}
+		boundDone[boundKey{v, ctx}] = false
 		lo, hi, ok := opts.Absint.Bounds(v)
 		if !ok {
-			return
+			return false
+		}
+		bits := pdg.TypeBits(v.Type)
+		loC, hiC, ok := exportableBounds(lo, hi, bits)
+		if !ok {
+			return false
 		}
 		term := st.tr.Var(v, ctx)
-		bits := pdg.TypeBits(v.Type)
 		asserts = append(asserts,
-			b.Sle(b.Const(uint32(int32(lo)), bits), term),
-			b.Sle(term, b.Const(uint32(int32(hi)), bits)))
+			b.Sle(b.Const(loC, bits), term),
+			b.Sle(term, b.Const(hiC, bits)))
 		st.absintBounds++
+		boundDone[boundKey{v, ctx}] = true
+		return true
 	}
 	// Difference facts from the zone domain are exported alongside the
 	// unary bounds: x − y ≤ c becomes x ≤s y + c, which is only faithful
 	// to the integer fact when y + c cannot wrap — guaranteed by also
 	// asserting y's interval bounds and checking [lo+c, hi+c] stays in
-	// 32-bit range.
+	// the signed range of x's own width (exportableDiff).
 	// Congruence facts from the stride domain join the unary bounds:
 	// v ≡ r (mod m) becomes URem(v, m) == r. The invariant is over the
 	// MATHEMATICAL value while URem sees the unsigned machine view; the
-	// two agree exactly when m divides 2^32 (a power of two), and
-	// otherwise only for non-negative v — so for non-power-of-two moduli
-	// the export requires a proven non-negative lower bound and asserts
-	// the interval bounds as the side condition.
+	// two agree exactly when m divides 2^bits (a power of two below the
+	// width bound), and otherwise only for non-negative v — so for
+	// non-power-of-two moduli the export requires a proven non-negative
+	// lower bound and asserts the interval bounds as the side condition.
+	// All of it is judged at v's own width (exportableStride): a modulus
+	// at or above 2^bits would be masked into a different constant.
 	strideDone := map[boundKey]bool{}
 	exportStride := func(v *ssa.Value, ctx *cond.Ctx) {
 		if opts.Absint == nil || strideDone[boundKey{v, ctx}] {
@@ -328,20 +357,23 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 		}
 		strideDone[boundKey{v, ctx}] = true
 		m, r, ok := opts.Absint.StrideFact(v)
-		if !ok || m >= int64(1)<<32 {
+		if !ok {
 			return
 		}
-		if m&(m-1) != 0 {
+		bits := pdg.TypeBits(v.Type)
+		mC, rC, needNonneg, ok := exportableStride(m, r, bits)
+		if !ok {
+			return
+		}
+		if needNonneg {
 			lo, _, okB := opts.Absint.Bounds(v)
-			if !okB || lo < 0 {
+			if !okB || lo < 0 || !exportBounds(v, ctx) {
 				return
 			}
-			exportBounds(v, ctx)
 		}
-		bits := pdg.TypeBits(v.Type)
 		asserts = append(asserts, b.Eq(
-			b.URem(st.tr.Var(v, ctx), b.Const(uint32(m), bits)),
-			b.Const(uint32(r), bits)))
+			b.URem(st.tr.Var(v, ctx), b.Const(mC, bits)),
+			b.Const(rC, bits)))
 		st.absintStrides++
 	}
 	diffDone := map[[2]boundKey]bool{}
@@ -355,18 +387,24 @@ func buildResidual(b *smt.Builder, g *pdg.Graph, sl *pdg.Slice, opts Options) re
 		}
 		diffDone[k] = true
 		c, ok := opts.Absint.DiffBound(x, y)
-		if !ok || c != int64(int32(c)) {
+		if !ok {
 			return
 		}
 		lo, hi, ok := opts.Absint.Bounds(y)
-		if !ok || lo+c < math.MinInt32 || hi+c > math.MaxInt32 {
+		if !ok {
 			return
 		}
-		exportBounds(y, ctx) // the no-wrap side condition needs y's range asserted
 		bits := pdg.TypeBits(x.Type)
+		cC, ok := exportableDiff(c, lo, hi, bits)
+		if !ok {
+			return
+		}
+		if !exportBounds(y, ctx) {
+			return // the no-wrap side condition needs y's range asserted
+		}
 		asserts = append(asserts, b.Sle(
 			st.tr.Var(x, ctx),
-			b.Add(st.tr.Var(y, ctx), b.Const(uint32(int32(c)), bits))))
+			b.Add(st.tr.Var(y, ctx), b.Const(cC, bits))))
 		st.absintDiffs++
 	}
 	for _, p := range sl.Paths {
@@ -549,6 +587,9 @@ func (st *state) summarize(f *ssa.Function) {
 		}
 	}
 
+	if st.opts.Absint != nil && !st.opts.DisableAbsintSimplify {
+		conjs = st.presimplify(f, conjs)
+	}
 	local := b.And(conjs...)
 	if !st.opts.DisableLocalPreprocess {
 		t0 := time.Now()

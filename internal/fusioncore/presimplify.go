@@ -1,0 +1,90 @@
+package fusioncore
+
+import (
+	"fusion/internal/pdg"
+	"fusion/internal/smt"
+	"fusion/internal/ssa"
+)
+
+// presimplify folds a function's local conjuncts against the
+// whole-program invariants before interface preprocessing — the
+// absint-guided tier of Algorithm 6's per-function step. A vertex whose
+// invariant is a singleton {c} is forced to c in every model of the
+// emitted equation system, but only when the invariant holds
+// unconditionally: a guarded invariant assumes its guard chain, while
+// the local equations are asserted on all models, so folding is
+// restricted to vertices whose entire guard chain is itself decided
+// always-true (chainDecided). For each such vertex the pass substitutes
+// the literal for its variable throughout the conjuncts — which
+// constant-folds comparisons and branch conditions the domains already
+// decided and collapses implied conjuncts to true, where they are
+// dropped — and re-adds the binding v == c, since other instances still
+// reference the variable (parameter links, guard assertions, value
+// constraints) and dropping the forced value would widen the model set.
+//
+// Equisatisfiability is preserved by construction: the substituted
+// equalities hold in every model of the full system (the singleton was
+// derived forward from operand invariants under decided guards), the
+// bindings are implied facts, and only literally-true conjuncts are
+// removed. Pruned-ite assertions and quick-path closed forms are
+// rewritten, never dropped: a conjunct that does not fold to true stays,
+// whatever its shape.
+func (st *state) presimplify(f *ssa.Function, conjs []*smt.Term) []*smt.Term {
+	an := st.opts.Absint
+	root := st.tr.T.Root
+	sub := map[*smt.Term]*smt.Term{}
+	var binds []*smt.Term
+	pruned := 0
+	for _, v := range st.sliceVals[f] {
+		switch v.Op {
+		case ssa.OpConst, ssa.OpExtern, ssa.OpParam:
+			// Constants need no folding; externs and parameters are free
+			// inputs whose invariants are top by construction.
+			continue
+		}
+		if !st.chainDecided(v.Guard) {
+			continue
+		}
+		iv, ok := an.IntervalOf(v)
+		if !ok || iv.IsBottom() || iv.Lo != iv.Hi {
+			continue
+		}
+		bits := pdg.TypeBits(v.Type)
+		vt := st.tr.Var(v, root)
+		c := st.b.Const(uint32(iv.Lo), bits)
+		sub[vt] = c
+		binds = append(binds, st.b.Eq(vt, c))
+		if v.Op == ssa.OpBranch {
+			pruned++
+		}
+	}
+	if len(sub) == 0 {
+		return conjs
+	}
+	st.simplified += len(sub)
+	st.prunedGuards += pruned
+	out := make([]*smt.Term, 0, len(conjs)+len(binds))
+	for _, cj := range conjs {
+		folded := smt.Substitute(st.b, cj, sub)
+		if folded.IsTrue() {
+			continue
+		}
+		out = append(out, folded)
+	}
+	return append(out, binds...)
+}
+
+// chainDecided reports whether every guard on the chain is decided
+// always-true by the whole-program invariants, which makes facts
+// computed under the chain hold unconditionally. Guards are walked
+// outward, so an inner guard's invariant (which assumes the outer ones)
+// is only trusted when the outer ones are decided as well.
+func (st *state) chainDecided(gd *ssa.Value) bool {
+	for ; gd != nil; gd = gd.Guard {
+		iv, ok := st.opts.Absint.IntervalOf(gd)
+		if !ok || iv.IsBottom() || iv.Lo != 1 || iv.Hi != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package fusioncore_test
+
+import (
+	"context"
+	"testing"
+
+	"fusion/internal/absint"
+	"fusion/internal/checker"
+	"fusion/internal/driver"
+	"fusion/internal/fusioncore"
+	"fusion/internal/pdg"
+	"fusion/internal/progen"
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+	"fusion/internal/sparse"
+)
+
+// bitDivSrc is a hand-written copy of progen's bit-level infeasible
+// division: the divisor (n | 1) + k1 - k1 is odd, which no abstract
+// domain tracks and the sat probe cannot contradict, so the query always
+// reaches the bit-precise solver. The constant chain k0/k1 and the
+// narrow i8 locals sit behind a decided guard, which is exactly what the
+// pre-simplification folds.
+const bitDivSrc = `
+fun root(a: int, b: int) {
+    var n: int = user_input();
+    var k0: int = 5;
+    var k1: int = k0 * 3 + 1;
+    var w0: i8 = 60;
+    var w1: i8 = w0 / 3 + 17;
+    var d: int = (n | 1) + k1 - k1;
+    if (w1 > 0) {
+        var q: int = 42 / d;
+        send(q + a + b);
+    }
+}
+`
+
+// solveModes runs one candidate through the fused pipeline in three
+// configurations — simplification on, simplification off, and no absint
+// at all — and returns the three results. The candidate's checker
+// constraint (e.g. divisor == 0) is applied in every mode, mirroring
+// engines.Fusion.
+func solveModes(ctx context.Context, g *pdg.Graph, an *absint.Analysis, c sparse.Candidate) (on, off, raw fusioncore.Result) {
+	cs := c.Constraints(0)
+	on = fusioncore.Solve(ctx, smt.NewBuilder(), g, []pdg.Path{c.Path},
+		fusioncore.Options{Absint: an, Constraints: cs})
+	off = fusioncore.Solve(ctx, smt.NewBuilder(), g, []pdg.Path{c.Path},
+		fusioncore.Options{Absint: an, DisableAbsintSimplify: true, Constraints: cs})
+	raw = fusioncore.Solve(ctx, smt.NewBuilder(), g, []pdg.Path{c.Path},
+		fusioncore.Options{Constraints: cs})
+	return on, off, raw
+}
+
+// TestPresimplifyFoldsBitDivQuery pins the tentpole behavior on the
+// hand-written bit-level query: the simplified and unsimplified
+// pipelines agree the division is infeasible, and the simplified one
+// actually folded something (including the decided branch guard).
+func TestPresimplifyFoldsBitDivQuery(t *testing.T) {
+	g := buildGraph(t, bitDivSrc)
+	cands := sparse.NewEngine(g).Run(checker.DivByZero())
+	if len(cands) == 0 {
+		t.Fatal("no division candidates found")
+	}
+	an := absint.Analyze(g)
+	ctx := context.Background()
+	for _, c := range cands {
+		on, off, raw := solveModes(ctx, g, an, c)
+		if on.Status != sat.Unsat || off.Status != sat.Unsat || raw.Status != sat.Unsat {
+			t.Fatalf("bit-div query must be unsat in every mode: on=%s off=%s raw=%s",
+				on.Status, off.Status, raw.Status)
+		}
+		if on.DecidedByAbsint {
+			t.Fatal("abstract tiers must not decide the bit-level query")
+		}
+		if on.Simplified == 0 {
+			t.Error("simplified pipeline folded no vertices on the constant chain")
+		}
+		if on.PrunedGuards == 0 {
+			t.Error("the decided branch guard was not folded to a literal")
+		}
+		if off.Simplified != 0 || raw.Simplified != 0 {
+			t.Errorf("disabled pipelines must report zero folds: off=%d raw=%d",
+				off.Simplified, raw.Simplified)
+		}
+	}
+}
+
+// undecidedSrc varies bitDivSrc so the guard depends on an unconstrained
+// input: its chain is not decided, so nothing below it may be folded.
+const undecidedSrc = `
+fun root(a: int, b: int) {
+    var n: int = user_input();
+    var d: int = (n | 1) + 3 - 3;
+    if (a > 10) {
+        var k: int = 7 * 6;
+        var q: int = k / d;
+        send(q + b);
+    }
+}
+`
+
+// TestPresimplifyRespectsUndecidedGuards checks the side condition that
+// makes folding sound: a singleton invariant guarded by an undecided
+// branch holds only on some paths, so the vertex must stay symbolic.
+func TestPresimplifyRespectsUndecidedGuards(t *testing.T) {
+	g := buildGraph(t, undecidedSrc)
+	cands := sparse.NewEngine(g).Run(checker.DivByZero())
+	if len(cands) == 0 {
+		t.Fatal("no division candidates found")
+	}
+	an := absint.Analyze(g)
+	ctx := context.Background()
+	for _, c := range cands {
+		on, off, _ := solveModes(ctx, g, an, c)
+		if on.Status != off.Status {
+			t.Fatalf("verdict changed: on=%s off=%s", on.Status, off.Status)
+		}
+		if on.PrunedGuards != 0 {
+			t.Errorf("folded %d branch guards under an input-dependent condition",
+				on.PrunedGuards)
+		}
+	}
+}
+
+// TestPresimplifyEquisatProgen is the differential property test demanded
+// by the soundness argument: across generated subjects, enabling the
+// pre-simplification must never flip a sat/unsat verdict relative to the
+// unsimplified pipeline or the absint-free pipeline.
+func TestPresimplifyEquisatProgen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus sweep")
+	}
+	ctx := context.Background()
+	solverBound, folded := 0, 0
+	for _, subIdx := range []int{1, 4, 8} {
+		info := progen.Subjects[subIdx]
+		src, _, _ := info.Build(0.05)
+		pr, err := driver.Compile(ctx, driver.Source{Name: info.Name, Text: src}, driver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := pr.Graph
+		an := absint.Analyze(g)
+		eng := sparse.NewEngine(g)
+		for _, spec := range checker.All() {
+			for _, c := range eng.Run(spec) {
+				on, off, raw := solveModes(ctx, g, an, c)
+				if on.Status != off.Status {
+					t.Errorf("%s/%s: simplification flipped verdict %s -> %s (%s)",
+						info.Name, spec.Name, off.Status, on.Status, checker.Describe(c))
+				}
+				if on.Status != sat.Unknown && raw.Status != sat.Unknown && on.Status != raw.Status {
+					t.Errorf("%s/%s: absint pipeline disagrees with raw pipeline: %s vs %s (%s)",
+						info.Name, spec.Name, on.Status, raw.Status, checker.Describe(c))
+				}
+				if !on.DecidedByAbsint {
+					solverBound++
+				}
+				folded += on.Simplified
+				if off.Simplified != 0 {
+					t.Errorf("%s/%s: disabled pipeline reported %d folds",
+						info.Name, spec.Name, off.Simplified)
+				}
+			}
+		}
+	}
+	if solverBound == 0 {
+		t.Error("corpus produced no solver-bound queries; the differential test is vacuous")
+	}
+	if folded == 0 {
+		t.Error("pre-simplification folded nothing across the corpus")
+	}
+}

@@ -169,9 +169,10 @@ func (in *Interp) call(f *lang.FuncDecl, args []Value) (*Value, error) {
 	if len(args) != len(f.Params) {
 		return nil, fmt.Errorf("interp: %s: got %d args, want %d", f.Name, len(args), len(f.Params))
 	}
-	env := &env{vars: map[string]Value{}}
+	env := &env{vars: map[string]Value{}, types: map[string]lang.Type{}}
 	for i, p := range f.Params {
-		env.vars[p.Name] = args[i]
+		env.vars[p.Name] = maskValue(args[i], p.Type)
+		env.types[p.Name] = p.Type
 	}
 	err := in.block(f.Body, env)
 	if r, ok := err.(errReturn); ok {
@@ -199,15 +200,71 @@ func (in *Interp) extern(f *lang.FuncDecl, args []Value, pos lang.Pos) (*Value, 
 	if f.Ret == lang.TypeVoid {
 		return nil, nil
 	}
-	v := in.rng.Uint32()
-	if f.Ret == lang.TypeBool {
-		v &= 1
-	}
+	v := maskW(in.rng.Uint32(), f.Ret.Bits())
 	return &Value{V: v, Taint: t}, nil
 }
 
 type env struct {
-	vars map[string]Value
+	vars  map[string]Value
+	types map[string]lang.Type
+}
+
+// maskW truncates v to w bits; narrow values are stored masked, matching
+// the bit-vector semantics of the backend.
+func maskW(v uint32, w int) uint32 {
+	if w >= 32 {
+		return v
+	}
+	return v & (1<<uint(w) - 1)
+}
+
+func maskValue(v Value, t lang.Type) Value {
+	v.V = maskW(v.V, t.Bits())
+	return v
+}
+
+// typeOf resolves the static type of an expression syntactically: declared
+// types flow from the environment and function signatures, and literals
+// carry the type the checker adopted them at. It exists so evaluation can
+// wrap arithmetic at the operand type's width.
+func (in *Interp) typeOf(x lang.Expr, e *env) lang.Type {
+	switch x := x.(type) {
+	case *lang.IntLitExpr:
+		return x.LitType()
+	case *lang.BoolLitExpr:
+		return lang.TypeBool
+	case *lang.NullLitExpr:
+		return lang.TypePtr
+	case *lang.IdentExpr:
+		if t, ok := e.types[x.Name]; ok {
+			return t
+		}
+		return lang.TypeInt
+	case *lang.UnaryExpr:
+		if x.Op == lang.OpNot {
+			return lang.TypeBool
+		}
+		return in.typeOf(x.X, e)
+	case *lang.BinExpr:
+		if x.Op.IsComparison() || x.Op.IsLogical() {
+			return lang.TypeBool
+		}
+		// Both operands agree after checking; prefer whichever side
+		// resolves to a narrow type in case the other is a literal.
+		lt := in.typeOf(x.L, e)
+		if lt == lang.TypeI8 || lt == lang.TypeI16 {
+			return lt
+		}
+		if rt := in.typeOf(x.R, e); rt == lang.TypeI8 || rt == lang.TypeI16 {
+			return rt
+		}
+		return lt
+	case *lang.CallExpr:
+		if f := in.prog.Func(x.Name); f != nil {
+			return f.Ret
+		}
+	}
+	return lang.TypeInt
 }
 
 func (in *Interp) block(b *lang.BlockStmt, e *env) error {
@@ -216,6 +273,7 @@ func (in *Interp) block(b *lang.BlockStmt, e *env) error {
 	defer func() {
 		for _, n := range declared {
 			delete(e.vars, n)
+			delete(e.types, n)
 		}
 	}()
 	for _, s := range b.Stmts {
@@ -233,12 +291,16 @@ func (in *Interp) block(b *lang.BlockStmt, e *env) error {
 			if err != nil {
 				return err
 			}
-			e.vars[s.Name] = v
+			e.vars[s.Name] = maskValue(v, s.Type)
+			e.types[s.Name] = s.Type
 			declared = append(declared, s.Name)
 		case *lang.AssignStmt:
 			v, err := in.expr(s.Val, e)
 			if err != nil {
 				return err
+			}
+			if t, ok := e.types[s.Name]; ok {
+				v = maskValue(v, t)
 			}
 			e.vars[s.Name] = v
 		case *lang.IfStmt:
@@ -298,7 +360,7 @@ func boolToBit(b bool) uint32 {
 func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
 	switch x := x.(type) {
 	case *lang.IntLitExpr:
-		return Value{V: x.Value}, nil
+		return Value{V: maskW(x.Value, x.LitType().Bits())}, nil
 	case *lang.BoolLitExpr:
 		return Value{V: boolToBit(x.Value)}, nil
 	case *lang.NullLitExpr:
@@ -321,7 +383,8 @@ func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
 		if x.Op == lang.OpNot {
 			return Value{V: v.V ^ 1, Taint: v.Taint.clone()}, nil
 		}
-		return Value{V: -v.V, Taint: v.Taint.clone()}, nil
+		w := in.typeOf(x.X, e).Bits()
+		return Value{V: maskW(-v.V, w), Taint: v.Taint.clone()}, nil
 	case *lang.BinExpr:
 		l, err := in.expr(x.L, e)
 		if err != nil {
@@ -336,7 +399,18 @@ func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
 				Callee: x.Op.String(), CallPos: x.Pos, ArgIdx: 1, Taint: r.Taint.clone(),
 			})
 		}
-		return Value{V: binOp(x.Op, l.V, r.V), Taint: union(l.Taint, r.Taint)}, nil
+		w := 32
+		if x.Op.IsLogical() {
+			w = 1
+		} else {
+			w = in.typeOf(x.L, e).Bits()
+			if w == 32 {
+				if rw := in.typeOf(x.R, e).Bits(); rw < 32 {
+					w = rw
+				}
+			}
+		}
+		return Value{V: binOp(x.Op, l.V, r.V, w), Taint: union(l.Taint, r.Taint)}, nil
 	case *lang.CallExpr:
 		f := in.prog.Func(x.Name)
 		if f == nil {
@@ -393,19 +467,36 @@ func (in *Interp) expr(x lang.Expr, e *env) (Value, error) {
 	}
 }
 
-// binOp implements the language's binary operators on 32-bit values
-// (booleans are 0/1).
-func binOp(op lang.BinOp, l, r uint32) uint32 {
+// signBitW reports whether the top bit of a w-bit value is set.
+func signBitW(v uint32, w int) bool { return v>>(uint(w)-1)&1 == 1 }
+
+// signedLessW compares two w-bit values under the signed interpretation.
+func signedLessW(l, r uint32, w int, orEqual bool) bool {
+	sl, sr := signBitW(l, w), signBitW(r, w)
+	if sl != sr {
+		return sl // negative < non-negative
+	}
+	if orEqual {
+		return l <= r
+	}
+	return l < r
+}
+
+// binOp implements the language's binary operators on w-bit values
+// (booleans are 0/1 at width 1), matching the bit-vector semantics of the
+// backend operator for operator: arithmetic wraps modulo 2^w, division and
+// shifts are unsigned, comparisons are signed.
+func binOp(op lang.BinOp, l, r uint32, w int) uint32 {
 	switch op {
 	case lang.OpAdd:
-		return l + r
+		return maskW(l+r, w)
 	case lang.OpSub:
-		return l - r
+		return maskW(l-r, w)
 	case lang.OpMul:
-		return l * r
+		return maskW(l*r, w)
 	case lang.OpDiv:
 		if r == 0 {
-			return ^uint32(0)
+			return maskW(^uint32(0), w)
 		}
 		return l / r
 	case lang.OpRem:
@@ -418,13 +509,13 @@ func binOp(op lang.BinOp, l, r uint32) uint32 {
 	case lang.OpNe:
 		return boolToBit(l != r)
 	case lang.OpLt:
-		return boolToBit(int32(l) < int32(r))
+		return boolToBit(signedLessW(l, r, w, false))
 	case lang.OpLe:
-		return boolToBit(int32(l) <= int32(r))
+		return boolToBit(signedLessW(l, r, w, true))
 	case lang.OpGt:
-		return boolToBit(int32(l) > int32(r))
+		return boolToBit(signedLessW(r, l, w, false))
 	case lang.OpGe:
-		return boolToBit(int32(l) >= int32(r))
+		return boolToBit(signedLessW(r, l, w, true))
 	case lang.OpAnd, lang.OpBitAnd:
 		return l & r
 	case lang.OpOr, lang.OpBitOr:
@@ -432,12 +523,12 @@ func binOp(op lang.BinOp, l, r uint32) uint32 {
 	case lang.OpBitXor:
 		return l ^ r
 	case lang.OpShl:
-		if r >= 32 {
+		if r >= uint32(w) {
 			return 0
 		}
-		return l << r
+		return maskW(l<<r, w)
 	case lang.OpShr:
-		if r >= 32 {
+		if r >= uint32(w) {
 			return 0
 		}
 		return l >> r

@@ -3,7 +3,9 @@ package lang
 import "fmt"
 
 // Type is the type of a value in the language. Integers and pointers are
-// both modeled as 32-bit bit-vectors by the backend; booleans are 1-bit.
+// modeled as 32-bit bit-vectors by the backend, booleans as 1-bit, and the
+// narrow integer types i8/i16 as 8- and 16-bit vectors with two's-complement
+// wraparound at their own width.
 type Type int
 
 // Language types.
@@ -13,6 +15,8 @@ const (
 	TypeInt
 	TypeBool
 	TypePtr
+	TypeI8
+	TypeI16
 )
 
 func (t Type) String() string {
@@ -25,8 +29,29 @@ func (t Type) String() string {
 		return "bool"
 	case TypePtr:
 		return "ptr"
+	case TypeI8:
+		return "i8"
+	case TypeI16:
+		return "i16"
 	default:
 		return "invalid"
+	}
+}
+
+// IsInteger reports whether t is an integer type of any width.
+func (t Type) IsInteger() bool { return t == TypeInt || t == TypeI8 || t == TypeI16 }
+
+// Bits returns the bit-vector width modeling a value of type t.
+func (t Type) Bits() int {
+	switch t {
+	case TypeBool:
+		return 1
+	case TypeI8:
+		return 8
+	case TypeI16:
+		return 16
+	default:
+		return 32
 	}
 }
 
@@ -140,10 +165,23 @@ func (s *WhileStmt) StmtPos() Pos  { return s.Pos }
 func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
 func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
 
-// IntLitExpr is an integer literal.
+// IntLitExpr is an integer literal. T is the type the literal was adopted
+// at by the checker: integer literals default to int, but a literal that
+// fits a narrow type's signed range adopts that type when it initializes,
+// is assigned or compared to, or is combined with a narrow-typed operand.
 type IntLitExpr struct {
 	Value uint32
+	T     Type // TypeInvalid until sema runs; then TypeInt or a narrow type
 	Pos   Pos
+}
+
+// LitType returns the adopted type of the literal, defaulting to int for
+// ASTs that have not been through the checker.
+func (e *IntLitExpr) LitType() Type {
+	if e.T == TypeInvalid {
+		return TypeInt
+	}
+	return e.T
 }
 
 // BoolLitExpr is true or false.

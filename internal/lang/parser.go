@@ -99,6 +99,10 @@ func (p *Parser) parseType() (Type, error) {
 	switch t.Kind {
 	case KwInt:
 		return TypeInt, nil
+	case KwI8:
+		return TypeI8, nil
+	case KwI16:
+		return TypeI16, nil
 	case KwBool:
 		return TypeBool, nil
 	case KwPtr:

@@ -27,6 +27,8 @@ const (
 	KwFalse
 	KwNull
 	KwInt
+	KwI8
+	KwI16
 	KwBool
 	KwPtr
 	// Punctuation.
@@ -64,7 +66,8 @@ var kindNames = map[Kind]string{
 	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
 	KwFun: "fun", KwExtern: "extern", KwVar: "var", KwIf: "if", KwElse: "else",
 	KwWhile: "while", KwReturn: "return", KwTrue: "true", KwFalse: "false",
-	KwNull: "null", KwInt: "int", KwBool: "bool", KwPtr: "ptr",
+	KwNull: "null", KwInt: "int", KwI8: "i8", KwI16: "i16",
+	KwBool: "bool", KwPtr: "ptr",
 	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", Comma: ",", Semi: ";",
 	Colon: ":", Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
 	Percent: "%", Eq: "==", Neq: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
@@ -82,7 +85,8 @@ func (k Kind) String() string {
 var keywords = map[string]Kind{
 	"fun": KwFun, "extern": KwExtern, "var": KwVar, "if": KwIf, "else": KwElse,
 	"while": KwWhile, "return": KwReturn, "true": KwTrue, "false": KwFalse,
-	"null": KwNull, "int": KwInt, "bool": KwBool, "ptr": KwPtr,
+	"null": KwNull, "int": KwInt, "i8": KwI8, "i16": KwI16,
+	"bool": KwBool, "ptr": KwPtr,
 }
 
 // Pos is a source position (1-based line and column).

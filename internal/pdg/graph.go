@@ -109,10 +109,6 @@ func ParamIndex(v *ssa.Value) int {
 	return -1
 }
 
-// TypeBits returns the bit-vector width used to model a value of type t.
-func TypeBits(t lang.Type) int {
-	if t == lang.TypeBool {
-		return 1
-	}
-	return 32
-}
+// TypeBits returns the bit-vector width used to model a value of type t:
+// 1 for booleans, 8 and 16 for the narrow integer types, 32 otherwise.
+func TypeBits(t lang.Type) int { return t.Bits() }

@@ -215,6 +215,23 @@ func (g *gen) emitFunc(fn funcInfo) {
 		vars = append(vars, name)
 	}
 
+	// Occasionally a self-contained narrow-width cluster: the language
+	// has no implicit widening, so i8/i16 arithmetic stays among its own
+	// locals and reaches the int world only through a comparison. The
+	// guard below adds narrow vertices — constant-derived, so decided
+	// branch conditions — to any slice passing through the accumulator.
+	narrowGuard := ""
+	if g.rng.Intn(3) == 0 {
+		ty, base := "i8", 40+g.rng.Intn(60)
+		if g.rng.Intn(2) == 0 {
+			ty, base = "i16", 1000+g.rng.Intn(5000)
+		}
+		w0, w1 := fresh(), fresh()
+		e.writef("    var %s: %s = %d;\n", w0, ty, base)
+		e.writef("    var %s: %s = %s / 3 + 17;\n", w1, ty, w0)
+		narrowGuard = fmt.Sprintf("%s > 0", w1)
+	}
+
 	// Occasionally a bounded loop, which normalization unrolls away.
 	if g.rng.Intn(4) == 0 {
 		idx := fresh()
@@ -243,6 +260,9 @@ func (g *gen) emitFunc(fn funcInfo) {
 		} else {
 			e.writef("    }\n")
 		}
+	}
+	if narrowGuard != "" {
+		e.writef("    if (%s) {\n        %s = %s + 1;\n    }\n", narrowGuard, acc, acc)
 	}
 	e.writef("    return %s;\n}\n\n", acc)
 }
@@ -321,12 +341,52 @@ func (g *gen) emitBugFuncs() {
 	for i := 0; i < g.cfg.InfeasibleDiv; i++ {
 		emit("cwe-369", false)
 	}
+	// One bit-level infeasible division per subject that carries divisions.
+	// Its divisor is odd by construction through a bitwise OR — a fact none
+	// of the abstract domains track and the sat probe cannot satisfy — so
+	// the query is guaranteed to reach the bit-precise solver, exercising
+	// the absint-guided pre-simplification on the constant chain and the
+	// narrow-width locals it carries.
+	if g.cfg.InfeasibleDiv > 0 {
+		id := g.bugID
+		g.bugID++
+		fname := fmt.Sprintf("bug_cwe_369_bit_%d", id)
+		g.emitBitDivFunc(fname)
+		g.gt.Bugs = append(g.gt.Bugs, Bug{
+			ID: id, Checker: "cwe-369", Feasible: false, Func: fname,
+			SinkLine: g.lastSinkLine,
+		})
+	}
 	for i := 0; i < g.cfg.FeasibleOOB; i++ {
 		emit("cwe-125", true)
 	}
 	for i := 0; i < g.cfg.InfeasibleOOB; i++ {
 		emit("cwe-125", false)
 	}
+}
+
+// emitBitDivFunc writes the corpus's guaranteed bit-precise solver call:
+// a division whose divisor `(n | 1) + k1 - k1` is odd — and hence nonzero
+// modulo nothing the interval, stride, or zone domains can see — behind a
+// decided narrow-width guard. Every abstract tier keeps the candidate,
+// the sat probe cannot hit divisor == 0, and only bit-blasting refutes
+// it; the constant chain and i8 locals are what the absint-guided
+// pre-simplification folds away on the way there.
+func (g *gen) emitBitDivFunc(fname string) {
+	e := g.e
+	e.writef("fun %s(a: int, b: int) {\n", fname)
+	e.writef("    var n: int = user_input();\n")
+	e.writef("    var k0: int = %d;\n", 3+g.rng.Intn(5))
+	e.writef("    var k1: int = k0 * 3 + 1;\n")
+	e.writef("    var w0: i8 = %d;\n", 50+g.rng.Intn(40))
+	e.writef("    var w1: i8 = w0 / 3 + 17;\n")
+	e.writef("    var d: int = (n | 1) + k1 - k1;\n")
+	e.writef("    if (w1 > 0) {\n")
+	g.lastSinkLine = e.line
+	e.writef("        var q: int = %d / d;\n", 10+g.rng.Intn(90))
+	e.writef("        send(q + a + b);\n")
+	e.writef("    }\n")
+	e.writef("}\n\n")
 }
 
 func (g *gen) emitBugFunc(fname, checker string, feasible bool) {

@@ -137,7 +137,7 @@ func (c *checker) checkStmt(s lang.Stmt) {
 	case *lang.BlockStmt:
 		c.checkBlock(s)
 	case *lang.VarDecl:
-		t := c.checkExpr(s.Init)
+		t := adopt(s.Init, s.Type, c.checkExpr(s.Init))
 		if t != lang.TypeInvalid && !assignable(s.Type, t) {
 			c.errorf(s.Pos, "cannot initialize %s (%s) with %s value", s.Name, s.Type, t)
 		}
@@ -151,7 +151,7 @@ func (c *checker) checkStmt(s lang.Stmt) {
 			c.errorf(s.Pos, "assignment to undeclared variable %s", s.Name)
 			vt = lang.TypeInvalid
 		}
-		t := c.checkExpr(s.Val)
+		t := adopt(s.Val, vt, c.checkExpr(s.Val))
 		if vt != lang.TypeInvalid && t != lang.TypeInvalid && !assignable(vt, t) {
 			c.errorf(s.Pos, "cannot assign %s value to %s (%s)", t, s.Name, vt)
 		}
@@ -181,7 +181,7 @@ func (c *checker) checkStmt(s lang.Stmt) {
 			c.checkExpr(s.Val)
 			return
 		}
-		if t := c.checkExpr(s.Val); t != lang.TypeInvalid && !assignable(want, t) {
+		if t := adopt(s.Val, want, c.checkExpr(s.Val)); t != lang.TypeInvalid && !assignable(want, t) {
 			c.errorf(s.Pos, "cannot return %s value from function returning %s", t, want)
 		}
 	case *lang.ExprStmt:
@@ -196,8 +196,49 @@ func (c *checker) checkStmt(s lang.Stmt) {
 
 // assignable reports whether a value of type src can be stored into a
 // location of type dst. Null literals type as ptr, so only identical types
-// are assignable.
+// are assignable; integer widths never convert implicitly.
 func assignable(dst, src lang.Type) bool { return dst == src }
+
+// maxSignedFor returns the largest positive value of a narrow type, or 0
+// for non-narrow types.
+func maxSignedFor(t lang.Type) uint32 {
+	switch t {
+	case lang.TypeI8:
+		return 1<<7 - 1
+	case lang.TypeI16:
+		return 1<<15 - 1
+	}
+	return 0
+}
+
+func isNarrow(t lang.Type) bool { return t == lang.TypeI8 || t == lang.TypeI16 }
+
+// adopt retypes an untyped integer literal expression to the narrow type
+// want when its value fits want's signed range, returning the effective
+// type of e. Both bare literals (5) and negated literals (-5) adopt; any
+// other expression keeps its checked type got. This is the only implicit
+// typing rule narrow integers have — named values never convert.
+func adopt(e lang.Expr, want, got lang.Type) lang.Type {
+	if !isNarrow(want) || got != lang.TypeInt {
+		return got
+	}
+	switch e := e.(type) {
+	case *lang.IntLitExpr:
+		if e.Value <= maxSignedFor(want) {
+			e.T = want
+			return want
+		}
+	case *lang.UnaryExpr:
+		if e.Op != lang.OpNeg {
+			return got
+		}
+		if lit, ok := e.X.(*lang.IntLitExpr); ok && lit.Value <= maxSignedFor(want)+1 {
+			lit.T = want
+			return want
+		}
+	}
+	return got
+}
 
 func (c *checker) checkExpr(e lang.Expr) lang.Type {
 	switch e := e.(type) {
@@ -218,11 +259,14 @@ func (c *checker) checkExpr(e lang.Expr) lang.Type {
 		t := c.checkExpr(e.X)
 		switch e.Op {
 		case lang.OpNeg:
-			if t != lang.TypeInvalid && t != lang.TypeInt {
-				c.errorf(e.Pos, "operator - requires int, got %s", t)
+			if t != lang.TypeInvalid && !t.IsInteger() {
+				c.errorf(e.Pos, "operator - requires integer operand, got %s", t)
 				return lang.TypeInvalid
 			}
-			return lang.TypeInt
+			if t == lang.TypeInvalid {
+				return lang.TypeInvalid
+			}
+			return t
 		case lang.OpNot:
 			if t != lang.TypeInvalid && t != lang.TypeBool {
 				c.errorf(e.Pos, "operator ! requires bool, got %s", t)
@@ -240,6 +284,10 @@ func (c *checker) checkExpr(e lang.Expr) lang.Type {
 			}
 			return lang.TypeInvalid
 		}
+		// A bare (or negated) int literal next to a narrow operand adopts
+		// the narrow type, so `x < 10` works for x: i8 without widening.
+		lt = adopt(e.L, rt, lt)
+		rt = adopt(e.R, lt, rt)
 		switch {
 		case e.Op.IsLogical():
 			if lt != lang.TypeBool || rt != lang.TypeBool {
@@ -252,16 +300,16 @@ func (c *checker) checkExpr(e lang.Expr) lang.Type {
 			}
 			return lang.TypeBool
 		case e.Op.IsComparison():
-			if lt != lang.TypeInt || rt != lang.TypeInt {
-				c.errorf(e.Pos, "operator %s requires int operands, got %s and %s", e.Op, lt, rt)
+			if !lt.IsInteger() || !rt.IsInteger() || lt != rt {
+				c.errorf(e.Pos, "operator %s requires int operands of one width, got %s and %s", e.Op, lt, rt)
 			}
 			return lang.TypeBool
 		default: // arithmetic and bitwise
-			if lt != lang.TypeInt || rt != lang.TypeInt {
-				c.errorf(e.Pos, "operator %s requires int operands, got %s and %s", e.Op, lt, rt)
+			if !lt.IsInteger() || !rt.IsInteger() || lt != rt {
+				c.errorf(e.Pos, "operator %s requires int operands of one width, got %s and %s", e.Op, lt, rt)
 				return lang.TypeInvalid
 			}
-			return lang.TypeInt
+			return lt
 		}
 	case *lang.CallExpr:
 		f, ok := c.funcs[e.Name]
@@ -277,6 +325,9 @@ func (c *checker) checkExpr(e lang.Expr) lang.Type {
 		}
 		for i, a := range e.Args {
 			at := c.checkExpr(a)
+			if i < len(f.Params) {
+				at = adopt(a, f.Params[i].Type, at)
+			}
 			if i < len(f.Params) && at != lang.TypeInvalid && !assignable(f.Params[i].Type, at) {
 				c.errorf(a.ExprPos(), "argument %d of %s: cannot pass %s as %s", i+1, f.Name, at, f.Params[i].Type)
 			}

@@ -232,6 +232,15 @@ func (b *builder) buildIf(s *lang.IfStmt) error {
 	return nil
 }
 
+// widthMask returns the all-ones mask of a type's width.
+func widthMask(t lang.Type) uint32 {
+	w := t.Bits()
+	if w >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(w) - 1
+}
+
 func copyEnv(env map[string]*Value) map[string]*Value {
 	out := make(map[string]*Value, len(env))
 	for k, v := range env {
@@ -243,8 +252,11 @@ func copyEnv(env map[string]*Value) map[string]*Value {
 func (b *builder) buildExpr(e lang.Expr) (*Value, error) {
 	switch e := e.(type) {
 	case *lang.IntLitExpr:
-		v := b.newValue(OpConst, lang.TypeInt, e.Pos)
-		v.Const = e.Value
+		t := e.LitType()
+		v := b.newValue(OpConst, t, e.Pos)
+		// Constants are stored masked to their type's width, so a narrow
+		// literal's bit pattern is exactly what the backend emits.
+		v.Const = e.Value & widthMask(t)
 		return v, nil
 	case *lang.BoolLitExpr:
 		v := b.newValue(OpConst, lang.TypeBool, e.Pos)
@@ -269,7 +281,7 @@ func (b *builder) buildExpr(e lang.Expr) (*Value, error) {
 		if e.Op == lang.OpNot {
 			return b.newValue(OpNot, lang.TypeBool, e.Pos, x), nil
 		}
-		return b.newValue(OpNeg, lang.TypeInt, e.Pos, x), nil
+		return b.newValue(OpNeg, x.Type, e.Pos, x), nil
 	case *lang.BinExpr:
 		l, err := b.buildExpr(e.L)
 		if err != nil {
@@ -279,7 +291,9 @@ func (b *builder) buildExpr(e lang.Expr) (*Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		t := lang.TypeInt
+		// Arithmetic results carry their operands' type (sema guarantees
+		// both sides agree), so narrow operations stay at narrow width.
+		t := l.Type
 		if e.Op.IsComparison() || e.Op.IsLogical() {
 			t = lang.TypeBool
 		}
