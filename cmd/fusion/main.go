@@ -4,7 +4,8 @@
 // Usage:
 //
 //	fusion [-checker null-deref|cwe-23|cwe-402|cwe-369|cwe-125|all] [-engine NAME]
-//	       [-absint on|nostride|nosimplify|intervals|off] [-workers N] [-timeout D] [-no-prelude]
+//	       [-absint on|nostride|nosimplify|intervals|off] [-session on|off]
+//	       [-workers N] [-timeout D] [-no-prelude]
 //	       [-fail-fast] [-budget-steps N] [-budget-conflicts N]
 //	       [-budget-deadline D] [-budget-heap N] file.fl
 //
@@ -44,6 +45,7 @@ func main() {
 	enum := flag.String("enum", "dfs", "path enumeration: dfs or summary")
 	dot := flag.Bool("dot", false, "print the program dependence graph in Graphviz DOT format and exit")
 	absintMode := flag.String("absint", "on", "abstract-interpretation tier: on (intervals × stride + zone), nostride (congruence disabled), nosimplify (formula pre-simplification disabled), intervals (zone and stride disabled), or off (fusion engines and -dot annotations)")
+	session := flag.String("session", "on", "warm incremental solver sessions: on (per-worker sessions reuse learned clauses and term encodings across a unit's queries) or off (every query solves one-shot — the oracle). Never changes verdicts, only cost")
 	workers := flag.Int("workers", 1, "worker count for enumeration and checking (output is identical for any count)")
 	timeout := flag.Duration("timeout", 0, "overall analysis budget; on expiry remaining candidates are reported as undecided (0 = none)")
 	failFast := flag.Bool("fail-fast", false, "stop at the first contained unit failure instead of completing the batch")
@@ -66,11 +68,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fusion:", err)
 		os.Exit(2)
 	}
+	if *session != "on" && *session != "off" {
+		fmt.Fprintf(os.Stderr, "fusion: -session must be on or off, got %q\n", *session)
+		os.Exit(2)
+	}
 	cfg := config{
 		path: flag.Arg(0), checker: *checkerName, engine: *engineName,
 		prelude: !*noPrelude, showPaths: *showPaths, joint: *joint,
 		enum: *enum, dot: *dot, absint: mode,
-		workers: *workers, timeout: *timeout,
+		noSession: *session == "off",
+		workers:   *workers, timeout: *timeout,
 		failFast: *failFast,
 		budget: engines.Budget{
 			Steps: *budgetSteps, Conflicts: *budgetConflicts,
@@ -102,6 +109,7 @@ type config struct {
 	enum      string
 	dot       bool
 	absint    driver.AbsintMode
+	noSession bool
 	workers   int
 	timeout   time.Duration
 	failFast  bool
@@ -193,6 +201,7 @@ func run(cfg config) (outcome, error) {
 	}
 	engines.SetParallel(eng, cfg.workers)
 	engines.SetBudget(eng, cfg.budget)
+	engines.SetNoSession(eng, cfg.noSession)
 	// The abstract tier applies to the fused engine: it refutes queries
 	// before any formula is built, and its invariants prune provably-safe
 	// candidates during DFS enumeration. The analysis is computed once on

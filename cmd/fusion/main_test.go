@@ -177,6 +177,53 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunSessionDeterministic checks the -session contract end to end: the
+// warm sessions may only change the cost of a run, so the CLI output must
+// be byte-identical with sessions on and off, at any worker count — and
+// under an injected check-stage panic, where a poisoned session must not
+// leak into the remaining candidates' verdicts.
+func TestRunSessionDeterministic(t *testing.T) {
+	path := writeTemp(t, testSrc)
+	for _, engine := range []string{"fusion", "pinpoint", "pinpoint+hfs"} {
+		var outs []string
+		for _, noSession := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				var buf bytes.Buffer
+				if _, err := run(config{path: path, checker: "all", engine: engine, prelude: true,
+					showPaths: true, noSession: noSession, workers: workers, out: &buf}); err != nil {
+					t.Fatalf("%s session=%v workers=%d: %v", engine, !noSession, workers, err)
+				}
+				outs = append(outs, buf.String())
+			}
+		}
+		for _, o := range outs[1:] {
+			if o != outs[0] {
+				t.Errorf("%s: output varies with -session/-workers:\n--- base ---\n%s--- got ---\n%s",
+					engine, outs[0], o)
+			}
+		}
+	}
+
+	// Under FUSION_FAULT=panic.check (here scoped to the null-deref units)
+	// the batch still completes, and the warm and cold runs agree on every
+	// surviving verdict — a panic poisons its own session, nothing else.
+	if err := faultinject.ArmSpec("panic.check:null-deref"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var warm, cold bytes.Buffer
+	if _, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, workers: 1, out: &warm}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(config{path: path, checker: "all", engine: "fusion", prelude: true, noSession: true, workers: 1, out: &cold}); err != nil {
+		t.Fatal(err)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("faulted outputs differ between session modes:\n--- warm ---\n%s--- cold ---\n%s",
+			warm.String(), cold.String())
+	}
+}
+
 // strideSrc has a parity-infeasible division that only the congruence
 // tier can refute: the divisor e is defined before the guard, so the
 // whole-program oracle records no stride for it, and the interval tier

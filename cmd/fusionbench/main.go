@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fusionbench [-experiment NAME|all] [-scale F] [-subjects a,b,c] [-budget D]
-//	            [-workers N] [-timeout D] [-fail-fast]
+//	            [-workers N] [-timeout D] [-absint MODE] [-session on|off] [-fail-fast]
 //
 // Exit status: 0 when every experiment ran to completion, 1 on a harness
 // error, 2 on bad usage or when any engine run contained a unit crash.
@@ -37,6 +37,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "deprecated alias for -workers")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the whole invocation (0 = none)")
 	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals × stride + zone), nostride (congruence disabled), nosimplify (formula pre-simplification disabled), intervals (zone and stride disabled), or off")
+	session := flag.String("session", "on", "warm incremental solver sessions: on (per-worker sessions reuse learned clauses and term encodings) or off (every query solves one-shot — the oracle)")
 	failFast := flag.Bool("fail-fast", false, "stop after the first experiment whose runs contained a unit crash (default: run all experiments, summarize at the end)")
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
@@ -45,6 +46,10 @@ func main() {
 	}
 	if *absint != "on" && *absint != "nostride" && *absint != "nosimplify" && *absint != "off" && *absint != "intervals" {
 		fmt.Fprintf(os.Stderr, "fusionbench: -absint must be on, nostride, nosimplify, intervals, or off, got %q\n", *absint)
+		os.Exit(2)
+	}
+	if *session != "on" && *session != "off" {
+		fmt.Fprintf(os.Stderr, "fusionbench: -session must be on or off, got %q\n", *session)
 		os.Exit(2)
 	}
 	if *workers == 0 {
@@ -67,6 +72,7 @@ func main() {
 		IntervalsOnly: *absint == "intervals",
 		NoStride:      *absint == "nostride",
 		NoSimplify:    *absint == "nosimplify",
+		NoSession:     *session == "off",
 		OnCost: func(c bench.Cost) {
 			unitFailures = append(unitFailures, c.Failures...)
 		},

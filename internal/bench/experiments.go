@@ -47,6 +47,11 @@ type Options struct {
 	// pre-simplification of local conditions — the `-absint=nosimplify`
 	// ablation.
 	NoSimplify bool
+	// NoSession disables the warm incremental solver sessions in every
+	// engine the experiments construct: each query then builds a fresh
+	// solver and blaster (the one-shot oracle) — the `-session=off`
+	// ablation.
+	NoSession bool
 	// OnCost observes every scored engine run, in completion order. The
 	// command-line harness uses it to tally contained unit failures and
 	// degraded verdicts for its exit status.
@@ -74,6 +79,13 @@ func (o Options) fusion() *engines.Fusion {
 	e.IntervalsOnly = o.IntervalsOnly
 	e.NoStride = o.NoStride
 	e.NoSimplify = o.NoSimplify
+	e.NoSession = o.NoSession
+	return e
+}
+
+func (o Options) pinpoint(v engines.Variant) *engines.Pinpoint {
+	e := engines.NewPinpoint(v)
+	e.NoSession = o.NoSession
 	return e
 }
 
@@ -144,7 +156,7 @@ func Table3(ctx context.Context, opts Options) (string, error) {
 	}
 	for _, sub := range subs {
 		fc := opts.run(ctx, sub, spec, opts.fusion())
-		pc := opts.run(ctx, sub, spec, engines.NewPinpoint(engines.Plain))
+		pc := opts.run(ctx, sub, spec, opts.pinpoint(engines.Plain))
 		t.AddRow(
 			fmt.Sprintf("%d", sub.Info.ID), sub.Info.Name,
 			fmb(fc.CondMB), fmb(pc.CondMB),
@@ -178,9 +190,9 @@ func Fig10(ctx context.Context, opts Options) (string, error) {
 	for _, sub := range subs {
 		runs := []engines.Engine{
 			opts.fusion(),
-			engines.NewPinpoint(engines.Plain),
-			engines.NewPinpoint(engines.LFS),
-			engines.NewPinpoint(engines.HFS),
+			opts.pinpoint(engines.Plain),
+			opts.pinpoint(engines.LFS),
+			opts.pinpoint(engines.HFS),
 		}
 		for _, eng := range runs {
 			c := opts.runBudget(ctx, sub, spec, eng, variantBudget)
@@ -203,8 +215,8 @@ func Fig10(ctx context.Context, opts Options) (string, error) {
 	}
 	for _, sub := range small {
 		for _, eng := range []engines.Engine{
-			engines.NewPinpoint(engines.QE),
-			engines.NewPinpoint(engines.AR),
+			opts.pinpoint(engines.QE),
+			opts.pinpoint(engines.AR),
 		} {
 			c := opts.runBudget(ctx, sub, spec, eng, variantBudget)
 			status := "ok"
@@ -399,7 +411,7 @@ func Table4(ctx context.Context, opts Options) (string, error) {
 		}
 		for _, sub := range subs {
 			fc := opts.run(ctx, sub, spec, opts.fusion())
-			pc := opts.run(ctx, sub, spec, engines.NewPinpoint(engines.Plain))
+			pc := opts.run(ctx, sub, spec, opts.pinpoint(engines.Plain))
 			t.AddRow(issue, sub.Info.Name,
 				fmb(fc.CondMB), fd(fc.Time),
 				fmb(pc.CondMB), fd(pc.Time),
@@ -463,7 +475,7 @@ func Fig1c(ctx context.Context, opts Options) (string, error) {
 		return "", err
 	}
 	for _, sub := range subs {
-		eng := engines.NewPinpoint(engines.Plain)
+		eng := opts.pinpoint(engines.Plain)
 		c := opts.run(ctx, sub, spec, eng)
 		// Estimate of the dependence graph's own memory: the other major
 		// retained structure of the analysis.
@@ -491,7 +503,7 @@ func CWE369(ctx context.Context, opts Options) (string, error) {
 		return "", err
 	}
 	for _, sub := range subs {
-		for _, eng := range []engines.Engine{opts.fusion(), engines.NewPinpoint(engines.Plain)} {
+		for _, eng := range []engines.Engine{opts.fusion(), opts.pinpoint(engines.Plain)} {
 			c := opts.run(ctx, sub, spec, eng)
 			t.AddRow(sub.Info.Name, c.Engine, fd(c.Time), fmb(c.CondMB),
 				fmt.Sprintf("%d", c.Reports), fmt.Sprintf("%d", c.TP), fmt.Sprintf("%d", c.FP))
@@ -580,6 +592,70 @@ func ablationCosts(ctx context.Context, opts Options) ([]AblationCost, bool, err
 		}
 	}
 	return out, identical, nil
+}
+
+// AblationSession measures the warm incremental solver sessions'
+// contribution: Fusion and the conventional engine run the null-exception
+// checker over the corpus with sessions on and with `-session=off` (every
+// query solved one-shot — the oracle the warm path is validated against).
+// Sessions may only change cost, never verdicts, so the report counts must
+// be identical in both modes; the cache columns show what the warm path
+// reused (all zero under off, by construction). The counters depend on how
+// candidates were batched onto workers, so run this experiment sequentially
+// when comparing counter values across machines.
+func AblationSession(ctx context.Context, opts Options) (string, error) {
+	t := &Table{
+		Title: "Ablation: incremental solver sessions (-session)",
+		Header: []string{"Program", "Engine", "Session", "Time", "#Report",
+			"CacheHits", "ReusedClauses", "CacheVars"},
+	}
+	spec := checker.NullDeref()
+	subs, err := opts.compileAll(ctx, opts.subjects(progen.Subjects))
+	if err != nil {
+		return "", err
+	}
+	identical := true
+	var timeOn, timeOff time.Duration
+	var hitsOn int64
+	for _, sub := range subs {
+		reports := map[string][2]int{}
+		for _, mode := range []string{"on", "off"} {
+			o := opts
+			o.NoSession = mode == "off"
+			for _, eng := range []engines.Engine{o.fusion(), o.pinpoint(engines.Plain)} {
+				c := o.run(ctx, sub, spec, eng)
+				t.AddRow(sub.Info.Name, c.Engine, mode, fd(c.Time),
+					fmt.Sprintf("%d", c.Reports),
+					fmt.Sprintf("%d", c.CacheHits),
+					fmt.Sprintf("%d", c.ReusedClauses),
+					fmt.Sprintf("%d", c.CacheVars))
+				r := reports[c.Engine]
+				if mode == "on" {
+					r[0] = c.Reports
+					timeOn += c.Time
+					hitsOn += c.CacheHits
+				} else {
+					r[1] = c.Reports
+					timeOff += c.Time
+				}
+				reports[c.Engine] = r
+			}
+		}
+		for _, r := range reports {
+			if r[0] != r[1] {
+				identical = false
+			}
+		}
+	}
+	s := t.String()
+	if identical {
+		s += "\nreport sets identical with sessions on and off\n"
+	} else {
+		s += "\nWARNING: report sets differ between session modes\n"
+	}
+	s += fmt.Sprintf("total time: on %s, off %s; warm cache hits: %d\n",
+		fd(timeOn), fd(timeOff), hitsOn)
+	return s, nil
 }
 
 // largeSubjects returns the four industrial-sized subjects (ffmpeg, v8,

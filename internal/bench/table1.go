@@ -168,7 +168,7 @@ func Ablations(ctx context.Context, opts Options) (string, error) {
 		c := opts.run(ctx, sub, spec, eng)
 		t.AddRow(cfg.name, fd(c.Time), fmb(c.CondMB), fmt.Sprintf("%d", c.Reports))
 	}
-	pc := opts.run(ctx, sub, spec, engines.NewPinpoint(engines.Plain))
+	pc := opts.run(ctx, sub, spec, opts.pinpoint(engines.Plain))
 	t.AddRow("pinpoint (conventional)", fd(pc.Time), fmb(pc.CondMB), fmt.Sprintf("%d", pc.Reports))
 	return t.String(), nil
 }
@@ -176,21 +176,22 @@ func Ablations(ctx context.Context, opts Options) (string, error) {
 // Experiments maps experiment names to their drivers for the command-line
 // harness.
 var Experiments = map[string]func(context.Context, Options) (string, error){
-	"table1":          Table1,
-	"table2":          Table2,
-	"cwe369":          CWE369,
-	"table3":          Table3,
-	"table4":          Table4,
-	"table5":          Table5,
-	"fig1c":           Fig1c,
-	"fig10":           Fig10,
-	"fig11":           Fig11,
-	"ablations":       Ablations,
-	"ablation-absint": AblationAbsint,
+	"table1":           Table1,
+	"table2":           Table2,
+	"cwe369":           CWE369,
+	"table3":           Table3,
+	"table4":           Table4,
+	"table5":           Table5,
+	"fig1c":            Fig1c,
+	"fig10":            Fig10,
+	"fig11":            Fig11,
+	"ablations":        Ablations,
+	"ablation-absint":  AblationAbsint,
+	"ablation-session": AblationSession,
 }
 
 // ExperimentNames lists the available experiments in a stable order.
 var ExperimentNames = []string{
 	"fig1c", "table1", "table2", "table3", "fig10", "fig11", "table4", "table5", "cwe369", "ablations",
-	"ablation-absint",
+	"ablation-absint", "ablation-session",
 }

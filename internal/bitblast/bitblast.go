@@ -12,14 +12,32 @@ import (
 )
 
 // Blaster converts terms to clauses incrementally. All terms must come from
-// the same smt.Builder.
+// the same smt.Builder. A Blaster is persistent: the CNF cache is keyed by
+// hash-consed term identity (pointer equality), so queries sharing subterms
+// reuse each other's encodings across BeginQuery boundaries, and query roots
+// asserted through Assume are guarded by activation literals so retiring a
+// query disables its root constraint without deleting any clause.
 type Blaster struct {
 	S *sat.Solver
-	// bits caches the literal vector (LSB first) of every blasted term.
-	bits map[*smt.Term][]sat.Lit
+	// bits caches the literal vector (LSB first) of every blasted term,
+	// tagged with the query epoch that last touched it.
+	bits map[*smt.Term]entry
 	// gates structurally hashes AND/XOR gates.
 	gates map[gateKey]sat.Lit
+	// acts maps an asserted query root to its activation literal, so a
+	// repeated identical query reuses the existing guard clause.
+	acts  map[*smt.Term]sat.Lit
 	lTrue sat.Lit
+	epoch uint32
+	// Reused counts terms whose encoding was first built by an earlier
+	// query and hit again by a later one — each distinct term at most once
+	// per query. It is the cross-query amortization a session buys.
+	Reused int64
+}
+
+type entry struct {
+	lits  []sat.Lit
+	epoch uint32
 }
 
 type gateKey struct {
@@ -30,12 +48,24 @@ type gateKey struct {
 // New returns a Blaster over the given solver. It allocates one variable
 // pinned to true for constant literals.
 func New(s *sat.Solver) *Blaster {
-	b := &Blaster{S: s, bits: map[*smt.Term][]sat.Lit{}, gates: map[gateKey]sat.Lit{}}
+	b := &Blaster{
+		S:     s,
+		bits:  map[*smt.Term]entry{},
+		gates: map[gateKey]sat.Lit{},
+		acts:  map[*smt.Term]sat.Lit{},
+	}
 	v := s.NewVar()
 	b.lTrue = sat.MkLit(v, false)
 	s.AddClause(b.lTrue)
 	return b
 }
+
+// BeginQuery opens a new query epoch: cache hits on terms blasted during
+// earlier epochs are counted as cross-query reuse (once per distinct term).
+func (b *Blaster) BeginQuery() { b.epoch++ }
+
+// NumTerms returns the number of distinct terms whose encodings are cached.
+func (b *Blaster) NumTerms() int { return len(b.bits) }
 
 func (b *Blaster) litFalse() sat.Lit { return b.lTrue.Flip() }
 
@@ -264,8 +294,13 @@ func (b *Blaster) divmod(num, den []sat.Lit) (q, r []sat.Lit) {
 
 // Blast returns the literal vector (LSB first) representing t.
 func (b *Blaster) Blast(t *smt.Term) []sat.Lit {
-	if v, ok := b.bits[t]; ok {
-		return v
+	if e, ok := b.bits[t]; ok {
+		if e.epoch != b.epoch {
+			b.Reused++
+			e.epoch = b.epoch
+			b.bits[t] = e
+		}
+		return e.lits
 	}
 	var out []sat.Lit
 	switch t.Op {
@@ -363,11 +398,11 @@ func (b *Blaster) Blast(t *smt.Term) []sat.Lit {
 	if len(out) != t.Width {
 		panic(fmt.Sprintf("bitblast: width mismatch for %s: got %d, want %d", t.Op, len(out), t.Width))
 	}
-	b.bits[t] = out
+	b.bits[t] = entry{lits: out, epoch: b.epoch}
 	return out
 }
 
-// AssertTrue constrains the width-1 term t to be true.
+// AssertTrue constrains the width-1 term t to be true, permanently.
 func (b *Blaster) AssertTrue(t *smt.Term) {
 	if t.Width != 1 {
 		panic("bitblast: AssertTrue requires a width-1 term")
@@ -375,13 +410,29 @@ func (b *Blaster) AssertTrue(t *smt.Term) {
 	b.S.AddClause(b.Blast(t)[0])
 }
 
+// Assume blasts the width-1 query root t guarded by an activation literal
+// act via the clause (¬act ∨ t): solving under the assumption act enforces
+// t, and a call that stops assuming act retires the query — the solver is
+// free to set act false, which satisfies the guard clause vacuously.
+// Repeated assumptions of the same root reuse its guard.
+func (b *Blaster) Assume(t *smt.Term) sat.Lit {
+	if t.Width != 1 {
+		panic("bitblast: Assume requires a width-1 term")
+	}
+	if act, ok := b.acts[t]; ok {
+		return act
+	}
+	root := b.Blast(t)[0]
+	act := b.fresh()
+	b.S.AddClause(act.Flip(), root)
+	b.acts[t] = act
+	return act
+}
+
 // ModelValue extracts the value of a blasted term from the solver's model
 // after a Sat verdict.
 func (b *Blaster) ModelValue(t *smt.Term) uint32 {
-	bits, ok := b.bits[t]
-	if !ok {
-		bits = b.Blast(t)
-	}
+	bits := b.Blast(t)
 	var v uint32
 	for i, l := range bits {
 		bit := b.S.ValueOf(l.Var())

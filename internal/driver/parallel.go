@@ -28,22 +28,46 @@ import (
 // every worker has finished, so callers never leak a checking
 // goroutine.
 func ParallelCheck[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, []*failure.UnitFailure) {
+	return ParallelCheckWorkers(ctx, n, workers, func(i, _ int) T { return fn(i) })
+}
+
+// PoolSize returns the number of worker slots ParallelCheck will actually
+// use for n items and the requested worker count — callers that keep
+// pool-affine state (one warm solver session per worker) size their pools
+// with it.
+func PoolSize(n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	return workers
+}
+
+// ParallelCheckWorkers is ParallelCheck with the worker slot index exposed:
+// fn(i, w) runs work item i on worker w, where 0 <= w < PoolSize(n,
+// workers). A worker runs its items strictly sequentially, so per-worker
+// state (a warm solver session) needs no locking — but which items share a
+// worker DOES depend on the worker count and scheduling, so per-worker
+// state must never influence results, only their cost.
+func ParallelCheckWorkers[T any](ctx context.Context, n, workers int, fn func(i, w int) T) ([]T, []*failure.UnitFailure) {
 	out := make([]T, n)
 	fails := make([]*failure.UnitFailure, n)
-	run := func(i int) {
+	run := func(i, w int) {
 		defer func() {
 			if v := recover(); v != nil {
 				fails[i] = failure.FromPanicAt(fmt.Sprintf("item %d", i), "check", v, "driver.ParallelCheck")
 			}
 		}()
-		out[i] = fn(i)
+		out[i] = fn(i, w)
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			run(i)
+			run(i, 0)
 		}
 		return out, fails
 	}
@@ -51,16 +75,16 @@ func ParallelCheck[T any](ctx context.Context, n, workers int, fn func(i int) T)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				run(i)
+				run(i, w)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out, fails

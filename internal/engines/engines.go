@@ -59,6 +59,15 @@ type Verdict struct {
 	PrunedGuards int
 	// SolveTime is the feasibility-decision time for this candidate.
 	SolveTime time.Duration
+	// CacheHits counts term encodings this candidate's solve reused from
+	// earlier queries of its warm session; CacheVars is the size of the
+	// retained SAT variable map at that solve; ReusedClauses is the
+	// learned clauses it inherited. All zero on the one-shot (-session=off)
+	// path. These are cost counters only: they depend on which candidates
+	// shared a worker and must never influence a verdict.
+	CacheHits     int64
+	CacheVars     int
+	ReusedClauses int64
 	// ConditionSize is the DAG size of the condition solved (0 when the
 	// engine never materializes one).
 	ConditionSize int
@@ -169,12 +178,19 @@ type Fusion struct {
 	// pre-simplification of local conditions — the `-absint=nosimplify`
 	// ablation. Refutation and fact export are unaffected.
 	NoSimplify bool
+	// NoSession disables the warm incremental solver sessions, rebuilding
+	// the whole solving stack per candidate — the `-session=off` ablation
+	// (and the oracle the differential tests compare against).
+	NoSession bool
 	// Parallel is the worker count for Check; 0 or 1 means sequential.
 	Parallel int
 	mu       sync.Mutex
 	peak     int64
 	absG     *pdg.Graph
 	abs      *absint.Analysis
+	// sessions is the pool-affine warm solver pool: one session per
+	// ParallelCheck worker slot, reused across Check calls.
+	sessions *driver.Sessions
 	// fb is the lazily-built fallback analysis the degradation ladder
 	// consults when the engine runs without its own absint tier.
 	fb fallbackTier
@@ -208,20 +224,64 @@ func NewFusion() *Fusion { return &Fusion{} }
 // Name implements Engine.
 func (e *Fusion) Name() string { return "fusion" }
 
+// SessionStats exposes the warm pool's cumulative counters for reporting
+// (zeroes when sessions are disabled or Check has not run).
+func (e *Fusion) SessionStats() (queries, cacheHits, evictions, resets int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sessions == nil {
+		return
+	}
+	return e.sessions.Stats()
+}
+
+// sessionPool returns the warm pool sized for at least n worker slots,
+// growing (and re-warming) it when the Check fan-out widens.
+func (e *Fusion) sessionPool(n int) *driver.Sessions {
+	if e.NoSession {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sessions == nil || e.sessions.Len() < n {
+		e.sessions = driver.NewSessions(n, solver.SessionConfig{})
+	}
+	return e.sessions
+}
+
 // Check implements Engine.
 func (e *Fusion) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
 	e.Absint(g) // build the shared analysis once, outside the pool
-	vs, fails := driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
-		return e.checkOne(ctx, g, cands[i])
+	pool := e.sessionPool(driver.PoolSize(len(cands), e.Parallel))
+	vs, fails := driver.ParallelCheckWorkers(ctx, len(cands), e.Parallel, func(i, w int) Verdict {
+		var sess *solver.Session
+		if pool != nil {
+			sess = pool.At(w)
+		}
+		return e.checkOne(ctx, g, cands[i], sess)
 	})
 	attachFailures(vs, fails, cands)
 	return vs
 }
 
-func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate) Verdict {
+func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate, sess *solver.Session) Verdict {
 	if parent.Err() != nil {
 		return Verdict{Cand: c, Status: sat.Unknown}
 	}
+	var b *smt.Builder
+	if sess != nil {
+		// Begin before the fault-injection point: a contained panic below
+		// must leave the session marked in-flight so its next Begin
+		// rebuilds the (possibly corrupted) warm state.
+		sess.Begin()
+		b = sess.Builder()
+	} else {
+		b = smt.NewBuilder()
+	}
+	// The fused design's memory figure is the peak per-candidate working
+	// set: with a warm session the builder persists, so the candidate's
+	// own footprint is the growth it causes, not the accumulated cache.
+	bytesBefore := b.EstimatedBytes()
 	if faultinject.Enabled() {
 		unit := UnitLabel(c)
 		faultinject.Fire("panic.check", unit)
@@ -229,9 +289,9 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 	}
 	ctx, cancel := e.Cfg.candidateCtx(parent)
 	defer cancel()
-	b := smt.NewBuilder()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
+	opts.Session = sess
 	opts.Constraints = c.Constraints(0)
 	opts.Absint = e.Absint(g)
 	if e.NoSimplify {
@@ -254,6 +314,9 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 		DecidedByZone:   r.DecidedByZone,
 		Simplified:      r.Simplified,
 		PrunedGuards:    r.PrunedGuards,
+		CacheHits:       r.CacheHits,
+		CacheVars:       r.CacheVars,
+		ReusedClauses:   r.ReusedClauses,
 		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
 		Tier: tierOf(r.Status, r.DecidedByAbsint, r.DecidedByStride, r.DecidedByZone),
 	}
@@ -273,10 +336,15 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 		}
 	}
 	e.mu.Lock()
-	if b.EstimatedBytes() > e.peak {
-		e.peak = b.EstimatedBytes()
+	if d := b.EstimatedBytes() - bytesBefore; d > e.peak {
+		e.peak = d
 	}
 	e.mu.Unlock()
+	if sess != nil {
+		// Deliberately not deferred: a contained panic above must skip
+		// Finish so the poisoning stays observable.
+		sess.Finish()
+	}
 	return v
 }
 
@@ -339,8 +407,16 @@ type Pinpoint struct {
 	// the per-candidate slicing with a running solve, faithfully to the
 	// design's memory behaviour.
 	Parallel int
+	// NoSession disables the warm incremental solver session, rebuilding
+	// the solving stack per query — the `-session=off` ablation.
+	NoSession bool
 	// cache is the shared term store standing in for the summary cache.
 	cache *smt.Builder
+	// warm is the incremental session over cache. A single session, not a
+	// pool: every candidate already serializes on mu. KeepBuilder pins
+	// cache across session resets — swapping it would orphan the
+	// summaries whose retention Figure 1(c) measures.
+	warm *solver.Session
 	// mu guards cache across concurrent candidates.
 	mu sync.Mutex
 	// QEBudget bounds projection in the QE variant.
@@ -377,7 +453,10 @@ func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candi
 		r, size := e.checkOne(ctx, g, c)
 		v := Verdict{
 			Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
-			SolveTime: time.Since(t0), ConditionSize: size,
+			CacheHits:     r.CacheHits,
+			CacheVars:     r.CacheVars,
+			ReusedClauses: r.ReusedClauses,
+			SolveTime:     time.Since(t0), ConditionSize: size,
 			Tier: tierOf(r.Status, false, false, false),
 		}
 		if r.Status == sat.Unknown && r.Exhausted {
@@ -387,6 +466,29 @@ func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candi
 	})
 	attachFailures(vs, fails, cands)
 	return vs
+}
+
+// session returns the warm stack over the summary cache, building it on
+// first use. Callers must hold mu. Nil under the -session=off ablation.
+func (e *Pinpoint) session() *solver.Session {
+	if e.NoSession {
+		return nil
+	}
+	if e.warm == nil {
+		e.warm = solver.NewSessionWith(e.cache, solver.SessionConfig{KeepBuilder: true})
+	}
+	return e.warm
+}
+
+// SessionStats exposes the warm session's cumulative counters for
+// reporting (zeroes when disabled or unused).
+func (e *Pinpoint) SessionStats() (queries, cacheHits, evictions, resets int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.warm == nil {
+		return
+	}
+	return e.warm.Queries, e.warm.CacheHits, e.warm.Evictions, e.warm.Resets
 }
 
 func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate) (solver.Result, int) {
@@ -405,29 +507,49 @@ func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candi
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b := e.cache
+	sess := e.session()
+	if sess != nil {
+		sess.Begin()
+	}
+	// solve routes every query of this candidate — final solves and the
+	// variants' internal ones alike — through the warm session when on.
+	solve := func(q *smt.Term, o solver.Options) solver.Result {
+		if sess != nil {
+			return sess.Solve(q, o)
+		}
+		return solver.Solve(b, q, o)
+	}
 
 	var r solver.Result
 	var size int
 	if e.Variant == AR {
-		r, size = e.checkRefined(b, sl, opts)
+		r, size = e.checkRefined(b, sl, opts, solve)
 	} else {
 		tr := cond.Translate(b, sl)
 		phi := tr.Phi
 		switch e.Variant {
 		case QE:
-			phi = e.eliminate(ctx, b, phi, sl)
+			phi = e.eliminate(ctx, b, phi, sl, solve)
 		case LFS:
 			phi = smt.SimplifyLocal(b, phi)
 		case HFS:
 			cs := &smt.ContextSimplifier{
 				Solve: func(bb *smt.Builder, q *smt.Term) (bool, bool) {
-					return solver.Decide(bb, q, opts)
+					r := solve(q, opts)
+					switch r.Status {
+					case sat.Sat:
+						return true, false
+					case sat.Unsat:
+						return false, false
+					default:
+						return false, true
+					}
 				},
 				MaxQueries: 32,
 			}
 			phi = cs.Simplify(b, phi)
 		}
-		r = solver.Solve(b, phi, opts)
+		r = solve(phi, opts)
 		size = r.SizeBefore
 	}
 	// The per-candidate deadline firing (parent still alive) counts as
@@ -435,6 +557,11 @@ func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candi
 	if r.Status == sat.Unknown && !r.Exhausted &&
 		ctx.Err() != nil && parent.Err() == nil {
 		r.Exhausted = true
+	}
+	if sess != nil {
+		// Not deferred: a contained panic must leave the session marked
+		// in-flight so the next candidate rebuilds the warm state.
+		sess.Finish()
 	}
 	return r, size
 }
@@ -444,7 +571,7 @@ func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candi
 // bit-vectors blows up; on budget exhaustion the original condition is
 // solved instead (the time and memory have already been spent, which is
 // the point the evaluation makes).
-func (e *Pinpoint) eliminate(ctx context.Context, b *smt.Builder, phi *smt.Term, sl *pdg.Slice) *smt.Term {
+func (e *Pinpoint) eliminate(ctx context.Context, b *smt.Builder, phi *smt.Term, sl *pdg.Slice, solve func(*smt.Term, solver.Options) solver.Result) *smt.Term {
 	roots := map[string]bool{}
 	for _, f := range sl.Roots() {
 		roots[f.Name+"."] = true
@@ -474,7 +601,7 @@ func (e *Pinpoint) eliminate(ctx context.Context, b *smt.Builder, phi *smt.Term,
 	res, err := smt.Eliminate(b, phi, drop, smt.QEOptions{
 		MaxCubes: budget,
 		Solve: func(bb *smt.Builder, q *smt.Term) (sat.Status, smt.Assignment) {
-			r := solver.Solve(bb, q, opts)
+			r := solve(q, opts)
 			return r.Status, r.Model
 		},
 	})
@@ -488,11 +615,11 @@ func (e *Pinpoint) eliminate(ctx context.Context, b *smt.Builder, phi *smt.Term,
 // truncated at increasing context depths, stopping early on unsat (the
 // truncation over-approximates) and refining on sat until nothing was
 // truncated.
-func (e *Pinpoint) checkRefined(b *smt.Builder, sl *pdg.Slice, opts solver.Options) (solver.Result, int) {
+func (e *Pinpoint) checkRefined(b *smt.Builder, sl *pdg.Slice, opts solver.Options, solve func(*smt.Term, solver.Options) solver.Result) (solver.Result, int) {
 	size := 0
 	for depth := 1; ; depth++ {
 		tr := cond.TranslateDepth(b, sl, depth)
-		r := solver.Solve(b, tr.Phi, opts)
+		r := solve(tr.Phi, opts)
 		size = r.SizeBefore
 		if r.Status == sat.Unsat || r.Status == sat.Unknown || !tr.Truncated {
 			return r, size
@@ -644,6 +771,17 @@ func SetParallel(e Engine, workers int) {
 		x.Parallel = workers
 	case *Infer:
 		x.Parallel = workers
+	}
+}
+
+// SetNoSession configures the warm-session ablation (-session=off) on
+// engines that solve; other engines are left unchanged.
+func SetNoSession(e Engine, off bool) {
+	switch x := e.(type) {
+	case *Fusion:
+		x.NoSession = off
+	case *Pinpoint:
+		x.NoSession = off
 	}
 }
 

@@ -1,0 +1,96 @@
+package engines
+
+import (
+	"context"
+	"testing"
+
+	"fusion/internal/faultinject"
+	"fusion/internal/sat"
+)
+
+// TestSessionPoisonedByInjectedPanic arms a forced panic for the first
+// candidate's check and runs sequentially, so every candidate shares ONE
+// warm session: the panic must poison only that session — the next Begin
+// takes the Reset path — and the surviving candidates' verdicts must match
+// a session-free engine exactly.
+func TestSessionPoisonedByInjectedPanic(t *testing.T) {
+	g := resGraph(t, resMixedSrc)
+	cands := resCands(t, g, 2)
+	target := UnitLabel(cands[0])
+
+	mk := map[string]func(off bool) Engine{
+		"fusion":   func(off bool) Engine { e := NewFusion(); e.NoSession = off; return e },
+		"pinpoint": func(off bool) Engine { e := NewPinpoint(Plain); e.NoSession = off; return e },
+	}
+	for name, fresh := range mk {
+		// The one-shot oracle, unfaulted: the healthy verdicts.
+		cold := fresh(true)
+		SetParallel(cold, 1)
+		want := cold.Check(context.Background(), g, cands)
+
+		if err := faultinject.ArmSpec("panic.check:" + target); err != nil {
+			t.Fatal(err)
+		}
+		warm := fresh(false)
+		SetParallel(warm, 1)
+		vs := warm.Check(context.Background(), g, cands)
+		faultinject.Reset()
+
+		if len(vs) != len(cands) {
+			t.Fatalf("%s: %d verdicts for %d candidates", name, len(vs), len(cands))
+		}
+		if vs[0].Failure == nil || vs[0].Status != sat.Unknown {
+			t.Fatalf("%s: armed panic not contained in slot 0: %+v", name, vs[0])
+		}
+		for i := 1; i < len(vs); i++ {
+			if vs[i].Failure != nil {
+				t.Fatalf("%s: panic leaked into slot %d: %v", name, i, vs[i].Failure)
+			}
+			if vs[i].Status != want[i].Status || vs[i].Tier != want[i].Tier {
+				t.Errorf("%s: slot %d verdict differs after a poisoned session: warm (%v, %s), cold (%v, %s)",
+					name, i, vs[i].Status, vs[i].Tier, want[i].Status, want[i].Tier)
+			}
+		}
+		// Fusion fires the injected panic after Session.Begin, so the
+		// session is mid-query when it unwinds: the next candidate's Begin
+		// must detect the poisoned state and reset. Pinpoint fires before
+		// the session is entered, so it has nothing in flight to poison.
+		if name == "fusion" {
+			queries, _, _, resets := warm.(*Fusion).SessionStats()
+			if resets == 0 {
+				t.Errorf("fusion: poisoned session never took the Reset path")
+			}
+			if queries == 0 {
+				t.Errorf("fusion: surviving candidate never used the warm session")
+			}
+		}
+	}
+}
+
+// TestSessionVerdictsAgreeAcrossWorkers checks the determinism contract the
+// per-worker session pool relies on: which candidates share a session
+// depends on the worker count, so the verdicts (and tiers) must be
+// identical at workers 1 and 8, with sessions on and off.
+func TestSessionVerdictsAgreeAcrossWorkers(t *testing.T) {
+	g := resGraph(t, resMixedSrc)
+	cands := resCands(t, g, 2)
+	for _, off := range []bool{false, true} {
+		var base []Verdict
+		for _, workers := range []int{1, 8} {
+			e := NewFusion()
+			e.NoSession = off
+			e.Parallel = workers
+			vs := e.Check(context.Background(), g, cands)
+			if base == nil {
+				base = vs
+				continue
+			}
+			for i := range vs {
+				if vs[i].Status != base[i].Status || vs[i].Tier != base[i].Tier {
+					t.Errorf("session=%v: slot %d differs across worker counts: (%v, %s) vs (%v, %s)",
+						!off, i, vs[i].Status, vs[i].Tier, base[i].Status, base[i].Tier)
+				}
+			}
+		}
+	}
+}

@@ -34,6 +34,12 @@ type Options struct {
 	// Solver configures the final standalone solve on the residual
 	// formula.
 	Solver solver.Options
+	// Session, when set, routes the final residual solve through a warm
+	// incremental session — learned clauses and Tseitin encodings carry
+	// over from the caller's earlier queries — instead of the one-shot
+	// stack. The builder passed to Solve must be the session's own
+	// (Session.Builder()), since encodings key on hash-consed identity.
+	Session *solver.Session
 	// InlineThreshold is the maximum DAG size of a closed return form that
 	// may be propagated across call edges (quick path). Zero means 64.
 	InlineThreshold int
@@ -189,10 +195,19 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 		}
 	}
 
+	// solveFinal dispatches the residual to the warm session when one is
+	// attached, and to the one-shot stack otherwise (the ablation oracle).
+	solveFinal := func(phi *smt.Term) solver.Result {
+		if opts.Session != nil {
+			return opts.Session.Solve(phi, opts.Solver)
+		}
+		return solver.Solve(b, phi, opts.Solver)
+	}
+
 	if opts.Unoptimized {
 		// Algorithm 4: eager translation, then the conventional solver.
 		tr := cond.Translate(b, sl)
-		res.Result = solver.Solve(b, tr.Phi, opts.Solver)
+		res.Result = solveFinal(tr.Phi)
 		res.Clones = tr.Clones
 		return res
 	}
@@ -202,6 +217,7 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 	// execution probing decides very effectively — value propagation on
 	// the dependence graph, in the spirit of §2's quick-path propagation.
 	// The raw residual is delayed-cloning sized, so this is cheap.
+	var graphProbeTime time.Duration
 	if !opts.DisableGraphProbe && !opts.Solver.NoProbe && rawProbeAffordable(sl) {
 		rawOpts := opts
 		rawOpts.DisableLocalPreprocess = true
@@ -209,9 +225,13 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 		// conjuncts only slow the concrete execution down.
 		rawOpts.Absint = nil
 		rawSt := buildResidual(b, g, sl, rawOpts)
-		if _, ok := solver.Probe(rawSt.phi, 32); ok {
+		t0 := time.Now()
+		_, ok := solver.Probe(rawSt.phi, 32)
+		graphProbeTime = time.Since(t0)
+		if ok {
 			res.Status = sat.Sat
 			res.DecidedByProbe = true
+			res.ProbeTime = graphProbeTime
 			res.Phi = rawSt.phi
 			res.Clones = len(rawSt.st.emitted)
 			return res
@@ -234,7 +254,8 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 		res.QuickPaths = r.st.quickUses
 		return res
 	}
-	res.Result = solver.Solve(b, r.phi, opts.Solver)
+	res.Result = solveFinal(r.phi)
+	res.ProbeTime += graphProbeTime
 	res.Clones = len(r.st.emitted)
 	res.QuickPaths = r.st.quickUses
 	return res

@@ -1,0 +1,357 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSolveAssumingSatAndFlip(t *testing.T) {
+	// (x1 | x2) & (!x1 | !x2): exactly one of x1,x2. The same solver must
+	// answer both phases of x1 without being rebuilt.
+	s := newSolverWithVars(2)
+	s.AddClause(lits(s, 1, 2)...)
+	s.AddClause(lits(s, -1, -2)...)
+
+	st, err := s.SolveAssuming(lits(s, 1))
+	if err != nil || st != Sat {
+		t.Fatalf("assume x1: got (%s, %v), want sat", st, err)
+	}
+	if !s.ValueOf(0) || s.ValueOf(1) {
+		t.Fatalf("assume x1: model (x1=%v, x2=%v), want (true, false)",
+			s.ValueOf(0), s.ValueOf(1))
+	}
+
+	st, err = s.SolveAssuming(lits(s, -1))
+	if err != nil || st != Sat {
+		t.Fatalf("assume !x1: got (%s, %v), want sat", st, err)
+	}
+	if s.ValueOf(0) || !s.ValueOf(1) {
+		t.Fatalf("assume !x1: model (x1=%v, x2=%v), want (false, true)",
+			s.ValueOf(0), s.ValueOf(1))
+	}
+}
+
+func TestSolveAssumingUnsatKeepsSolverUsable(t *testing.T) {
+	// x1 -> x2, assume x1 & !x2: unsat under assumptions, but the formula
+	// itself stays satisfiable and the solver must stay usable.
+	s := newSolverWithVars(2)
+	s.AddClause(lits(s, -1, 2)...)
+
+	st, err := s.SolveAssuming(lits(s, 1, -2))
+	if err != nil || st != Unsat {
+		t.Fatalf("got (%s, %v), want unsat", st, err)
+	}
+	if !s.Okay() {
+		t.Fatal("assumption-level unsat must not poison the solver")
+	}
+	st, err = s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("after assumption unsat: got (%s, %v), want sat", st, err)
+	}
+}
+
+// finalConflictVars collects the variables named in the final conflict.
+func finalConflictVars(s *Solver) map[int]bool {
+	vs := map[int]bool{}
+	for _, l := range s.FinalConflict() {
+		vs[l.Var()] = true
+	}
+	return vs
+}
+
+func TestFinalConflictIsACore(t *testing.T) {
+	// Chain x1 -> x2 -> x3; assumptions {x1, x4, !x3}. Only x1 and !x3
+	// participate in the contradiction — x4 is irrelevant and must not
+	// appear in the final conflict.
+	s := newSolverWithVars(4)
+	s.AddClause(lits(s, -1, 2)...)
+	s.AddClause(lits(s, -2, 3)...)
+
+	st, err := s.SolveAssuming(lits(s, 1, 4, -3))
+	if err != nil || st != Unsat {
+		t.Fatalf("got (%s, %v), want unsat", st, err)
+	}
+	core := s.FinalConflict()
+	if len(core) == 0 {
+		t.Fatal("empty final conflict for assumption-level unsat")
+	}
+	vars := finalConflictVars(s)
+	if vars[3] {
+		t.Fatalf("irrelevant assumption x4 in final conflict %v", core)
+	}
+	// Every conflict literal must be one of the passed assumptions.
+	allowed := map[Lit]bool{}
+	for _, l := range lits(s, 1, 4, -3) {
+		allowed[l] = true
+	}
+	for _, l := range core {
+		if !allowed[l] {
+			t.Fatalf("final conflict literal %v is not an assumption", l)
+		}
+	}
+	// Core property: re-solving under just the blamed assumptions is
+	// still unsat.
+	st, err = s.SolveAssuming(core)
+	if err != nil || st != Unsat {
+		t.Fatalf("final conflict is not a core: got (%s, %v)", st, err)
+	}
+}
+
+func TestFinalConflictContradictoryAssumptions(t *testing.T) {
+	s := newSolverWithVars(2)
+	s.AddClause(lits(s, 1, 2)...)
+
+	st, err := s.SolveAssuming(lits(s, 1, -1))
+	if err != nil || st != Unsat {
+		t.Fatalf("got (%s, %v), want unsat", st, err)
+	}
+	vars := finalConflictVars(s)
+	if !vars[0] || len(vars) != 1 {
+		t.Fatalf("conflict for {x1, !x1} must blame exactly x1, got %v",
+			s.FinalConflict())
+	}
+}
+
+func TestFinalConflictRootForced(t *testing.T) {
+	// x1 is a unit clause; assuming !x1 fails against the database alone,
+	// so the final conflict is just the failing assumption.
+	s := newSolverWithVars(1)
+	s.AddClause(lits(s, 1)...)
+
+	st, err := s.SolveAssuming(lits(s, -1))
+	if err != nil || st != Unsat {
+		t.Fatalf("got (%s, %v), want unsat", st, err)
+	}
+	if got := s.FinalConflict(); len(got) != 1 || got[0] != lits(s, -1)[0] {
+		t.Fatalf("got final conflict %v, want [!x1]", got)
+	}
+}
+
+func TestActivationLiteralPattern(t *testing.T) {
+	// The session layer guards each query root r with a clause (!act | r).
+	// Assuming act forces the root; dropping the assumption retires the
+	// query without deleting anything.
+	s := newSolverWithVars(3) // x1 = act, x2, x3
+	s.AddClause(lits(s, -1, 2)...)
+	s.AddClause(lits(s, -2, -3)...)
+	s.AddClause(lits(s, 3)...)
+
+	st, err := s.SolveAssuming(lits(s, 1))
+	if err != nil || st != Unsat {
+		t.Fatalf("active query: got (%s, %v), want unsat", st, err)
+	}
+	// Retired: the guard clause must not constrain anything.
+	st, err = s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("retired query: got (%s, %v), want sat", st, err)
+	}
+	if s.ValueOf(0) {
+		t.Fatal("solver should deactivate the retired guard")
+	}
+}
+
+func TestLearnedClausesRetainedAcrossCalls(t *testing.T) {
+	// A hard-but-satisfiable instance solved twice: the second call starts
+	// from the first call's learned clauses (NumLearnts carries over) and
+	// must not repeat the full search.
+	nv, cls := pigeonhole(6)
+	s := newSolverWithVars(nv + 1) // one extra free selector variable
+	for _, c := range cls {
+		s.AddClause(lits(s, c...)...)
+	}
+	sel := MkLit(nv, false)
+	before := s.Conflicts
+	st, err := s.SolveAssuming([]Lit{sel})
+	if err != nil || st != Unsat {
+		t.Fatalf("first solve: got (%s, %v), want unsat", st, err)
+	}
+	firstConflicts := s.Conflicts - before
+	if s.Okay() && s.NumLearnts() == 0 {
+		t.Fatal("hard refutation produced no learned clauses")
+	}
+	before = s.Conflicts
+	st, err = s.SolveAssuming([]Lit{sel})
+	if err != nil || st != Unsat {
+		t.Fatalf("second solve: got (%s, %v), want unsat", st, err)
+	}
+	secondConflicts := s.Conflicts - before
+	if secondConflicts > firstConflicts {
+		t.Fatalf("no reuse across calls: first %d conflicts, second %d",
+			firstConflicts, secondConflicts)
+	}
+}
+
+func TestMaxConflictsIsPerCall(t *testing.T) {
+	// MaxConflicts budgets each SolveAssuming call independently: a second
+	// call gets a fresh allowance rather than inheriting spent conflicts.
+	nv, cls := pigeonhole(8)
+	s := newSolverWithVars(nv)
+	for _, c := range cls {
+		s.AddClause(lits(s, c...)...)
+	}
+	s.MaxConflicts = 10
+	for call := 0; call < 3; call++ {
+		before := s.Conflicts
+		_, err := s.Solve()
+		if err != ErrBudget {
+			t.Fatalf("call %d: got err %v, want ErrBudget", call, err)
+		}
+		spent := s.Conflicts - before
+		if spent < s.MaxConflicts || spent > s.MaxConflicts+1 {
+			t.Fatalf("call %d: spent %d conflicts against a budget of %d",
+				call, spent, s.MaxConflicts)
+		}
+	}
+}
+
+func TestDeadlineSurvivesMultipleCalls(t *testing.T) {
+	// An expired Deadline set once keeps bounding later calls too.
+	nv, cls := pigeonhole(9)
+	s := newSolverWithVars(nv)
+	for _, c := range cls {
+		s.AddClause(lits(s, c...)...)
+	}
+	s.Deadline = time.Now().Add(5 * time.Millisecond)
+	for call := 0; call < 2; call++ {
+		start := time.Now()
+		_, err := s.Solve()
+		if err == nil {
+			return // solved within the window; nothing to assert
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("call %d: deadline not honored: ran %v", call, elapsed)
+		}
+	}
+}
+
+func TestPhaseSavingCarryOver(t *testing.T) {
+	// After a Sat call, an unconstrained re-solve keeps the saved phases:
+	// the second model equals the first.
+	cls := [][]int{{1, 2, 3}, {-1, -2}, {-2, -3}, {-1, -3}, {4, 5}, {-4, -5}}
+	s := newSolverWithVars(5)
+	for _, c := range cls {
+		s.AddClause(lits(s, c...)...)
+	}
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("first solve: got (%s, %v), want sat", st, err)
+	}
+	first := make([]bool, s.NumVars())
+	for v := range first {
+		first[v] = s.ValueOf(v)
+	}
+	st, err = s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("second solve: got (%s, %v), want sat", st, err)
+	}
+	for v := range first {
+		if s.ValueOf(v) != first[v] {
+			t.Fatalf("phase saving lost: var %d flipped %v -> %v",
+				v, first[v], s.ValueOf(v))
+		}
+	}
+}
+
+func TestAddClauseAfterSatAutoBacktracks(t *testing.T) {
+	// Growing the instance after a Sat result must work without an explicit
+	// Backtrack: AddClause releases the model and the next solve respects
+	// the new clause.
+	s := newSolverWithVars(2)
+	s.AddClause(lits(s, 1, 2)...)
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("got (%s, %v), want sat", st, err)
+	}
+	blocked := []Lit{}
+	for v := 0; v < 2; v++ {
+		blocked = append(blocked, MkLit(v, s.ValueOf(v)))
+	}
+	s.AddClause(blocked...) // block the current model
+	st, err = s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("after blocking clause: got (%s, %v), want sat", st, err)
+	}
+	same := true
+	for v := 0; v < 2; v++ {
+		if s.ValueOf(v) != !blocked[v].Neg() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("blocked model returned again")
+	}
+}
+
+// TestAssumingDifferentialRandom cross-checks warm assumption solving
+// against a cold solver that gets the assumptions as unit clauses.
+func TestAssumingDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 4 + rng.Intn(8)
+		nClauses := 3 + rng.Intn(4*nVars)
+		var cls [][]int
+		for i := 0; i < nClauses; i++ {
+			var c []int
+			for j := 0; j < 3; j++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			cls = append(cls, c)
+		}
+		warm := newSolverWithVars(nVars)
+		for _, c := range cls {
+			warm.AddClause(lits(warm, c...)...)
+		}
+		// Several assumption sets against the same warm solver.
+		for q := 0; q < 5; q++ {
+			var assumps []int
+			used := map[int]bool{}
+			for len(assumps) < 1+rng.Intn(3) {
+				v := 1 + rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				assumps = append(assumps, v)
+			}
+			warmSt, err := warm.SolveAssuming(lits(warm, assumps...))
+			if err != nil {
+				t.Fatalf("iter %d q %d: warm err %v", iter, q, err)
+			}
+			cold := newSolverWithVars(nVars)
+			for _, c := range cls {
+				cold.AddClause(lits(cold, c...)...)
+			}
+			for _, a := range assumps {
+				cold.AddClause(lits(cold, a)...)
+			}
+			coldSt, err := cold.Solve()
+			if err != nil {
+				t.Fatalf("iter %d q %d: cold err %v", iter, q, err)
+			}
+			if warmSt != coldSt {
+				t.Fatalf("iter %d q %d: warm %s != cold %s\nclauses %v assumps %v",
+					iter, q, warmSt, coldSt, cls, assumps)
+			}
+			if warmSt == Sat {
+				checkModel(t, warm, cls)
+				for _, a := range assumps {
+					v := a
+					if v < 0 {
+						v = -v
+					}
+					if warm.ValueOf(v-1) != (a > 0) {
+						t.Fatalf("iter %d q %d: assumption %d not honored", iter, q, a)
+					}
+				}
+			}
+		}
+	}
+}

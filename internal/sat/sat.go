@@ -122,6 +122,14 @@ type Solver struct {
 	toClear []int
 
 	decisionsAtStart int64
+
+	// assumptions are the pseudo-decisions of the current SolveAssuming
+	// call, placed one per decision level below every real decision.
+	assumptions []Lit
+	// conflictLits is the final conflict of the last assumption-based
+	// solve: the subset of assumptions whose conjunction is already
+	// unsatisfiable under the clause database (see FinalConflict).
+	conflictLits []Lit
 }
 
 // New returns an empty solver.
@@ -133,6 +141,18 @@ func New() *Solver {
 
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem (non-learned) clauses attached.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learned clauses currently retained.
+// Across SolveAssuming calls the learned database persists, so this is the
+// cross-query reuse a warm session carries into its next solve.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Okay reports that no top-level (assumption-independent) contradiction has
+// been derived; once false, every future solve is Unsat.
+func (s *Solver) Okay() bool { return s.ok }
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -163,12 +183,19 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
 // AddClause adds a clause over the given literals. It returns false if the
 // formula became trivially unsatisfiable.
+//
+// Clauses may be added between solves on the same instance: the trail is
+// first backtracked to the root level, which invalidates any model left by
+// a previous Sat verdict (read it with ValueOf before adding more clauses).
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
 	if s.decisionLevel() != 0 {
-		panic("sat: AddClause after solving started")
+		// A previous solve left its (pseudo-)decisions on the trail;
+		// release them so the clause simplifies against root-level facts
+		// only and unit propagation runs at the root.
+		s.cancelUntil(0)
 	}
 	// Normalize: drop duplicate and false literals, detect tautologies.
 	var out []Lit
@@ -470,12 +497,41 @@ func (s *Solver) detach(c *clause) {
 
 // Solve runs the CDCL search and returns Sat, Unsat, or an error when the
 // budget is exhausted.
-func (s *Solver) Solve() (Status, error) {
+func (s *Solver) Solve() (Status, error) { return s.SolveAssuming(nil) }
+
+// SolveAssuming runs the CDCL search under the given assumption literals,
+// placed as pseudo-decisions below every real decision. It returns Sat when
+// the formula is satisfiable with every assumption true, Unsat when it is
+// not (FinalConflict then reports which assumptions are to blame — the
+// solver itself stays usable, unlike a root-level contradiction), and an
+// error when the budget is exhausted.
+//
+// Everything learned is retained across calls: learned clauses (which are
+// consequences of the clause database alone, never of the assumptions),
+// variable activity, and saved phases. Budgets are charged per call:
+// MaxConflicts and MaxDecisions count from the call's start, and Deadline
+// and Ctx are read as configured at call time. After a Sat verdict the
+// trail is left in place so ValueOf can read the model; the next
+// SolveAssuming (or AddClause) releases it.
+func (s *Solver) SolveAssuming(assumps []Lit) (Status, error) {
 	if !s.ok {
 		return Unsat, nil
 	}
 	if s.Ctx != nil && s.Ctx.Err() != nil {
 		return Unknown, ErrBudget
+	}
+	s.cancelUntil(0) // release the previous call's model and assumptions
+	for _, l := range assumps {
+		if l.Var() >= s.NumVars() {
+			panic("sat: assumption over unallocated variable")
+		}
+	}
+	s.assumptions = append(s.assumptions[:0], assumps...)
+	s.conflictLits = s.conflictLits[:0]
+	// Clauses added since the last solve may have pending root-level units.
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat, nil
 	}
 	restartIdx := int64(1)
 	conflictsAtStart := s.Conflicts
@@ -489,6 +545,18 @@ func (s *Solver) Solve() (Status, error) {
 		}
 	}
 }
+
+// FinalConflict returns the final conflict of the last SolveAssuming call
+// that returned Unsat: a subset of the assumptions whose conjunction is
+// already unsatisfiable under the clause database. It is empty when the
+// contradiction is assumption-independent (the formula itself is Unsat).
+// The slice is owned by the solver and valid until the next solve.
+func (s *Solver) FinalConflict() []Lit { return s.conflictLits }
+
+// Backtrack releases every (pseudo-)decision, returning the solver to the
+// root level while keeping learned clauses, activity, and saved phases. It
+// invalidates the model of a preceding Sat verdict.
+func (s *Solver) Backtrack() { s.cancelUntil(0) }
 
 func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, error) {
 	conflictsThisRestart := int64(0)
@@ -539,17 +607,71 @@ func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, er
 				}
 			}
 		}
-		next := s.pickBranch()
+		// Place pending assumptions as pseudo-decisions, one per level, so
+		// restarts (which cancel to the root) re-place them and conflict
+		// analysis backjumps through them like ordinary decisions. They are
+		// not charged against the decision budget.
+		next := Lit(-1)
+		for next == -1 && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open an empty level so level k keeps
+				// corresponding to assumption k.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				// Contradicted by the earlier assumptions and the clause
+				// database: unsat under assumptions, not a real Unsat.
+				s.analyzeFinal(p)
+				return Unsat, nil
+			default:
+				next = p
+			}
+		}
 		if next == -1 {
-			return Sat, nil
+			next = s.pickBranch()
+			if next == -1 {
+				return Sat, nil
+			}
+			if s.MaxDecisions > 0 && s.Decisions-s.decisionsAtStart >= s.MaxDecisions {
+				return Unknown, ErrBudget
+			}
+			s.Decisions++
 		}
-		if s.MaxDecisions > 0 && s.Decisions-s.decisionsAtStart >= s.MaxDecisions {
-			return Unknown, ErrBudget
-		}
-		s.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, nil)
 	}
+}
+
+// analyzeFinal computes the final conflict for a failing assumption p
+// (whose complement is implied by the trail): the subset of assumptions
+// that, together with the clause database, force ¬p. It walks the
+// implication graph backwards from ¬p, collecting the decisions it reaches
+// — at these levels every decision is an assumption.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflictLits = append(s.conflictLits[:0], p)
+	if s.decisionLevel() == 0 {
+		return // forced at the root: assumption-independent
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			s.conflictLits = append(s.conflictLits, l)
+		} else {
+			for _, q := range s.reason[v].lits {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
 }
 
 // ValueOf returns the model value of variable v after a Sat result.

@@ -1,0 +1,313 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fusion/internal/sat"
+	"fusion/internal/smt"
+)
+
+// randFormula builds a random formula over nv 8-bit variables in b.
+func randFormula(b *smt.Builder, rng *rand.Rand, nv int) *smt.Term {
+	vars := make([]*smt.Term, nv)
+	for i := range vars {
+		vars[i] = b.Var("v"+string(rune('a'+i)), 8)
+	}
+	var atom func(depth int) *smt.Term
+	atom = func(depth int) *smt.Term {
+		v := func() *smt.Term {
+			if rng.Intn(3) == 0 {
+				return b.Const(uint32(rng.Intn(256)), 8)
+			}
+			return vars[rng.Intn(nv)]
+		}
+		x, y := v(), v()
+		switch rng.Intn(6) {
+		case 0:
+			x = b.Add(x, y)
+			y = v()
+		case 1:
+			x = b.Mul(x, b.Const(uint32(1+rng.Intn(7)), 8))
+		case 2:
+			x = b.URem(x, b.Const(uint32(1+rng.Intn(9)), 8))
+		}
+		var p *smt.Term
+		switch rng.Intn(3) {
+		case 0:
+			p = b.Eq(x, y)
+		case 1:
+			p = b.Ult(x, y)
+		default:
+			p = b.Slt(x, y)
+		}
+		if depth > 0 && rng.Intn(2) == 0 {
+			q := atom(depth - 1)
+			if rng.Intn(2) == 0 {
+				return b.And(p, q)
+			}
+			return b.Or(p, q)
+		}
+		return p
+	}
+	return atom(2 + rng.Intn(2))
+}
+
+// TestSessionWarmMatchesCold is the core differential guarantee: every
+// verdict from a warm session agrees with a cold one-shot solve of the
+// same formula.
+func TestSessionWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ss := NewSession(SessionConfig{})
+	for iter := 0; iter < 120; iter++ {
+		phi := randFormula(ss.Builder(), rng, 3)
+		ss.Begin()
+		warm := ss.Solve(phi, Options{})
+		ss.Finish()
+
+		// The cold solve must see the formula through a fresh builder to
+		// prove independence from the warm builder's term history.
+		cb := smt.NewBuilder()
+		cold := Solve(cb, smt.RenameVars(cb, phi, func(n string) string { return n }), Options{})
+		if warm.Status != cold.Status {
+			t.Fatalf("iter %d: warm %s != cold %s for %s",
+				iter, warm.Status, cold.Status, phi)
+		}
+	}
+	if ss.Queries == 0 || ss.Resets != 0 {
+		t.Fatalf("session stats: queries %d resets %d", ss.Queries, ss.Resets)
+	}
+}
+
+func TestSessionCountsReuse(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	b := ss.Builder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	sum := b.Add(x, y)
+
+	// NoProbe + NoPasses force both queries into the SAT core so the
+	// encoding cache is actually exercised.
+	opts := Options{NoProbe: true, Passes: NoPasses}
+	r1 := ss.Solve(b.Eq(sum, b.Const(9, 8)), opts)
+	if r1.Status != sat.Sat || r1.CacheHits != 0 {
+		t.Fatalf("first query: status %s hits %d, want sat/0", r1.Status, r1.CacheHits)
+	}
+	r2 := ss.Solve(b.Eq(sum, b.Const(200, 8)), opts)
+	if r2.Status != sat.Sat {
+		t.Fatalf("second query: status %s, want sat", r2.Status)
+	}
+	if r2.CacheHits < 1 {
+		t.Fatalf("second query reused %d encodings, want >= 1", r2.CacheHits)
+	}
+	if r2.CacheVars <= 0 {
+		t.Fatalf("CacheVars %d, want > 0", r2.CacheVars)
+	}
+}
+
+func TestSessionRetainsLearnedClauses(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	b := ss.Builder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	// An unsatisfiable multiplication fact the probe cannot decide and
+	// preprocessing cannot fold: x*y = 251 with both factors even.
+	even := func(v *smt.Term) *smt.Term {
+		return b.Eq(b.URem(v, b.Const(2, 8)), b.Const(0, 8))
+	}
+	phi := b.And(b.And(even(x), even(y)),
+		b.Eq(b.Mul(x, y), b.Const(251, 8)))
+	opts := Options{NoProbe: true, Passes: NoPasses}
+	r1 := ss.Solve(phi, opts)
+	if r1.Status != sat.Unsat {
+		t.Fatalf("first solve: %s, want unsat", r1.Status)
+	}
+	r2 := ss.Solve(phi, opts)
+	if r2.Status != sat.Unsat {
+		t.Fatalf("second solve: %s, want unsat", r2.Status)
+	}
+	if r1.Conflicts > 0 && r2.ReusedClauses == 0 && r2.Conflicts >= r1.Conflicts {
+		t.Fatalf("no warm-state benefit: first %d conflicts, second %d with %d inherited clauses",
+			r1.Conflicts, r2.Conflicts, r2.ReusedClauses)
+	}
+}
+
+func TestSessionPoisonedByPanicResets(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	b := ss.Builder()
+	x := b.Var("x", 8)
+	phi := b.Eq(x, b.Const(1, 8))
+
+	ss.Begin()
+	r := ss.Solve(phi, Options{})
+	ss.Finish()
+	if r.Status != sat.Sat {
+		t.Fatalf("warm-up: %s, want sat", r.Status)
+	}
+
+	// A contained panic runs Begin but never Finish.
+	func() {
+		defer func() { recover() }()
+		ss.Begin()
+		_ = ss.Solve(phi, Options{})
+		panic("injected mid-unit failure")
+	}()
+
+	// The next unit must detect the poisoning, rebuild, and still answer
+	// correctly. The builder was swapped, so rebuild the formula.
+	ss.Begin()
+	b2 := ss.Builder()
+	if b2 == b {
+		t.Fatal("poisoned session kept its builder without KeepBuilder")
+	}
+	r = ss.Solve(b2.Eq(b2.Var("x", 8), b2.Const(1, 8)), Options{})
+	ss.Finish()
+	if r.Status != sat.Sat {
+		t.Fatalf("post-reset solve: %s, want sat", r.Status)
+	}
+	if ss.Resets != 1 {
+		t.Fatalf("resets %d, want 1", ss.Resets)
+	}
+}
+
+func TestSessionKeepBuilderSurvivesReset(t *testing.T) {
+	b := smt.NewBuilder()
+	ss := NewSessionWith(b, SessionConfig{KeepBuilder: true})
+	ss.Begin() // poisoned unit: no Finish
+	ss.Begin() // must reset but keep the builder
+	if ss.Builder() != b {
+		t.Fatal("KeepBuilder session swapped its builder on reset")
+	}
+	if ss.Resets != 1 {
+		t.Fatalf("resets %d, want 1", ss.Resets)
+	}
+	r := ss.Solve(b.Eq(b.Var("x", 8), b.Const(5, 8)), Options{})
+	ss.Finish()
+	if r.Status != sat.Sat {
+		t.Fatalf("post-reset solve: %s, want sat", r.Status)
+	}
+}
+
+func TestSessionEviction(t *testing.T) {
+	// A tiny MaxVars forces an eviction between queries; verdicts must be
+	// unaffected.
+	ss := NewSession(SessionConfig{MaxVars: 1})
+	b := ss.Builder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	even := func(v *smt.Term) *smt.Term {
+		return b.Eq(b.URem(v, b.Const(2, 8)), b.Const(0, 8))
+	}
+	phi := b.And(b.And(even(x), even(y)),
+		b.Eq(b.Mul(x, y), b.Const(251, 8)))
+	opts := Options{NoProbe: true, Passes: NoPasses}
+	if r := ss.Solve(phi, opts); r.Status != sat.Unsat {
+		t.Fatalf("first: %s, want unsat", r.Status)
+	}
+	if r := ss.Solve(phi, opts); r.Status != sat.Unsat {
+		t.Fatalf("second: %s, want unsat", r.Status)
+	}
+	if ss.Evictions == 0 {
+		t.Fatal("MaxVars=1 never evicted across queries")
+	}
+}
+
+func TestSessionWantModel(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	b := ss.Builder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	phi := b.And(b.Eq(b.Add(x, y), b.Const(10, 8)), b.Ult(x, b.Const(3, 8)))
+	r := ss.Solve(phi, Options{WantModel: true})
+	if r.Status != sat.Sat {
+		t.Fatalf("got %s, want sat", r.Status)
+	}
+	if got := smt.Eval(phi, r.Model); got != 1 {
+		t.Fatalf("model does not satisfy phi: eval=%d model=%v", got, r.Model)
+	}
+}
+
+func TestSessionBudgetsPerCall(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	b := ss.Builder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	z := b.Var("z", 8)
+	// Hard enough to exhaust one conflict: a multiplicative constraint mesh.
+	phi := b.And(
+		b.Eq(b.Mul(b.Mul(x, y), z), b.Const(113, 8)),
+		b.And(b.Eq(b.URem(x, b.Const(2, 8)), b.Const(0, 8)),
+			b.Ult(b.Const(7, 8), z)))
+	opts := Options{NoProbe: true, Passes: NoPasses, MaxConflicts: 1}
+	r1 := ss.Solve(phi, opts)
+	// Whatever the verdict, a second call with a generous budget must not
+	// be constrained by the first call's tiny one.
+	opts.MaxConflicts = 4_000_000
+	r2 := ss.Solve(phi, opts)
+	if r2.Status == sat.Unknown {
+		t.Fatalf("second call still budget-bound: %+v then %+v", r1, r2)
+	}
+}
+
+// TestProbeTimeAttribution (satellite): a probe-decided query reports its
+// probe cost separately and zero search stats.
+func TestProbeTimeAttribution(t *testing.T) {
+	b := smt.NewBuilder()
+	x := b.Var("x", 32)
+	phi := b.Eq(b.Add(x, b.Const(1, 32)), b.Const(5, 32))
+	r := Solve(b, phi, Options{})
+	if !r.DecidedByProbe {
+		t.Skipf("probe did not decide %s; nothing to assert", phi)
+	}
+	if r.SearchTime != 0 || r.Conflicts != 0 || r.PreprocessTime != 0 {
+		t.Fatalf("probe-decided query leaked stats: search=%v conflicts=%d preprocess=%v",
+			r.SearchTime, r.Conflicts, r.PreprocessTime)
+	}
+	if r.ProbeTime <= 0 {
+		t.Fatal("probe ran but ProbeTime is zero")
+	}
+}
+
+// TestCtxCancelledBetweenPhases (satellite): cancellation after the probe
+// must not start preprocessing.
+func TestCtxCancelledBetweenPhases(t *testing.T) {
+	b := smt.NewBuilder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	// Unsat, so the probe cannot decide it and the solve would normally
+	// proceed into preprocessing.
+	phi := b.And(b.Ult(x, y), b.Ult(y, x))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Solve(b, phi, Options{Ctx: ctx})
+	if r.Status != sat.Unknown {
+		t.Fatalf("cancelled solve returned %s, want unknown", r.Status)
+	}
+	if r.PreprocessTime != 0 || r.SizeAfter != 0 {
+		t.Fatalf("cancelled solve still preprocessed: %+v", r)
+	}
+}
+
+func TestSessionHonorsTimeout(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	b := ss.Builder()
+	// Build a genuinely hard instance: 24-bit factorization-style query.
+	x := b.Var("x", 24)
+	y := b.Var("y", 24)
+	phi := b.And(b.Eq(b.Mul(x, y), b.Const(0xB00F1, 24)),
+		b.And(b.Ult(b.Const(1, 24), x), b.Ult(b.Const(1, 24), y)))
+	opts := Options{NoProbe: true, Passes: NoPasses, Timeout: 20 * time.Millisecond}
+	start := time.Now()
+	_ = ss.Solve(phi, opts)
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("session solve ignored Timeout")
+	}
+	// The stale deadline must not bound the next query.
+	easy := b.Eq(b.Var("e", 8), b.Const(1, 8))
+	r := ss.Solve(easy, Options{NoProbe: true, Passes: NoPasses})
+	if r.Status != sat.Sat {
+		t.Fatalf("query after timeout-bounded one: %s, want sat", r.Status)
+	}
+}

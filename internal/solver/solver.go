@@ -59,9 +59,20 @@ type Result struct {
 	// SizeBefore and SizeAfter are the formula DAG sizes around
 	// preprocessing.
 	SizeBefore, SizeAfter int
-	PreprocessTime        time.Duration
-	SearchTime            time.Duration
-	Conflicts             int64
+	// ProbeTime is the cost of the concrete-execution probe, reported
+	// separately so a probe-decided query no longer hides its price in
+	// (or zeroes out) the search accounting.
+	ProbeTime      time.Duration
+	PreprocessTime time.Duration
+	SearchTime     time.Duration
+	Conflicts      int64
+	// CacheHits, CacheVars, and ReusedClauses report warm-session
+	// amortization: term encodings reused from earlier queries, the size
+	// of the retained SAT variable map, and the learned clauses this query
+	// inherited. All zero on the one-shot path.
+	CacheHits     int64
+	CacheVars     int
+	ReusedClauses int64
 	// Exhausted reports that the search hit its own resource budget
 	// (conflicts, decisions, or deadline) rather than being cancelled
 	// from outside. Callers use it to fall back to cheaper tiers: a
@@ -106,12 +117,18 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 	// for preprocessing or bit-blasting. Probing never misclassifies: a
 	// model is verified by evaluation.
 	if !opts.NoProbe && !phi.IsConst() {
-		if m, ok := Probe(phi, 32); ok {
+		t0 := time.Now()
+		m, ok := Probe(phi, 32)
+		res.ProbeTime = time.Since(t0)
+		if ok {
 			res.Status = sat.Sat
 			res.DecidedByProbe = true
 			res.Model = m
 			return res
 		}
+	}
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return res // cancelled between probe and preprocessing
 	}
 	passes := opts.Passes
 	if passes == nil {
