@@ -7,7 +7,8 @@
 //	       [-absint on|nostride|nosimplify|intervals|off] [-session on|off]
 //	       [-workers N] [-timeout D] [-no-prelude]
 //	       [-fail-fast] [-budget-steps N] [-budget-conflicts N]
-//	       [-budget-deadline D] [-budget-heap N] file.fl
+//	       [-budget-deadline D] [-budget-heap N]
+//	       [-retries N] [-watchdog-grace D] file.fl
 //
 // Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
 // pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
@@ -53,6 +54,8 @@ func main() {
 	budgetConflicts := flag.Int64("budget-conflicts", 0, "per-candidate SAT conflict budget (0 = unbounded)")
 	budgetDeadline := flag.Duration("budget-deadline", 0, "per-candidate wall-clock budget (0 = none)")
 	budgetHeap := flag.Int64("budget-heap", 0, "per-candidate formula-construction byte budget (0 = unbounded)")
+	retries := flag.Int("retries", 0, "re-run a candidate whose attempt crashed or was abandoned up to N times, escalating from the warm session to a fresh cold session to a one-shot solve (0 = single attempt)")
+	watchdogGrace := flag.Duration("watchdog-grace", 0, "hard-abandon a candidate whose solver heartbeat stays flat this long at or past its deadline (0 = watchdog off)")
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "fusion:", err)
@@ -79,6 +82,7 @@ func main() {
 		noSession: *session == "off",
 		workers:   *workers, timeout: *timeout,
 		failFast: *failFast,
+		retries:  *retries, watchdogGrace: *watchdogGrace,
 		budget: engines.Budget{
 			Steps: *budgetSteps, Conflicts: *budgetConflicts,
 			Deadline: *budgetDeadline, MaxHeapDelta: *budgetHeap,
@@ -100,35 +104,41 @@ func main() {
 }
 
 type config struct {
-	path      string
-	checker   string
-	engine    string
-	prelude   bool
-	showPaths bool
-	joint     bool
-	enum      string
-	dot       bool
-	absint    driver.AbsintMode
-	noSession bool
-	workers   int
-	timeout   time.Duration
-	failFast  bool
-	budget    engines.Budget
-	out       interface{ Write([]byte) (int, error) }
+	path          string
+	checker       string
+	engine        string
+	prelude       bool
+	showPaths     bool
+	joint         bool
+	enum          string
+	dot           bool
+	absint        driver.AbsintMode
+	noSession     bool
+	workers       int
+	timeout       time.Duration
+	failFast      bool
+	retries       int
+	watchdogGrace time.Duration
+	budget        engines.Budget
+	out           interface{ Write([]byte) (int, error) }
 }
 
 // outcome is what a completed (even impaired) run reports.
 type outcome struct {
-	findings int
-	degraded int
-	failures []*failure.UnitFailure
+	findings  int
+	degraded  int
+	abandoned int
+	recovered int
+	failures  []*failure.UnitFailure
 }
 
 // exitCode maps the run outcome to the documented exit status: impaired
-// runs trump findings, findings trump a clean pass.
+// runs trump findings, findings trump a clean pass. A candidate the
+// retry ladder recovered is not an impairment; one the watchdog
+// abandoned for good is.
 func (o outcome) exitCode() int {
 	switch {
-	case len(o.failures) > 0 || o.degraded > 0:
+	case len(o.failures) > 0 || o.degraded > 0 || o.abandoned > 0:
 		return 2
 	case o.findings > 0:
 		return 1
@@ -202,6 +212,7 @@ func run(cfg config) (outcome, error) {
 	engines.SetParallel(eng, cfg.workers)
 	engines.SetBudget(eng, cfg.budget)
 	engines.SetNoSession(eng, cfg.noSession)
+	engines.SetSupervision(eng, cfg.retries, cfg.watchdogGrace)
 	// The abstract tier applies to the fused engine: it refutes queries
 	// before any formula is built, and its invariants prune provably-safe
 	// candidates during DFS enumeration. The analysis is computed once on
@@ -253,9 +264,20 @@ specs:
 				byZone++
 			}
 			simplified += v.Simplified
+			if v.Attempts > 1 && v.Failure == nil && !v.Abandoned {
+				res.recovered++
+			}
 			if v.Failure != nil {
 				res.failures = append(res.failures, v.Failure)
 				continue
+			}
+			if v.Abandoned {
+				res.abandoned++
+				fmt.Fprintf(cfg.out, "[%s] abandoned by watchdog after %d attempt(s) (heartbeat stalled past deadline): %s\n",
+					spec.Name, v.Attempts, v.Cand.Path)
+				if v.Status != sat.Unsat {
+					continue
+				}
 			}
 			if v.Degraded {
 				res.degraded++
@@ -307,6 +329,12 @@ specs:
 		fmt.Fprintf(cfg.out, "absint: refuted %d quer(ies) (%d by stride, %d by zone), pruned %d candidate(s), simplified %d vertex(es)\n", decided, byStride, byZone, pruned, simplified)
 	}
 	printFailures(cfg.out, res.failures)
+	if res.recovered > 0 {
+		fmt.Fprintf(cfg.out, "%d candidate(s) recovered by the retry ladder\n", res.recovered)
+	}
+	if res.abandoned > 0 {
+		fmt.Fprintf(cfg.out, "%d candidate(s) abandoned by the watchdog\n", res.abandoned)
+	}
 	if res.degraded > 0 {
 		fmt.Fprintf(cfg.out, "%d verdict(s) degraded after budget exhaustion\n", res.degraded)
 	}
@@ -331,8 +359,12 @@ func printFailures(out interface{ Write([]byte) (int, error) }, fails []*failure
 		}
 	}
 	fmt.Fprintf(out, "%d unit failure(s):\n", len(fails))
-	fmt.Fprintf(out, "  %-*s  %-*s  %-8s  %s\n", uw, "unit", sw, "stage", "digest", "error")
+	fmt.Fprintf(out, "  %-*s  %-*s  %-8s  %-8s  %s\n", uw, "unit", sw, "stage", "digest", "attempts", "error")
 	for _, f := range fails {
-		fmt.Fprintf(out, "  %-*s  %-*s  %-8s  %v\n", uw, f.Unit, sw, f.Stage, f.Digest(), f.Value)
+		attempts := f.Attempts
+		if attempts == 0 {
+			attempts = 1
+		}
+		fmt.Fprintf(out, "  %-*s  %-*s  %-8s  %-8d  %v\n", uw, f.Unit, sw, f.Stage, f.Digest(), attempts, f.Value)
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	fusionbench [-experiment NAME|all] [-scale F] [-subjects a,b,c] [-budget D]
 //	            [-workers N] [-timeout D] [-absint MODE] [-session on|off] [-fail-fast]
+//	            [-retries N] [-watchdog-grace D] [-checkpoint FILE [-resume]]
 //
 // Exit status: 0 when every experiment ran to completion, 1 on a harness
 // error, 2 on bad usage or when any engine run contained a unit crash.
@@ -39,6 +40,10 @@ func main() {
 	absint := flag.String("absint", "on", "abstract-interpretation tier in the fused engine: on (intervals × stride + zone), nostride (congruence disabled), nosimplify (formula pre-simplification disabled), intervals (zone and stride disabled), or off")
 	session := flag.String("session", "on", "warm incremental solver sessions: on (per-worker sessions reuse learned clauses and term encodings) or off (every query solves one-shot — the oracle)")
 	failFast := flag.Bool("fail-fast", false, "stop after the first experiment whose runs contained a unit crash (default: run all experiments, summarize at the end)")
+	retries := flag.Int("retries", 0, "re-run a candidate whose attempt crashed or was abandoned up to N times, escalating from the warm session to a fresh cold session to a one-shot solve (0 = single attempt)")
+	watchdogGrace := flag.Duration("watchdog-grace", 0, "hard-abandon a candidate whose solver heartbeat stays flat this long at or past its deadline (0 = watchdog off)")
+	checkpoint := flag.String("checkpoint", "", "journal completed engine runs to this file (append-only JSONL, fsync'd per record) so a crashed invocation can resume")
+	resume := flag.Bool("resume", false, "replay runs a previous crashed invocation completed in the -checkpoint journal instead of re-running them")
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "fusionbench:", err)
@@ -54,6 +59,10 @@ func main() {
 	}
 	if *workers == 0 {
 		*workers = *parallel
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "fusionbench: -resume requires -checkpoint")
+		os.Exit(2)
 	}
 
 	ctx := context.Background()
@@ -76,6 +85,28 @@ func main() {
 		OnCost: func(c bench.Cost) {
 			unitFailures = append(unitFailures, c.Failures...)
 		},
+		Retries:       *retries,
+		WatchdogGrace: *watchdogGrace,
+	}
+	if *checkpoint != "" {
+		if !*resume {
+			// A fresh run must not replay a stale journal for a different
+			// configuration; truncate and start over.
+			if err := os.Truncate(*checkpoint, 0); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "fusionbench:", err)
+				os.Exit(1)
+			}
+		}
+		j, err := bench.OpenJournal(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fusionbench:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		opts.Journal = j
+		if *resume && j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "fusionbench: resuming: %d completed run(s) in %s\n", j.Len(), *checkpoint)
+		}
 	}
 	if *subjects != "" {
 		for _, name := range strings.Split(*subjects, ",") {
@@ -112,6 +143,7 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
+		opts.Experiment = name
 		out, err := bench.Experiments[name](ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fusionbench: %s: %v\n", name, err)

@@ -1,0 +1,172 @@
+// Crash-safe checkpointing for corpus runs: an append-only JSONL journal
+// of scored engine runs, fsync'd per record, so a run killed mid-corpus
+// (OOM, kill -9, power loss) resumes by replaying completed records
+// instead of re-solving them. Records are keyed by a digest over
+// everything that determines a run's verdicts — experiment, subject,
+// checker, engine configuration, scale, budget — plus a per-key
+// occurrence counter; worker count, retries, and the watchdog grace
+// window are deliberately excluded, since they may only change cost,
+// never verdicts. Replayed Costs feed the same table renderers as live
+// ones, so a resumed run's merged output is byte-identical to the
+// original's.
+
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"fusion/internal/engines"
+	"fusion/internal/sparse"
+)
+
+// journalRecord is one completed engine run, one JSON line in the file.
+type journalRecord struct {
+	// Key is the run digest; Desc its readable form, for debugging a
+	// journal by eye.
+	Key  string `json:"key"`
+	Desc string `json:"desc"`
+	Cost Cost   `json:"cost"`
+}
+
+// Journal is an append-only checkpoint of completed engine runs. Safe
+// for concurrent use; each Record is flushed and fsync'd before it
+// returns, so a record either survives a crash whole or (torn mid-write)
+// is discarded on load.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Cost
+	seen map[string]int
+}
+
+// OpenJournal opens (creating if needed) a journal at path and loads any
+// records a previous run completed. A torn trailing line — the record
+// being written when the process died — is tolerated and dropped.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bench: checkpoint: %w", err)
+	}
+	j := &Journal{f: f, done: map[string]Cost{}, seen: map[string]int{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	var good int64 // bytes of whole leading records
+	torn := false
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			torn = true // the crash interrupted this write
+			break
+		}
+		good += int64(len(sc.Bytes())) + 1
+		j.done[rec.Key] = rec.Cost
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: checkpoint: %w", err)
+	}
+	// Truncate the torn tail away so this run's records follow the last
+	// whole one — a later resume must never find garbage mid-file and
+	// drop the records behind it.
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("bench: checkpoint: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: checkpoint: %w", err)
+	}
+	return j, nil
+}
+
+// Len reports how many completed records the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Key digests a run description into a journal key, appending the
+// per-description occurrence index: experiments that run the identical
+// configuration more than once (ablation sweeps) get distinct keys in
+// execution order, which is deterministic because experiments issue runs
+// sequentially.
+func (j *Journal) Key(desc string) (key, fullDesc string) {
+	j.mu.Lock()
+	occ := j.seen[desc]
+	j.seen[desc]++
+	j.mu.Unlock()
+	fullDesc = fmt.Sprintf("%s #%d", desc, occ)
+	h := fnv.New32a()
+	h.Write([]byte(fullDesc))
+	return fmt.Sprintf("%08x", h.Sum32()), fullDesc
+}
+
+// Lookup returns the recorded cost for key, if a previous run completed
+// it.
+func (j *Journal) Lookup(key string) (Cost, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c, ok := j.done[key]
+	return c, ok
+}
+
+// Record appends one completed run and fsyncs before returning: after
+// Record, the run survives any crash.
+func (j *Journal) Record(key, desc string, c Cost) error {
+	line, err := json.Marshal(journalRecord{Key: key, Desc: desc, Cost: c})
+	if err != nil {
+		return fmt.Errorf("bench: checkpoint: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("bench: checkpoint: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("bench: checkpoint: %w", err)
+	}
+	j.done[key] = c
+	return nil
+}
+
+// Close closes the journal file. Recorded state stays on disk.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// engineFingerprint renders the verdict-relevant configuration of an
+// engine. Worker counts and supervision settings are excluded: they may
+// only change cost. Unknown engine types fall back to their name, which
+// is correct as long as they carry no ablation knobs.
+func engineFingerprint(eng engines.Engine) string {
+	switch x := eng.(type) {
+	case *engines.Fusion:
+		return fmt.Sprintf("fusion absint=%t intervals=%t nostride=%t nosimplify=%t nosession=%t timeout=%s conflicts=%d budget=%d/%d/%s/%d",
+			x.UseAbsint, x.IntervalsOnly, x.NoStride, x.NoSimplify, x.NoSession,
+			x.Cfg.Timeout, x.Cfg.MaxConflicts,
+			x.Cfg.Budget.Steps, x.Cfg.Budget.Conflicts, x.Cfg.Budget.Deadline, x.Cfg.Budget.MaxHeapDelta)
+	case *engines.Pinpoint:
+		return fmt.Sprintf("%s nosession=%t timeout=%s conflicts=%d qe=%d budget=%d/%d/%s/%d",
+			x.Name(), x.NoSession, x.Cfg.Timeout, x.Cfg.MaxConflicts, x.QEBudget,
+			x.Cfg.Budget.Steps, x.Cfg.Budget.Conflicts, x.Cfg.Budget.Deadline, x.Cfg.Budget.MaxHeapDelta)
+	case *engines.Infer:
+		return fmt.Sprintf("infer depth=%d specbudget=%d", x.MaxSummaryDepth, x.SpecBudget)
+	default:
+		return eng.Name()
+	}
+}
+
+// runDesc renders the full readable run description the journal keys
+// digest.
+func (o Options) runDesc(sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) string {
+	return fmt.Sprintf("%s | %s | %s | scale=%g | budget=%s/%d | %s",
+		o.Experiment, sub.Info.Name, spec.Name, o.scale(),
+		budget.Time, budget.CondBytes, engineFingerprint(eng))
+}

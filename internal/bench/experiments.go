@@ -54,8 +54,21 @@ type Options struct {
 	NoSession bool
 	// OnCost observes every scored engine run, in completion order. The
 	// command-line harness uses it to tally contained unit failures and
-	// degraded verdicts for its exit status.
+	// degraded verdicts for its exit status. Replayed journal records are
+	// observed too, so exit-status accounting survives a resume.
 	OnCost func(Cost)
+	// Retries is the retry-ladder height for every engine the experiments
+	// construct; WatchdogGrace arms the per-worker watchdog. Neither may
+	// change verdicts when no fault fires (a clean first attempt never
+	// re-runs), so neither enters checkpoint keys.
+	Retries       int
+	WatchdogGrace time.Duration
+	// Journal, when non-nil, checkpoints every scored engine run:
+	// completed records are replayed instead of re-run, and new results
+	// are recorded (fsync'd) as they finish. Experiment names the
+	// experiment currently running, scoping the journal keys.
+	Journal    *Journal
+	Experiment string
 }
 
 func (o Options) scale() float64 {
@@ -80,12 +93,14 @@ func (o Options) fusion() *engines.Fusion {
 	e.NoStride = o.NoStride
 	e.NoSimplify = o.NoSimplify
 	e.NoSession = o.NoSession
+	e.Cfg.Retries, e.Cfg.WatchdogGrace = o.Retries, o.WatchdogGrace
 	return e
 }
 
 func (o Options) pinpoint(v engines.Variant) *engines.Pinpoint {
 	e := engines.NewPinpoint(v)
 	e.NoSession = o.NoSession
+	e.Cfg.Retries, e.Cfg.WatchdogGrace = o.Retries, o.WatchdogGrace
 	return e
 }
 
@@ -108,9 +123,32 @@ func (o Options) run(ctx context.Context, sub *Subject, spec *sparse.Spec, eng e
 }
 
 // runBudget is run with an explicit budget override (some experiments
-// tighten the per-variant budget below o.Budget).
+// tighten the per-variant budget below o.Budget). With a journal, a run
+// a previous (crashed) process completed is replayed from its record —
+// including its recorded times, so replayed table rows are byte-identical
+// to the original's — and a freshly completed run is checkpointed before
+// the next one starts. A run cut short by cancellation is never recorded:
+// its partial Unknown verdicts must not masquerade as the real result on
+// resume.
 func (o Options) runBudget(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cost {
+	var key, desc string
+	if o.Journal != nil {
+		// Key occurrence counters advance on replay and live runs alike,
+		// keeping the key sequence identical between a fresh run and a
+		// resumed one.
+		key, desc = o.Journal.Key(o.runDesc(sub, spec, eng, budget))
+		if c, ok := o.Journal.Lookup(key); ok {
+			if o.OnCost != nil {
+				o.OnCost(c)
+			}
+			return c
+		}
+	}
 	c := RunWorkers(ctx, sub, spec, eng, budget, o.workers())
+	if o.Journal != nil && ctx.Err() == nil {
+		// Best-effort: a full disk must not kill the run it checkpoints.
+		_ = o.Journal.Record(key, desc, c)
+	}
 	if o.OnCost != nil {
 		o.OnCost(c)
 	}

@@ -26,9 +26,16 @@ type Blaster struct {
 	gates map[gateKey]sat.Lit
 	// acts maps an asserted query root to its activation literal, so a
 	// repeated identical query reuses the existing guard clause.
-	acts  map[*smt.Term]sat.Lit
-	lTrue sat.Lit
-	epoch uint32
+	acts map[*smt.Term]sat.Lit
+	// varEpoch records, per solver variable, the query epoch that last
+	// touched it: stamped at allocation and re-stamped whenever a cache
+	// hit reuses the encoding it belongs to. A variable whose epoch is
+	// older than the current query belongs only to retired activation
+	// groups — its clauses stay (they are guarded or shared), but learned
+	// clauses mentioning it are dead weight a session can purge.
+	varEpoch []uint32
+	lTrue    sat.Lit
+	epoch    uint32
 	// Reused counts terms whose encoding was first built by an earlier
 	// query and hit again by a later one — each distinct term at most once
 	// per query. It is the cross-query amortization a session buys.
@@ -72,7 +79,19 @@ func (b *Blaster) litFalse() sat.Lit { return b.lTrue.Flip() }
 func (b *Blaster) isTrue(l sat.Lit) bool  { return l == b.lTrue }
 func (b *Blaster) isFalse(l sat.Lit) bool { return l == b.litFalse() }
 
-func (b *Blaster) fresh() sat.Lit { return sat.MkLit(b.S.NewVar(), false) }
+func (b *Blaster) fresh() sat.Lit {
+	v := b.S.NewVar()
+	b.stampVar(v)
+	return sat.MkLit(v, false)
+}
+
+// stampVar marks v as touched by the current query epoch.
+func (b *Blaster) stampVar(v int) {
+	for v >= len(b.varEpoch) {
+		b.varEpoch = append(b.varEpoch, b.epoch)
+	}
+	b.varEpoch[v] = b.epoch
+}
 
 // and2 returns a literal equivalent to a AND b.
 func (b *Blaster) and2(x, y sat.Lit) sat.Lit {
@@ -92,6 +111,7 @@ func (b *Blaster) and2(x, y sat.Lit) sat.Lit {
 		x, y = y, x
 	}
 	if g, ok := b.gates[gateKey{'a', x, y}]; ok {
+		b.stampVar(g.Var())
 		return g
 	}
 	g := b.fresh()
@@ -136,7 +156,9 @@ func (b *Blaster) xor2(x, y sat.Lit) sat.Lit {
 		x, y = y, x
 	}
 	g, ok := b.gates[gateKey{'x', x, y}]
-	if !ok {
+	if ok {
+		b.stampVar(g.Var())
+	} else {
 		g = b.fresh()
 		b.S.AddClause(g.Flip(), x, y)
 		b.S.AddClause(g.Flip(), x.Flip(), y.Flip())
@@ -299,6 +321,9 @@ func (b *Blaster) Blast(t *smt.Term) []sat.Lit {
 			b.Reused++
 			e.epoch = b.epoch
 			b.bits[t] = e
+			for _, l := range e.lits {
+				b.stampVar(l.Var())
+			}
 		}
 		return e.lits
 	}
@@ -420,6 +445,7 @@ func (b *Blaster) Assume(t *smt.Term) sat.Lit {
 		panic("bitblast: Assume requires a width-1 term")
 	}
 	if act, ok := b.acts[t]; ok {
+		b.stampVar(act.Var())
 		return act
 	}
 	root := b.Blast(t)[0]
@@ -427,6 +453,23 @@ func (b *Blaster) Assume(t *smt.Term) sat.Lit {
 	b.S.AddClause(act.Flip(), root)
 	b.acts[t] = act
 	return act
+}
+
+// RetiredVars returns a predicate over solver variables that holds for
+// every variable owned only by retired activation groups: activation
+// literals and encoding variables last touched by a query epoch older
+// than the current one. Their problem clauses stay resident (guarded or
+// shared), but learned clauses mentioning them were only ever useful
+// while their query was live; a session purges those on recycle. Returns
+// nil before the first query epoch opens, when nothing can be retired.
+func (b *Blaster) RetiredVars() func(v int) bool {
+	if b.epoch == 0 {
+		return nil
+	}
+	pinned := b.lTrue.Var() // the true-constant is live in every epoch
+	return func(v int) bool {
+		return v != pinned && v < len(b.varEpoch) && b.varEpoch[v] != b.epoch
+	}
 }
 
 // ModelValue extracts the value of a blasted term from the solver's model

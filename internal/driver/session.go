@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"sync/atomic"
+
 	"fusion/internal/solver"
 )
 
@@ -13,6 +15,10 @@ import (
 // byte-identical for any -workers value.
 type Sessions struct {
 	pool []*solver.Session
+	cfg  solver.SessionConfig
+	// Replaced counts slots rebuilt by Replace (retry escalation or
+	// watchdog abandonment).
+	Replaced atomic.Int64
 }
 
 // NewSessions builds n sessions with the given config. Size n with
@@ -22,7 +28,7 @@ func NewSessions(n int, cfg solver.SessionConfig) *Sessions {
 	for i := range p {
 		p[i] = solver.NewSession(cfg)
 	}
-	return &Sessions{pool: p}
+	return &Sessions{pool: p, cfg: cfg}
 }
 
 // Len returns the number of worker slots.
@@ -30,6 +36,17 @@ func (s *Sessions) Len() int { return len(s.pool) }
 
 // At returns worker w's session.
 func (s *Sessions) At(w int) *solver.Session { return s.pool[w] }
+
+// Replace installs a fresh cold session in slot w and returns it. The
+// retry ladder uses it both for cold-retry escalation and after a
+// watchdog abandonment: the abandoned goroutine still owns the old
+// session's solving stack, so the slot must not merely Reset — it needs
+// a stack no other goroutine can touch.
+func (s *Sessions) Replace(w int) *solver.Session {
+	s.pool[w] = solver.NewSession(s.cfg)
+	s.Replaced.Add(1)
+	return s.pool[w]
+}
 
 // Stats aggregates the pool's cumulative counters.
 func (s *Sessions) Stats() (queries, cacheHits, evictions, resets int64) {

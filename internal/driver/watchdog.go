@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"fusion/internal/failure"
+)
+
+// Watchdog configures per-worker supervision of a solving unit. The
+// watched function publishes progress on a heartbeat counter (the SAT
+// search bumps it on every conflict and decision); a monitor goroutine
+// samples the counter and hard-abandons the unit once the heartbeat has
+// been flat for the grace window AND the unit is past its deadline. A
+// healthy long solve — heart beating — is never abandoned before its
+// deadline, and a wedged one is cut loose at deadline+Grace instead of
+// holding its worker hostage forever.
+type Watchdog struct {
+	// Grace is how long the heartbeat must be flat, at or past the
+	// deadline, before the unit is abandoned. <= 0 disables supervision:
+	// the function runs inline on the caller's goroutine.
+	Grace time.Duration
+	// Poll is the sampling interval; <= 0 derives Grace/8, clamped to
+	// [1ms, 50ms].
+	Poll time.Duration
+}
+
+type superviseResult[T any] struct {
+	v    T
+	fail *failure.UnitFailure
+}
+
+// Supervise runs fn under the watchdog. It returns fn's value, a
+// contained panic as a *UnitFailure, and whether the unit was abandoned.
+// On abandonment the returned value is T's zero value and the caller
+// must treat the unit's session as lost: the orphaned goroutine still
+// owns it and will unwind only when ctx is cancelled (callers cancel
+// their per-attempt context on abandonment).
+//
+// Supervise is a function, not a Watchdog method, because Go methods
+// cannot introduce type parameters.
+func Supervise[T any](ctx context.Context, w Watchdog, deadline time.Time, hb *atomic.Int64, unit, stage string, fn func() T) (T, *failure.UnitFailure, bool) {
+	if w.Grace <= 0 {
+		// Unsupervised path shares superviseRun so a panic produces the
+		// same boundary-truncated stack (and digest) either way.
+		v, fail := superviseRun(unit, stage, fn)
+		return v, fail, false
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = w.Grace / 8
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+
+	done := make(chan superviseResult[T], 1) // buffered: orphan must not block
+	go func() {
+		v, fail := superviseRun(unit, stage, fn)
+		done <- superviseResult[T]{v, fail}
+	}()
+
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	last := hb.Load()
+	lastChange := time.Now()
+	for {
+		select {
+		case r := <-done:
+			return r.v, r.fail, false
+		case <-tick.C:
+			if cur := hb.Load(); cur != last {
+				last = cur
+				lastChange = time.Now()
+				continue
+			}
+			// Flat heartbeat alone is not enough: before the deadline the
+			// unit is entitled to its time (it may be in a non-search
+			// phase that doesn't beat). Past the deadline a healthy
+			// search aborts itself via its own deadline polling, so a
+			// flat heartbeat lingering Grace beyond it means wedged.
+			overdue := deadline.IsZero() && ctx != nil && ctx.Err() != nil ||
+				!deadline.IsZero() && time.Now().After(deadline)
+			if overdue && time.Since(lastChange) >= w.Grace {
+				var zero T
+				return zero, nil, true
+			}
+		}
+	}
+}
+
+// superviseRun invokes fn with panic containment. The recover must live
+// on the same goroutine as fn — a goroutine's panic cannot be recovered
+// by its spawner — and the function name is the containment boundary
+// that FromPanicAt truncates stacks at, keeping digests identical
+// between the inline and supervised paths.
+func superviseRun[T any](unit, stage string, fn func() T) (v T, fail *failure.UnitFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = failure.FromPanicAt(unit, stage, r, "driver.superviseRun")
+		}
+	}()
+	v = fn()
+	return v, nil
+}

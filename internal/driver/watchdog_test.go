@@ -1,0 +1,118 @@
+package driver
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSuperviseInline covers the unsupervised (Grace<=0) path: values
+// pass through, panics are contained with the superviseRun boundary.
+func TestSuperviseInline(t *testing.T) {
+	v, fail, abandoned := Supervise(context.Background(), Watchdog{}, time.Time{}, nil,
+		"u", "check", func() int { return 42 })
+	if v != 42 || fail != nil || abandoned {
+		t.Fatalf("got (%v, %v, %v)", v, fail, abandoned)
+	}
+
+	_, fail, abandoned = Supervise(context.Background(), Watchdog{}, time.Time{}, nil,
+		"u", "check", func() int { panic("boom") })
+	if fail == nil || abandoned {
+		t.Fatalf("panic not contained: (%v, %v)", fail, abandoned)
+	}
+	if fail.Unit != "u" || fail.Stage != "check" || fail.Value != "boom" {
+		t.Errorf("failure fields: %+v", fail)
+	}
+	// The sanitized stack ends at the boundary: the panicking closure is
+	// the deepest application frame, and Supervise's own caller frames
+	// below it are cut (the recovery closure above the panic is kept by
+	// design — it is identical on the inline and supervised paths).
+	if !strings.Contains(fail.Stack, "TestSuperviseInline") {
+		t.Errorf("panicking closure missing from stack:\n%s", fail.Stack)
+	}
+	if strings.Contains(fail.Stack, "driver.Supervise(") || strings.Contains(fail.Stack, "testing.tRunner") {
+		t.Errorf("caller frames below the boundary leaked into stack:\n%s", fail.Stack)
+	}
+}
+
+// TestSuperviseBoundaryInvariant: the inline and supervised paths must
+// produce the same sanitized stack (and so the same digest) for the
+// same panic, or crash grouping would depend on whether the watchdog
+// was armed.
+func TestSuperviseBoundaryInvariant(t *testing.T) {
+	crash := func() int { panic("same crash") }
+	var hb atomic.Int64
+	_, inline, _ := Supervise(context.Background(), Watchdog{}, time.Time{}, nil,
+		"u", "check", crash)
+	_, supervised, _ := Supervise(context.Background(), Watchdog{Grace: time.Minute},
+		time.Now().Add(time.Minute), &hb, "u", "check", crash)
+	if inline == nil || supervised == nil {
+		t.Fatalf("missing failure: inline=%v supervised=%v", inline, supervised)
+	}
+	if inline.Digest() != supervised.Digest() {
+		t.Errorf("digest differs between inline and supervised:\n%s\nvs\n%s",
+			inline.Stack, supervised.Stack)
+	}
+}
+
+// TestSuperviseAbandonsStalled: a function that never beats its heart
+// and never returns is abandoned roughly Grace after its deadline, and
+// the orphaned goroutine unwinds once its context is cancelled.
+func TestSuperviseAbandonsStalled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var hb atomic.Int64
+	release := make(chan struct{})
+	deadline := time.Now().Add(10 * time.Millisecond)
+	start := time.Now()
+	_, fail, abandoned := Supervise(ctx, Watchdog{Grace: 30 * time.Millisecond},
+		deadline, &hb, "u", "check", func() int {
+			<-release
+			return 1
+		})
+	elapsed := time.Since(start)
+	if !abandoned || fail != nil {
+		t.Fatalf("want abandonment, got (%v, %v)", fail, abandoned)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("abandonment took %v, want well within the grace window's order", elapsed)
+	}
+	close(release) // let the orphan unwind
+}
+
+// TestSuperviseHealthyHeartbeatNotAbandoned: a slow function whose
+// heartbeat keeps moving is never abandoned, even past its deadline.
+func TestSuperviseHealthyHeartbeatNotAbandoned(t *testing.T) {
+	var hb atomic.Int64
+	deadline := time.Now() // already past
+	v, fail, abandoned := Supervise(context.Background(),
+		Watchdog{Grace: 40 * time.Millisecond, Poll: time.Millisecond},
+		deadline, &hb, "u", "check", func() int {
+			for i := 0; i < 20; i++ {
+				hb.Add(1)
+				time.Sleep(5 * time.Millisecond)
+			}
+			return 7
+		})
+	if abandoned || fail != nil || v != 7 {
+		t.Fatalf("healthy unit mistreated: (%v, %v, %v)", v, fail, abandoned)
+	}
+}
+
+// TestSuperviseBeforeDeadlineNotAbandoned: a flat heartbeat alone must
+// not trigger abandonment while the unit is still within its deadline.
+func TestSuperviseBeforeDeadlineNotAbandoned(t *testing.T) {
+	var hb atomic.Int64
+	deadline := time.Now().Add(time.Hour)
+	v, fail, abandoned := Supervise(context.Background(),
+		Watchdog{Grace: 5 * time.Millisecond, Poll: time.Millisecond},
+		deadline, &hb, "u", "check", func() int {
+			time.Sleep(60 * time.Millisecond) // flat, but entitled to its time
+			return 3
+		})
+	if abandoned || fail != nil || v != 3 {
+		t.Fatalf("pre-deadline unit mistreated: (%v, %v, %v)", v, fail, abandoned)
+	}
+}

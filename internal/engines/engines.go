@@ -20,6 +20,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -77,6 +78,16 @@ type Verdict struct {
 	// Status came from the fallback ladder (or stayed Unknown when even
 	// the cheap tiers could not decide).
 	Degraded bool
+	// Attempts counts how many times the retry ladder ran this candidate
+	// (1 for the common clean first attempt; 0 only on slots synthesized
+	// for cancellation). When no fault fires every attempt is 1, so the
+	// field stays byte-identical across -retries settings.
+	Attempts int
+	// Abandoned reports the watchdog hard-abandoned the final attempt:
+	// its heartbeat stayed flat past the deadline plus grace window, the
+	// unit's goroutine was cut loose, and its session slot was replaced.
+	// Status is then Unknown (or a degraded refutation).
+	Abandoned bool
 	// Failure records a contained crash while checking this candidate;
 	// Status is then Unknown and every other field is zero.
 	Failure *failure.UnitFailure
@@ -112,6 +123,14 @@ type SolverConfig struct {
 	// Budget.Conflicts and Budget.Deadline override MaxConflicts and
 	// Deadline when set.
 	Budget Budget
+	// Retries is how many times a candidate whose attempt crashed or was
+	// abandoned is re-run, with escalating strategy (warm session →
+	// fresh cold session → one-shot stack). 0 means a single attempt.
+	Retries int
+	// WatchdogGrace arms the per-worker watchdog: an attempt whose solver
+	// heartbeat stays flat for this long at or past its deadline is
+	// hard-abandoned. 0 disables the watchdog (attempts run inline).
+	WatchdogGrace time.Duration
 }
 
 // SortVerdicts orders verdicts by source position — sink line/column
@@ -254,17 +273,97 @@ func (e *Fusion) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candida
 	e.Absint(g) // build the shared analysis once, outside the pool
 	pool := e.sessionPool(driver.PoolSize(len(cands), e.Parallel))
 	vs, fails := driver.ParallelCheckWorkers(ctx, len(cands), e.Parallel, func(i, w int) Verdict {
-		var sess *solver.Session
-		if pool != nil {
-			sess = pool.At(w)
-		}
-		return e.checkOne(ctx, g, cands[i], sess)
+		return e.checkSupervised(ctx, g, cands[i], pool, w)
 	})
 	attachFailures(vs, fails, cands)
 	return vs
 }
 
-func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate, sess *solver.Session) Verdict {
+// checkSupervised is the retry ladder for one candidate: run an attempt
+// under the watchdog; on a contained panic or an abandonment, re-run up
+// to Cfg.Retries times with escalating strategy — attempt 1 uses the
+// worker's warm session, attempt 2 a fresh cold session in the same
+// slot, attempt 3+ the one-shot stack with no warm state at all. A
+// ladder exhausted on crashes records exactly one UnitFailure carrying
+// the attempt count; one exhausted on abandonment yields an Abandoned
+// verdict. Either way the cheap refutation tiers get a last look, so a
+// persistently crashing unit can still end with a sound Unsat.
+func (e *Fusion) checkSupervised(parent context.Context, g *pdg.Graph, c sparse.Candidate, pool *driver.Sessions, w int) Verdict {
+	attempts := 1 + e.Cfg.Retries
+	var lastFail *failure.UnitFailure
+	abandoned := false
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if parent.Err() != nil {
+			return Verdict{Cand: c, Status: sat.Unknown, Attempts: attempt - 1}
+		}
+		v, fail, ab := e.checkAttempt(parent, g, c, pool, w, attempt)
+		if fail == nil && !ab {
+			v.Attempts = attempt
+			return v
+		}
+		if fail != nil {
+			lastFail = fail
+		}
+		abandoned = ab
+	}
+	if lastFail != nil {
+		lastFail.Attempts = attempts
+	}
+	v := Verdict{Cand: c, Status: sat.Unknown, Attempts: attempts,
+		Abandoned: abandoned, Failure: lastFail}
+	// Final ladder rung: the abstract refuters run outside the crashed or
+	// wedged solving stack and may still produce a sound Unsat.
+	an := e.Absint(g)
+	if an == nil {
+		an = e.fb.analysis(g)
+	}
+	degradeVerdict(parent, an, g, c, &v)
+	return v
+}
+
+// checkAttempt runs one attempt of the ladder under the watchdog. On
+// abandonment the attempt's context is cancelled — the orphaned
+// goroutine unwinds through the solver's cooperative polling — and the
+// worker's session slot is replaced, because the orphan still owns the
+// old session's solving stack.
+func (e *Fusion) checkAttempt(parent context.Context, g *pdg.Graph, c sparse.Candidate, pool *driver.Sessions, w, attempt int) (Verdict, *failure.UnitFailure, bool) {
+	var sess *solver.Session
+	if pool != nil {
+		switch attempt {
+		case 1:
+			sess = pool.At(w)
+		case 2:
+			sess = pool.Replace(w)
+		}
+		// attempt 3+: one-shot, no warm state at all.
+	}
+	ctx, cancel := e.Cfg.candidateCtx(parent)
+	defer cancel()
+	// The injected stall.solve wedge gets a cancellation-only context: a
+	// real wedge ignores deadlines, so the simulated one must not release
+	// when the attempt's deadline merely expires — only when this attempt
+	// is torn down (watchdog abandonment or run cancellation).
+	stallCtx, stallCancel := context.WithCancel(parent)
+	defer stallCancel()
+	deadline, _ := ctx.Deadline()
+	var hb atomic.Int64
+	v, fail, abandoned := driver.Supervise(ctx, driver.Watchdog{Grace: e.Cfg.WatchdogGrace},
+		deadline, &hb, UnitLabel(c), "check", func() Verdict {
+			return e.checkOne(parent, ctx, stallCtx, g, c, sess, &hb, attempt)
+		})
+	if abandoned && pool != nil {
+		pool.Replace(w)
+	}
+	return v, fail, abandoned
+}
+
+// checkOne runs a single attempt: parent is the caller's context, ctx
+// the attempt's own (per-candidate deadline applied); distinguishing
+// the two is what tells budget exhaustion from outside cancellation.
+func (e *Fusion) checkOne(parent, ctx, stallCtx context.Context, g *pdg.Graph, c sparse.Candidate, sess *solver.Session, hb *atomic.Int64, attempt int) Verdict {
+	// Bail on the parent only: an already-expired per-candidate deadline
+	// (ctx) must still reach the exhaustion path below so the
+	// degradation ladder gets its look.
 	if parent.Err() != nil {
 		return Verdict{Cand: c, Status: sat.Unknown}
 	}
@@ -285,12 +384,14 @@ func (e *Fusion) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candida
 	if faultinject.Enabled() {
 		unit := UnitLabel(c)
 		faultinject.Fire("panic.check", unit)
+		faultinject.FireSolveAttempt(unit, attempt)
 		faultinject.Delay(unit, 50*time.Millisecond)
 	}
-	ctx, cancel := e.Cfg.candidateCtx(parent)
-	defer cancel()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
+	opts.Solver.Unit = UnitLabel(c)
+	opts.Solver.Heartbeat = hb
+	opts.Solver.StallCtx = stallCtx
 	opts.Session = sess
 	opts.Constraints = c.Constraints(0)
 	opts.Absint = e.Absint(g)
@@ -440,32 +541,66 @@ func (e *Pinpoint) ConditionBytes() int64 { return e.cache.EstimatedBytes() }
 // Check implements Engine.
 func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
 	vs, fails := driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
-		c := cands[i]
-		if ctx.Err() != nil {
-			return Verdict{Cand: c, Status: sat.Unknown}
-		}
-		if faultinject.Enabled() {
-			unit := UnitLabel(c)
-			faultinject.Fire("panic.check", unit)
-			faultinject.Delay(unit, 50*time.Millisecond)
-		}
-		t0 := time.Now()
-		r, size := e.checkOne(ctx, g, c)
-		v := Verdict{
-			Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
-			CacheHits:     r.CacheHits,
-			CacheVars:     r.CacheVars,
-			ReusedClauses: r.ReusedClauses,
-			SolveTime:     time.Since(t0), ConditionSize: size,
-			Tier: tierOf(r.Status, false, false, false),
-		}
-		if r.Status == sat.Unknown && r.Exhausted {
-			degradeVerdict(ctx, e.fb.analysis(g), g, c, &v)
-		}
-		return v
+		return e.checkSupervised(ctx, g, cands[i])
 	})
 	attachFailures(vs, fails, cands)
 	return vs
+}
+
+// checkSupervised is Pinpoint's retry ladder. It runs attempts inline —
+// no watchdog goroutine: candidates serialize on the summary-cache
+// lock, so a supervised abandonment would strand the lock-holding
+// goroutine and deadlock every other candidate. The warm session still
+// self-heals: a contained panic skips Finish, so the next attempt's
+// Begin rebuilds the solving stack (attempt 2's "fresh cold session"),
+// and attempt 3+ bypasses the session entirely for a one-shot solve.
+func (e *Pinpoint) checkSupervised(parent context.Context, g *pdg.Graph, c sparse.Candidate) Verdict {
+	attempts := 1 + e.Cfg.Retries
+	var lastFail *failure.UnitFailure
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if parent.Err() != nil {
+			return Verdict{Cand: c, Status: sat.Unknown, Attempts: attempt - 1}
+		}
+		v, fail, _ := driver.Supervise(parent, driver.Watchdog{}, time.Time{}, nil,
+			UnitLabel(c), "check", func() Verdict {
+				return e.checkOneVerdict(parent, g, c, attempt)
+			})
+		if fail == nil {
+			v.Attempts = attempt
+			return v
+		}
+		lastFail = fail
+	}
+	lastFail.Attempts = attempts
+	v := Verdict{Cand: c, Status: sat.Unknown, Attempts: attempts, Failure: lastFail}
+	degradeVerdict(parent, e.fb.analysis(g), g, c, &v)
+	return v
+}
+
+func (e *Pinpoint) checkOneVerdict(ctx context.Context, g *pdg.Graph, c sparse.Candidate, attempt int) Verdict {
+	if ctx.Err() != nil {
+		return Verdict{Cand: c, Status: sat.Unknown}
+	}
+	if faultinject.Enabled() {
+		unit := UnitLabel(c)
+		faultinject.Fire("panic.check", unit)
+		faultinject.FireSolveAttempt(unit, attempt)
+		faultinject.Delay(unit, 50*time.Millisecond)
+	}
+	t0 := time.Now()
+	r, size := e.checkOne(ctx, g, c, attempt)
+	v := Verdict{
+		Cand: c, Status: r.Status, Preprocessed: r.Preprocessed,
+		CacheHits:     r.CacheHits,
+		CacheVars:     r.CacheVars,
+		ReusedClauses: r.ReusedClauses,
+		SolveTime:     time.Since(t0), ConditionSize: size,
+		Tier: tierOf(r.Status, false, false, false),
+	}
+	if r.Status == sat.Unknown && r.Exhausted {
+		degradeVerdict(ctx, e.fb.analysis(g), g, c, &v)
+	}
+	return v
 }
 
 // session returns the warm stack over the summary cache, building it on
@@ -491,14 +626,15 @@ func (e *Pinpoint) SessionStats() (queries, cacheHits, evictions, resets int64) 
 	return e.warm.Queries, e.warm.CacheHits, e.warm.Evictions, e.warm.Resets
 }
 
-func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate) (solver.Result, int) {
+func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candidate, attempt int) (solver.Result, int) {
 	ctx, cancel := e.Cfg.candidateCtx(parent)
 	defer cancel()
 	sl := pdg.ComputeSlice(g, []pdg.Path{c.Path})
 	c.ApplyConstraint(sl, 0)
 	opts := e.Cfg.options()
 	opts.Ctx = ctx
-	if faultinject.Exhaust(UnitLabel(c)) {
+	opts.Unit = UnitLabel(c)
+	if faultinject.Exhaust(opts.Unit) {
 		opts.MaxDecisions = 1
 	}
 
@@ -508,6 +644,11 @@ func (e *Pinpoint) checkOne(parent context.Context, g *pdg.Graph, c sparse.Candi
 	defer e.mu.Unlock()
 	b := e.cache
 	sess := e.session()
+	if attempt >= 3 {
+		// Ladder escalation: past the warm and rebuilt-session rungs,
+		// solve one-shot with no warm state at all.
+		sess = nil
+	}
 	if sess != nil {
 		sess.Begin()
 	}

@@ -2,10 +2,13 @@ package engines
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"time"
 
 	"fusion/internal/cond"
+	"fusion/internal/driver"
+	"fusion/internal/failure"
 	"fusion/internal/fusioncore"
 	"fusion/internal/pdg"
 	"fusion/internal/sat"
@@ -27,21 +30,44 @@ type JointChecker interface {
 	CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pdg.Path) sat.Status
 }
 
-// CheckJointPaths implements JointChecker for the fused engine.
+// CheckJointPaths implements JointChecker for the fused engine. Joint
+// queries route through slot 0 of the same warm session pool Check
+// uses, so they share term encodings and learned clauses with the
+// per-candidate queries — and inherit the pool's poisoning semantics: a
+// contained panic skips Finish and the next Begin rebuilds the stack.
+// Not safe concurrently with Check (slot 0 belongs to worker 0 there);
+// CheckJoint runs groups sequentially after the per-candidate pass.
 func (e *Fusion) CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pdg.Path) sat.Status {
-	b := smt.NewBuilder()
+	var b *smt.Builder
+	var sess *solver.Session
+	if pool := e.sessionPool(1); pool != nil {
+		sess = pool.At(0)
+		sess.Begin()
+		b = sess.Builder()
+	} else {
+		b = smt.NewBuilder()
+	}
+	bytesBefore := b.EstimatedBytes()
 	opts := e.Opts
 	opts.Solver = e.Cfg.options()
+	opts.Session = sess
 	r := fusioncore.Solve(ctx, b, g, paths, opts)
 	e.mu.Lock()
-	if b.EstimatedBytes() > e.peak {
-		e.peak = b.EstimatedBytes()
+	if d := b.EstimatedBytes() - bytesBefore; d > e.peak {
+		e.peak = d
 	}
 	e.mu.Unlock()
+	if sess != nil {
+		// Not deferred: a contained panic must leave the session marked
+		// in-flight so the next Begin rebuilds the warm state.
+		sess.Finish()
+	}
 	return r.Status
 }
 
-// CheckJointPaths implements JointChecker for the conventional engine.
+// CheckJointPaths implements JointChecker for the conventional engine,
+// solving over the same warm session as the per-candidate checks so the
+// summary cache's encodings are reused instead of rebuilt cold.
 func (e *Pinpoint) CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pdg.Path) sat.Status {
 	opts := e.Cfg.options()
 	opts.Ctx = ctx
@@ -49,6 +75,12 @@ func (e *Pinpoint) CheckJointPaths(ctx context.Context, g *pdg.Graph, paths []pd
 	defer e.mu.Unlock()
 	sl := pdg.ComputeSlice(g, paths)
 	tr := cond.Translate(e.cache, sl)
+	if sess := e.session(); sess != nil {
+		sess.Begin()
+		r := sess.Solve(tr.Phi, opts)
+		sess.Finish()
+		return r.Status
+	}
 	return solver.Solve(e.cache, tr.Phi, opts).Status
 }
 
@@ -109,12 +141,39 @@ type JointVerdict struct {
 	Group  JointGroup
 	Status sat.Status
 	Time   time.Duration
+	// Attempts counts retry-ladder runs (1 for a clean first attempt);
+	// Failure records the last contained crash when the ladder exhausted.
+	Attempts int
+	Failure  *failure.UnitFailure
+}
+
+// jointRetries reads the engine's retry-ladder height, for engines that
+// carry a SolverConfig.
+func jointRetries(eng JointChecker) int {
+	switch x := eng.(type) {
+	case *Fusion:
+		return x.Cfg.Retries
+	case *Pinpoint:
+		return x.Cfg.Retries
+	}
+	return 0
+}
+
+// jointUnitLabel names one group for failure reports, stable under
+// enumeration order: the sink's function and vertex plus the flow count.
+func jointUnitLabel(grp JointGroup) string {
+	return fmt.Sprintf("joint %s#%d*%d", grp.Sink.Fn.Name, grp.Sink.ID, len(grp.Flows))
 }
 
 // CheckJoint decides every multi-argument sink group with the given
-// engine. A cancelled ctx yields Unknown for the remaining groups.
+// engine, under the same containment and retry ladder as per-candidate
+// checks: a contained panic poisons the engine's warm session (the next
+// Begin rebuilds it, which is the cold-retry rung) and the group is
+// re-run up to the engine's retries. A cancelled ctx yields Unknown for
+// the remaining groups.
 func CheckJoint(ctx context.Context, eng JointChecker, g *pdg.Graph, cands []sparse.Candidate) []JointVerdict {
 	groups := GroupBySink(cands)
+	retries := jointRetries(eng)
 	out := make([]JointVerdict, 0, len(groups))
 	for _, grp := range groups {
 		if ctx.Err() != nil {
@@ -125,9 +184,25 @@ func CheckJoint(ctx context.Context, eng JointChecker, g *pdg.Graph, cands []spa
 		for i, f := range grp.Flows {
 			paths[i] = f.Path
 		}
+		jv := JointVerdict{Group: grp, Status: sat.Unknown}
 		t0 := time.Now()
-		st := eng.CheckJointPaths(ctx, g, paths)
-		out = append(out, JointVerdict{Group: grp, Status: st, Time: time.Since(t0)})
+		for attempt := 1; attempt <= 1+retries; attempt++ {
+			if ctx.Err() != nil {
+				break
+			}
+			st, fail, _ := driver.Supervise(ctx, driver.Watchdog{}, time.Time{}, nil,
+				jointUnitLabel(grp), "joint", func() sat.Status {
+					return eng.CheckJointPaths(ctx, g, paths)
+				})
+			jv.Attempts, jv.Failure = attempt, fail
+			if fail == nil {
+				jv.Status = st
+				break
+			}
+			jv.Failure.Attempts = attempt
+		}
+		jv.Time = time.Since(t0)
+		out = append(out, jv)
 	}
 	return out
 }

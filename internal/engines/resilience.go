@@ -82,6 +82,19 @@ func SetBudget(e Engine, b Budget) {
 	}
 }
 
+// SetSupervision configures the retry ladder and watchdog grace window
+// on engines that solve; other engines are left unchanged. With no
+// fault armed, verdicts are byte-identical for any retries value: a
+// clean first attempt never re-runs.
+func SetSupervision(e Engine, retries int, grace time.Duration) {
+	switch x := e.(type) {
+	case *Fusion:
+		x.Cfg.Retries, x.Cfg.WatchdogGrace = retries, grace
+	case *Pinpoint:
+		x.Cfg.Retries, x.Cfg.WatchdogGrace = retries, grace
+	}
+}
+
 // UnitLabel names one candidate for failure reports and fault-injection
 // matching: checker name, sink position, source position, and argument
 // index, all stable under enumeration order and worker count.

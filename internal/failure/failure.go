@@ -30,6 +30,11 @@ type UnitFailure struct {
 	// the goroutine header and the hex argument lists are stripped so
 	// the text is byte-identical across runs and worker counts.
 	Stack string
+	// Attempts counts how many times the supervision layer ran the unit
+	// before giving up; 0 or 1 both mean a single attempt (no retry
+	// ladder, or a ladder of height one). It does not enter Digest, so
+	// the same crash groups together whatever the -retries setting.
+	Attempts int
 }
 
 // Error implements error.

@@ -9,7 +9,8 @@
 // Points:
 //
 //	panic.parse   panic.sema   panic.ssa   panic.pdg   panic.absint
-//	panic.enum    panic.check  solver.exhaust  cancel.delay
+//	panic.enum    panic.check  panic.solve  stall.solve
+//	solver.exhaust  cancel.delay
 //
 // Spec syntax: comma-separated "point" or "point:match" entries, e.g.
 //
@@ -17,12 +18,29 @@
 //
 // arms a forced panic only for candidates whose unit label contains
 // "fig1.fl:9".
+//
+// Two points exercise the supervision layer:
+//
+//   - "stall.solve[:match]" wedges the CDCL search of every matching
+//     unit's solve: the search blocks without publishing heartbeat
+//     progress until the attempt is explicitly cancelled — the watchdog
+//     abandoning it, or the run being torn down; like a real wedge, it
+//     does not notice a merely expired deadline — or until a safety cap
+//     expires. This is exactly the failure mode the per-worker watchdog
+//     abandons on.
+//   - "panic.solve:<n>[:match]" panics on a matching unit's solve for
+//     its first n attempts and succeeds from attempt n+1 on, so
+//     "panic.solve:1" is recovered by a single retry. The attempt
+//     count is per unit, making the injected fault set deterministic
+//     for any worker count.
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +58,8 @@ var Points = []string{
 	"panic.absint",
 	"panic.enum",
 	"panic.check",
+	"panic.solve",
+	"stall.solve",
 	"solver.exhaust",
 	"cancel.delay",
 }
@@ -78,6 +98,17 @@ func ArmSpec(spec string) error {
 		if !validPoint(point) {
 			return fmt.Errorf("faultinject: unknown point %q (valid: %s)",
 				point, strings.Join(Points, ", "))
+		}
+		if point == "panic.solve" {
+			// The first match field is the attempt count, mandatory:
+			// "panic.solve:<n>[:match]".
+			nStr := match
+			if i := strings.IndexByte(nStr, ':'); i >= 0 {
+				nStr = nStr[:i]
+			}
+			if n, err := strconv.Atoi(nStr); err != nil || n < 1 {
+				return fmt.Errorf("faultinject: panic.solve needs a positive attempt count: panic.solve:<n>[:match], got %q", entry)
+			}
 		}
 		if armed == nil {
 			armed = map[string][]string{}
@@ -128,6 +159,69 @@ func Fire(point, unit string) {
 // Exhaust reports whether an artificial solver-budget exhaustion is
 // armed for unit (point "solver.exhaust").
 func Exhaust(unit string) bool { return Armed("solver.exhaust", unit) }
+
+// FireSolveAttempt panics with a Fault if "panic.solve:<n>[:match]" is
+// armed for unit and the (1-based) attempt is at most n: the unit's
+// first n solve attempts crash and attempt n+1 succeeds, exercising the
+// retry ladder deterministically at any worker count.
+func FireSolveAttempt(unit string, attempt int) {
+	mu.RLock()
+	entries := armed["panic.solve"]
+	mu.RUnlock()
+	for _, m := range entries {
+		nStr, match := m, ""
+		if i := strings.IndexByte(m, ':'); i >= 0 {
+			nStr, match = m[:i], m[i+1:]
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			continue // ArmSpec validated; unreachable in practice
+		}
+		if (match == "" || strings.Contains(unit, match)) && attempt <= n {
+			panic(Fault{Point: "panic.solve", Unit: unit})
+		}
+	}
+}
+
+var (
+	stallMu  sync.Mutex
+	stallCap = 30 * time.Second
+)
+
+// SetStallCap bounds how long StallSolve may block when its context is
+// never cancelled (a run without a watchdog); tests shorten it. It
+// returns the previous cap so a deferred call can restore it.
+func SetStallCap(d time.Duration) time.Duration {
+	stallMu.Lock()
+	defer stallMu.Unlock()
+	prev := stallCap
+	stallCap = d
+	return prev
+}
+
+// StallSolve blocks if "stall.solve" is armed for unit, simulating a
+// solve that wedges without making heartbeat progress. The stall ends
+// when ctx is cancelled — the watchdog abandoning the unit cancels its
+// context, which releases the orphaned goroutine — or after the safety
+// cap, whichever comes first.
+func StallSolve(ctx context.Context, unit string) {
+	if !Armed("stall.solve", unit) {
+		return
+	}
+	stallMu.Lock()
+	cap := stallCap
+	stallMu.Unlock()
+	if ctx == nil {
+		time.Sleep(cap)
+		return
+	}
+	t := time.NewTimer(cap)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
 
 // Delay sleeps for d if "cancel.delay" is armed for unit, modeling a
 // unit that keeps running for a while after cancellation was asked.

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -74,5 +75,88 @@ func TestArmedSpecRoundTrip(t *testing.T) {
 	}
 	if got := ArmedSpec(); got != spec {
 		t.Errorf("ArmedSpec() = %q, want %q", got, spec)
+	}
+}
+
+func TestArmSpecRejectsPanicSolveWithoutCount(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"panic.solve", "panic.solve:", "panic.solve:zero", "panic.solve:0", "panic.solve:-1", "panic.solve:0:unit"} {
+		if err := ArmSpec(spec); err == nil {
+			t.Errorf("ArmSpec(%q) accepted a missing/invalid attempt count", spec)
+		}
+		Reset()
+	}
+}
+
+func TestFireSolveAttemptCountsPerUnit(t *testing.T) {
+	defer Reset()
+	if err := ArmSpec("panic.solve:2:f.fl"); err != nil {
+		t.Fatal(err)
+	}
+	panics := func(unit string, attempt int) (fired bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				f, ok := v.(Fault)
+				if !ok || f.Point != "panic.solve" {
+					t.Fatalf("panicked with %v, want a panic.solve Fault", v)
+				}
+				fired = true
+			}
+		}()
+		FireSolveAttempt(unit, attempt)
+		return false
+	}
+	if !panics("check f.fl:3", 1) || !panics("check f.fl:3", 2) {
+		t.Error("attempts 1..n must crash")
+	}
+	if panics("check f.fl:3", 3) {
+		t.Error("attempt n+1 must succeed")
+	}
+	if panics("check g.fl:1", 1) {
+		t.Error("non-matching unit crashed")
+	}
+}
+
+func TestStallSolveDisarmedIsNoop(t *testing.T) {
+	defer Reset()
+	start := time.Now()
+	StallSolve(context.Background(), "unit")
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("StallSolve blocked while disarmed")
+	}
+}
+
+func TestStallSolveReleasedByCancel(t *testing.T) {
+	defer Reset()
+	defer SetStallCap(SetStallCap(time.Minute))
+	if err := ArmSpec("stall.solve"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	StallSolve(ctx, "unit")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("StallSolve held for %v after cancellation", elapsed)
+	}
+}
+
+func TestStallSolveRespectsCap(t *testing.T) {
+	defer Reset()
+	defer SetStallCap(SetStallCap(20 * time.Millisecond))
+	if err := ArmSpec("stall.solve:wedge"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	StallSolve(context.Background(), "solve wedge #1")
+	elapsed := time.Since(start)
+	if elapsed < 10*time.Millisecond {
+		t.Errorf("armed stall returned after %v, before the cap", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("stall overran its cap: %v", elapsed)
 	}
 }

@@ -8,6 +8,7 @@ package sat
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 )
 
@@ -117,6 +118,18 @@ type Solver struct {
 	// every few conflicts (and on the deadline cadence), returning Unknown
 	// with ErrBudget once cancelled.
 	Ctx context.Context
+	// Progress, when non-nil, is a lock-free heartbeat the search bumps on
+	// every conflict and branching decision. An external monitor goroutine
+	// samples it to tell a searching solver from a wedged one: cooperative
+	// cancellation is only polled on the conflict/iteration cadence, so a
+	// solve that stalls between polls never observes Ctx — but its
+	// heartbeat stops moving, which is what a watchdog abandons on.
+	Progress *atomic.Int64
+	// StallHook, when non-nil, is called once at the start of every
+	// restart of the CDCL search. It exists for deterministic fault
+	// injection (the stall.solve point wedges the search mid-CDCL without
+	// publishing progress); production code leaves it nil.
+	StallHook func()
 
 	seen    []bool
 	toClear []int
@@ -477,6 +490,42 @@ func medianActivity(cs []*clause) float64 {
 	return sum / float64(len(cs))
 }
 
+// PurgeLearnts detaches every learned clause containing a literal for
+// which drop returns true, returning the number purged. Learned clauses
+// are consequences of the problem clauses alone, so removing any subset
+// never changes a verdict — purging is how a warm session garbage-collects
+// clauses that reference retired activation groups instead of carrying
+// them (disabled but resident) forever. The trail is first backtracked to
+// the root level so no in-flight reason clause can be removed; clauses
+// serving as root-level reasons are kept.
+func (s *Solver) PurgeLearnts(drop func(Lit) bool) int {
+	s.cancelUntil(0)
+	kept := s.learnts[:0]
+	purged := 0
+	for _, c := range s.learnts {
+		dead := false
+		if !s.isReason(c) {
+			for _, l := range c.lits {
+				if drop(l) {
+					dead = true
+					break
+				}
+			}
+		}
+		if dead {
+			s.detach(c)
+			purged++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	for i := len(kept); i < len(s.learnts); i++ {
+		s.learnts[i] = nil // release the purged tails for GC
+	}
+	s.learnts = kept
+	return purged
+}
+
 func (s *Solver) isReason(c *clause) bool {
 	v := c.lits[0].Var()
 	return s.assigns[v] != lUndef && s.reason[v] == c
@@ -559,6 +608,9 @@ func (s *Solver) FinalConflict() []Lit { return s.conflictLits }
 func (s *Solver) Backtrack() { s.cancelUntil(0) }
 
 func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, error) {
+	if s.StallHook != nil {
+		s.StallHook()
+	}
 	conflictsThisRestart := int64(0)
 	checkCounter := 0
 	for {
@@ -566,6 +618,9 @@ func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, er
 		if confl != nil {
 			s.Conflicts++
 			conflictsThisRestart++
+			if s.Progress != nil {
+				s.Progress.Add(1)
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat, nil
@@ -637,6 +692,9 @@ func (s *Solver) search(restartBudget int64, conflictsAtStart int64) (Status, er
 				return Unknown, ErrBudget
 			}
 			s.Decisions++
+			if s.Progress != nil {
+				s.Progress.Add(1)
+			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, nil)

@@ -59,10 +59,11 @@ type Session struct {
 	inFlight bool
 
 	// Cumulative session statistics.
-	Queries   int64 // Solve calls answered
-	CacheHits int64 // cross-query term-encoding reuses (topmost shared nodes)
-	Evictions int64 // solver/blaster evictions (budget exceeded)
-	Resets    int64 // full rebuilds after poisoning
+	Queries       int64 // Solve calls answered
+	CacheHits     int64 // cross-query term-encoding reuses (topmost shared nodes)
+	Evictions     int64 // solver/blaster evictions (budget exceeded)
+	Resets        int64 // full rebuilds after poisoning
+	PurgedClauses int64 // learned clauses GC'd for referencing retired activation groups
 }
 
 // NewSession returns a warm solving stack with a fresh builder.
@@ -99,6 +100,10 @@ func (ss *Session) Builder() *smt.Builder { return ss.b }
 func (ss *Session) Begin() {
 	if ss.inFlight {
 		ss.Reset()
+	} else {
+		// Between units is the cheapest moment to drop learned clauses
+		// that mention activation groups no later query can re-assume.
+		ss.gc()
 	}
 	ss.inFlight = true
 	if !ss.cfg.KeepBuilder && ss.b.EstimatedBytes() > ss.cfg.MaxBuilderBytes {
@@ -128,6 +133,26 @@ func (ss *Session) evictSolver() {
 	ss.s = sat.New()
 	ss.bl = bitblast.New(ss.s)
 }
+
+// gc purges learned clauses that reference retired activation groups: an
+// activation literal or encoding variable untouched by the latest query
+// serves only queries that will never be assumed again, so a learnt
+// mentioning it cannot earn its residence. Learned clauses are
+// consequences of the clause DB alone, so dropping any subset is sound
+// and affects cost, never verdicts.
+func (ss *Session) gc() {
+	retired := ss.bl.RetiredVars()
+	if retired == nil {
+		return
+	}
+	ss.PurgedClauses += int64(ss.s.PurgeLearnts(func(l sat.Lit) bool {
+		return retired(l.Var())
+	}))
+}
+
+// Learnts reports the size of the retained learned-clause database,
+// for tests asserting that GC keeps it from growing monotonically.
+func (ss *Session) Learnts() int { return ss.s.NumLearnts() }
 
 // Solve answers phi over the warm stack, with the same contract as the
 // package-level Solve: preprocessing with early exit, probe, then the CDCL
@@ -190,6 +215,12 @@ func (ss *Session) solveOnce(phi *smt.Term, opts Options) Result {
 	// is kept, so cached terms stay valid and only encodings are rebuilt.
 	// A solver that is not Okay derived a root contradiction — impossible
 	// from guard and Tseitin clauses alone, so treat it as poisoned state.
+	// Clause GC runs first: purging learnts of retired activation groups
+	// often brings the database back under budget without paying for a
+	// wholesale eviction.
+	if ss.s.NumLearnts() > ss.cfg.MaxLearnts {
+		ss.gc()
+	}
 	if ss.s.NumVars() > ss.cfg.MaxVars || ss.s.NumLearnts() > ss.cfg.MaxLearnts || !ss.s.Okay() {
 		ss.evictSolver()
 		ss.Evictions++
@@ -209,6 +240,8 @@ func (ss *Session) solveOnce(phi *smt.Term, opts Options) Result {
 		s.Deadline = time.Time{}
 	}
 	s.Ctx = opts.Ctx
+	s.Progress = opts.Heartbeat
+	installStallHook(s, opts)
 
 	// Warm-state accounting: what this query inherited from its
 	// predecessors, and what it reused while encoding.

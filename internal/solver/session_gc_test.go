@@ -1,0 +1,75 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusion/internal/smt"
+)
+
+// TestSessionClauseGC: across a long stream of recycled queries, the
+// clause-DB garbage collector must purge learnts that reference retired
+// activation groups, keeping the retained database from growing
+// monotonically — and without changing any verdict relative to a cold
+// one-shot solve.
+func TestSessionClauseGC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ss := NewSession(SessionConfig{})
+	// NoProbe + NoPasses force every query into the SAT core so learnts
+	// actually accumulate; probe-decided queries never learn anything.
+	opts := Options{NoProbe: true, Passes: NoPasses}
+	grew, shrankOrHeld := 0, 0
+	prev := 0
+	for iter := 0; iter < 150; iter++ {
+		phi := randFormula(ss.Builder(), rng, 4)
+		ss.Begin()
+		warm := ss.Solve(phi, opts)
+		ss.Finish()
+
+		cb := smt.NewBuilder()
+		cold := Solve(cb, smt.RenameVars(cb, phi, func(n string) string { return n }), opts)
+		if warm.Status != cold.Status {
+			t.Fatalf("iter %d: GC changed a verdict: warm %s != cold %s", iter, warm.Status, cold.Status)
+		}
+
+		cur := ss.Learnts()
+		if cur > prev {
+			grew++
+		} else {
+			shrankOrHeld++
+		}
+		prev = cur
+	}
+	if ss.PurgedClauses == 0 {
+		t.Fatal("GC never purged a clause across 150 recycled queries")
+	}
+	if shrankOrHeld == 0 {
+		t.Errorf("learnt DB grew monotonically every query (purged=%d)", ss.PurgedClauses)
+	}
+	t.Logf("purged %d learnts; DB grew %d times, shrank/held %d times, final %d",
+		ss.PurgedClauses, grew, shrankOrHeld, ss.Learnts())
+}
+
+// TestSessionGCKeepsCurrentQueryLearnts: purging happens between units;
+// a learnt earned by the live query must survive its own solve.
+func TestSessionGCKeepsCurrentQueryLearnts(t *testing.T) {
+	ss := NewSession(SessionConfig{})
+	rng := rand.New(rand.NewSource(3))
+	opts := Options{NoProbe: true, Passes: NoPasses}
+	// Burn a few queries to retire some activation groups.
+	for i := 0; i < 10; i++ {
+		phi := randFormula(ss.Builder(), rng, 3)
+		ss.Begin()
+		ss.Solve(phi, opts)
+		ss.Finish()
+	}
+	before := ss.PurgedClauses
+	phi := randFormula(ss.Builder(), rng, 3)
+	ss.Begin()
+	purgedDuring := ss.PurgedClauses - before
+	ss.Solve(phi, opts)
+	ss.Finish()
+	if purged := ss.PurgedClauses - before; purged != purgedDuring {
+		t.Errorf("GC ran mid-unit: %d purged after Begin", purged-purgedDuring)
+	}
+}

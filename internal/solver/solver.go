@@ -6,9 +6,11 @@ package solver
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"fusion/internal/bitblast"
+	"fusion/internal/faultinject"
 	"fusion/internal/sat"
 	"fusion/internal/smt"
 )
@@ -38,6 +40,23 @@ type Options struct {
 	// NoProbe disables the concrete-execution model probe that runs
 	// between preprocessing and bit-blasting.
 	NoProbe bool
+	// Unit, when non-empty, names the work unit this solve belongs to,
+	// for deterministic fault injection (the stall.solve point keys on
+	// it). Verdicts never depend on it.
+	Unit string
+	// Heartbeat, when non-nil, is installed as the SAT search's progress
+	// counter: the search bumps it on every conflict and decision, and a
+	// watchdog goroutine may sample it concurrently. It lives outside the
+	// solver because warm sessions evict and replace their solver between
+	// queries.
+	Heartbeat *atomic.Int64
+	// StallCtx, when non-nil, is the context the injected stall.solve
+	// wedge blocks on instead of Ctx. A real wedge ignores deadlines, so
+	// the supervising engine passes a cancellation-only context here:
+	// the simulated stall must not release just because the attempt's
+	// deadline expired — only an explicit cancellation (the watchdog
+	// abandoning the unit, or the whole run being torn down) frees it.
+	StallCtx context.Context
 }
 
 // NoPasses is a non-nil empty pipeline that disables preprocessing.
@@ -163,6 +182,8 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 		s.Deadline = time.Now().Add(opts.Timeout)
 	}
 	s.Ctx = opts.Ctx
+	s.Progress = opts.Heartbeat
+	installStallHook(s, opts)
 	bl := bitblast.New(s)
 	bl.AssertTrue(phi)
 	st, err := s.Solve()
@@ -184,6 +205,20 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 		}
 	}
 	return res
+}
+
+// installStallHook arms the stall.solve fault point on the search: when
+// armed for opts.Unit, the search wedges without heartbeat progress until
+// its context is cancelled. Nil (the common case) outside fault tests.
+func installStallHook(s *sat.Solver, opts Options) {
+	s.StallHook = nil
+	if faultinject.Enabled() && opts.Unit != "" {
+		unit, ctx := opts.Unit, opts.Ctx
+		if opts.StallCtx != nil {
+			ctx = opts.StallCtx
+		}
+		s.StallHook = func() { faultinject.StallSolve(ctx, unit) }
+	}
 }
 
 // Decide is a convenience wrapper returning (sat, unknown) for use by the
