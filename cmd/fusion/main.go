@@ -8,7 +8,8 @@
 //	       [-workers N] [-timeout D] [-no-prelude]
 //	       [-fail-fast] [-budget-steps N] [-budget-conflicts N]
 //	       [-budget-deadline D] [-budget-heap N]
-//	       [-retries N] [-watchdog-grace D] file.fl
+//	       [-retries N] [-watchdog-grace D]
+//	       [-metrics FILE] [-trace FILE] [-pprof-addr ADDR] file.fl
 //
 // Engines: fusion (default), fusion-unopt, pinpoint, pinpoint+qe,
 // pinpoint+lfs, pinpoint+hfs, pinpoint+ar, infer.
@@ -35,6 +36,7 @@ import (
 	"fusion/internal/fusioncore"
 	"fusion/internal/sat"
 	"fusion/internal/sparse"
+	"fusion/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +58,9 @@ func main() {
 	budgetHeap := flag.Int64("budget-heap", 0, "per-candidate formula-construction byte budget (0 = unbounded)")
 	retries := flag.Int("retries", 0, "re-run a candidate whose attempt crashed or was abandoned up to N times, escalating from the warm session to a fresh cold session to a one-shot solve (0 = single attempt)")
 	watchdogGrace := flag.Duration("watchdog-grace", 0, "hard-abandon a candidate whose solver heartbeat stays flat this long at or past its deadline (0 = watchdog off)")
+	metrics := flag.String("metrics", "", "write a stable-ordered JSON metrics snapshot (counters, sched, wall_ns) to this file")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing) to this file")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "fusion:", err)
@@ -89,7 +94,24 @@ func main() {
 		},
 		out: os.Stdout,
 	}
+	if *metrics != "" || *trace != "" {
+		cfg.rec = telemetry.New()
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.EnablePprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "fusion:", err)
+			os.Exit(2)
+		}
+	}
+	if *metrics != "" || *trace != "" || *pprofAddr != "" {
+		// SIGUSR1 dumps heap and goroutine profiles whenever any
+		// observability surface is requested.
+		telemetry.DumpOnSignal("")
+	}
 	res, err := run(cfg)
+	// The artifacts are written even for an impaired run: a crash's
+	// partial trace is exactly what one wants to look at.
+	writeTelemetry(cfg.rec, *metrics, *trace)
 	if err != nil {
 		var se *driver.SemaErrors
 		if errors.As(err, &se) {
@@ -101,6 +123,24 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(res.exitCode())
+}
+
+// writeTelemetry writes the -metrics and -trace artifacts; a write
+// failure is reported but never changes the analysis exit status.
+func writeTelemetry(rec *telemetry.Recorder, metrics, trace string) {
+	if rec == nil {
+		return
+	}
+	if metrics != "" {
+		if err := rec.WriteMetrics(metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "fusion:", err)
+		}
+	}
+	if trace != "" {
+		if err := rec.WriteTrace(trace); err != nil {
+			fmt.Fprintln(os.Stderr, "fusion:", err)
+		}
+	}
 }
 
 type config struct {
@@ -120,6 +160,7 @@ type config struct {
 	retries       int
 	watchdogGrace time.Duration
 	budget        engines.Budget
+	rec           *telemetry.Recorder
 	out           interface{ Write([]byte) (int, error) }
 }
 
@@ -185,7 +226,7 @@ func run(cfg config) (outcome, error) {
 		return res, err
 	}
 	prog, err := driver.Compile(ctx, driver.Source{Name: cfg.path, Text: string(data)},
-		driver.Options{Prelude: cfg.prelude, Absint: cfg.absint})
+		driver.Options{Prelude: cfg.prelude, Absint: cfg.absint, Telemetry: cfg.rec})
 	if err != nil {
 		return res, err
 	}
@@ -213,6 +254,9 @@ func run(cfg config) (outcome, error) {
 	engines.SetBudget(eng, cfg.budget)
 	engines.SetNoSession(eng, cfg.noSession)
 	engines.SetSupervision(eng, cfg.retries, cfg.watchdogGrace)
+	if cfg.rec != nil {
+		engines.SetTelemetry(eng, cfg.rec)
+	}
 	// The abstract tier applies to the fused engine: it refutes queries
 	// before any formula is built, and its invariants prune provably-safe
 	// candidates during DFS enumeration. The analysis is computed once on

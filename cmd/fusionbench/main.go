@@ -6,6 +6,7 @@
 //	fusionbench [-experiment NAME|all] [-scale F] [-subjects a,b,c] [-budget D]
 //	            [-workers N] [-timeout D] [-absint MODE] [-session on|off] [-fail-fast]
 //	            [-retries N] [-watchdog-grace D] [-checkpoint FILE [-resume]]
+//	            [-metrics FILE] [-trace FILE] [-pprof-addr ADDR]
 //
 // Exit status: 0 when every experiment ran to completion, 1 on a harness
 // error, 2 on bad usage or when any engine run contained a unit crash.
@@ -26,6 +27,7 @@ import (
 	"fusion/internal/failure"
 	"fusion/internal/faultinject"
 	"fusion/internal/progen"
+	"fusion/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +46,9 @@ func main() {
 	watchdogGrace := flag.Duration("watchdog-grace", 0, "hard-abandon a candidate whose solver heartbeat stays flat this long at or past its deadline (0 = watchdog off)")
 	checkpoint := flag.String("checkpoint", "", "journal completed engine runs to this file (append-only JSONL, fsync'd per record) so a crashed invocation can resume")
 	resume := flag.Bool("resume", false, "replay runs a previous crashed invocation completed in the -checkpoint journal instead of re-running them")
+	metrics := flag.String("metrics", "", "write a stable-ordered JSON metrics snapshot (counters, sched, wall_ns) to this file")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing) to this file")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "fusionbench:", err)
@@ -88,6 +93,39 @@ func main() {
 		Retries:       *retries,
 		WatchdogGrace: *watchdogGrace,
 	}
+	var rec *telemetry.Recorder
+	if *metrics != "" || *trace != "" {
+		rec = telemetry.New()
+		opts.Telemetry = rec
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.EnablePprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "fusionbench:", err)
+			os.Exit(2)
+		}
+	}
+	if *metrics != "" || *trace != "" || *pprofAddr != "" {
+		// SIGUSR1 dumps heap and goroutine profiles whenever any
+		// observability surface is requested.
+		telemetry.DumpOnSignal("")
+	}
+	// Artifacts are written on every exit path past this point — an
+	// impaired run's partial trace is exactly what one wants to look at.
+	writeArtifacts := func() {
+		if rec == nil {
+			return
+		}
+		if *metrics != "" {
+			if err := rec.WriteMetrics(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "fusionbench:", err)
+			}
+		}
+		if *trace != "" {
+			if err := rec.WriteTrace(*trace); err != nil {
+				fmt.Fprintln(os.Stderr, "fusionbench:", err)
+			}
+		}
+	}
 	if *checkpoint != "" {
 		if !*resume {
 			// A fresh run must not replay a stale journal for a different
@@ -104,8 +142,9 @@ func main() {
 		}
 		defer j.Close()
 		opts.Journal = j
-		if *resume && j.Len() > 0 {
-			fmt.Fprintf(os.Stderr, "fusionbench: resuming: %d completed run(s) in %s\n", j.Len(), *checkpoint)
+		if *resume && (j.Len() > 0 || j.Units() > 0) {
+			fmt.Fprintf(os.Stderr, "fusionbench: resuming: %d completed run(s), %d unit record(s) in %s\n",
+				j.Len(), j.Units(), *checkpoint)
 		}
 	}
 	if *subjects != "" {
@@ -146,6 +185,7 @@ func main() {
 		opts.Experiment = name
 		out, err := bench.Experiments[name](ctx, opts)
 		if err != nil {
+			writeArtifacts()
 			fmt.Fprintf(os.Stderr, "fusionbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -155,6 +195,7 @@ func main() {
 			break
 		}
 	}
+	writeArtifacts()
 	if len(unitFailures) > 0 {
 		fmt.Fprintf(os.Stderr, "fusionbench: %d contained unit crash(es):\n", len(unitFailures))
 		for _, f := range unitFailures {

@@ -10,6 +10,7 @@ import (
 	"fusion/internal/absint"
 	"fusion/internal/checker"
 	"fusion/internal/cond"
+	"fusion/internal/driver"
 	"fusion/internal/engines"
 	"fusion/internal/fusioncore"
 	"fusion/internal/pdg"
@@ -18,6 +19,7 @@ import (
 	"fusion/internal/smt"
 	"fusion/internal/solver"
 	"fusion/internal/sparse"
+	"fusion/internal/telemetry"
 )
 
 // Options configure an experiment run.
@@ -63,12 +65,18 @@ type Options struct {
 	// re-runs), so neither enters checkpoint keys.
 	Retries       int
 	WatchdogGrace time.Duration
-	// Journal, when non-nil, checkpoints every scored engine run:
-	// completed records are replayed instead of re-run, and new results
-	// are recorded (fsync'd) as they finish. Experiment names the
-	// experiment currently running, scoping the journal keys.
+	// Journal, when non-nil, checkpoints every scored engine run at two
+	// granularities: each candidate's verdict as it settles (kind "unit")
+	// and the whole run's summary when it completes. Completed records
+	// are replayed instead of re-run, so a crash mid-subject resumes at
+	// the first unchecked candidate. Experiment names the experiment
+	// currently running, scoping the journal keys.
 	Journal    *Journal
 	Experiment string
+	// Telemetry, when non-nil, records compile-stage spans, solve spans,
+	// and counters for every run the experiment issues (the -metrics and
+	// -trace artifacts).
+	Telemetry *telemetry.Recorder
 }
 
 func (o Options) scale() float64 {
@@ -112,9 +120,40 @@ func (o Options) subjects(def []progen.Subject) []progen.Subject {
 }
 
 // compileAll compiles the experiment's subject set once, on the options'
-// worker pool.
+// worker pool. With telemetry enabled, each compile's stage spans land
+// on its worker's trace track.
 func (o Options) compileAll(ctx context.Context, infos []progen.Subject) ([]*Subject, error) {
-	return CompileAll(ctx, infos, o.scale(), o.workers())
+	if o.Telemetry == nil {
+		return CompileAll(ctx, infos, o.scale(), o.workers())
+	}
+	type result struct {
+		sub *Subject
+		err error
+	}
+	rs, fails := driver.ParallelCheckWorkers(ctx, len(infos), o.workers(), func(i, w int) result {
+		src, gt, lines := infos[i].Build(o.scale())
+		p, err := driver.Compile(ctx, driver.Source{Name: infos[i].Name, Text: src},
+			driver.Options{Telemetry: o.Telemetry, TelemetryTrack: w + 1})
+		if err != nil {
+			return result{nil, fmt.Errorf("bench: %w", err)}
+		}
+		return result{&Subject{
+			Info: infos[i], Graph: p.Graph, GT: gt,
+			Stats: p.Stats, GenLines: lines,
+		}, nil}
+	})
+	out := make([]*Subject, len(rs))
+	for i, r := range rs {
+		if f := fails[i]; f != nil {
+			f.Unit = infos[i].Name
+			return nil, f
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[i] = r.sub
+	}
+	return out, nil
 }
 
 // run executes one engine run with the options' workers.
@@ -131,6 +170,9 @@ func (o Options) run(ctx context.Context, sub *Subject, spec *sparse.Spec, eng e
 // its partial Unknown verdicts must not masquerade as the real result on
 // resume.
 func (o Options) runBudget(ctx context.Context, sub *Subject, spec *sparse.Spec, eng engines.Engine, budget Budget) Cost {
+	if o.Telemetry != nil {
+		engines.SetTelemetry(eng, o.Telemetry)
+	}
 	var key, desc string
 	if o.Journal != nil {
 		// Key occurrence counters advance on replay and live runs alike,
@@ -144,7 +186,7 @@ func (o Options) runBudget(ctx context.Context, sub *Subject, spec *sparse.Spec,
 			return c
 		}
 	}
-	c := RunWorkers(ctx, sub, spec, eng, budget, o.workers())
+	c := runWorkers(ctx, sub, spec, eng, budget, o.workers(), o.Journal, key)
 	if o.Journal != nil && ctx.Err() == nil {
 		// Best-effort: a full disk must not kill the run it checkpoints.
 		_ = o.Journal.Record(key, desc, c)

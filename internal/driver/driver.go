@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"fusion/internal/absint"
 	"fusion/internal/checker"
@@ -27,6 +28,7 @@ import (
 	"fusion/internal/sema"
 	"fusion/internal/sparse"
 	"fusion/internal/ssa"
+	"fusion/internal/telemetry"
 	"fusion/internal/unroll"
 )
 
@@ -101,6 +103,14 @@ type Options struct {
 	// Absint selects the abstract-interpretation tier mode backing
 	// Program.Absint, Program.Oracle, and Program.DOT annotations.
 	Absint AbsintMode
+	// Telemetry, when non-nil, receives per-stage compile spans
+	// (parse/sema/unroll/ssa/pdg and the lazy absint build). Nil — the
+	// default — costs one pointer check per stage.
+	Telemetry *telemetry.Recorder
+	// TelemetryTrack is the trace track compile spans land on: 0 (the
+	// pipeline track) for a single compile, the worker slot + 1 when a
+	// pool compiles many subjects.
+	TelemetryTrack int
 }
 
 // SemaErrors wraps every semantic error of a compilation so callers that
@@ -156,6 +166,24 @@ func Compile(ctx context.Context, src Source, opts Options) (p *Program, err err
 			p, err = nil, failure.FromPanicAt(src.Name, stage, v, "driver.Compile")
 		}
 	}()
+	// Per-stage telemetry spans: one pointer check per boundary when the
+	// recorder is off, a clock read and a span append when it is on. The
+	// stage variable above stays the containment label; the span names
+	// split unroll from ssa for cost attribution.
+	rec, track := opts.Telemetry, opts.TelemetryTrack
+	var tStart, tStage time.Time
+	if rec != nil {
+		tStart = time.Now()
+		tStage = tStart
+	}
+	mark := func(name string) {
+		if rec == nil {
+			return
+		}
+		now := time.Now()
+		rec.StageSpan(track, "compile", name, tStage, now)
+		tStage = now
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
@@ -168,6 +196,7 @@ func Compile(ctx context.Context, src Source, opts Options) (p *Program, err err
 	if err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
+	mark("parse")
 	stage = "sema"
 	faultinject.Fire("panic.sema", src.Name)
 	if errs := sema.Check(prog); len(errs) > 0 {
@@ -176,23 +205,33 @@ func Compile(ctx context.Context, src Source, opts Options) (p *Program, err err
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
+	mark("sema")
 	stage = "ssa"
 	faultinject.Fire("panic.ssa", src.Name)
 	norm := unroll.Normalize(prog, opts.Unroll)
+	mark("unroll")
 	sp, err := ssa.Build(norm)
 	if err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
+	mark("ssa")
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", src.Name, err)
 	}
 	stage = "pdg"
 	faultinject.Fire("panic.pdg", src.Name)
 	g := pdg.Build(sp)
-	return &Program{
+	prg := &Program{
 		Name: src.Name, AST: prog, SSA: sp, Graph: g,
 		Stats: pdg.ComputeStats(g), opts: opts,
-	}, nil
+	}
+	mark("pdg")
+	if rec != nil {
+		// Enclosing span: the whole compile, parenting the stage spans
+		// above by time containment on the same track.
+		rec.StageSpan(track, "compile", "compile "+src.Name, tStart, time.Now())
+	}
+	return prg, nil
 }
 
 // CompileAll compiles every source on a worker pool, preserving input
@@ -244,6 +283,14 @@ func (p *Program) Absint() *absint.Analysis {
 				p.absFail = failure.FromPanicAt(p.Name, "absint", v, "driver.(*Program).Absint")
 			}
 		}()
+		if rec := p.opts.Telemetry; rec != nil {
+			t0 := time.Now()
+			// Registered after the recover defer, so the span is recorded
+			// (first, by LIFO order) even when the build panics.
+			defer func() {
+				rec.StageSpan(p.opts.TelemetryTrack, "compile", "absint", t0, time.Now())
+			}()
+		}
 		faultinject.Fire("panic.absint", p.Name)
 		p.abs = absint.AnalyzeWith(p.Graph, absint.Config{
 			DisableZone: p.opts.Absint == AbsintIntervals,

@@ -36,6 +36,7 @@ import (
 	"fusion/internal/solver"
 	"fusion/internal/sparse"
 	"fusion/internal/ssa"
+	"fusion/internal/telemetry"
 )
 
 // Verdict is the decision for one candidate flow.
@@ -69,6 +70,14 @@ type Verdict struct {
 	CacheHits     int64
 	CacheVars     int
 	ReusedClauses int64
+	// Conflicts, Decisions, and Props are the SAT search counters of this
+	// candidate's final attempt. Like the cache counters above they are
+	// cost-only: on the warm-session path they depend on which candidates
+	// shared a worker, so they feed the telemetry Sched section and must
+	// never influence a verdict.
+	Conflicts int64
+	Decisions int64
+	Props     int64
 	// ConditionSize is the DAG size of the condition solved (0 when the
 	// engine never materializes one).
 	ConditionSize int
@@ -203,10 +212,22 @@ type Fusion struct {
 	NoSession bool
 	// Parallel is the worker count for Check; 0 or 1 means sequential.
 	Parallel int
-	mu       sync.Mutex
-	peak     int64
-	absG     *pdg.Graph
-	abs      *absint.Analysis
+	// Telemetry, when non-nil, receives per-candidate ladder spans,
+	// per-attempt solve spans (on the attempt's worker track), and the
+	// verdict-derived counters of every Check. Nil — the default — costs
+	// one pointer check per site.
+	Telemetry *telemetry.Recorder
+	// OnVerdict, when non-nil, observes each candidate's final verdict as
+	// soon as its retry ladder settles, before Check returns; i is the
+	// candidate's input index. Called from worker goroutines concurrently —
+	// the observer synchronizes itself. Verdicts synthesized for slots
+	// that crashed outside the supervised region are not observed (they
+	// still appear in Check's result).
+	OnVerdict func(i int, v Verdict)
+	mu        sync.Mutex
+	peak      int64
+	absG      *pdg.Graph
+	abs       *absint.Analysis
 	// sessions is the pool-affine warm solver pool: one session per
 	// ParallelCheck worker slot, reused across Check calls.
 	sessions *driver.Sessions
@@ -273,9 +294,14 @@ func (e *Fusion) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candida
 	e.Absint(g) // build the shared analysis once, outside the pool
 	pool := e.sessionPool(driver.PoolSize(len(cands), e.Parallel))
 	vs, fails := driver.ParallelCheckWorkers(ctx, len(cands), e.Parallel, func(i, w int) Verdict {
-		return e.checkSupervised(ctx, g, cands[i], pool, w)
+		v := e.checkSupervised(ctx, g, cands[i], pool, w)
+		if e.OnVerdict != nil {
+			e.OnVerdict(i, v)
+		}
+		return v
 	})
 	attachFailures(vs, fails, cands)
+	recordVerdicts(e.Telemetry, vs)
 	return vs
 }
 
@@ -289,6 +315,12 @@ func (e *Fusion) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candida
 // verdict. Either way the cheap refutation tiers get a last look, so a
 // persistently crashing unit can still end with a sound Unsat.
 func (e *Fusion) checkSupervised(parent context.Context, g *pdg.Graph, c sparse.Candidate, pool *driver.Sessions, w int) Verdict {
+	if rec := e.Telemetry; rec != nil {
+		t0 := time.Now()
+		// The ladder span encloses every attempt span on the same track, so
+		// the trace nests attempts under their candidate by containment.
+		defer func() { rec.Span(w+1, "candidate", UnitLabel(c), t0, time.Now()) }()
+	}
 	attempts := 1 + e.Cfg.Retries
 	var lastFail *failure.UnitFailure
 	abandoned := false
@@ -347,12 +379,30 @@ func (e *Fusion) checkAttempt(parent context.Context, g *pdg.Graph, c sparse.Can
 	defer stallCancel()
 	deadline, _ := ctx.Deadline()
 	var hb atomic.Int64
+	var t0 time.Time
+	if e.Telemetry != nil {
+		t0 = time.Now()
+	}
 	v, fail, abandoned := driver.Supervise(ctx, driver.Watchdog{Grace: e.Cfg.WatchdogGrace},
 		deadline, &hb, UnitLabel(c), "check", func() Verdict {
 			return e.checkOne(parent, ctx, stallCtx, g, c, sess, &hb, attempt)
 		})
 	if abandoned && pool != nil {
 		pool.Replace(w)
+	}
+	if rec := e.Telemetry; rec != nil {
+		rec.SolveSpan(w+1, t0, time.Now(), telemetry.SolveInfo{
+			Unit: UnitLabel(c), Engine: e.Name(),
+			Tier: v.Tier.String(), Status: v.Status.String(),
+			Attempt: attempt, Abandoned: abandoned,
+		})
+		if abandoned {
+			// Per-attempt tally: timing-dependent (an earlier rung may or
+			// may not have been abandoned before a retry succeeded), so it
+			// lives in Sched; the final-verdict Abandoned flag feeds the
+			// deterministic watchdog.abandoned counter in recordVerdicts.
+			rec.Sched("watchdog.abandoned_attempts", 1)
+		}
 	}
 	return v, fail, abandoned
 }
@@ -418,8 +468,21 @@ func (e *Fusion) checkOne(parent, ctx, stallCtx context.Context, g *pdg.Graph, c
 		CacheHits:       r.CacheHits,
 		CacheVars:       r.CacheVars,
 		ReusedClauses:   r.ReusedClauses,
+		Conflicts:       r.Conflicts,
+		Decisions:       r.Decisions,
+		Props:           r.Props,
 		SolveTime:       time.Since(t0), ConditionSize: r.SizeBefore,
 		Tier: tierOf(r.Status, r.DecidedByAbsint, r.DecidedByStride, r.DecidedByZone),
+	}
+	if rec := e.Telemetry; rec != nil {
+		// Wall breakdown of the fused solve: residual construction vs the
+		// solver stages, so a trace plus snapshot attributes cost without
+		// per-candidate keys.
+		rec.Wall("solve.build", r.BuildTime)
+		rec.Wall("solve.local_preprocess", r.LocalPreprocessTime)
+		rec.Wall("solve.preprocess", r.PreprocessTime)
+		rec.Wall("solve.search", r.SearchTime)
+		rec.Wall("solve.probe", r.ProbeTime)
 	}
 	// The per-candidate deadline firing (parent still alive) is budget
 	// exhaustion too, even though the solver saw it as ctx cancellation.
@@ -511,6 +574,11 @@ type Pinpoint struct {
 	// NoSession disables the warm incremental solver session, rebuilding
 	// the solving stack per query — the `-session=off` ablation.
 	NoSession bool
+	// Telemetry and OnVerdict mirror the Fusion fields: per-candidate and
+	// per-attempt spans plus verdict counters, and a concurrent
+	// final-verdict observer.
+	Telemetry *telemetry.Recorder
+	OnVerdict func(i int, v Verdict)
 	// cache is the shared term store standing in for the summary cache.
 	cache *smt.Builder
 	// warm is the incremental session over cache. A single session, not a
@@ -540,10 +608,15 @@ func (e *Pinpoint) ConditionBytes() int64 { return e.cache.EstimatedBytes() }
 
 // Check implements Engine.
 func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidate) []Verdict {
-	vs, fails := driver.ParallelCheck(ctx, len(cands), e.Parallel, func(i int) Verdict {
-		return e.checkSupervised(ctx, g, cands[i])
+	vs, fails := driver.ParallelCheckWorkers(ctx, len(cands), e.Parallel, func(i, w int) Verdict {
+		v := e.checkSupervised(ctx, g, cands[i], w)
+		if e.OnVerdict != nil {
+			e.OnVerdict(i, v)
+		}
+		return v
 	})
 	attachFailures(vs, fails, cands)
+	recordVerdicts(e.Telemetry, vs)
 	return vs
 }
 
@@ -554,17 +627,32 @@ func (e *Pinpoint) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candi
 // self-heals: a contained panic skips Finish, so the next attempt's
 // Begin rebuilds the solving stack (attempt 2's "fresh cold session"),
 // and attempt 3+ bypasses the session entirely for a one-shot solve.
-func (e *Pinpoint) checkSupervised(parent context.Context, g *pdg.Graph, c sparse.Candidate) Verdict {
+func (e *Pinpoint) checkSupervised(parent context.Context, g *pdg.Graph, c sparse.Candidate, w int) Verdict {
+	if rec := e.Telemetry; rec != nil {
+		t0 := time.Now()
+		defer func() { rec.Span(w+1, "candidate", UnitLabel(c), t0, time.Now()) }()
+	}
 	attempts := 1 + e.Cfg.Retries
 	var lastFail *failure.UnitFailure
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if parent.Err() != nil {
 			return Verdict{Cand: c, Status: sat.Unknown, Attempts: attempt - 1}
 		}
+		var t0 time.Time
+		if e.Telemetry != nil {
+			t0 = time.Now()
+		}
 		v, fail, _ := driver.Supervise(parent, driver.Watchdog{}, time.Time{}, nil,
 			UnitLabel(c), "check", func() Verdict {
 				return e.checkOneVerdict(parent, g, c, attempt)
 			})
+		if rec := e.Telemetry; rec != nil {
+			rec.SolveSpan(w+1, t0, time.Now(), telemetry.SolveInfo{
+				Unit: UnitLabel(c), Engine: e.Name(),
+				Tier: v.Tier.String(), Status: v.Status.String(),
+				Attempt: attempt,
+			})
+		}
 		if fail == nil {
 			v.Attempts = attempt
 			return v
@@ -594,8 +682,16 @@ func (e *Pinpoint) checkOneVerdict(ctx context.Context, g *pdg.Graph, c sparse.C
 		CacheHits:     r.CacheHits,
 		CacheVars:     r.CacheVars,
 		ReusedClauses: r.ReusedClauses,
+		Conflicts:     r.Conflicts,
+		Decisions:     r.Decisions,
+		Props:         r.Props,
 		SolveTime:     time.Since(t0), ConditionSize: size,
 		Tier: tierOf(r.Status, false, false, false),
+	}
+	if rec := e.Telemetry; rec != nil {
+		rec.Wall("solve.preprocess", r.PreprocessTime)
+		rec.Wall("solve.search", r.SearchTime)
+		rec.Wall("solve.probe", r.ProbeTime)
 	}
 	if r.Status == sat.Unknown && r.Exhausted {
 		degradeVerdict(ctx, e.fb.analysis(g), g, c, &v)
@@ -794,7 +890,11 @@ type Infer struct {
 	// models running out of memory (the paper's wine result). Zero means
 	// 32 million entries.
 	SpecBudget int64
-	bytes      int64
+	// Telemetry and OnVerdict mirror the Fusion fields; Infer never
+	// solves, so only verdict counters and the observer apply.
+	Telemetry *telemetry.Recorder
+	OnVerdict func(i int, v Verdict)
+	bytes     int64
 	// specs holds the materialized per-function spec tables, kept alive
 	// for the engine's lifetime like a summary cache.
 	specs map[string][]specEntry
@@ -835,9 +935,14 @@ func (e *Infer) Check(ctx context.Context, g *pdg.Graph, cands []sparse.Candidat
 		if crossings(c.Path) > e.MaxSummaryDepth {
 			st = sat.Unsat // flow too deep for the compositional summary
 		}
-		return Verdict{Cand: c, Status: st}
+		v := Verdict{Cand: c, Status: st}
+		if e.OnVerdict != nil {
+			e.OnVerdict(i, v)
+		}
+		return v
 	})
 	attachFailures(vs, fails, cands)
+	recordVerdicts(e.Telemetry, vs)
 	return vs
 }
 
@@ -913,6 +1018,95 @@ func SetParallel(e Engine, workers int) {
 	case *Infer:
 		x.Parallel = workers
 	}
+}
+
+// recordVerdicts folds one Check's verdicts into the telemetry recorder.
+// Verdict-derived tallies go to the deterministic Counters section — a
+// Verdict is byte-identical for any worker count, so anything read off
+// one is too. The SAT and cache cost counters go to Sched (they depend
+// on how candidates were batched onto warm sessions), and total solve
+// time to Wall. Runs after attachFailures so crashed slots are tallied.
+func recordVerdicts(r *telemetry.Recorder, vs []Verdict) {
+	if r == nil {
+		return
+	}
+	for i := range vs {
+		v := &vs[i]
+		r.Count("verdicts.total", 1)
+		r.Count("verdicts."+v.Status.String(), 1)
+		r.Count("tier."+v.Tier.String(), 1)
+		if v.Preprocessed {
+			r.Count("solve.preprocessed", 1)
+		}
+		if v.DecidedByAbsint {
+			r.Count("absint.decided", 1)
+			if v.DecidedByStride {
+				r.Count("absint.stride", 1)
+			}
+			if v.DecidedByZone {
+				r.Count("absint.zone", 1)
+			}
+		}
+		r.Count("simplify.vertices", int64(v.Simplified))
+		r.Count("simplify.guards", int64(v.PrunedGuards))
+		if v.Degraded {
+			r.Count("degraded.total", 1)
+			if v.Status == sat.Unsat {
+				r.Count("degraded.unsat", 1)
+			}
+		}
+		if v.Attempts > 1 {
+			r.Count("retry.retried", 1)
+			if v.Failure == nil && !v.Abandoned {
+				r.Count("retry.recovered", 1)
+			}
+		}
+		if v.Abandoned {
+			r.Count("watchdog.abandoned", 1)
+		}
+		if v.Failure != nil {
+			r.Count("failures.total", 1)
+			r.Count("failure."+v.Failure.Digest(), 1)
+		}
+		r.Sched("sat.conflicts", v.Conflicts)
+		r.Sched("sat.decisions", v.Decisions)
+		r.Sched("sat.propagations", v.Props)
+		r.Sched("session.cache_hits", v.CacheHits)
+		r.Sched("session.reused_clauses", v.ReusedClauses)
+		r.SchedMax("session.cache_vars_max", int64(v.CacheVars))
+		r.Wall("solve.total", v.SolveTime)
+	}
+}
+
+// SetTelemetry attaches a telemetry recorder to engines that record one;
+// other engines are left unchanged.
+func SetTelemetry(e Engine, r *telemetry.Recorder) {
+	switch x := e.(type) {
+	case *Fusion:
+		x.Telemetry = r
+	case *Pinpoint:
+		x.Telemetry = r
+	case *Infer:
+		x.Telemetry = r
+	}
+}
+
+// SetOnVerdict installs a per-verdict observer on engines that support
+// one, reporting whether it was installed. Callers that journal every
+// verdict must fall back to whole-run recording when it returns false
+// (wrapper engines).
+func SetOnVerdict(e Engine, fn func(int, Verdict)) bool {
+	switch x := e.(type) {
+	case *Fusion:
+		x.OnVerdict = fn
+	case *Pinpoint:
+		x.OnVerdict = fn
+	case *Infer:
+		x.OnVerdict = fn
+	default:
+		return false
+	}
+	return true
 }
 
 // SetNoSession configures the warm-session ablation (-session=off) on

@@ -1,0 +1,49 @@
+package engines
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fusion/internal/faultinject"
+	"fusion/internal/telemetry"
+)
+
+// TestWatchdogAbandonmentRecorded wedges the solve with stall.solve and
+// requires the abandonment to be visible in the telemetry: the solve
+// span carries the abandoned mark (the trace's red span), the
+// per-attempt sched counter ticks, and the final-verdict counter lands
+// in the deterministic section.
+func TestWatchdogAbandonmentRecorded(t *testing.T) {
+	g := resGraph(t, resHardSrc)
+	cands := resCands(t, g, 1)
+	if err := faultinject.ArmSpec("stall.solve"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	defer faultinject.SetStallCap(faultinject.SetStallCap(10 * time.Second))
+
+	rec := telemetry.New()
+	e := NewFusion()
+	e.Telemetry = rec
+	e.Cfg.Budget.Deadline = 150 * time.Millisecond
+	e.Cfg.WatchdogGrace = 60 * time.Millisecond
+	vs := e.Check(context.Background(), g, cands)
+	if len(vs) != 1 || !vs[0].Abandoned {
+		t.Fatalf("stalled unit not abandoned: %+v", vs)
+	}
+
+	if n := rec.AbandonedSpans(); n != 1 {
+		t.Errorf("AbandonedSpans = %d, want 1", n)
+	}
+	s := rec.Snapshot()
+	if s.Counters["watchdog.abandoned"] != 1 {
+		t.Errorf("watchdog.abandoned = %d, want 1", s.Counters["watchdog.abandoned"])
+	}
+	if s.Sched["watchdog.abandoned_attempts"] < 1 {
+		t.Errorf("watchdog.abandoned_attempts = %d, want >= 1", s.Sched["watchdog.abandoned_attempts"])
+	}
+	if s.Counters["verdicts.total"] != 1 {
+		t.Errorf("verdicts.total = %d, want 1", s.Counters["verdicts.total"])
+	}
+}

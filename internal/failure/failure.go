@@ -9,6 +9,7 @@
 package failure
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -35,6 +36,12 @@ type UnitFailure struct {
 	// ladder, or a ladder of height one). It does not enter Digest, so
 	// the same crash groups together whatever the -retries setting.
 	Attempts int
+
+	// digest preserves the stack digest across the bounded JSON round
+	// trip: the wire form drops Stack (stacks can be arbitrarily large
+	// and a persisted record must stay bounded) but keeps its digest so
+	// grouping and reporting survive a journal replay.
+	digest string
 }
 
 // Error implements error.
@@ -43,13 +50,59 @@ func (f *UnitFailure) Error() string {
 }
 
 // Digest returns a short stable identifier for the failure's stack,
-// suitable for grouping identical crashes across units.
+// suitable for grouping identical crashes across units. A failure
+// deserialized from its bounded wire form has no stack anymore and
+// reports the digest computed before serialization.
 func (f *UnitFailure) Digest() string {
+	if f.Stack == "" && f.digest != "" {
+		return f.digest
+	}
 	h := fnv.New32a()
 	h.Write([]byte(f.Stage))
 	h.Write([]byte{0})
 	h.Write([]byte(f.Stack))
 	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// maxWireValue bounds the panic value persisted in the wire form: a
+// panic carrying a rendered formula or a huge input must not make a
+// journal record unbounded.
+const maxWireValue = 512
+
+// wireFailure is the bounded JSON form: the sanitized stack is replaced
+// by its digest and the panic value is truncated, so one persisted
+// record stays small no matter what crashed.
+type wireFailure struct {
+	Unit     string `json:"unit"`
+	Stage    string `json:"stage"`
+	Value    string `json:"value,omitempty"`
+	Digest   string `json:"digest"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the bounded wire form.
+func (f *UnitFailure) MarshalJSON() ([]byte, error) {
+	v := f.Value
+	if len(v) > maxWireValue {
+		v = v[:maxWireValue] + " [truncated]"
+	}
+	return json.Marshal(wireFailure{
+		Unit: f.Unit, Stage: f.Stage, Value: v,
+		Digest: f.Digest(), Attempts: f.Attempts,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the bounded wire form.
+func (f *UnitFailure) UnmarshalJSON(data []byte) error {
+	var w wireFailure
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*f = UnitFailure{
+		Unit: w.Unit, Stage: w.Stage, Value: w.Value,
+		Attempts: w.Attempts, digest: w.Digest,
+	}
+	return nil
 }
 
 // FromPanic builds a UnitFailure from a recovered panic value. Call it

@@ -10,7 +10,7 @@
 //
 //	panic.parse   panic.sema   panic.ssa   panic.pdg   panic.absint
 //	panic.enum    panic.check  panic.solve  stall.solve
-//	solver.exhaust  cancel.delay
+//	solver.exhaust  cancel.delay  journal.sync
 //
 // Spec syntax: comma-separated "point" or "point:match" entries, e.g.
 //
@@ -33,6 +33,11 @@
 //     "panic.solve:1" is recovered by a single retry. The attempt
 //     count is per unit, making the injected fault set deterministic
 //     for any worker count.
+//
+// "journal.sync[:match]" fails the checkpoint journal's fsync for
+// matching record keys: the append is rolled back and Record returns an
+// error instead of claiming durability, exercising the journal's
+// write-then-publish discipline.
 package faultinject
 
 import (
@@ -62,6 +67,7 @@ var Points = []string{
 	"stall.solve",
 	"solver.exhaust",
 	"cancel.delay",
+	"journal.sync",
 }
 
 // Fault is the panic value raised by Fire, so containment layers can

@@ -98,6 +98,10 @@ type Result struct {
 	// LocalPreprocessTime is the total time spent in per-function
 	// preprocessing.
 	LocalPreprocessTime time.Duration
+	// BuildTime is the wall time of residual-formula construction (graph
+	// emission through local preprocessing), reported separately so the
+	// telemetry layer can attribute translate cost apart from search cost.
+	BuildTime time.Duration
 	// DecidedByAbsint reports the query was refuted by the abstract
 	// interpretation before any formula was built.
 	DecidedByAbsint bool
@@ -239,7 +243,9 @@ func Solve(ctx context.Context, b *smt.Builder, g *pdg.Graph, paths []pdg.Path, 
 	}
 
 	heapBefore := b.EstimatedBytes()
+	tb := time.Now()
 	r := buildResidual(b, g, sl, opts)
+	res.BuildTime = time.Since(tb)
 	res.LocalPreprocessTime = r.st.localPrep
 	res.AbsintBounds = r.st.absintBounds
 	res.AbsintDiffs = r.st.absintDiffs

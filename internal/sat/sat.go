@@ -167,6 +167,20 @@ func (s *Solver) NumLearnts() int { return len(s.learnts) }
 // been derived; once false, every future solve is Unsat.
 func (s *Solver) Okay() bool { return s.ok }
 
+// Stats is a snapshot of the solver's monotonic search counters. On a
+// long-lived solver (a warm session) they accumulate across queries, so
+// per-query costs are deltas between two snapshots.
+type Stats struct {
+	Conflicts int64
+	Decisions int64
+	Props     int64
+}
+
+// Stats returns the current search-counter snapshot.
+func (s *Solver) Stats() Stats {
+	return Stats{Conflicts: s.Conflicts, Decisions: s.Decisions, Props: s.Props}
+}
+
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.assigns)

@@ -247,13 +247,16 @@ func (ss *Session) solveOnce(phi *smt.Term, opts Options) Result {
 	// predecessors, and what it reused while encoding.
 	res.ReusedClauses = int64(s.NumLearnts())
 	reusedBefore := ss.bl.Reused
-	conflictsBefore := s.Conflicts
+	before := s.Stats()
 
 	ss.bl.BeginQuery()
 	act := ss.bl.Assume(phi)
 	st, err := s.SolveAssuming([]sat.Lit{act})
 	res.SearchTime = time.Since(t1)
-	res.Conflicts = s.Conflicts - conflictsBefore
+	after := s.Stats()
+	res.Conflicts = after.Conflicts - before.Conflicts
+	res.Decisions = after.Decisions - before.Decisions
+	res.Props = after.Props - before.Props
 	res.CacheHits = ss.bl.Reused - reusedBefore
 	res.CacheVars = s.NumVars()
 	ss.CacheHits += res.CacheHits

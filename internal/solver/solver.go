@@ -85,6 +85,12 @@ type Result struct {
 	PreprocessTime time.Duration
 	SearchTime     time.Duration
 	Conflicts      int64
+	// Decisions and Props count the SAT search's branching decisions and
+	// unit propagations for this solve (deltas on the warm-session path,
+	// where the solver's counters accumulate across queries). Cost
+	// counters only; they never influence a verdict.
+	Decisions int64
+	Props     int64
 	// CacheHits, CacheVars, and ReusedClauses report warm-session
 	// amortization: term encodings reused from earlier queries, the size
 	// of the retained SAT variable map, and the learned clauses this query
@@ -189,6 +195,8 @@ func solveOnce(b *smt.Builder, phi *smt.Term, opts Options) Result {
 	st, err := s.Solve()
 	res.SearchTime = time.Since(t1)
 	res.Conflicts = s.Conflicts
+	res.Decisions = s.Decisions
+	res.Props = s.Props
 	if err != nil {
 		res.Status = sat.Unknown
 		// Budget exhaustion inside the search is distinct from outside

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// EnablePprof serves the standard net/http/pprof handlers on addr
+// (e.g. "localhost:6060") for live profiling of long runs. It returns
+// once the listener is up; the server runs until the process exits.
+func EnablePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: pprof: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}
+
+var dumpSeq atomic.Int64
+
+// dumpProfiles writes heap and goroutine profiles into dir, named by
+// pid and a sequence number so repeated signals never clobber earlier
+// dumps. Errors are reported on stderr, never fatal: a profile dump
+// must not take down the run it observes.
+func dumpProfiles(dir string) {
+	seq := dumpSeq.Add(1)
+	for _, kind := range []string{"heap", "goroutine"} {
+		name := filepath.Join(dir, fmt.Sprintf("fusion-%s-%d-%d.pprof", kind, os.Getpid(), seq))
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: pprof dump:", err)
+			continue
+		}
+		if err := pprof.Lookup(kind).WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: pprof dump:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: pprof dump:", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", name)
+	}
+}

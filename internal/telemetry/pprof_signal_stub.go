@@ -1,0 +1,7 @@
+//go:build !unix
+
+package telemetry
+
+// DumpOnSignal is a no-op on platforms without SIGUSR1; the
+// -pprof-addr HTTP endpoint remains available.
+func DumpOnSignal(dir string) {}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package telemetry
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnSignal arms SIGUSR1: each delivery writes heap and goroutine
+// profiles into dir (os.TempDir() when empty), so a live run can be
+// profiled without restarting it under a collector.
+func DumpOnSignal(dir string) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			dumpProfiles(dir)
+		}
+	}()
+}
